@@ -1,0 +1,32 @@
+# Convenience targets for the reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench tables examples verify-suite clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+tables:
+	$(PYTHON) examples/regenerate_paper_tables.py
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/modref_report.py
+	$(PYTHON) examples/context_gap.py
+	$(PYTHON) examples/strong_updates.py
+
+# Compile and run the benchmark suite with the host C compiler (the
+# suite must be real, working C; needs cc/gcc).
+verify-suite:
+	$(PYTHON) -m pytest tests/suite/test_compile_run.py -v
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf .pytest_cache .benchmarks src/repro.egg-info

@@ -1,0 +1,42 @@
+"""Figure 3: total points-to pairs computed context-insensitively.
+
+Regenerates the pair census by output type and checks the qualitative
+column structure the paper reports (store pairs dominate; function
+pairs are rare; no scalar output ever carries a pair).  The timed
+kernel is the context-insensitive analysis of the largest program.
+"""
+
+from conftest import emit
+
+from repro.analysis.insensitive import analyze_insensitive
+from repro.report import paper
+from repro.report.experiments import fig3_rows
+from repro.report.tables import render_table
+from repro.suite.registry import load_program
+
+
+def test_fig3_ci_pairs(runner, benchmark):
+    program = load_program("assembler")
+    benchmark(lambda: analyze_insensitive(program))
+
+    headers, rows = fig3_rows(runner)
+    merged_headers = headers[:-1] + ["total", "paper total"]
+    merged = []
+    for row in rows:
+        name = row[0]
+        paper_total = (paper.FIGURE3_TOTAL[-1] if name == "TOTAL"
+                       else paper.FIGURE3[name][-1])
+        merged.append(list(row) + [paper_total])
+    emit(benchmark, "fig3",
+         render_table(merged_headers, merged,
+                      title="Figure 3: context-insensitive points-to "
+                            "pairs by output type (ours vs. paper "
+                            "total)"))
+
+    total_row = rows[-1]
+    pointer, function, aggregate, store, total = total_row[1:6]
+    # Shape: store pairs dominate the census (paper: 98% store).
+    assert store > pointer + function + aggregate
+    # Function pairs exist (simulator's dispatch table) but are rare.
+    assert 0 < function < pointer
+    assert total == pointer + function + aggregate + store

@@ -1,0 +1,76 @@
+"""Figure 7: pairs broken down by path type × referent type.
+
+Regenerates both halves of the figure (all CI pairs, spurious pairs
+only) as percentages and checks §5.2's reading of it: spurious pairs
+skew toward local paths and heap referents relative to the full
+population.  The timed kernel is the breakdown computation.
+"""
+
+from conftest import emit
+
+from repro.analysis.compare import spurious_breakdown
+from repro.analysis.stats import breakdown_percentages, pair_breakdown
+from repro.report import paper
+from repro.report.experiments import fig7_rows
+from repro.report.tables import render_table
+from repro.suite.registry import PROGRAM_NAMES
+
+
+def test_fig7_breakdown(runner, benchmark):
+    results = [(runner.ci(name), runner.cs(name))
+               for name in PROGRAM_NAMES]
+
+    def kernel():
+        out = {}
+        for ci, cs in results:
+            for key, count in pair_breakdown(ci).items():
+                out[key] = out.get(key, 0) + count
+            for key, count in spurious_breakdown(ci, cs).items():
+                out[key] = out.get(key, 0) - count
+        return out
+
+    benchmark(kernel)
+
+    headers, rows = fig7_rows(runner)
+    emit(benchmark, "fig7",
+         render_table(headers, rows,
+                      title="Figure 7: percent of pairs by path type "
+                            "x referent type (all CI pairs / spurious "
+                            "only)"))
+    paper_rows = [["(paper, spurious)"]
+                  + [""] * 4
+                  + [paper.FIGURE7_SPURIOUS[(p, r)]
+                     for p in ("local",) for r in
+                     ("function", "local", "global", "heap")]]
+    emit(None, "fig7-paper",
+         render_table(["paper spurious: local-path row"]
+                      + ["function", "local", "global", "heap"],
+                      [["local"] + [paper.FIGURE7_SPURIOUS[("local", r)]
+                                    for r in ("function", "local",
+                                              "global", "heap")],
+                       ["heap"] + [paper.FIGURE7_SPURIOUS[("heap", r)]
+                                   for r in ("function", "local",
+                                             "global", "heap")]]))
+
+    # §5.2's skews, computed from the raw counts.
+    all_counts = {}
+    spurious_counts = {}
+    for ci, cs in results:
+        for key, count in pair_breakdown(ci).items():
+            all_counts[key] = all_counts.get(key, 0) + count
+        for key, count in spurious_breakdown(ci, cs).items():
+            spurious_counts[key] = spurious_counts.get(key, 0) + count
+    all_pct = breakdown_percentages(all_counts)
+    spur_pct = breakdown_percentages(spurious_counts)
+
+    def share(pct, selector):
+        return sum(v for k, v in pct.items() if selector(k))
+
+    # Spurious pairs over-represent local paths...
+    local_all = share(all_pct, lambda k: k[0] == "local")
+    local_spur = share(spur_pct, lambda k: k[0] == "local")
+    assert local_spur >= local_all
+    # ... and heap referents.
+    heap_all = share(all_pct, lambda k: k[1] == "heap")
+    heap_spur = share(spur_pct, lambda k: k[1] == "heap")
+    assert heap_spur >= heap_all

@@ -1,0 +1,49 @@
+"""§4.2/§4.3: the cost of context-sensitivity.
+
+The paper: with the optimizations in place the CS algorithm "executes
+only slightly more (10%) transfer functions ... but as many as 100
+times more meet operations.  The net result is that the
+context-sensitive algorithm is 2-3 orders of magnitude slower ... on
+our larger test programs."  This bench times both analyses on every
+suite program and regenerates the ratio table.  Absolute magnitudes
+differ from the paper's Scheme implementation on 1995 hardware; the
+reproducible shape is CS ≥ CI in transfers, meets, and wall-clock,
+with the meet ratio the largest of the three.
+"""
+
+from conftest import emit
+
+from repro.analysis.insensitive import analyze_insensitive
+from repro.analysis.sensitive import analyze_sensitive
+from repro.report.experiments import perf_rows
+from repro.report.tables import render_table
+from repro.suite.registry import load_program
+
+
+def test_perf_ci(runner, benchmark):
+    """Timed: context-insensitive analysis over the whole suite."""
+    programs = [runner.program(name) for name in runner.names]
+    benchmark(lambda: [analyze_insensitive(p) for p in programs])
+
+
+def test_perf_cs(runner, benchmark):
+    """Timed: context-sensitive analysis over the whole suite (with
+    the CI pass it depends on precomputed)."""
+    pairs = [(runner.program(name), runner.ci(name))
+             for name in runner.names]
+    benchmark(lambda: [analyze_sensitive(p, ci_result=ci)
+                       for p, ci in pairs])
+
+    headers, rows = perf_rows(runner)
+    emit(benchmark, "perf43",
+         render_table(headers, rows,
+                      title="Sections 4.2/4.3: cost of "
+                            "context-sensitivity (ratios are CS/CI)"))
+
+    total_ci_meets = sum(row[4] for row in rows)
+    total_cs_meets = sum(row[5] for row in rows)
+    # The shape: CS pays more meet operations overall ...
+    assert total_cs_meets > total_ci_meets
+    # ... while transfer counts stay the same order of magnitude.
+    for row in rows:
+        assert row[3] < 20.0, f"{row[0]}: transfer ratio exploded"

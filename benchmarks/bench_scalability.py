@@ -1,0 +1,55 @@
+"""§3.1's complexity claim, measured.
+
+"Termination is assured because the number of outputs and points-to
+pairs are finite, yielding O(n³) time and space bounds in the worst
+case (O(n²) in the average case, in which each pointer has only a
+small constant number of referents)."
+
+The copy-chain workload realizes the worst case: n pointer cells in a
+chain, the first aiming at n targets, gives n² points-to pairs each
+flowing through O(n) store nodes — Θ(n³) meet operations.  Holding the
+referent count constant (the paper's average case) collapses growth to
+the quadratic chain term.  Meet counters are deterministic, so the
+assertions are exact trend checks rather than flaky timing bounds.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.analysis.insensitive import analyze_insensitive
+from repro.report.tables import render_table
+from repro.suite.adversarial import load_copy_chain
+
+
+def _meets(n_pointers: int, n_targets: int) -> int:
+    program = load_copy_chain(n_pointers, n_targets)
+    return analyze_insensitive(program).counters.meets
+
+
+def test_scalability_worst_case(benchmark):
+    program = load_copy_chain(32, 32)
+    benchmark(lambda: analyze_insensitive(program))
+
+    sizes = (8, 16, 32)
+    worst = [_meets(n, n) for n in sizes]           # referents grow with n
+    average = [_meets(n, 4) for n in sizes]         # constant referents
+    rows = [[n, w, a] for n, w, a in zip(sizes, worst, average)]
+    emit(benchmark, "scalability",
+         render_table(["n (chain length)",
+                       "meets, n referents (worst case)",
+                       "meets, 4 referents (average case)"],
+                      rows,
+                      title="Section 3.1: O(n^3) worst / O(n^2) "
+                            "average complexity (meet operations)"))
+
+    # Worst case: doubling n multiplies meets by ~8 (cubic); require
+    # clearly super-quadratic growth but within the cubic bound.
+    ratio_worst = worst[2] / worst[1]
+    assert 4.5 < ratio_worst <= 9.0, ratio_worst
+
+    # Average case: constant referents keep growth at most quadratic.
+    ratio_avg = average[2] / average[1]
+    assert ratio_avg <= 4.5, ratio_avg
+
+    # And the worst case costs strictly more than the average case.
+    assert worst[2] > average[2] * 4

@@ -1,0 +1,39 @@
+"""§5.1.2: the benchmark structure behind the headline result.
+
+The paper explains *why* context-insensitivity costs nothing on these
+programs: sparse call graphs ("procedures average 4.2 callers, 54% of
+procedures have only one caller") and shallow pointer nesting ("the
+vast majority of pointers are single-level").  This bench measures
+both properties of our suite; the timed kernel is the structural
+statistics pass.
+"""
+
+from conftest import emit
+
+from repro.analysis.stats import structure_stats
+from repro.report import paper
+from repro.report.experiments import struct51_rows
+from repro.report.tables import render_table
+from repro.suite.registry import PROGRAM_NAMES
+
+
+def test_struct51_structure(runner, benchmark):
+    results = [runner.ci(name) for name in PROGRAM_NAMES]
+    benchmark(lambda: [structure_stats(result) for result in results])
+
+    headers, rows = struct51_rows(runner)
+    emit(benchmark, "struct51",
+         render_table(headers, rows,
+                      title="Section 5.1.2: benchmark structure "
+                            f"(paper: {paper.TEXT_CLAIMS['avg_callers']} "
+                            f"avg callers, "
+                            f"{100 * paper.TEXT_CLAIMS['single_caller_fraction']:.0f}% "
+                            f"single-caller)"))
+
+    total = rows[-1]
+    # Sparse call graph: a few callers per procedure on average, with
+    # roughly half the procedures having exactly one.
+    assert 1.0 <= total[4] <= 8.0
+    assert 30.0 <= total[5] <= 80.0
+    # Shallow nesting: single-level pointers are the majority.
+    assert total[7] <= 50.0

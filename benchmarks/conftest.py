@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one of the paper's tables/figures over the
+suite and prints it next to the paper's published values (run with
+``pytest benchmarks/ --benchmark-only -s`` to see the tables; they are
+also echoed into the benchmark "extra info" so ``--benchmark-json``
+captures them).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.report.experiments import SuiteRunner
+
+
+@pytest.fixture(scope="session")
+def runner() -> SuiteRunner:
+    """One shared runner: programs lowered and analyzed once."""
+    return SuiteRunner()
+
+
+def emit(benchmark, title: str, text: str) -> None:
+    """Print a regenerated table and stash it on the benchmark record."""
+    print()
+    print(text)
+    if benchmark is not None:
+        benchmark.extra_info[title] = text

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""When does context-sensitivity matter?
+
+Section 5 of the paper: on realistic programs context-insensitivity
+costs (almost) nothing, yet "it is easy to construct programs where
+context-sensitivity provides an arbitrarily large benefit."  This
+example shows both sides:
+
+1. the `part` benchmark — shared list routines, cross-pollution,
+   and *zero* difference at every indirect memory operation;
+2. a generated program with N call sites to one identity function,
+   where the CI answer degrades linearly while CS stays exact.
+
+Run:  python examples/context_gap.py
+"""
+
+import repro
+from repro.analysis.compare import compare_results
+from repro.analysis.stats import indirect_op_stats
+from repro.report.tables import render_table
+from repro.suite.adversarial import load_cs_wins
+from repro.suite.registry import load_program
+
+
+def suite_side() -> None:
+    program = load_program("part")
+    ci = repro.analyze(program)
+    cs = repro.analyze(program, sensitivity="sensitive")
+    report = compare_results(ci, cs)
+    print("part (the paper's own anecdote, §5.2):")
+    print(f"  CI pairs {report.total_insensitive}, "
+          f"CS pairs {report.total_sensitive} "
+          f"({report.percent_spurious:.1f}% spurious)")
+    print(f"  indirect memory ops identical: "
+          f"{report.indirect_ops_identical}")
+    print("  -> the spurious pairs sit on outputs no mod/ref client "
+          "ever reads\n")
+
+
+def adversarial_side() -> None:
+    rows = []
+    for n in (2, 4, 8, 16, 32):
+        program = load_cs_wins(n)
+        ci = repro.analyze(program)
+        cs = repro.analyze(program, sensitivity="sensitive")
+        ci_avg = indirect_op_stats(ci, "write").avg
+        cs_avg = indirect_op_stats(cs, "write").avg
+        rows.append([n, ci_avg, cs_avg, ci_avg / cs_avg])
+    print(render_table(
+        ["call sites", "CI locations/deref", "CS locations/deref",
+         "gap (x)"],
+        rows,
+        title="one identity function, N call sites (constructed)"))
+    print("\n-> the CI answer degrades linearly with the number of "
+          "call sites;\n   nothing like this shape occurs in any of "
+          "the 13 benchmarks.")
+
+
+def qualified_query_side() -> None:
+    """§4.1's closing remark: "some context-sensitive analyses prefer
+    to use the qualified information directly; this would be easy to
+    accommodate" — the per-call-site projection API."""
+    from repro.analysis.query import op_locations_at_call
+    from repro.ir.nodes import CallNode, UpdateNode
+
+    program = repro.parse_source("""
+        int g1, g2;
+        void poke(int *p) { *p = 9; }
+        int main(void) { poke(&g1); poke(&g2); return 0; }
+    """, name="poke.c")
+    cs = repro.analyze(program, sensitivity="sensitive")
+    poke = program.functions["poke"]
+    write = next(n for n in poke.nodes if isinstance(n, UpdateNode))
+    calls = sorted((n for n in program.functions["main"].nodes
+                    if isinstance(n, CallNode)), key=lambda n: n.uid)
+    stripped = sorted(p.base.name for p in cs.op_locations(write))
+    print("\nusing the qualified information directly (poke's *p write):")
+    print(f"  stripped (Figure 6 view):       {{{', '.join(stripped)}}}")
+    for index, call in enumerate(calls, start=1):
+        per_site = sorted(p.base.name
+                          for p in op_locations_at_call(cs, write, call))
+        print(f"  projected at call site {index}:       "
+              f"{{{', '.join(per_site)}}}")
+
+
+def main() -> None:
+    suite_side()
+    adversarial_side()
+    qualified_query_side()
+
+
+if __name__ == "__main__":
+    main()

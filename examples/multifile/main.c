@@ -1,0 +1,37 @@
+/* Driver translation unit: builds a table through the interface in
+ * symtab.h and sums the values back out.  Note the file-local
+ * 'static' helper deliberately named like nothing in symtab.c. */
+
+#include "symtab.h"
+
+extern int printf(const char *fmt, ...);
+
+static char *words[] = { "alpha", "beta", "gamma", "alpha" };
+
+static int score_of(const char *word)
+{
+    int score = 0;
+    while (*word) {
+        score = score + *word;
+        word++;
+    }
+    return score;
+}
+
+int main(void)
+{
+    unsigned long i;
+    int total = 0;
+
+    table_reset();
+    for (i = 0; i < sizeof(words) / sizeof(words[0]); i++)
+        table_insert(words[i], score_of(words[i]));
+
+    for (i = 0; i < sizeof(words) / sizeof(words[0]); i++) {
+        struct entry *e = table_find(words[i]);
+        if (e)
+            total = total + e->value;
+    }
+    printf("%d symbols, total score %d\n", table_size(), total);
+    return 0;
+}

@@ -1,0 +1,61 @@
+/* Symbol-table implementation: heap entries chained into file-local
+ * (static) buckets — storage invisible outside this translation
+ * unit. */
+
+#include "symtab.h"
+
+extern void *malloc(unsigned long n);
+extern int strcmp(const char *a, const char *b);
+extern char *strcpy(char *dst, const char *src);
+
+#define NBUCKETS 8
+
+static struct entry *buckets[NBUCKETS];
+static int population;
+
+static int hash_of(const char *name)
+{
+    int h = 0;
+    while (*name) {
+        h = (h * 31 + *name) & (NBUCKETS - 1);
+        name++;
+    }
+    return h;
+}
+
+void table_reset(void)
+{
+    int i;
+    for (i = 0; i < NBUCKETS; i++)
+        buckets[i] = 0;
+    population = 0;
+}
+
+struct entry *table_find(const char *name)
+{
+    struct entry *e;
+    for (e = buckets[hash_of(name)]; e; e = e->next)
+        if (strcmp(e->name, name) == 0)
+            return e;
+    return 0;
+}
+
+struct entry *table_insert(const char *name, int value)
+{
+    struct entry *e = table_find(name);
+    if (!e) {
+        int h = hash_of(name);
+        e = malloc(sizeof(struct entry));
+        strcpy(e->name, name);
+        e->next = buckets[h];
+        buckets[h] = e;
+        population = population + 1;
+    }
+    e->value = value;
+    return e;
+}
+
+int table_size(void)
+{
+    return population;
+}

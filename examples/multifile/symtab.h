@@ -1,0 +1,18 @@
+/* A chained-hash symbol table: the interface shared by the two
+ * translation units of the multifile example. */
+
+#ifndef SYMTAB_H
+#define SYMTAB_H
+
+struct entry {
+    char name[16];
+    int value;
+    struct entry *next;
+};
+
+void table_reset(void);
+struct entry *table_insert(const char *name, int value);
+struct entry *table_find(const char *name);
+int table_size(void);
+
+#endif

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: analyze a C snippet and inspect points-to results.
+
+Run:  python examples/quickstart.py
+"""
+
+import repro
+from repro.analysis.compare import compare_results
+from repro.ir.nodes import LookupNode, UpdateNode
+
+SOURCE = """
+/* A tiny pointer program: a list builder and a global cursor. */
+extern void *malloc(unsigned long n);
+
+struct node { int value; struct node *next; };
+
+struct node *head;
+
+void push(int value) {
+    struct node *n = malloc(sizeof(struct node));
+    n->value = value;
+    n->next = head;
+    head = n;
+}
+
+int sum(void) {
+    int total = 0;
+    struct node *walk;
+    for (walk = head; walk; walk = walk->next)
+        total += walk->value;
+    return total;
+}
+
+int main(void) {
+    int i;
+    for (i = 0; i < 10; i++)
+        push(i);
+    return sum();
+}
+"""
+
+
+def main() -> None:
+    # 1. Preprocess, parse, and lower to the VDG-style IR.
+    program = repro.parse_source(SOURCE, name="quickstart.c")
+    print(f"lowered {program.name}: {len(program.functions)} functions, "
+          f"{program.node_count()} nodes\n")
+
+    # 2. Run the paper's two analyses.
+    ci = repro.analyze(program)                          # Figure 1
+    cs = repro.analyze(program, sensitivity="sensitive")  # Figure 5
+
+    # 3. What may each indirect memory operation touch?
+    print("indirect memory operations (context-insensitive view):")
+    for name, graph in program.functions.items():
+        for node in graph.memory_operations():
+            if not node.is_indirect:
+                continue
+            kind = "read " if isinstance(node, LookupNode) else "write"
+            locations = sorted(repr(p) for p in ci.op_locations(node))
+            print(f"  {name:5s} {kind} {node.origin}: "
+                  f"{{{', '.join(locations)}}}")
+
+    # 4. Did context-sensitivity buy anything?  (The paper's question.)
+    report = compare_results(ci, cs)
+    print(f"\ncontext-insensitive pairs: {report.total_insensitive}")
+    print(f"context-sensitive pairs:   {report.total_sensitive} "
+          f"({report.percent_spurious:.1f}% spurious)")
+    print(f"identical at indirect ops: {report.indirect_ops_identical}")
+
+
+if __name__ == "__main__":
+    main()

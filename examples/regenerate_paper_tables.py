@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure from the paper's evaluation.
+
+Runs both analyses over the 13-program suite and prints our version of
+Figures 2, 3, 4, 6, 7, the §4.2 pruning-coverage numbers, the CS-cost
+ratios, and the §5 ablation.  (The same drivers back the pytest-
+benchmark harness in benchmarks/.)
+
+Run:  python examples/regenerate_paper_tables.py [fig2|fig3|...]
+"""
+
+import sys
+
+from repro.report.experiments import (
+    EXPERIMENT_IDS,
+    SuiteRunner,
+    render_experiment,
+)
+
+
+def main() -> None:
+    wanted = sys.argv[1:] or list(EXPERIMENT_IDS)
+    unknown = [w for w in wanted if w not in EXPERIMENT_IDS]
+    if unknown:
+        raise SystemExit(f"unknown experiment(s): {', '.join(unknown)}; "
+                         f"choose from {', '.join(EXPERIMENT_IDS)}")
+    runner = SuiteRunner()
+    for experiment_id in wanted:
+        print(render_experiment(experiment_id, runner))
+        print()
+
+
+if __name__ == "__main__":
+    main()

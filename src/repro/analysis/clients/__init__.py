@@ -1,0 +1,15 @@
+"""Consumers of points-to results: mod/ref, def/use, dead stores."""
+
+from .deadstore import DeadStoreReport, find_dead_stores
+from .defuse import INITIAL, DefUseInfo, defuse
+from .modref import ModRefInfo, modref
+
+__all__ = [
+    "DeadStoreReport",
+    "DefUseInfo",
+    "INITIAL",
+    "ModRefInfo",
+    "defuse",
+    "find_dead_stores",
+    "modref",
+]

@@ -1,0 +1,139 @@
+"""Mod/ref analysis: the client the paper's Figure 4 serves.
+
+"Such applications are concerned only with the memory locations
+referenced by each memory read or write, e.g., the pointers arriving at
+the location inputs of lookup and update nodes" (§3.2).  This module
+turns a points-to result into:
+
+* per-operation ref/mod sets (the locations a lookup may read / an
+  update may write);
+* per-procedure summaries, closed transitively over the discovered
+  call graph (a procedure refs/mods what its body does plus what its
+  callees do);
+* per-call-site summaries (the union over potential callees).
+
+Location sets are sets of access paths.  Locations named by a path are
+also considered touched by accesses to any extension of that path (the
+``dom`` relation); queries offer both exact-path and may-alias forms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Set
+
+from ...errors import AnalysisError
+from ...memory.access import AccessPath
+from ...memory.relations import may_alias
+from ...ir.graph import FunctionGraph
+from ...ir.nodes import CallNode, LookupNode, Node, UpdateNode
+from ..common import AnalysisResult
+
+
+class ModRefInfo:
+    """Queryable mod/ref summaries for one analysis result."""
+
+    def __init__(self, result: AnalysisResult) -> None:
+        self.result = result
+        self.program = result.program
+        self._direct_ref: Dict[str, Set[AccessPath]] = {}
+        self._direct_mod: Dict[str, Set[AccessPath]] = {}
+        self._ref: Dict[str, FrozenSet[AccessPath]] = {}
+        self._mod: Dict[str, FrozenSet[AccessPath]] = {}
+        self._compute_direct()
+        self._close_over_calls()
+
+    # -- construction ----------------------------------------------------------
+
+    def _compute_direct(self) -> None:
+        for name, graph in self.program.functions.items():
+            refs: Set[AccessPath] = set()
+            mods: Set[AccessPath] = set()
+            for node in graph.memory_operations():
+                locations = self.result.op_locations(node)
+                if isinstance(node, LookupNode):
+                    refs.update(locations)
+                else:
+                    mods.update(locations)
+            self._direct_ref[name] = refs
+            self._direct_mod[name] = mods
+
+    def _close_over_calls(self) -> None:
+        """Fixpoint union over the call graph (handles recursion)."""
+        ref = {name: set(paths) for name, paths in self._direct_ref.items()}
+        mod = {name: set(paths) for name, paths in self._direct_mod.items()}
+        changed = True
+        while changed:
+            changed = False
+            for name, graph in self.program.functions.items():
+                for node in graph.nodes:
+                    if not isinstance(node, CallNode):
+                        continue
+                    for callee in self.result.callgraph.callees(node):
+                        if not ref[name] >= ref[callee.name]:
+                            ref[name] |= ref[callee.name]
+                            changed = True
+                        if not mod[name] >= mod[callee.name]:
+                            mod[name] |= mod[callee.name]
+                            changed = True
+        self._ref = {name: frozenset(paths) for name, paths in ref.items()}
+        self._mod = {name: frozenset(paths) for name, paths in mod.items()}
+
+    # -- per-operation queries ----------------------------------------------------
+
+    def op_ref(self, node: Node) -> Set[AccessPath]:
+        """Locations a memory read may reference."""
+        if not isinstance(node, LookupNode):
+            raise AnalysisError(f"{node!r} is not a memory read")
+        return self.result.op_locations(node)
+
+    def op_mod(self, node: Node) -> Set[AccessPath]:
+        """Locations a memory write may modify."""
+        if not isinstance(node, UpdateNode):
+            raise AnalysisError(f"{node!r} is not a memory write")
+        return self.result.op_locations(node)
+
+    # -- per-procedure queries -------------------------------------------------------
+
+    def ref_set(self, function: str) -> FrozenSet[AccessPath]:
+        """Locations ``function`` (or anything it calls) may read."""
+        return self._require(self._ref, function)
+
+    def mod_set(self, function: str) -> FrozenSet[AccessPath]:
+        """Locations ``function`` (or anything it calls) may write."""
+        return self._require(self._mod, function)
+
+    def _require(self, table: Dict[str, FrozenSet[AccessPath]],
+                 function: str) -> FrozenSet[AccessPath]:
+        if function not in table:
+            raise AnalysisError(f"unknown function {function!r}")
+        return table[function]
+
+    # -- per-call-site queries ----------------------------------------------------------
+
+    def call_ref(self, call: CallNode) -> Set[AccessPath]:
+        refs: Set[AccessPath] = set()
+        for callee in self.result.callgraph.callees(call):
+            refs |= self._ref[callee.name]
+        return refs
+
+    def call_mod(self, call: CallNode) -> Set[AccessPath]:
+        mods: Set[AccessPath] = set()
+        for callee in self.result.callgraph.callees(call):
+            mods |= self._mod[callee.name]
+        return mods
+
+    # -- alias-aware membership -------------------------------------------------------------
+
+    def may_mod(self, function: str, path: AccessPath) -> bool:
+        """Whether calling ``function`` may modify storage reachable
+        through ``path`` (prefix aliasing included)."""
+        return any(may_alias(path, written)
+                   for written in self.mod_set(function))
+
+    def may_ref(self, function: str, path: AccessPath) -> bool:
+        return any(may_alias(path, read) for read in self.ref_set(function))
+
+
+def modref(result: AnalysisResult) -> ModRefInfo:
+    """Build mod/ref summaries from a points-to result."""
+    return ModRefInfo(result)

@@ -1,0 +1,226 @@
+"""Shared infrastructure for both points-to analyses.
+
+Both the context-insensitive (Figure 1) and context-sensitive
+(Figure 5) algorithms are worklist analyses over the same graphs; they
+share the solution container, the operation counters the paper reports
+(transfer functions executed, meet operations performed), and the
+dynamically discovered call graph.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, Iterator, Optional, Set
+
+from ..errors import AnalysisError
+from ..memory.access import EMPTY_OFFSET, AccessPath
+from ..memory.base import LocationKind
+from ..memory.pairs import PointsToPair
+from ..ir.graph import FunctionGraph, Program
+from ..ir.nodes import CallNode, InputPort, LookupNode, Node, OutputPort, UpdateNode
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+
+@dataclass
+class Counters:
+    """Operation counts the paper compares across the two analyses.
+
+    * ``transfers`` — applications of ``flow-in`` (worklist items
+      processed).  The paper: CS executes only ~10% more than CI.
+    * ``meets`` — applications of ``flow-out`` (attempted set joins).
+      The paper: CS performs up to 100× more than CI.
+    * ``pairs_added`` — joins that actually grew a set.
+    """
+
+    transfers: int = 0
+    meets: int = 0
+    pairs_added: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"transfers": self.transfers, "meets": self.meets,
+                "pairs_added": self.pairs_added}
+
+
+class CallGraph:
+    """Call edges discovered while the analysis runs.
+
+    ``callees`` / ``callers`` mirror the primitives of Figure 1's
+    definitions box; edges appear as function values reach ``fcn``
+    inputs (new edges trigger repropagation of already-known facts).
+    """
+
+    def __init__(self) -> None:
+        self._callees: Dict[CallNode, Set[FunctionGraph]] = {}
+        self._callers: Dict[FunctionGraph, Set[CallNode]] = {}
+        #: Call sites whose function value resolved to something that is
+        #: not a defined function (e.g. data treated as code); recorded
+        #: rather than silently dropped.
+        self.unresolved: Set[CallNode] = set()
+
+    def callees(self, call: CallNode) -> Set[FunctionGraph]:
+        return self._callees.get(call, set())
+
+    def callers(self, graph: FunctionGraph) -> Set[CallNode]:
+        return self._callers.get(graph, set())
+
+    def add_edge(self, call: CallNode, callee: FunctionGraph) -> bool:
+        """Record a call edge; returns True if it is new."""
+        known = self._callees.setdefault(call, set())
+        if callee in known:
+            return False
+        known.add(callee)
+        self._callers.setdefault(callee, set()).add(call)
+        return True
+
+    def edges(self) -> Iterator[tuple[CallNode, FunctionGraph]]:
+        for call, callees in self._callees.items():
+            for callee in callees:
+                yield call, callee
+
+    def edge_count(self) -> int:
+        return sum(len(c) for c in self._callees.values())
+
+
+class PointsToSolution:
+    """The analysis output: node output → set of points-to pairs.
+
+    Query helpers cover the patterns clients (mod/ref, def/use, the
+    statistics module) need: the *targets* of a pointer value and the
+    locations an indirect memory operation may reference or modify.
+    """
+
+    def __init__(self) -> None:
+        self._pairs: Dict[OutputPort, Set[PointsToPair]] = {}
+
+    # -- mutation (analysis-internal) -------------------------------------
+
+    def add(self, output: OutputPort, pair: PointsToPair) -> bool:
+        pairs = self._pairs.get(output)
+        if pairs is None:
+            pairs = set()
+            self._pairs[output] = pairs
+        if pair in pairs:
+            return False
+        pairs.add(pair)
+        return True
+
+    # -- queries ------------------------------------------------------------
+
+    def pairs(self, output: OutputPort) -> FrozenSet[PointsToPair]:
+        return frozenset(self._pairs.get(output, ()))
+
+    def raw_pairs(self, output: OutputPort) -> Set[PointsToPair]:
+        """Internal: the live set (not copied).  Do not mutate."""
+        return self._pairs.get(output, set())
+
+    def targets(self, output: OutputPort,
+                offset: Optional[AccessPath] = None) -> Set[AccessPath]:
+        """Locations this value may point at (referents of direct pairs,
+        or of pairs at ``offset`` within an aggregate value)."""
+        if offset is None:
+            offset = EMPTY_OFFSET
+        return {p.referent for p in self._pairs.get(output, ())
+                if p.path is offset}
+
+    def op_locations(self, node: Node) -> Set[AccessPath]:
+        """Locations a lookup may reference / an update may modify: the
+        direct referents at the node's location input.  This is what
+        Figure 4 tabulates and what a def/use or mod/ref client reads."""
+        if isinstance(node, (LookupNode, UpdateNode)):
+            src = node.loc.source
+            if src is None:
+                raise AnalysisError(f"{node!r} has a dangling loc input")
+            return self.targets(src)
+        raise AnalysisError(f"{node!r} is not a memory operation")
+
+    def outputs(self) -> Iterator[OutputPort]:
+        return iter(self._pairs)
+
+    def total_pairs(self) -> int:
+        return sum(len(p) for p in self._pairs.values())
+
+    def items(self) -> Iterator[tuple[OutputPort, Set[PointsToPair]]]:
+        return iter(self._pairs.items())
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analysis run produces."""
+
+    program: Program
+    solution: PointsToSolution
+    callgraph: CallGraph
+    counters: Counters
+    elapsed_seconds: float = 0.0
+    #: "insensitive", "sensitive", or "flowinsensitive".
+    flavor: str = "insensitive"
+    extras: dict = field(default_factory=dict)
+
+    def pairs(self, output: OutputPort) -> FrozenSet[PointsToPair]:
+        return self.solution.pairs(output)
+
+    def targets(self, output: OutputPort) -> Set[AccessPath]:
+        return self.solution.targets(output)
+
+    def op_locations(self, node: Node) -> Set[AccessPath]:
+        return self.solution.op_locations(node)
+
+
+class Worklist:
+    """FIFO queue of (input port, fact) items.
+
+    The paper notes the algorithm's convergence time is independent of
+    the scheduling strategy; FIFO keeps runs deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._queue: deque = deque()
+
+    def push(self, input_port: InputPort, fact: object) -> None:
+        self._queue.append((input_port, fact))
+
+    def pop(self) -> tuple[InputPort, object]:
+        return self._queue.popleft()
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+def resolve_function_value(program: Program, referent: AccessPath
+                           ) -> Optional[FunctionGraph]:
+    """Map a function value's referent to a defined function graph.
+
+    Function values are direct pairs whose referent is a bare
+    FUNCTION-kind base-location path.
+    """
+    if referent.ops or referent.base is None:
+        return None
+    if referent.base.kind is not LocationKind.FUNCTION:
+        return None
+    return program.function_for_location(referent.base)
+
+
+def seed_addresses(program: Program, flow_out) -> None:
+    """Figure 1's initialization: every base-location producer emits
+    the direct pair ``(ε, path)`` on its output."""
+    from ..memory.pairs import direct
+
+    for node in program.address_nodes():
+        flow_out(node.out, direct(node.path))
+
+
+def seed_roots(program: Program, flow_out) -> None:
+    """Seed each analysis root's entry store with the initial store
+    (global-initializer) pairs, plus any explicit value seeds (e.g.
+    ``main``'s synthesized ``argv`` environment)."""
+    for graph in program.root_graphs():
+        for pair in program.initial_store:
+            flow_out(graph.store_formal, pair)
+    for output, pair in program.seeded_values:
+        flow_out(output, pair)

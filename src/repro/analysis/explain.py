@@ -1,0 +1,289 @@
+"""Explain *why* a points-to pair holds.
+
+Debugging an alias analysis (or a program through one) constantly asks
+"where did this pair come from?".  This module reconstructs a
+derivation for any (output, pair) fact in a context-insensitive
+solution by inverting the transfer functions against the final
+fixpoint: for the node producing the output it finds input facts that
+justify the pair, and recurses — producing a proof tree whose leaves
+are the Figure 1 seeds (address constants, the initial store, root
+environments).
+
+The search is greedy (first justification found) with a visited set,
+so cyclic derivations (loops, recursion) terminate by citing the fact
+already being explained as "(already shown above)".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..errors import AnalysisError
+from ..memory.access import EMPTY_OFFSET, INDEX, AccessPath
+from ..memory.pairs import PointsToPair, direct, pair as make_pair
+from ..memory.relations import dom, strong_dom
+from ..ir.nodes import (
+    AddressNode,
+    CallNode,
+    ConstNode,
+    EntryNode,
+    LookupNode,
+    MergeNode,
+    Node,
+    OutputPort,
+    PrimopNode,
+    PrimopSemantics,
+    ReturnNode,
+    UpdateNode,
+)
+from .common import AnalysisResult
+
+Fact = Tuple[OutputPort, PointsToPair]
+
+
+@dataclass
+class Derivation:
+    """One step of a proof: fact, the rule that produced it, premises."""
+
+    output: OutputPort
+    pair: PointsToPair
+    rule: str
+    premises: List["Derivation"] = field(default_factory=list)
+    cyclic: bool = False  # cites a fact already shown above
+
+    def depth(self) -> int:
+        if not self.premises:
+            return 1
+        return 1 + max(p.depth() for p in self.premises)
+
+
+class Explainer:
+    """Builds derivations against one context-insensitive result."""
+
+    def __init__(self, result: AnalysisResult) -> None:
+        if result.flavor == "sensitive":
+            raise AnalysisError(
+                "explain derivations against the context-insensitive "
+                "result (the CS result strips its assumptions)")
+        self.result = result
+        self.program = result.program
+
+    # -- public API -----------------------------------------------------------
+
+    def explain(self, output: OutputPort,
+                pair: PointsToPair) -> Derivation:
+        if pair not in self.result.solution.raw_pairs(output):
+            raise AnalysisError(f"{pair!r} does not hold on {output!r}")
+        return self._derive(output, pair, frozenset())
+
+    # -- derivation search -------------------------------------------------------
+
+    def _derive(self, output: OutputPort, pair: PointsToPair,
+                visiting: frozenset) -> Derivation:
+        fact: Fact = (output, pair)
+        if fact in visiting:
+            return Derivation(output, pair, "(already shown above)",
+                              cyclic=True)
+        visiting = visiting | {fact}
+        node = output.node
+
+        if isinstance(node, AddressNode):
+            return Derivation(output, pair, "address constant")
+        if isinstance(node, EntryNode):
+            return self._derive_entry(node, output, pair, visiting)
+        if isinstance(node, MergeNode):
+            for branch in node.branches:
+                premise = self._premise(branch, pair, visiting)
+                if premise is not None:
+                    return Derivation(output, pair, "control-flow join",
+                                      [premise])
+        if isinstance(node, LookupNode):
+            found = self._derive_lookup(node, pair, visiting)
+            if found is not None:
+                return found
+        if isinstance(node, UpdateNode):
+            found = self._derive_update(node, pair, visiting)
+            if found is not None:
+                return found
+        if isinstance(node, CallNode):
+            found = self._derive_call_output(node, output, pair, visiting)
+            if found is not None:
+                return found
+        if isinstance(node, PrimopNode):
+            found = self._derive_primop(node, pair, visiting)
+            if found is not None:
+                return found
+        if isinstance(node, ConstNode):
+            return Derivation(output, pair, "constant (unexpected pair)")
+        for seeded_output, seeded_pair in self.program.seeded_values:
+            if seeded_output is output and seeded_pair is pair:
+                return Derivation(output, pair, "synthesized environment")
+        return Derivation(output, pair, "(no justification found)")
+
+    def _premise(self, input_port, pair: PointsToPair,
+                 visiting: frozenset) -> Optional[Derivation]:
+        if input_port is None or input_port.source is None:
+            return None
+        if pair not in self.result.solution.raw_pairs(input_port.source):
+            return None
+        return self._derive(input_port.source, pair, visiting)
+
+    def _derive_entry(self, node: EntryNode, output: OutputPort,
+                      pair: PointsToPair,
+                      visiting: frozenset) -> Derivation:
+        graph = node.graph
+        if output is node.store_out:
+            if graph.name in self.program.roots \
+                    and pair in self.program.initial_store:
+                return Derivation(output, pair,
+                                  "static initializer (initial store)")
+            for call in self.result.callgraph.callers(graph):
+                premise = self._premise(call.store, pair, visiting)
+                if premise is not None:
+                    return Derivation(
+                        output, pair,
+                        f"store entering {graph.name} from a call in "
+                        f"{call.graph.name}", [premise])
+        else:
+            index = node.formals.index(output)
+            for seeded_output, seeded_pair in self.program.seeded_values:
+                if seeded_output is output and seeded_pair is pair:
+                    return Derivation(output, pair,
+                                      "synthesized root environment")
+            for call in self.result.callgraph.callers(graph):
+                if index < len(call.args):
+                    premise = self._premise(call.args[index], pair,
+                                            visiting)
+                    if premise is not None:
+                        return Derivation(
+                            output, pair,
+                            f"argument {index} at a call in "
+                            f"{call.graph.name}", [premise])
+        return Derivation(output, pair, "(no caller justifies this)")
+
+    def _derive_lookup(self, node: LookupNode, pair: PointsToPair,
+                       visiting: frozenset) -> Optional[Derivation]:
+        for lp in self.result.solution.raw_pairs(
+                node.loc.source) if node.loc.source else ():
+            if lp.path is not EMPTY_OFFSET:
+                continue
+            wanted_path = lp.referent.append(pair.path)
+            store_pair = make_pair(wanted_path, pair.referent)
+            if not dom(lp.referent, wanted_path):
+                continue
+            loc_premise = self._premise(node.loc, lp, visiting)
+            store_premise = self._premise(node.store, store_pair, visiting)
+            if loc_premise is not None and store_premise is not None:
+                return Derivation(
+                    node.out, pair,
+                    f"memory read of {lp.referent!r}",
+                    [loc_premise, store_premise])
+        return None
+
+    def _derive_update(self, node: UpdateNode, pair: PointsToPair,
+                       visiting: frozenset) -> Optional[Derivation]:
+        loc_pairs = [p for p in (self.result.solution.raw_pairs(
+            node.loc.source) if node.loc.source else ())
+            if p.path is EMPTY_OFFSET]
+        # Case 1: the update wrote it: pair.path = r_l + p_v.
+        for lp in loc_pairs:
+            r_l = lp.referent
+            if r_l.base is not pair.path.base:
+                continue
+            n = len(r_l.ops)
+            if pair.path.ops[:n] != r_l.ops:
+                continue
+            offset = AccessPath(None, pair.path.ops[n:])
+            value_pair = make_pair(offset, pair.referent)
+            loc_premise = self._premise(node.loc, lp, visiting)
+            value_premise = self._premise(node.value, value_pair, visiting)
+            if loc_premise is not None and value_premise is not None:
+                return Derivation(
+                    node.ostore, pair,
+                    f"memory write to {r_l!r}",
+                    [loc_premise, value_premise])
+        # Case 2: the pair survived (some location does not kill it).
+        store_premise = self._premise(node.store, pair, visiting)
+        if store_premise is not None:
+            survivor = next((lp for lp in loc_pairs
+                             if not strong_dom(lp.referent, pair.path)),
+                            None)
+            if survivor is not None:
+                return Derivation(
+                    node.ostore, pair,
+                    f"survives the write (not definitely overwritten "
+                    f"by {survivor.referent!r})",
+                    [store_premise])
+        return None
+
+    def _derive_call_output(self, node: CallNode, output: OutputPort,
+                            pair: PointsToPair,
+                            visiting: frozenset) -> Optional[Derivation]:
+        for callee in self.result.callgraph.callees(node):
+            ret = callee.return_node
+            if ret is None:
+                continue
+            source = ret.value if output is node.out else ret.store
+            premise = self._premise(source, pair, visiting)
+            if premise is not None:
+                what = "return value" if output is node.out \
+                    else "returned store"
+                return Derivation(output, pair,
+                                  f"{what} of {callee.name}", [premise])
+        return None
+
+    def _derive_primop(self, node: PrimopNode, pair: PointsToPair,
+                       visiting: frozenset) -> Optional[Derivation]:
+        semantics = node.semantics
+        if semantics is PrimopSemantics.COPY:
+            operands = (node.operands if node.copy_operand is None
+                        else [node.operands[node.copy_operand]])
+            for operand in operands:
+                premise = self._premise(operand, pair, visiting)
+                if premise is not None:
+                    return Derivation(node.out, pair,
+                                      f"copied through {node.op}",
+                                      [premise])
+            return None
+        (operand,) = node.operands
+        if semantics in (PrimopSemantics.FIELD, PrimopSemantics.INDEX):
+            if pair.path is not EMPTY_OFFSET or not pair.referent.ops:
+                return None
+            base_ref = AccessPath(pair.referent.base,
+                                  pair.referent.ops[:-1])
+            premise = self._premise(operand, direct(base_ref), visiting)
+            if premise is not None:
+                op_name = ("member address" if semantics
+                           is PrimopSemantics.FIELD else "element address")
+                return Derivation(node.out, pair, op_name, [premise])
+            return None
+        if semantics is PrimopSemantics.EXTRACT:
+            inner = AccessPath(None, (node.field_op,) + pair.path.ops)
+            premise = self._premise(operand,
+                                    make_pair(inner, pair.referent),
+                                    visiting)
+            if premise is not None:
+                return Derivation(node.out, pair, "member extract",
+                                  [premise])
+        return None
+
+
+def explain(result: AnalysisResult, output: OutputPort,
+            pair: PointsToPair) -> Derivation:
+    """Build a derivation tree for one fact (see module docstring)."""
+    return Explainer(result).explain(output, pair)
+
+
+def format_derivation(derivation: Derivation, indent: int = 0) -> str:
+    """Render a derivation tree as indented text."""
+    node = derivation.output.node
+    where = f"{node.graph.name}:{node!r}"
+    if node.origin:
+        where += f" ({node.origin})"
+    line = (" " * indent
+            + f"{derivation.pair!r} on {where} — {derivation.rule}")
+    lines = [line]
+    for premise in derivation.premises:
+        lines.append(format_derivation(premise, indent + 4))
+    return "\n".join(lines)

@@ -1,0 +1,272 @@
+"""Context-insensitive points-to analysis — the paper's Figure 1.
+
+The algorithm is "essentially the simple algorithm of [CWZ90, Sections
+3 and 4.2]": maintain a set of points-to pairs on every node output,
+grown incrementally by a worklist.  Whenever a pair is added to a set,
+all consumers of that output are notified and make the appropriate
+modifications to the sets on their own outputs.  Calls and returns are
+handled like jumps — all information at a call's actuals propagates to
+all called procedures, and all information at a procedure's returns
+propagates to all of its callers.
+
+Strong updates follow the dual-worklist discipline of CWZ90: store
+pairs are delayed until at least one pair has arrived on an update's
+location input, and blocked pairs are re-examined whenever a further
+location pair arrives (the location-arrival case re-scans the full
+store set).  Indirect calls repropagate old information to newly
+discovered callees.
+
+Termination: outputs and pairs are finite and sets only grow, giving
+the paper's O(n³) worst case (O(n²) average when each pointer has a
+small constant number of referents).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from ..errors import AnalysisError
+from ..memory.access import EMPTY_OFFSET, INDEX, AccessPath
+from ..memory.pairs import PointsToPair, direct, pair as make_pair
+from ..memory.relations import dom, strong_dom
+from ..ir.graph import FunctionGraph, Program
+from ..ir.nodes import (
+    CallNode,
+    InputPort,
+    LookupNode,
+    MergeNode,
+    OutputPort,
+    PrimopNode,
+    PrimopSemantics,
+    ReturnNode,
+    UpdateNode,
+)
+from .common import (
+    AnalysisResult,
+    CallGraph,
+    Counters,
+    PointsToSolution,
+    Worklist,
+    resolve_function_value,
+    seed_addresses,
+    seed_roots,
+)
+
+
+class InsensitiveAnalysis:
+    """One run of the context-insensitive analysis over a program."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.solution = PointsToSolution()
+        self.callgraph = CallGraph()
+        self.counters = Counters()
+        self.worklist = Worklist()
+
+    # -- driver ------------------------------------------------------------
+
+    def run(self) -> AnalysisResult:
+        started = time.perf_counter()
+        seed_addresses(self.program, self.flow_out)
+        seed_roots(self.program, self.flow_out)
+        while self.worklist:
+            input_port, fact = self.worklist.pop()
+            self.counters.transfers += 1
+            self.flow_in(input_port, fact)
+        elapsed = time.perf_counter() - started
+        return AnalysisResult(
+            program=self.program,
+            solution=self.solution,
+            callgraph=self.callgraph,
+            counters=self.counters,
+            elapsed_seconds=elapsed,
+            flavor="insensitive",
+        )
+
+    # -- propagation ----------------------------------------------------------
+
+    def flow_out(self, output: OutputPort, pair: PointsToPair) -> None:
+        """Join ``pair`` into P(output); notify consumers if it is new."""
+        self.counters.meets += 1
+        if not self.solution.add(output, pair):
+            return
+        self.counters.pairs_added += 1
+        for consumer in output.consumers:
+            self.worklist.push(consumer, pair)
+
+    def _pairs(self, input_port: Optional[InputPort]):
+        """Current pairs on the output feeding ``input_port``."""
+        if input_port is None or input_port.source is None:
+            return ()
+        return self.solution.raw_pairs(input_port.source)
+
+    # -- transfer functions (flow-in, Figure 1) ----------------------------------
+
+    def flow_in(self, input_port: InputPort, fact: PointsToPair) -> None:
+        node = input_port.node
+        if isinstance(node, LookupNode):
+            self._flow_lookup(node, input_port, fact)
+        elif isinstance(node, UpdateNode):
+            self._flow_update(node, input_port, fact)
+        elif isinstance(node, CallNode):
+            self._flow_call(node, input_port, fact)
+        elif isinstance(node, ReturnNode):
+            self._flow_return(node, input_port, fact)
+        elif isinstance(node, MergeNode):
+            self._flow_merge(node, input_port, fact)
+        elif isinstance(node, PrimopNode):
+            self._flow_primop(node, input_port, fact)
+        else:
+            raise AnalysisError(f"pair arrived at unexpected node {node!r}")
+
+    def _flow_lookup(self, node: LookupNode, input_port: InputPort,
+                     fact: PointsToPair) -> None:
+        """A new location dereferences the store / a new store pair is
+        dereferenced by all known locations."""
+        if input_port is node.loc:
+            if fact.path is not EMPTY_OFFSET:
+                return  # only the pointer value itself can be dereferenced
+            r_l = fact.referent
+            for sp in list(self._pairs(node.store)):
+                if dom(r_l, sp.path):
+                    self.flow_out(node.out,
+                                  make_pair(sp.path.subtract(r_l), sp.referent))
+        elif input_port is node.store:
+            for lp in list(self._pairs(node.loc)):
+                if lp.path is not EMPTY_OFFSET:
+                    continue
+                if dom(lp.referent, fact.path):
+                    self.flow_out(node.out,
+                                  make_pair(fact.path.subtract(lp.referent),
+                                            fact.referent))
+        else:  # pragma: no cover - defensive
+            raise AnalysisError(f"unknown lookup input {input_port!r}")
+
+    def _flow_update(self, node: UpdateNode, input_port: InputPort,
+                     fact: PointsToPair) -> None:
+        """New locations write all values and release non-killed store
+        pairs; new store pairs propagate if at least one location does
+        not strongly update them; new values are written everywhere."""
+        if input_port is node.loc:
+            if fact.path is not EMPTY_OFFSET:
+                return
+            r_l = fact.referent
+            for vp in list(self._pairs(node.value)):
+                self.flow_out(node.ostore,
+                              make_pair(r_l.append(vp.path), vp.referent))
+            for sp in list(self._pairs(node.store)):
+                if not strong_dom(r_l, sp.path):
+                    self.flow_out(node.ostore, sp)
+        elif input_port is node.store:
+            for lp in list(self._pairs(node.loc)):
+                if lp.path is not EMPTY_OFFSET:
+                    continue
+                if not strong_dom(lp.referent, fact.path):
+                    self.flow_out(node.ostore, fact)
+                    break  # one non-killing location suffices
+        elif input_port is node.value:
+            for lp in list(self._pairs(node.loc)):
+                if lp.path is not EMPTY_OFFSET:
+                    continue
+                self.flow_out(node.ostore,
+                              make_pair(lp.referent.append(fact.path),
+                                        fact.referent))
+        else:  # pragma: no cover - defensive
+            raise AnalysisError(f"unknown update input {input_port!r}")
+
+    def _flow_call(self, node: CallNode, input_port: InputPort,
+                   fact: PointsToPair) -> None:
+        if input_port is node.fcn:
+            self._discover_callee(node, fact)
+            return
+        if input_port is node.store:
+            for callee in self.callgraph.callees(node):
+                self.flow_out(callee.store_formal, fact)
+            return
+        for index, arg in enumerate(node.args):
+            if input_port is arg:
+                for callee in self.callgraph.callees(node):
+                    formal = callee.corresponding_formal(index)
+                    if formal is not None:
+                        self.flow_out(formal, fact)
+                return
+        raise AnalysisError(f"unknown call input {input_port!r}")
+
+    def _discover_callee(self, node: CallNode, fact: PointsToPair) -> None:
+        """A new function value updates the call graph and performs the
+        appropriate repropagation of already-known actuals and returns."""
+        if fact.path is not EMPTY_OFFSET:
+            return
+        callee = resolve_function_value(self.program, fact.referent)
+        if callee is None:
+            self.callgraph.unresolved.add(node)
+            return
+        if not self.callgraph.add_edge(node, callee):
+            return
+        for index, arg in enumerate(node.args):
+            formal = callee.corresponding_formal(index)
+            if formal is None:
+                continue
+            for pair in list(self._pairs(arg)):
+                self.flow_out(formal, pair)
+        for pair in list(self._pairs(node.store)):
+            self.flow_out(callee.store_formal, pair)
+        ret = callee.return_node
+        if ret is not None:
+            if ret.value is not None:
+                for pair in list(self._pairs(ret.value)):
+                    self.flow_out(node.out, pair)
+            for pair in list(self._pairs(ret.store)):
+                self.flow_out(node.ostore, pair)
+
+    def _flow_return(self, node: ReturnNode, input_port: InputPort,
+                     fact: PointsToPair) -> None:
+        graph = node.graph
+        if input_port is node.value:
+            for call in self.callgraph.callers(graph):
+                self.flow_out(call.out, fact)
+        elif input_port is node.store:
+            for call in self.callgraph.callers(graph):
+                self.flow_out(call.ostore, fact)
+        else:  # pragma: no cover - defensive
+            raise AnalysisError(f"unknown return input {input_port!r}")
+
+    def _flow_merge(self, node: MergeNode, input_port: InputPort,
+                    fact: PointsToPair) -> None:
+        if input_port is node.pred:
+            return  # predicate is ignored (Figure 1)
+        self.flow_out(node.out, fact)
+
+    def _flow_primop(self, node: PrimopNode, input_port: InputPort,
+                     fact: PointsToPair) -> None:
+        semantics = node.semantics
+        if semantics is PrimopSemantics.OPAQUE:
+            return
+        if semantics is PrimopSemantics.COPY:
+            if node.copy_operand is not None and \
+                    input_port is not node.operands[node.copy_operand]:
+                return  # consumed, but pairs do not flow (lib calls)
+            self.flow_out(node.out, fact)
+            return
+        if semantics is PrimopSemantics.EXTRACT:
+            path = fact.path
+            if path.base is None and path.ops and path.ops[0] is node.field_op:
+                self.flow_out(node.out,
+                              make_pair(AccessPath(None, path.ops[1:]),
+                                        fact.referent))
+            return
+        if fact.path is not EMPTY_OFFSET:
+            return
+        if semantics is PrimopSemantics.FIELD:
+            self.flow_out(node.out,
+                          direct(fact.referent.extend(node.field_op)))
+        elif semantics is PrimopSemantics.INDEX:
+            self.flow_out(node.out, direct(fact.referent.extend(INDEX)))
+        else:  # pragma: no cover - future semantics
+            raise AnalysisError(f"unknown primop semantics {semantics!r}")
+
+
+def analyze_insensitive(program: Program) -> AnalysisResult:
+    """Run the context-insensitive analysis (paper Section 3)."""
+    return InsensitiveAnalysis(program).run()

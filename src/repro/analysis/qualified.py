@@ -1,0 +1,158 @@
+"""Qualified points-to pairs and assumption sets (paper Section 4.1).
+
+A *qualified pair* is an ordinary points-to pair together with a set of
+assumptions, each of which is a (formal parameter output, points-to
+pair) — the pair must hold on that formal at entry to the enclosing
+procedure for the qualified pair to hold.  For example,
+
+    ((a, c), {(s, (a, b)), (s, (b, c))})
+
+reads: "``a`` points to ``c`` on this output if, on entry to this
+procedure, ``a`` points to ``b`` in formal ``s`` and ``b`` points to
+``c`` in formal ``s``".  Assumptions are not restricted to store
+formals: ``((ε, a), {(f, (ε, a))})`` says the output has pointer value
+``a`` when formal ``f`` does.
+
+The *subsumption rule* (Section 4.2) is the one optimization that is
+purely representational: a qualified pair ``(p, B)`` reaching an output
+where ``(p, A)`` already holds may be discarded whenever ``A ⊆ B`` — if
+``p`` already holds under the weaker assumption set there is no need to
+store or process the stronger one.  :class:`QualifiedSolution` keeps,
+per output and plain pair, an antichain of minimal assumption sets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from ..memory.pairs import PointsToPair
+from ..ir.nodes import OutputPort
+from .common import PointsToSolution
+
+#: One assumption: this pair must hold on this formal output at entry.
+Assumption = Tuple[OutputPort, PointsToPair]
+AssumptionSet = FrozenSet[Assumption]
+
+EMPTY_ASSUMPTIONS: AssumptionSet = frozenset()
+
+
+class QualifiedPair:
+    """An (ordinary pair, assumption set) fact flowing through the CS
+    analysis.  Plain value object; equality is structural."""
+
+    __slots__ = ("pair", "assumptions")
+
+    def __init__(self, pair: PointsToPair,
+                 assumptions: AssumptionSet = EMPTY_ASSUMPTIONS) -> None:
+        self.pair = pair
+        self.assumptions = assumptions
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, QualifiedPair)
+                and self.pair is other.pair
+                and self.assumptions == other.assumptions)
+
+    def __hash__(self) -> int:
+        return hash((self.pair, self.assumptions))
+
+    def __repr__(self) -> str:
+        if not self.assumptions:
+            return f"{self.pair!r} [unconditional]"
+        parts = ", ".join(f"{f.node.graph.name}.{f.name}:{p!r}"
+                          for f, p in sorted(
+                              self.assumptions,
+                              key=lambda a: (a[0].node.uid, a[0].name,
+                                             repr(a[1]))))
+        return f"{self.pair!r} [{parts}]"
+
+
+class AssumptionAntichain:
+    """Minimal assumption sets under which one plain pair holds."""
+
+    __slots__ = ("sets",)
+
+    def __init__(self) -> None:
+        self.sets: List[AssumptionSet] = []
+
+    def add(self, candidate: AssumptionSet) -> bool:
+        """Insert applying the subsumption rule.
+
+        Returns False (and stores nothing) when an existing set is a
+        subset of ``candidate``; otherwise removes existing supersets,
+        stores ``candidate``, and returns True.
+        """
+        for existing in self.sets:
+            if existing <= candidate:
+                return False
+        self.sets = [s for s in self.sets if not (candidate <= s)]
+        self.sets.append(candidate)
+        return True
+
+    def __iter__(self) -> Iterator[AssumptionSet]:
+        return iter(self.sets)
+
+    def __len__(self) -> int:
+        return len(self.sets)
+
+
+class QualifiedSolution:
+    """Per-output qualified points-to sets with subsumption."""
+
+    def __init__(self) -> None:
+        self._pairs: Dict[OutputPort, Dict[PointsToPair, AssumptionAntichain]] = {}
+
+    def add(self, output: OutputPort, qp: QualifiedPair) -> bool:
+        by_pair = self._pairs.get(output)
+        if by_pair is None:
+            by_pair = {}
+            self._pairs[output] = by_pair
+        chain = by_pair.get(qp.pair)
+        if chain is None:
+            chain = AssumptionAntichain()
+            by_pair[qp.pair] = chain
+        return chain.add(qp.assumptions)
+
+    # -- queries ------------------------------------------------------------
+
+    def plain_pairs(self, output: OutputPort) -> Set[PointsToPair]:
+        """The assumption-stripped pair set on an output."""
+        return set(self._pairs.get(output, ()))
+
+    def assumption_sets(self, output: OutputPort,
+                        pair: PointsToPair) -> List[AssumptionSet]:
+        by_pair = self._pairs.get(output)
+        if by_pair is None:
+            return []
+        chain = by_pair.get(pair)
+        return list(chain) if chain is not None else []
+
+    def qualified_pairs(self, output: OutputPort) -> Iterator[QualifiedPair]:
+        for pair, chain in self._pairs.get(output, {}).items():
+            for assumptions in chain:
+                yield QualifiedPair(pair, assumptions)
+
+    def outputs(self) -> Iterator[OutputPort]:
+        return iter(self._pairs)
+
+    def total_plain_pairs(self) -> int:
+        return sum(len(by_pair) for by_pair in self._pairs.values())
+
+    def total_qualified_pairs(self) -> int:
+        return sum(len(chain)
+                   for by_pair in self._pairs.values()
+                   for chain in by_pair.values())
+
+    def max_assumption_set_size(self) -> int:
+        sizes = (len(s)
+                 for by_pair in self._pairs.values()
+                 for chain in by_pair.values()
+                 for s in chain)
+        return max(sizes, default=0)
+
+    def strip(self) -> PointsToSolution:
+        """Section 4.1's final step: drop assumption sets, dedupe."""
+        solution = PointsToSolution()
+        for output, by_pair in self._pairs.items():
+            for pair in by_pair:
+                solution.add(output, pair)
+        return solution

@@ -1,0 +1,442 @@
+"""Maximally context-sensitive points-to analysis — the paper's Figure 5.
+
+The goal (Section 4.1) is not a practical compromise but an empirical
+*upper bound* on the precision of alias analysis in the points-to
+framework: assumption-set-based contexts with no limit on assumption
+set size, at a willingly exponential cost.
+
+The algorithm is Figure 1 altered to propagate *qualified* points-to
+pairs.  Assumptions are introduced and removed at procedure calls and
+returns: when a pair ``p`` arrives at an actual, the corresponding
+formal ``f`` of each callee receives ``p`` qualified by ``{(f, p)}``;
+when a qualified pair reaches a return node, its assumptions are
+checked against the pairs holding at each call site and it is
+propagated only to satisfying callers, re-qualified by the Cartesian
+product of the satisfying actual pairs' assumption sets
+(``propagate-return``).  Lookups and updates chain assumptions (the
+output pair may require multiple input pairs), and strong updates
+qualify each surviving store pair with the non-overwriting location
+pair that lets it survive.
+
+Function values are handled context-insensitively, as in the paper
+("we have not yet implemented this feature... our function pointer
+results are context-insensitive"): the call graph is taken from a
+prior context-insensitive run.
+
+Section 4.2's optimizations, on by default and individually toggleable:
+
+* the subsumption rule (inside :class:`QualifiedSolution`);
+* no location assumptions at indirect operations the CI analysis
+  proved single-target (87% of indirect ops in the paper's suite);
+* store pairs the CI analysis proves unmodified by an update pass
+  through without acquiring location assumptions.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..errors import AnalysisError
+from ..memory.access import EMPTY_OFFSET, INDEX, AccessPath
+from ..memory.pairs import PointsToPair, direct, pair as make_pair
+from ..memory.relations import dom, strong_dom
+from ..ir.graph import FunctionGraph, Program
+from ..ir.nodes import (
+    CallNode,
+    InputPort,
+    LookupNode,
+    MergeNode,
+    OutputPort,
+    PrimopNode,
+    PrimopSemantics,
+    ReturnNode,
+    UpdateNode,
+)
+from .common import (
+    AnalysisResult,
+    CallGraph,
+    Counters,
+    PointsToSolution,
+    Worklist,
+)
+from .insensitive import analyze_insensitive
+from .qualified import (
+    EMPTY_ASSUMPTIONS,
+    Assumption,
+    AssumptionSet,
+    QualifiedPair,
+    QualifiedSolution,
+)
+
+
+class PruneInfo:
+    """What the CI result licenses the CS analysis to skip (§4.2)."""
+
+    def __init__(self, ci_result: AnalysisResult, enabled: bool = True) -> None:
+        self.enabled = enabled
+        #: Memory operations whose location input resolves to exactly
+        #: one location context-insensitively: the same location is
+        #: referenced under all calling contexts (footnote 8's standard
+        #: assumptions), so no assumptions about the location are needed.
+        self.single_location_ops: Set[object] = set()
+        #: Upper bound on the locations each update may modify.
+        self.modified_bound: Dict[UpdateNode, FrozenSet[AccessPath]] = {}
+        if not enabled:
+            return
+        for graph in ci_result.program.functions.values():
+            for node in graph.memory_operations():
+                locs = ci_result.solution.op_locations(node)
+                if len(locs) == 1:
+                    self.single_location_ops.add(node)
+                if isinstance(node, UpdateNode):
+                    self.modified_bound[node] = frozenset(locs)
+
+    def is_single_location(self, node) -> bool:
+        return self.enabled and node in self.single_location_ops
+
+    def cannot_modify(self, node: UpdateNode, path: AccessPath) -> bool:
+        """True when the CI bound proves ``node`` never writes ``path``,
+        so a store pair at ``path`` passes through unqualified.
+
+        Footnote 8's caveat applies: when the CI location set is empty
+        the node never executes with a valid pointer, and the analyses'
+        blocking semantics (store pairs delayed until a location
+        arrives) must be preserved — so an empty bound disables the
+        optimization rather than licensing a bypass.
+        """
+        if not self.enabled:
+            return False
+        bound = self.modified_bound.get(node)
+        if not bound:
+            return False
+        return not any(dom(loc, path) for loc in bound)
+
+
+class SensitiveAnalysis:
+    """One run of the context-sensitive analysis over a program."""
+
+    def __init__(self, program: Program,
+                 ci_result: Optional[AnalysisResult] = None,
+                 optimize: bool = True,
+                 max_transfers: Optional[int] = None) -> None:
+        self.program = program
+        if ci_result is None:
+            ci_result = analyze_insensitive(program)
+        elif ci_result.program is not program:
+            raise AnalysisError("CI result belongs to a different program")
+        self.ci_result = ci_result
+        self.prune = PruneInfo(ci_result, enabled=optimize)
+        self.solution = QualifiedSolution()
+        #: The call graph is fixed from the CI pass (function values are
+        #: context-insensitive in the paper's implementation too).
+        self.callgraph = ci_result.callgraph
+        self.counters = Counters()
+        self.worklist = Worklist()
+        self.max_transfers = max_transfers
+
+    # -- driver -------------------------------------------------------------
+
+    def run(self) -> AnalysisResult:
+        started = time.perf_counter()
+        self._seed()
+        while self.worklist:
+            input_port, fact = self.worklist.pop()
+            self.counters.transfers += 1
+            if (self.max_transfers is not None
+                    and self.counters.transfers > self.max_transfers):
+                raise AnalysisError(
+                    f"context-sensitive analysis exceeded "
+                    f"{self.max_transfers} transfer functions")
+            self.flow_in(input_port, fact)
+        elapsed = time.perf_counter() - started
+        stripped = self.solution.strip()
+        return AnalysisResult(
+            program=self.program,
+            solution=stripped,
+            callgraph=self.callgraph,
+            counters=self.counters,
+            elapsed_seconds=elapsed,
+            flavor="sensitive",
+            extras={
+                "qualified": self.solution,
+                "ci_result": self.ci_result,
+                "qualified_pair_count": self.solution.total_qualified_pairs(),
+                "max_assumption_set_size":
+                    self.solution.max_assumption_set_size(),
+            },
+        )
+
+    def _seed(self) -> None:
+        for node in self.program.address_nodes():
+            self.flow_out(node.out, QualifiedPair(direct(node.path)))
+        for graph in self.program.root_graphs():
+            for pair in self.program.initial_store:
+                self.flow_out(graph.store_formal, QualifiedPair(pair))
+        for output, pair in self.program.seeded_values:
+            self.flow_out(output, QualifiedPair(pair))
+
+    # -- propagation -----------------------------------------------------------
+
+    def flow_out(self, output: OutputPort, qp: QualifiedPair) -> None:
+        self.counters.meets += 1
+        if not self.solution.add(output, qp):
+            return
+        self.counters.pairs_added += 1
+        for consumer in output.consumers:
+            self.worklist.push(consumer, qp)
+
+    def _qpairs(self, input_port: Optional[InputPort]) -> List[QualifiedPair]:
+        if input_port is None or input_port.source is None:
+            return []
+        return list(self.solution.qualified_pairs(input_port.source))
+
+    # -- transfer functions (flow-in, Figure 5) -----------------------------------
+
+    def flow_in(self, input_port: InputPort, qp: QualifiedPair) -> None:
+        node = input_port.node
+        if isinstance(node, LookupNode):
+            self._flow_lookup(node, input_port, qp)
+        elif isinstance(node, UpdateNode):
+            self._flow_update(node, input_port, qp)
+        elif isinstance(node, CallNode):
+            self._flow_call(node, input_port, qp)
+        elif isinstance(node, ReturnNode):
+            self._flow_return(node, input_port, qp)
+        elif isinstance(node, MergeNode):
+            if input_port is not node.pred:
+                self.flow_out(node.out, qp)
+        elif isinstance(node, PrimopNode):
+            self._flow_primop(node, input_port, qp)
+        else:
+            raise AnalysisError(f"qualified pair at unexpected node {node!r}")
+
+    # .. lookup ..................................................................
+
+    def _loc_assumptions(self, node, a_l: AssumptionSet) -> AssumptionSet:
+        """Optimization 1 of §4.2: drop location assumptions at
+        CI-proven single-target operations."""
+        if self.prune.is_single_location(node):
+            return EMPTY_ASSUMPTIONS
+        return a_l
+
+    def _flow_lookup(self, node: LookupNode, input_port: InputPort,
+                     qp: QualifiedPair) -> None:
+        if input_port is node.loc:
+            if qp.pair.path is not EMPTY_OFFSET:
+                return
+            r_l = qp.pair.referent
+            a_l = self._loc_assumptions(node, qp.assumptions)
+            for sp in self._qpairs(node.store):
+                if dom(r_l, sp.pair.path):
+                    self.flow_out(node.out, QualifiedPair(
+                        make_pair(sp.pair.path.subtract(r_l), sp.pair.referent),
+                        a_l | sp.assumptions))
+        elif input_port is node.store:
+            for lp in self._qpairs(node.loc):
+                if lp.pair.path is not EMPTY_OFFSET:
+                    continue
+                r_l = lp.pair.referent
+                if dom(r_l, qp.pair.path):
+                    a_l = self._loc_assumptions(node, lp.assumptions)
+                    self.flow_out(node.out, QualifiedPair(
+                        make_pair(qp.pair.path.subtract(r_l), qp.pair.referent),
+                        a_l | qp.assumptions))
+        else:  # pragma: no cover - defensive
+            raise AnalysisError(f"unknown lookup input {input_port!r}")
+
+    # .. update ..................................................................
+
+    def _flow_update(self, node: UpdateNode, input_port: InputPort,
+                     qp: QualifiedPair) -> None:
+        if input_port is node.loc:
+            if qp.pair.path is not EMPTY_OFFSET:
+                return
+            r_l = qp.pair.referent
+            a_l = self._loc_assumptions(node, qp.assumptions)
+            for vp in self._qpairs(node.value):
+                self.flow_out(node.ostore, QualifiedPair(
+                    make_pair(r_l.append(vp.pair.path), vp.pair.referent),
+                    a_l | vp.assumptions))
+            for sp in self._qpairs(node.store):
+                self._update_survive(node, qp, sp)
+        elif input_port is node.store:
+            loc_pairs = [lp for lp in self._qpairs(node.loc)
+                         if lp.pair.path is EMPTY_OFFSET]
+            if self.prune.cannot_modify(node, qp.pair.path):
+                # Optimization 2 of §4.2: CI proves this update never
+                # writes the pair's path; pass it through unqualified.
+                # The CWZ90 delay still applies: nothing flows until a
+                # location pair has arrived (the loc-arrival rescan
+                # releases delayed pairs), so the optimization cannot
+                # change the solution, only the amount of work.
+                if loc_pairs:
+                    self.flow_out(node.ostore, qp)
+                return
+            for lp in loc_pairs:
+                self._update_survive(node, lp, qp)
+        elif input_port is node.value:
+            for lp in self._qpairs(node.loc):
+                if lp.pair.path is not EMPTY_OFFSET:
+                    continue
+                a_l = self._loc_assumptions(node, lp.assumptions)
+                self.flow_out(node.ostore, QualifiedPair(
+                    make_pair(lp.pair.referent.append(qp.pair.path),
+                              qp.pair.referent),
+                    a_l | qp.assumptions))
+        else:  # pragma: no cover - defensive
+            raise AnalysisError(f"unknown update input {input_port!r}")
+
+    def _update_survive(self, node: UpdateNode, lp: QualifiedPair,
+                        sp: QualifiedPair) -> None:
+        """Strong updates under context-sensitivity: a surviving store
+        pair must be qualified by each non-overwriting location pair —
+        "we must enumerate all of the ways in which the input pair
+        could fail to be overwritten" (§4.1)."""
+        if self.prune.cannot_modify(node, sp.pair.path):
+            self.flow_out(node.ostore, sp)
+            return
+        if strong_dom(lp.pair.referent, sp.pair.path):
+            return
+        a_l = self._loc_assumptions(node, lp.assumptions)
+        self.flow_out(node.ostore,
+                      QualifiedPair(sp.pair, a_l | sp.assumptions))
+
+    # .. calls and returns ...........................................................
+
+    def _flow_call(self, node: CallNode, input_port: InputPort,
+                   qp: QualifiedPair) -> None:
+        if input_port is node.fcn:
+            return  # call graph is fixed from the CI pass
+        if input_port is node.store:
+            for callee in self.callgraph.callees(node):
+                self._into_formal(node, callee, callee.store_formal, qp)
+            return
+        for index, arg in enumerate(node.args):
+            if input_port is arg:
+                for callee in self.callgraph.callees(node):
+                    formal = callee.corresponding_formal(index)
+                    if formal is not None:
+                        self._into_formal(node, callee, formal, qp)
+                return
+        raise AnalysisError(f"unknown call input {input_port!r}")
+
+    def _into_formal(self, call: CallNode, callee: FunctionGraph,
+                     formal: OutputPort, qp: QualifiedPair) -> None:
+        """Propagate an actual's pair into a formal under the assumption
+        that it held on entry, then re-examine the callee's return pairs
+        — the new actual pair may newly satisfy their assumptions."""
+        assumption: Assumption = (formal, qp.pair)
+        self.flow_out(formal, QualifiedPair(qp.pair, frozenset((assumption,))))
+        ret = callee.return_node
+        if ret is None:
+            return
+        # Targeted form of Figure 5's "for each r ∈ returns c ...": only
+        # return pairs assuming exactly (formal, pair) can be affected.
+        if ret.value is not None:
+            for rp in self._qpairs(ret.value):
+                if assumption in rp.assumptions:
+                    self._propagate_return(call, callee, rp, call.out)
+        for rp in self._qpairs(ret.store):
+            if assumption in rp.assumptions:
+                self._propagate_return(call, callee, rp, call.ostore)
+
+    def _flow_return(self, node: ReturnNode, input_port: InputPort,
+                     qp: QualifiedPair) -> None:
+        graph = node.graph
+        if input_port is node.value:
+            for call in self.callgraph.callers(graph):
+                self._propagate_return(call, graph, qp, call.out)
+        elif input_port is node.store:
+            for call in self.callgraph.callers(graph):
+                self._propagate_return(call, graph, qp, call.ostore)
+        else:  # pragma: no cover - defensive
+            raise AnalysisError(f"unknown return input {input_port!r}")
+
+    def _actual_for_formal(self, call: CallNode, callee: FunctionGraph,
+                           formal: OutputPort) -> Optional[InputPort]:
+        """The call input corresponding to one of the callee's formals."""
+        if formal is callee.store_formal:
+            return call.store
+        for index, callee_formal in enumerate(callee.formals):
+            if callee_formal is formal:
+                if index < len(call.args):
+                    return call.args[index]
+                return None
+        return None
+
+    def _propagate_return(self, call: CallNode, callee: FunctionGraph,
+                          qp: QualifiedPair, target: OutputPort) -> None:
+        """Figure 5's ``propagate-return``: for each assumption of the
+        returned pair, collect the assumption sets under which the
+        assumed pair holds at this call site; the Cartesian product of
+        those collections gives every caller assumption set sufficient
+        to satisfy the callee's assumptions."""
+        satisfier_sets: List[List[AssumptionSet]] = []
+        for formal, assumed_pair in qp.assumptions:
+            if formal.node.graph is not callee:
+                # Assumption about some other procedure's formal: can
+                # only happen on a malformed graph.
+                raise AnalysisError(
+                    f"assumption on foreign formal {formal!r} at {call!r}")
+            actual = self._actual_for_formal(call, callee, formal)
+            if actual is None or actual.source is None:
+                return  # nothing feeds this formal here: unsatisfiable
+            chains = self.solution.assumption_sets(actual.source, assumed_pair)
+            if not chains:
+                return  # the assumed pair never holds at this call site
+            satisfier_sets.append(chains)
+        if not satisfier_sets:
+            self.flow_out(target, QualifiedPair(qp.pair))
+            return
+        for combination in itertools.product(*satisfier_sets):
+            merged: AssumptionSet = frozenset().union(*combination)
+            self.flow_out(target, QualifiedPair(qp.pair, merged))
+
+    # .. primops ...................................................................
+
+    def _flow_primop(self, node: PrimopNode, input_port: InputPort,
+                     qp: QualifiedPair) -> None:
+        semantics = node.semantics
+        if semantics is PrimopSemantics.OPAQUE:
+            return
+        if semantics is PrimopSemantics.COPY:
+            if node.copy_operand is not None and \
+                    input_port is not node.operands[node.copy_operand]:
+                return
+            self.flow_out(node.out, qp)
+            return
+        if semantics is PrimopSemantics.EXTRACT:
+            path = qp.pair.path
+            if path.base is None and path.ops and path.ops[0] is node.field_op:
+                self.flow_out(node.out, QualifiedPair(
+                    make_pair(AccessPath(None, path.ops[1:]),
+                              qp.pair.referent),
+                    qp.assumptions))
+            return
+        if qp.pair.path is not EMPTY_OFFSET:
+            return
+        if semantics is PrimopSemantics.FIELD:
+            self.flow_out(node.out, QualifiedPair(
+                direct(qp.pair.referent.extend(node.field_op)),
+                qp.assumptions))
+        elif semantics is PrimopSemantics.INDEX:
+            self.flow_out(node.out, QualifiedPair(
+                direct(qp.pair.referent.extend(INDEX)), qp.assumptions))
+        else:  # pragma: no cover - future semantics
+            raise AnalysisError(f"unknown primop semantics {semantics!r}")
+
+
+def analyze_sensitive(program: Program,
+                      ci_result: Optional[AnalysisResult] = None,
+                      optimize: bool = True,
+                      max_transfers: Optional[int] = None) -> AnalysisResult:
+    """Run the maximally context-sensitive analysis (paper Section 4).
+
+    ``ci_result`` may supply a previously computed context-insensitive
+    result (it is computed on demand otherwise); ``optimize=False``
+    disables the §4.2 CI-based pruning, which must not change the
+    stripped solution — a property the test suite checks.
+    """
+    return SensitiveAnalysis(program, ci_result, optimize, max_transfers).run()

@@ -1,0 +1,229 @@
+"""Independent fixpoint verification of a points-to solution.
+
+The worklist algorithms are incremental and event-driven; a missed
+notification (say, a forgotten repropagation case at indirect calls)
+would silently produce a non-fixpoint — too few pairs, i.e. an
+*unsound* result.  This module re-checks a finished solution from
+scratch, with straight-line code that shares nothing with the solver:
+for every node it recomputes the expected output pairs from the input
+pairs (Figure 1's transfer functions in their declarative reading) and
+reports anything missing.
+
+Used by the test suite (including the property-based tests) as an
+oracle: ``verify_solution`` must return no violations for any program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Set
+
+from ..memory.access import EMPTY_OFFSET, INDEX, AccessPath
+from ..memory.pairs import PointsToPair, direct, pair as make_pair
+from ..memory.relations import dom, strong_dom
+from ..ir.graph import Program
+from ..ir.nodes import (
+    AddressNode,
+    CallNode,
+    ConstNode,
+    EntryNode,
+    LookupNode,
+    MergeNode,
+    Node,
+    OutputPort,
+    PrimopNode,
+    PrimopSemantics,
+    ReturnNode,
+    UpdateNode,
+)
+from .common import AnalysisResult
+
+
+@dataclass
+class Violation:
+    """One missing pair: the fixpoint inequality that failed."""
+
+    output: OutputPort
+    missing: PointsToPair
+    reason: str
+
+    def __str__(self) -> str:
+        node = self.output.node
+        return (f"{node.graph.name}:{node!r}.{self.output.name} misses "
+                f"{self.missing!r} ({self.reason})")
+
+
+class _Checker:
+    def __init__(self, result: AnalysisResult) -> None:
+        self.result = result
+        self.program = result.program
+        self.violations: List[Violation] = []
+
+    def pairs(self, port) -> Set[PointsToPair]:
+        if port is None or port.source is None:
+            return set()
+        return set(self.result.solution.raw_pairs(port.source))
+
+    def expect(self, output: OutputPort, wanted: Iterable[PointsToPair],
+               reason: str) -> None:
+        have = self.result.solution.raw_pairs(output)
+        for pair in wanted:
+            if pair not in have:
+                self.violations.append(Violation(output, pair, reason))
+
+    # -- per-node checks ---------------------------------------------------
+
+    def check(self) -> List[Violation]:
+        self._check_seeds()
+        for graph in self.program.functions.values():
+            for node in graph.nodes:
+                self._check_node(node)
+        return self.violations
+
+    def _check_seeds(self) -> None:
+        for node in self.program.address_nodes():
+            self.expect(node.out, [direct(node.path)],
+                        "address seed (Figure 1 initialization)")
+        for graph in self.program.root_graphs():
+            self.expect(graph.store_formal, self.program.initial_store,
+                        "root entry store seed")
+        for output, pair in self.program.seeded_values:
+            self.expect(output, [pair], "explicit value seed")
+
+    def _check_node(self, node: Node) -> None:
+        if isinstance(node, LookupNode):
+            self._check_lookup(node)
+        elif isinstance(node, UpdateNode):
+            self._check_update(node)
+        elif isinstance(node, CallNode):
+            self._check_call(node)
+        elif isinstance(node, ReturnNode):
+            self._check_return(node)
+        elif isinstance(node, MergeNode):
+            self._check_merge(node)
+        elif isinstance(node, PrimopNode):
+            self._check_primop(node)
+        # entry/const/address have no input-derived obligations here.
+
+    def _check_lookup(self, node: LookupNode) -> None:
+        store_pairs = self.pairs(node.store)
+        for lp in self.pairs(node.loc):
+            if lp.path is not EMPTY_OFFSET:
+                continue
+            for sp in store_pairs:
+                if dom(lp.referent, sp.path):
+                    self.expect(node.out,
+                                [make_pair(sp.path.subtract(lp.referent),
+                                           sp.referent)],
+                                "lookup transfer")
+
+    def _check_update(self, node: UpdateNode) -> None:
+        loc_pairs = [p for p in self.pairs(node.loc)
+                     if p.path is EMPTY_OFFSET]
+        value_pairs = self.pairs(node.value)
+        store_pairs = self.pairs(node.store)
+        for lp in loc_pairs:
+            for vp in value_pairs:
+                self.expect(node.ostore,
+                            [make_pair(lp.referent.append(vp.path),
+                                       vp.referent)],
+                            "update writes value")
+        for sp in store_pairs:
+            survives = any(not strong_dom(lp.referent, sp.path)
+                           for lp in loc_pairs)
+            if survives:
+                self.expect(node.ostore, [sp], "update propagates store")
+
+    def _check_call(self, node: CallNode) -> None:
+        for callee in self.result.callgraph.callees(node):
+            for index, arg in enumerate(node.args):
+                formal = callee.corresponding_formal(index)
+                if formal is not None:
+                    self.expect(formal, self.pairs(arg),
+                                "actual flows to formal")
+            self.expect(callee.store_formal, self.pairs(node.store),
+                        "store flows to callee")
+        # Callee discovery itself: every resolvable function value must
+        # be an edge in the call graph.
+        from .common import resolve_function_value
+        callees = self.result.callgraph.callees(node)
+        for fp in self.pairs(node.fcn):
+            if fp.path is not EMPTY_OFFSET:
+                continue
+            target = resolve_function_value(self.program, fp.referent)
+            if target is not None and target not in callees:
+                self.violations.append(Violation(
+                    node.out, fp, "undiscovered call edge"))
+
+    def _check_return(self, node: ReturnNode) -> None:
+        for call in self.result.callgraph.callers(node.graph):
+            if node.value is not None:
+                self.expect(call.out, self.pairs(node.value),
+                            "return value flows to caller")
+            self.expect(call.ostore, self.pairs(node.store),
+                        "return store flows to caller")
+
+    def _check_merge(self, node: MergeNode) -> None:
+        for branch in node.branches:
+            self.expect(node.out, self.pairs(branch), "merge union")
+
+    def _check_primop(self, node: PrimopNode) -> None:
+        semantics = node.semantics
+        if semantics is PrimopSemantics.OPAQUE:
+            return
+        if semantics is PrimopSemantics.COPY:
+            operands = (node.operands if node.copy_operand is None
+                        else [node.operands[node.copy_operand]])
+            for operand in operands:
+                self.expect(node.out, self.pairs(operand), "copy")
+            return
+        (operand,) = node.operands
+        for p in self.pairs(operand):
+            if semantics is PrimopSemantics.FIELD:
+                if p.path is EMPTY_OFFSET:
+                    self.expect(node.out,
+                                [direct(p.referent.extend(node.field_op))],
+                                "field address")
+            elif semantics is PrimopSemantics.INDEX:
+                if p.path is EMPTY_OFFSET:
+                    self.expect(node.out,
+                                [direct(p.referent.extend(INDEX))],
+                                "index address")
+            elif semantics is PrimopSemantics.EXTRACT:
+                path = p.path
+                if path.base is None and path.ops \
+                        and path.ops[0] is node.field_op:
+                    self.expect(node.out,
+                                [make_pair(AccessPath(None, path.ops[1:]),
+                                           p.referent)],
+                                "member extract")
+
+
+def verify_solution(result: AnalysisResult) -> List[Violation]:
+    """All fixpoint violations of a (context-insensitive) solution.
+
+    Applies to the context-insensitive result and to the *stripped*
+    context-sensitive result, because stripping a correct CS solution
+    yields a CI-style fixpoint only at intraprocedural nodes — for a
+    CS result the interprocedural checks are skipped (that is where
+    context-sensitivity legitimately removes flows).
+    """
+    checker = _Checker(result)
+    if result.flavor == "sensitive":
+        checker._check_seeds()
+        for graph in result.program.functions.values():
+            for node in graph.nodes:
+                if isinstance(node, (LookupNode, UpdateNode, MergeNode,
+                                     PrimopNode)):
+                    checker._check_node(node)
+        return checker.violations
+    return checker.check()
+
+
+def assert_fixpoint(result: AnalysisResult) -> None:
+    """Raise ``AssertionError`` listing any violations (test helper)."""
+    violations = verify_solution(result)
+    if violations:
+        listing = "\n".join(f"  {v}" for v in violations[:20])
+        raise AssertionError(
+            f"{len(violations)} fixpoint violations:\n{listing}")

@@ -1,0 +1,271 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``analyze FILE [--sensitivity X] [--show-pairs] [--modref]`` — run a
+  points-to analysis over a C file and print a summary.
+* ``dump FILE [--function NAME]`` — print the lowered VDG.
+* ``experiment ID`` — regenerate one of the paper's tables/figures
+  (fig2, fig3, fig4, fig6, fig7, opt42, perf43, gap).
+* ``suite`` — list the benchmark suite programs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.clients.modref import modref
+from .analysis.compare import compare_results
+from .analysis.insensitive import analyze_insensitive
+from .analysis.sensitive import analyze_sensitive
+from .analysis.stats import indirect_op_stats, pair_census, program_sizes
+from .errors import ReproError
+from .frontend.lower import lower_file
+from .ir.pretty import format_program
+from .report.experiments import EXPERIMENT_IDS, render_experiment
+from .suite.registry import PROGRAM_NAMES, program_path
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Points-to analysis for C (Ruf, PLDI 1995 "
+                    "reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser(
+        "analyze", help="analyze a C program (several files are linked)")
+    analyze.add_argument("file", nargs="+", help="C source file(s)")
+    analyze.add_argument("--sensitivity", default="both",
+                         choices=["insensitive", "sensitive", "both",
+                                  "flowinsensitive"])
+    analyze.add_argument("--show-pairs", action="store_true",
+                         help="print every output's points-to set")
+    analyze.add_argument("--modref", action="store_true",
+                         help="print per-procedure mod/ref summaries")
+
+    dump = sub.add_parser("dump", help="print the lowered VDG")
+    dump.add_argument("file", help="C source file")
+    dump.add_argument("--function", default=None,
+                      help="only this procedure")
+    dump.add_argument("--dot", action="store_true",
+                      help="emit Graphviz DOT instead of text")
+    dump.add_argument("--annotate", action="store_true",
+                      help="annotate memory operations with their "
+                           "context-insensitive location sets")
+
+    export = sub.add_parser(
+        "export", help="serialize an analysis result as JSON")
+    export.add_argument("file", help="C source file")
+    export.add_argument("--sensitivity", default="insensitive",
+                        choices=["insensitive", "sensitive",
+                                 "flowinsensitive"])
+    export.add_argument("--no-pairs", action="store_true",
+                        help="omit the per-output pair sets")
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a table/figure from the paper")
+    experiment.add_argument("id", choices=list(EXPERIMENT_IDS) + ["all"])
+    experiment.add_argument("--markdown", action="store_true",
+                            help="emit GitHub-flavored markdown tables")
+
+    explain = sub.add_parser(
+        "explain",
+        help="show derivations for an indirect memory operation's "
+             "location set")
+    explain.add_argument("file", help="C source file")
+    explain.add_argument("--function", default=None,
+                         help="limit to this procedure")
+    explain.add_argument("--line", type=int, default=None,
+                         help="limit to operations at this source line")
+
+    sub.add_parser("suite", help="list benchmark suite programs")
+    return parser
+
+
+def _cmd_analyze(args) -> int:
+    if len(args.file) == 1:
+        program = lower_file(args.file[0])
+    else:
+        from .frontend.lower import lower_files
+        program = lower_files(args.file)
+    for warning in program.extras.get("warnings", ()):
+        print(f"warning: {warning}", file=sys.stderr)
+    sizes = program_sizes(program)
+    print(f"{program.name}: {sizes.source_lines} lines, "
+          f"{sizes.vdg_nodes} VDG nodes, "
+          f"{sizes.alias_related_outputs} alias-related outputs")
+
+    if args.sensitivity == "flowinsensitive":
+        from .analysis.flowinsensitive import analyze_flowinsensitive
+        result = analyze_flowinsensitive(program)
+        _print_result("flow-insensitive", result, args)
+        return 0
+
+    ci = analyze_insensitive(program)
+    if args.sensitivity in ("insensitive", "both"):
+        _print_result("context-insensitive", ci, args)
+    if args.sensitivity in ("sensitive", "both"):
+        cs = analyze_sensitive(program, ci_result=ci)
+        _print_result("context-sensitive", cs, args)
+        if args.sensitivity == "both":
+            report = compare_results(ci, cs)
+            print(f"spurious pairs: {report.spurious_pairs} "
+                  f"({report.percent_spurious:.1f}% of CI total); "
+                  f"indirect ops identical: "
+                  f"{report.indirect_ops_identical}")
+    return 0
+
+
+def _print_result(label: str, result, args) -> None:
+    census = pair_census(result)
+    reads = indirect_op_stats(result, "read")
+    writes = indirect_op_stats(result, "write")
+    print(f"[{label}] pairs: pointer={census.pointer} "
+          f"function={census.function} aggregate={census.aggregate} "
+          f"store={census.store} total={census.total}")
+    print(f"[{label}] indirect reads: {reads.total} "
+          f"(max {reads.max_locations}, avg {reads.avg:.2f}); "
+          f"writes: {writes.total} "
+          f"(max {writes.max_locations}, avg {writes.avg:.2f}); "
+          f"{result.counters.transfers} transfers, "
+          f"{result.counters.meets} meets, "
+          f"{result.elapsed_seconds:.3f}s")
+    if args.show_pairs:
+        for graph_name, graph in result.program.functions.items():
+            for output in graph.outputs():
+                pairs = result.pairs(output)
+                if pairs:
+                    shown = ", ".join(sorted(repr(p) for p in pairs))
+                    print(f"  {graph_name}:{output!r} = {{{shown}}}")
+    if args.modref:
+        info = modref(result)
+        for name in sorted(result.program.functions):
+            mods = sorted(repr(p) for p in info.mod_set(name))
+            refs = sorted(repr(p) for p in info.ref_set(name))
+            print(f"  {name}: mod={{{', '.join(mods)}}} "
+                  f"ref={{{', '.join(refs)}}}")
+
+
+def _cmd_dump(args) -> int:
+    program = lower_file(args.file)
+    result = analyze_insensitive(program) if args.annotate else None
+    if args.dot:
+        from .ir.dot import program_to_dot, to_dot
+        if args.function is not None:
+            graph = program.functions.get(args.function)
+            if graph is None:
+                print(f"error: no function {args.function!r}",
+                      file=sys.stderr)
+                return 1
+            sys.stdout.write(to_dot(graph, result=result))
+        else:
+            sys.stdout.write(program_to_dot(program, result=result))
+        return 0
+    sys.stdout.write(format_program(program, only=args.function))
+    if result is not None:
+        for graph in program.functions.values():
+            for node in graph.memory_operations():
+                locations = sorted(repr(p)
+                                   for p in result.op_locations(node))
+                print(f"; {graph.name}:{node!r} -> "
+                      f"{{{', '.join(locations)}}}")
+    return 0
+
+
+def _cmd_export(args) -> int:
+    from .report.export import result_to_json
+
+    program = lower_file(args.file)
+    if args.sensitivity == "insensitive":
+        result = analyze_insensitive(program)
+    elif args.sensitivity == "sensitive":
+        result = analyze_sensitive(program)
+    else:
+        from .analysis.flowinsensitive import analyze_flowinsensitive
+        result = analyze_flowinsensitive(program)
+    print(result_to_json(result, include_pairs=not args.no_pairs))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from .report.experiments import SuiteRunner, render_experiment_markdown
+
+    wanted = list(EXPERIMENT_IDS) if args.id == "all" else [args.id]
+    runner = SuiteRunner()
+    for experiment_id in wanted:
+        if args.markdown:
+            print(render_experiment_markdown(experiment_id, runner))
+        else:
+            print(render_experiment(experiment_id, runner))
+        print()
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    from .analysis.explain import Explainer, format_derivation
+
+    program = lower_file(args.file)
+    result = analyze_insensitive(program)
+    explainer = Explainer(result)
+    shown = 0
+    for name, graph in sorted(program.functions.items()):
+        if args.function is not None and name != args.function:
+            continue
+        for node in graph.memory_operations():
+            if not node.is_indirect:
+                continue
+            if args.line is not None:
+                line = node.origin.rsplit(":", 1)[-1] if node.origin else ""
+                if line != str(args.line):
+                    continue
+            source = node.loc.source
+            print(f"{name}: {node.kind} at {node.origin}")
+            pairs = result.pairs(source)
+            if not pairs:
+                print("    (dereferences only the null pointer)")
+            for pair in sorted(pairs, key=repr):
+                derivation = explainer.explain(source, pair)
+                print(format_derivation(derivation, indent=4))
+            shown += 1
+    if not shown:
+        print("no matching indirect memory operations", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_suite(args) -> int:
+    for name in PROGRAM_NAMES:
+        print(f"{name}: {program_path(name)}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "analyze": _cmd_analyze,
+        "dump": _cmd_dump,
+        "experiment": _cmd_experiment,
+        "explain": _cmd_explain,
+        "export": _cmd_export,
+        "suite": _cmd_suite,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output piped into a pager/head that exited early: not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,336 @@
+"""Structural model of C types.
+
+Layout-free (the analysis never needs byte offsets, only member
+identity), but with a simple ABI size model so that ``sizeof`` lowers
+to a sensible constant.  Struct/union types are nominal: identity is
+the Python object, managed by the type elaborator's tag registry.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import TypeError_
+from ..memory.access import FieldOp
+from ..ir.nodes import ValueTag
+
+
+class CType:
+    """Abstract base for all C types."""
+
+    __slots__ = ()
+
+    # -- classification ------------------------------------------------------
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_array(self) -> bool:
+        return isinstance(self, ArrayType)
+
+    @property
+    def is_record(self) -> bool:
+        return isinstance(self, RecordType)
+
+    @property
+    def is_function(self) -> bool:
+        return isinstance(self, FunctionType)
+
+    @property
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    @property
+    def is_aggregate(self) -> bool:
+        return isinstance(self, (RecordType, ArrayType))
+
+    @property
+    def is_scalar_arith(self) -> bool:
+        return isinstance(self, (IntType, FloatType, EnumType))
+
+    def contains_pointers(self) -> bool:
+        """Whether values of this type can carry pointer/function values
+        (decides alias-relatedness of aggregate outputs, Figure 2)."""
+        return _contains_pointers(self, set())
+
+    def value_tag(self) -> ValueTag:
+        """The IR tag for values of this type (Figure 3 columns)."""
+        if isinstance(self, PointerType):
+            if isinstance(self.pointee, FunctionType):
+                return ValueTag.FUNCTION
+            return ValueTag.POINTER
+        if isinstance(self, FunctionType):
+            return ValueTag.FUNCTION
+        if isinstance(self, (RecordType, ArrayType)):
+            return ValueTag.AGGREGATE
+        return ValueTag.SCALAR
+
+    def size_of(self) -> int:
+        """Approximate size in bytes (simple LP64-ish model)."""
+        return _size_of(self, set())
+
+
+class VoidType(CType):
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "void"
+
+
+class IntType(CType):
+    """Integral types, including _Bool and char."""
+
+    __slots__ = ("kind", "signed")
+    _SIZES = {"bool": 1, "char": 1, "short": 2, "int": 4, "long": 8,
+              "longlong": 8}
+
+    def __init__(self, kind: str = "int", signed: bool = True) -> None:
+        if kind not in self._SIZES:
+            raise TypeError_(f"unknown integer kind {kind!r}")
+        self.kind = kind
+        self.signed = signed
+
+    def __repr__(self) -> str:
+        prefix = "" if self.signed else "unsigned "
+        return f"{prefix}{self.kind}"
+
+
+class FloatType(CType):
+    __slots__ = ("kind",)
+    _SIZES = {"float": 4, "double": 8, "longdouble": 16}
+
+    def __init__(self, kind: str = "double") -> None:
+        if kind not in self._SIZES:
+            raise TypeError_(f"unknown float kind {kind!r}")
+        self.kind = kind
+
+    def __repr__(self) -> str:
+        return self.kind
+
+
+class EnumType(CType):
+    """Enums behave as ints; the elaborator tracks constant values."""
+
+    __slots__ = ("tag",)
+
+    def __init__(self, tag: str) -> None:
+        self.tag = tag
+
+    def __repr__(self) -> str:
+        return f"enum {self.tag}"
+
+
+class PointerType(CType):
+    __slots__ = ("pointee",)
+
+    def __init__(self, pointee: CType) -> None:
+        self.pointee = pointee
+
+    def __repr__(self) -> str:
+        return f"{self.pointee!r}*"
+
+
+class ArrayType(CType):
+    __slots__ = ("element", "length")
+
+    def __init__(self, element: CType, length: Optional[int] = None) -> None:
+        self.element = element
+        self.length = length
+
+    def decayed(self) -> "PointerType":
+        return PointerType(self.element)
+
+    def __repr__(self) -> str:
+        n = self.length if self.length is not None else ""
+        return f"{self.element!r}[{n}]"
+
+
+class RecordType(CType):
+    """A struct or union.  Nominal: identity is the object itself.
+
+    Members may be set after construction (``complete``) to support
+    self-referential types like linked-list nodes.  Union members all
+    share one collapsed field slot, which is how the paper's interning
+    models static union aliasing ("an access path is aliased only to
+    its prefixes").
+    """
+
+    UNION_SLOT = "<union>"
+
+    __slots__ = ("tag", "is_union", "_members", "__weakref__")
+
+    def __init__(self, tag: str, is_union: bool = False,
+                 members: Optional[Sequence[Tuple[str, CType]]] = None) -> None:
+        self.tag = tag
+        self.is_union = is_union
+        self._members: Optional[List[Tuple[str, CType]]] = None
+        if members is not None:
+            self.complete(members)
+
+    @property
+    def is_complete(self) -> bool:
+        return self._members is not None
+
+    @property
+    def members(self) -> List[Tuple[str, CType]]:
+        if self._members is None:
+            raise TypeError_(f"incomplete type {self!r}")
+        return self._members
+
+    def complete(self, members: Sequence[Tuple[str, CType]]) -> None:
+        if self._members is not None:
+            raise TypeError_(f"redefinition of {self!r}")
+        seen = set()
+        for name, _ in members:
+            if name in seen:
+                raise TypeError_(f"duplicate member {name!r} in {self!r}")
+            seen.add(name)
+        self._members = list(members)
+
+    def member_type(self, name: str) -> CType:
+        for member, ctype in self.members:
+            if member == name:
+                return ctype
+        raise TypeError_(f"{self!r} has no member {name!r}")
+
+    def has_member(self, name: str) -> bool:
+        return any(member == name for member, _ in self.members)
+
+    def field_op(self, name: str) -> FieldOp:
+        """The interned access operator for member ``name``.
+
+        For unions, every member maps to the single collapsed slot, so
+        ``u.a`` and ``u.b`` are the *same* access path and alias by
+        equality.
+
+        Operators are keyed by the *tag*, not the type object: C gives
+        same-tagged compatible structs in different translation units
+        the same identity, and pointer values crossing a link boundary
+        must keep their access paths comparable.  (Same-tagged types in
+        disjoint scopes falsely sharing operators is conservative.)
+        """
+        self.member_type(name)  # validate membership
+        kw = "union" if self.is_union else "struct"
+        owner = f"{kw} {self.tag}"
+        if self.is_union:
+            return FieldOp(owner, self.UNION_SLOT)
+        return FieldOp(owner, name)
+
+    def __repr__(self) -> str:
+        kw = "union" if self.is_union else "struct"
+        return f"{kw} {self.tag}"
+
+
+class FunctionType(CType):
+    __slots__ = ("return_type", "params", "varargs")
+
+    def __init__(self, return_type: CType, params: Sequence[CType],
+                 varargs: bool = False) -> None:
+        self.return_type = return_type
+        self.params = list(params)
+        self.varargs = varargs
+
+    def __repr__(self) -> str:
+        params = ", ".join(repr(p) for p in self.params)
+        if self.varargs:
+            params = f"{params}, ..." if params else "..."
+        return f"{self.return_type!r}({params})"
+
+
+# -- shared singletons for the common cases ---------------------------------
+
+VOID = VoidType()
+INT = IntType("int")
+UNSIGNED_INT = IntType("int", signed=False)
+CHAR = IntType("char")
+UNSIGNED_CHAR = IntType("char", signed=False)
+SHORT = IntType("short")
+LONG = IntType("long")
+UNSIGNED_LONG = IntType("long", signed=False)
+LONGLONG = IntType("longlong")
+BOOL = IntType("bool", signed=False)
+FLOAT = FloatType("float")
+DOUBLE = FloatType("double")
+LONGDOUBLE = FloatType("longdouble")
+CHAR_PTR = PointerType(CHAR)
+VOID_PTR = PointerType(VOID)
+
+_POINTER_SIZE = 8
+
+
+def _contains_pointers(ctype: CType, visiting: set) -> bool:
+    if isinstance(ctype, (PointerType, FunctionType)):
+        return True
+    if isinstance(ctype, ArrayType):
+        return _contains_pointers(ctype.element, visiting)
+    if isinstance(ctype, RecordType):
+        if id(ctype) in visiting or not ctype.is_complete:
+            return False
+        visiting.add(id(ctype))
+        try:
+            return any(_contains_pointers(m, visiting)
+                       for _, m in ctype.members)
+        finally:
+            visiting.discard(id(ctype))
+    return False
+
+
+def _size_of(ctype: CType, visiting: set) -> int:
+    if isinstance(ctype, IntType):
+        return IntType._SIZES[ctype.kind]
+    if isinstance(ctype, FloatType):
+        return FloatType._SIZES[ctype.kind]
+    if isinstance(ctype, EnumType):
+        return 4
+    if isinstance(ctype, (PointerType, FunctionType)):
+        return _POINTER_SIZE
+    if isinstance(ctype, ArrayType):
+        length = ctype.length if ctype.length is not None else 1
+        return length * _size_of(ctype.element, visiting)
+    if isinstance(ctype, RecordType):
+        if id(ctype) in visiting:
+            raise TypeError_(f"infinitely sized type {ctype!r}")
+        visiting.add(id(ctype))
+        try:
+            sizes = [_size_of(m, visiting) for _, m in ctype.members]
+        finally:
+            visiting.discard(id(ctype))
+        if not sizes:
+            return 0
+        return max(sizes) if ctype.is_union else sum(sizes)
+    if isinstance(ctype, VoidType):
+        return 1  # GNU-style sizeof(void)
+    raise TypeError_(f"size of unknown type {ctype!r}")
+
+
+def pointer_to(ctype: CType) -> PointerType:
+    return PointerType(ctype)
+
+
+def decay(ctype: CType) -> CType:
+    """Array-to-pointer and function-to-pointer decay in value contexts."""
+    if isinstance(ctype, ArrayType):
+        return PointerType(ctype.element)
+    if isinstance(ctype, FunctionType):
+        return PointerType(ctype)
+    return ctype
+
+
+def compatible_assignment(target: CType, source: CType) -> bool:
+    """Loose assignment-compatibility check used by the lowerer.
+
+    The paper's caveats exclude pointer/non-pointer casts, so the only
+    thing we must notice is a pointer receiving a non-zero arithmetic
+    value (checked at the call site); everything structural is accepted
+    loosely, as C compilers of the era did.
+    """
+    target = decay(target)
+    source = decay(source)
+    if isinstance(target, PointerType):
+        return isinstance(source, (PointerType, FunctionType)) or \
+            isinstance(source, (IntType, EnumType))
+    if isinstance(target, RecordType):
+        return target is source
+    return True

@@ -1,0 +1,113 @@
+"""Models for C library functions.
+
+The paper (Section 5.1.2) models "library procedures known not to
+affect the points-to solution ... as the identity function on stores";
+heap allocators get "a single representative base-location for each
+invocation site of heap memory allocators (malloc, realloc, etc.)".
+
+Each model describes the call's effect on points-to facts:
+
+* ``alloc`` — returns a pointer to a fresh heap base-location named
+  after the static call site; store unchanged.
+* ``returns_arg`` — returns (a pointer into) one of its arguments,
+  e.g. ``strcpy``/``strchr``/``fgets``; pairs of that argument flow to
+  the result; store unchanged (character data carries no pointers).
+* ``opaque`` — returns a pointer-free scalar; store unchanged.
+* ``unsupported`` — the paper's excluded features (``signal``,
+  ``longjmp``) plus calls that invoke function pointers we cannot see
+  (``qsort``, ``bsearch``); lowering raises
+  :class:`~repro.errors.UnsupportedFeatureError`.
+
+Anything *declared but not defined and not listed here* falls under the
+lowerer's ``extern_policy`` (warn-and-treat-as-opaque by default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class LibModel:
+    """The points-to behaviour of one library function."""
+
+    name: str
+    kind: str  # "alloc" | "returns_arg" | "opaque" | "unsupported"
+    arg_index: int = 0  # for returns_arg
+    reason: str = ""    # for unsupported
+
+
+def _models() -> Dict[str, LibModel]:
+    table: Dict[str, LibModel] = {}
+
+    def alloc(*names: str) -> None:
+        for name in names:
+            table[name] = LibModel(name, "alloc")
+
+    def returns_arg(index: int, *names: str) -> None:
+        for name in names:
+            table[name] = LibModel(name, "returns_arg", arg_index=index)
+
+    def opaque(*names: str) -> None:
+        for name in names:
+            table[name] = LibModel(name, "opaque")
+
+    def unsupported(reason: str, *names: str) -> None:
+        for name in names:
+            table[name] = LibModel(name, "unsupported", reason=reason)
+
+    # Heap allocators: one base-location per static call site (§2).
+    alloc("malloc", "calloc", "realloc", "valloc", "alloca", "strdup",
+          "strndup")
+    # Stream handles are opaque heap objects.
+    alloc("fopen", "freopen", "tmpfile", "fdopen", "opendir")
+    # getenv returns a pointer into environment storage we summarize
+    # per call site.
+    alloc("getenv")
+
+    # String/memory routines returning (a pointer into) an argument.
+    returns_arg(0, "strcpy", "strncpy", "strcat", "strncat", "memcpy",
+                "memmove", "memset", "fgets", "gets", "strtok")
+    returns_arg(0, "strchr", "strrchr", "strstr", "strpbrk", "index",
+                "rindex", "memchr")
+
+    # Pure/observational routines: identity on the store, scalar result.
+    opaque("free", "cfree", "fclose", "closedir",
+           "strlen", "strcmp", "strncmp", "strcasecmp", "strncasecmp",
+           "strspn", "strcspn", "strcoll", "memcmp",
+           "atoi", "atol", "atof", "strtol", "strtoul", "strtod",
+           "abs", "labs", "div", "ldiv", "rand", "srand", "random",
+           "srandom",
+           "printf", "fprintf", "sprintf", "snprintf", "vprintf",
+           "vfprintf", "vsprintf",
+           "scanf", "fscanf", "sscanf",
+           "puts", "fputs", "putchar", "putc", "fputc", "ungetc",
+           "getchar", "getc", "fgetc",
+           "fread", "fwrite", "fflush", "fseek", "ftell", "rewind",
+           "feof", "ferror", "clearerr", "perror", "remove", "rename",
+           "exit", "abort", "_exit", "assert", "system",
+           "isalpha", "isdigit", "isalnum", "isspace", "isupper",
+           "islower", "ispunct", "isprint", "iscntrl", "isxdigit",
+           "toupper", "tolower",
+           "pow", "sqrt", "exp", "log", "log10", "sin", "cos", "tan",
+           "asin", "acos", "atan", "atan2", "sinh", "cosh", "tanh",
+           "ceil", "floor", "fabs", "fmod", "ldexp", "frexp", "modf",
+           "time", "clock", "difftime", "getpid", "sleep", "usleep")
+
+    # Paper §2 caveats and higher-order callbacks we cannot see through.
+    unsupported("signal handlers are not modeled (paper §2)", "signal",
+                "sigaction", "raise", "kill")
+    unsupported("longjmp is not modeled (paper §2)", "setjmp", "longjmp",
+                "_setjmp", "_longjmp", "sigsetjmp", "siglongjmp")
+    unsupported("calls back through a hidden function pointer",
+                "qsort", "bsearch", "atexit", "on_exit")
+    return table
+
+
+LIBRARY_MODELS: Dict[str, LibModel] = _models()
+
+
+def model_for(name: str) -> Optional[LibModel]:
+    """The library model for ``name``, or None if it is not modeled."""
+    return LIBRARY_MODELS.get(name)

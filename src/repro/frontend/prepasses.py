@@ -1,0 +1,193 @@
+"""Syntactic pre-passes over function bodies.
+
+Run before lowering, these answer two questions the lowerer needs up
+front:
+
+* **Which variables must live in the store?**  Any variable whose
+  address is taken (plus, decided later from types, aggregates and
+  statics/globals).  The address-taken scan is conservative per
+  (function, name): a local shadowing an address-taken name is also
+  treated as address-taken, which costs precision but never soundness.
+
+* **Which procedures are recursive?**  Footnote 4 of the paper: locals
+  of recursive procedures may have multiple simultaneously live
+  instances, so their base-locations are only weakly updateable
+  (scheme 2).  We compute SCCs of the direct call graph with Tarjan's
+  algorithm; if the program takes the address of any function, every
+  function containing a call through an expression (a possible indirect
+  call) gets conservative edges to every address-taken function.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from pycparser import c_ast
+
+
+class PrepassInfo:
+    """Results of the syntactic pre-passes for one translation unit."""
+
+    def __init__(self) -> None:
+        #: (function name, variable name) pairs whose address is taken;
+        #: function name "" means at file scope (global initializers).
+        self.address_taken: Set[Tuple[str, str]] = set()
+        #: Function names referenced outside call position.
+        self.address_taken_functions: Set[str] = set()
+        #: Direct call edges: caller → set of callee names.
+        self.direct_calls: Dict[str, Set[str]] = {}
+        #: Functions containing a call through a non-identifier callee.
+        self.has_indirect_call: Set[str] = set()
+        #: Functions in a call-graph cycle (including self-recursion).
+        self.recursive: Set[str] = set()
+
+    def is_address_taken(self, function: str, variable: str) -> bool:
+        return ((function, variable) in self.address_taken
+                or ("", variable) in self.address_taken)
+
+
+def _lvalue_root(node) -> Optional[str]:
+    """The variable an ``&`` expression pins into memory, or ``None``
+    when the address is computed from a pointer dereference (no named
+    variable's storage is exposed by it)."""
+    while True:
+        if isinstance(node, c_ast.ID):
+            return node.name
+        if isinstance(node, c_ast.StructRef):
+            if node.type == "->":
+                return None  # address derives from a pointer value
+            node = node.name
+            continue
+        if isinstance(node, c_ast.ArrayRef):
+            node = node.name
+            continue
+        if isinstance(node, c_ast.UnaryOp) and node.op == "*":
+            return None
+        if isinstance(node, c_ast.Cast):
+            node = node.expr
+            continue
+        return None
+
+
+class _BodyScanner(c_ast.NodeVisitor):
+    """Scans one function body for the pre-pass facts."""
+
+    def __init__(self, info: PrepassInfo, function: str,
+                 known_functions: Set[str]) -> None:
+        self.info = info
+        self.function = function
+        self.known_functions = known_functions
+        self.info.direct_calls.setdefault(function, set())
+
+    def visit_UnaryOp(self, node: c_ast.UnaryOp) -> None:
+        if node.op == "&":
+            root = _lvalue_root(node.expr)
+            if root is not None:
+                if root in self.known_functions:
+                    self.info.address_taken_functions.add(root)
+                else:
+                    self.info.address_taken.add((self.function, root))
+        self.generic_visit(node)
+
+    def visit_FuncCall(self, node: c_ast.FuncCall) -> None:
+        callee = node.name
+        if isinstance(callee, c_ast.ID):
+            if callee.name in self.known_functions:
+                self.info.direct_calls[self.function].add(callee.name)
+            else:
+                # An identifier that is not a declared function: a call
+                # through a function-pointer variable.
+                self.info.has_indirect_call.add(self.function)
+        else:
+            self.info.has_indirect_call.add(self.function)
+            self.visit(callee)
+        if node.args is not None:
+            self.visit(node.args)
+
+    def visit_ID(self, node: c_ast.ID) -> None:
+        # A function name in value position (not handled by
+        # visit_FuncCall above) is an implicit address-of.
+        if node.name in self.known_functions:
+            self.info.address_taken_functions.add(node.name)
+
+
+def _tarjan_sccs(graph: Dict[str, Set[str]]) -> List[List[str]]:
+    """Tarjan's strongly connected components, iteratively."""
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[List[str]] = []
+    counter = [0]
+
+    for root in graph:
+        if root in index:
+            continue
+        work: List[Tuple[str, Iterable]] = [(root, iter(graph.get(root, ())))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in graph:
+                    continue
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(graph.get(succ, ()))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                scc: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member == node:
+                        break
+                sccs.append(scc)
+    return sccs
+
+
+def run_prepasses(func_defs: Dict[str, c_ast.FuncDef],
+                  known_functions: Optional[Set[str]] = None) -> PrepassInfo:
+    """Scan every function body and compute the pre-pass facts."""
+    info = PrepassInfo()
+    if known_functions is None:
+        known_functions = set(func_defs)
+    for name, funcdef in func_defs.items():
+        scanner = _BodyScanner(info, name, known_functions)
+        if funcdef.body is not None:
+            scanner.visit(funcdef.body)
+
+    graph: Dict[str, Set[str]] = {
+        name: {c for c in callees if c in func_defs}
+        for name, callees in info.direct_calls.items()}
+    for name in func_defs:
+        graph.setdefault(name, set())
+    if info.address_taken_functions:
+        targets = {f for f in info.address_taken_functions if f in func_defs}
+        for caller in info.has_indirect_call:
+            graph.setdefault(caller, set()).update(targets)
+
+    for scc in _tarjan_sccs(graph):
+        if len(scc) > 1:
+            info.recursive.update(scc)
+        else:
+            member = scc[0]
+            if member in graph.get(member, set()):
+                info.recursive.add(member)
+    return info

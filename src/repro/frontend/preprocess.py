@@ -1,0 +1,675 @@
+"""A miniature C preprocessor.
+
+pycparser consumes *preprocessed* C, and this reproduction runs
+offline, so we implement the subset of cpp the benchmark suite (and any
+reasonably self-contained C program) needs:
+
+* comment stripping and line splicing;
+* ``#include "file"`` with include-directory search and a depth limit
+  (``#include <...>`` resolves only against explicitly provided system
+  directories — there is no host libc to leak in);
+* object-like and function-like ``#define``, ``#undef``, with
+  recursion-safe expansion;
+* ``#ifdef`` / ``#ifndef`` / ``#if`` / ``#elif`` / ``#else`` /
+  ``#endif``, where ``#if`` expressions support integer arithmetic,
+  comparisons, logical operators, and ``defined(...)``;
+* ``# <line> "<file>"`` markers in the output so parser diagnostics
+  point at original positions (pycparser understands them).
+
+String and character literals are respected everywhere: no expansion,
+comment detection, or directive parsing happens inside them.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import PreprocessorError
+
+_MAX_INCLUDE_DEPTH = 64
+_MAX_EXPANSIONS = 10_000
+
+_IDENT = re.compile(r"[A-Za-z_]\w*")
+_TOKEN = re.compile(
+    r"""
+    (?P<string>"(?:[^"\\\n]|\\.)*")
+  | (?P<char>'(?:[^'\\\n]|\\.)*')
+  | (?P<ident>[A-Za-z_]\w*)
+  | (?P<number>(?:\d+\.\d*|\.\d+|\d+)(?:[eE][-+]?\d+)?[a-zA-Z]*)
+  | (?P<punct>.)
+    """,
+    re.VERBOSE,
+)
+
+
+class Macro:
+    """An object-like or function-like macro definition."""
+
+    __slots__ = ("name", "params", "body", "varargs")
+
+    def __init__(self, name: str, body: str,
+                 params: Optional[Sequence[str]] = None,
+                 varargs: bool = False) -> None:
+        self.name = name
+        self.body = body.strip()
+        self.params = list(params) if params is not None else None
+        self.varargs = varargs
+
+    @property
+    def is_function_like(self) -> bool:
+        return self.params is not None
+
+
+def strip_comments(text: str, filename: str = "<text>") -> str:
+    """Remove ``//`` and ``/* */`` comments, preserving line structure
+    (block comments are replaced by spaces/newlines so line numbers
+    survive)."""
+    out: List[str] = []
+    i, n = 0, len(text)
+    line = 1
+    while i < n:
+        ch = text[i]
+        if ch == '"' or ch == "'":
+            quote = ch
+            start = i
+            i += 1
+            while i < n:
+                if text[i] == "\\":
+                    i += 2
+                    continue
+                if text[i] == quote:
+                    i += 1
+                    break
+                if text[i] == "\n":
+                    raise PreprocessorError(
+                        "unterminated literal", filename, line)
+                i += 1
+            out.append(text[start:i])
+            continue
+        if ch == "/" and i + 1 < n and text[i + 1] == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch == "/" and i + 1 < n and text[i + 1] == "*":
+            end = text.find("*/", i + 2)
+            if end == -1:
+                raise PreprocessorError(
+                    "unterminated block comment", filename, line)
+            comment = text[i:end + 2]
+            out.append("".join("\n" if c == "\n" else " " for c in comment))
+            line += comment.count("\n")
+            i = end + 2
+            continue
+        if ch == "\n":
+            line += 1
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def splice_lines(text: str) -> str:
+    """Join backslash-continued lines (preserving total line count by
+    emitting blank lines is unnecessary; we re-mark positions)."""
+    return text.replace("\\\n", " ")
+
+
+class _CondState:
+    """One level of the conditional-inclusion stack."""
+
+    __slots__ = ("active", "taken", "in_else")
+
+    def __init__(self, active: bool) -> None:
+        self.active = active   # emitting lines in the current arm?
+        self.taken = active    # has any arm of this #if been taken?
+        self.in_else = False
+
+
+class Preprocessor:
+    """Drives preprocessing of one translation unit."""
+
+    def __init__(self, include_dirs: Sequence = (),
+                 system_dirs: Sequence = (),
+                 defines: Optional[Dict[str, str]] = None) -> None:
+        self.include_dirs = [Path(d) for d in include_dirs]
+        self.system_dirs = [Path(d) for d in system_dirs]
+        self.macros: Dict[str, Macro] = {}
+        for name, body in (defines or {}).items():
+            self.macros[name] = Macro(name, body)
+        self._expansions = 0
+
+    # -- public API --------------------------------------------------------
+
+    def process_file(self, path) -> str:
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise PreprocessorError(f"cannot read {path}: {exc}") from exc
+        return self.process_text(text, str(path))
+
+    def process_text(self, text: str, filename: str = "<text>") -> str:
+        out: List[str] = []
+        self._process(text, filename, depth=0, out=out)
+        return "\n".join(out) + "\n"
+
+    # -- core ----------------------------------------------------------------
+
+    def _process(self, text: str, filename: str, depth: int,
+                 out: List[str]) -> None:
+        if depth > _MAX_INCLUDE_DEPTH:
+            raise PreprocessorError("include depth limit exceeded", filename)
+        text = splice_lines(strip_comments(text, filename))
+        conds: List[_CondState] = []
+        out.append(f'# 1 "{filename}"')
+        emitted_line = 0
+        for lineno, raw in enumerate(text.split("\n"), start=1):
+            line = raw
+            stripped = line.lstrip()
+            active = all(c.active for c in conds)
+            if stripped.startswith("#"):
+                self._directive(stripped[1:].strip(), filename, lineno,
+                                depth, conds, out, active)
+                continue
+            if not active:
+                continue
+            if not stripped:
+                continue
+            if emitted_line != lineno:
+                out.append(f'# {lineno} "{filename}"')
+            out.append(self.expand(line, filename, lineno))
+            emitted_line = lineno + 1
+        if conds:
+            raise PreprocessorError("unterminated conditional", filename)
+
+    def _directive(self, body: str, filename: str, lineno: int, depth: int,
+                   conds: List[_CondState], out: List[str],
+                   active: bool) -> None:
+        match = _IDENT.match(body)
+        name = match.group(0) if match else ""
+        rest = body[len(name):].strip()
+
+        if name == "ifdef" or name == "ifndef":
+            if not rest or not _IDENT.fullmatch(rest.split()[0]):
+                raise PreprocessorError(f"#{name} needs a name",
+                                        filename, lineno)
+            defined = rest.split()[0] in self.macros
+            value = defined if name == "ifdef" else not defined
+            conds.append(_CondState(active and value))
+            return
+        if name == "if":
+            value = bool(self._evaluate(rest, filename, lineno)) if active \
+                else False
+            conds.append(_CondState(active and value))
+            return
+        if name == "elif":
+            if not conds or conds[-1].in_else:
+                raise PreprocessorError("#elif without #if", filename, lineno)
+            state = conds[-1]
+            outer_active = all(c.active for c in conds[:-1])
+            if state.taken or not outer_active:
+                state.active = False
+            else:
+                state.active = bool(self._evaluate(rest, filename, lineno))
+                state.taken = state.taken or state.active
+            return
+        if name == "else":
+            if not conds or conds[-1].in_else:
+                raise PreprocessorError("#else without #if", filename, lineno)
+            state = conds[-1]
+            outer_active = all(c.active for c in conds[:-1])
+            state.active = outer_active and not state.taken
+            state.taken = True
+            state.in_else = True
+            return
+        if name == "endif":
+            if not conds:
+                raise PreprocessorError("#endif without #if", filename, lineno)
+            conds.pop()
+            return
+
+        if not active:
+            return
+
+        if name == "define":
+            self._define(rest, filename, lineno)
+            return
+        if name == "undef":
+            target = rest.split()[0] if rest else ""
+            if not _IDENT.fullmatch(target):
+                raise PreprocessorError("#undef needs a name",
+                                        filename, lineno)
+            self.macros.pop(target, None)
+            return
+        if name == "include":
+            self._include(rest, filename, lineno, depth, out)
+            return
+        if name in ("pragma", "line"):
+            return
+        if name == "error":
+            raise PreprocessorError(f"#error {rest}", filename, lineno)
+        if name == "":
+            return  # a lone '#' is a null directive
+        raise PreprocessorError(f"unknown directive #{name}",
+                                filename, lineno)
+
+    # -- #define -----------------------------------------------------------------
+
+    def _define(self, rest: str, filename: str, lineno: int) -> None:
+        match = _IDENT.match(rest)
+        if not match:
+            raise PreprocessorError("#define needs a name", filename, lineno)
+        name = match.group(0)
+        after = rest[match.end():]
+        if after.startswith("("):
+            close = after.find(")")
+            if close == -1:
+                raise PreprocessorError("unterminated macro parameter list",
+                                        filename, lineno)
+            params_text = after[1:close].strip()
+            params = []
+            varargs = False
+            if params_text:
+                pieces = [p.strip() for p in params_text.split(",")]
+                for index, param in enumerate(pieces):
+                    if param == "...":
+                        if index != len(pieces) - 1:
+                            raise PreprocessorError(
+                                "'...' must be the last macro parameter",
+                                filename, lineno)
+                        varargs = True
+                        continue
+                    if not _IDENT.fullmatch(param):
+                        raise PreprocessorError(
+                            f"bad macro parameter {param!r}", filename, lineno)
+                    params.append(param)
+            body = after[close + 1:]
+            self.macros[name] = Macro(name, body, params, varargs)
+        else:
+            self.macros[name] = Macro(name, after)
+
+    # -- #include -------------------------------------------------------------------
+
+    def _include(self, rest: str, filename: str, lineno: int, depth: int,
+                 out: List[str]) -> None:
+        rest = self.expand(rest, filename, lineno).strip()
+        if rest.startswith('"') and rest.endswith('"') and len(rest) >= 2:
+            target, dirs = rest[1:-1], None
+        elif rest.startswith("<") and rest.endswith(">"):
+            target, dirs = rest[1:-1], self.system_dirs
+            if not dirs:
+                raise PreprocessorError(
+                    f"system include <{target}> with no system include "
+                    f"directories configured", filename, lineno)
+        else:
+            raise PreprocessorError(f"malformed #include {rest!r}",
+                                    filename, lineno)
+        path = self._resolve(target, filename, dirs)
+        if path is None:
+            raise PreprocessorError(f"cannot find include file {target!r}",
+                                    filename, lineno)
+        self._process(path.read_text(), str(path), depth + 1, out)
+        out.append(f'# {lineno + 1} "{filename}"')
+
+    def _resolve(self, target: str, includer: str,
+                 system_only: Optional[List[Path]]) -> Optional[Path]:
+        candidates: List[Path] = []
+        if system_only is None:
+            includer_dir = Path(includer).parent
+            candidates.append(includer_dir / target)
+            candidates.extend(d / target for d in self.include_dirs)
+            candidates.extend(d / target for d in self.system_dirs)
+        else:
+            candidates.extend(d / target for d in system_only)
+        for candidate in candidates:
+            if candidate.is_file():
+                return candidate
+        return None
+
+    # -- macro expansion ---------------------------------------------------------------
+
+    def expand(self, line: str, filename: str = "<text>",
+               lineno: int = 0) -> str:
+        return self._expand(line, filename, lineno, frozenset())
+
+    def _expand(self, text: str, filename: str, lineno: int,
+                active: frozenset) -> str:
+        out: List[str] = []
+        i, n = 0, len(text)
+        while i < n:
+            match = _TOKEN.match(text, i)
+            if match is None:  # pragma: no cover - _TOKEN matches any char
+                out.append(text[i])
+                i += 1
+                continue
+            i = match.end()
+            ident = match.group("ident")
+            if ident is None:
+                out.append(match.group(0))
+                continue
+            macro = self.macros.get(ident)
+            if macro is None or ident in active:
+                out.append(match.group(0))
+                continue
+            self._expansions += 1
+            if self._expansions > _MAX_EXPANSIONS:
+                raise PreprocessorError("macro expansion limit exceeded",
+                                        filename, lineno)
+            if macro.is_function_like:
+                args, next_i = self._collect_args(text, i, filename, lineno)
+                if args is None:
+                    out.append(match.group(0))  # name not followed by '('
+                    continue
+                i = next_i
+                if macro.varargs:
+                    if len(args) < len(macro.params):
+                        raise PreprocessorError(
+                            f"macro {ident} expects at least "
+                            f"{len(macro.params)} arguments, got "
+                            f"{len(args)}", filename, lineno)
+                elif len(args) != len(macro.params) and not (
+                        len(macro.params) == 0 and args == [""]):
+                    raise PreprocessorError(
+                        f"macro {ident} expects {len(macro.params)} "
+                        f"arguments, got {len(args)}", filename, lineno)
+                body = self._substitute(macro, args, filename, lineno, active)
+                out.append(self._expand(body, filename, lineno,
+                                        active | {ident}))
+            else:
+                out.append(self._expand(macro.body, filename, lineno,
+                                        active | {ident}))
+        return "".join(out)
+
+    def _collect_args(self, text: str, i: int, filename: str,
+                      lineno: int) -> Tuple[Optional[List[str]], int]:
+        n = len(text)
+        while i < n and text[i] in " \t":
+            i += 1
+        if i >= n or text[i] != "(":
+            return None, i
+        i += 1
+        args: List[str] = []
+        depth = 1
+        current: List[str] = []
+        while i < n:
+            ch = text[i]
+            if ch in "\"'":
+                match = _TOKEN.match(text, i)
+                if match is None or (match.group("string") is None
+                                     and match.group("char") is None):
+                    raise PreprocessorError("bad literal in macro arguments",
+                                            filename, lineno)
+                current.append(match.group(0))
+                i = match.end()
+                continue
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+                if depth == 0:
+                    args.append("".join(current).strip())
+                    return args, i + 1
+            elif ch == "," and depth == 1:
+                args.append("".join(current).strip())
+                current = []
+                i += 1
+                continue
+            current.append(ch)
+            i += 1
+        raise PreprocessorError("unterminated macro argument list",
+                                filename, lineno)
+
+    def _substitute(self, macro: Macro, args: List[str], filename: str,
+                    lineno: int, active: frozenset) -> str:
+        if macro.varargs:
+            fixed = args[:len(macro.params)]
+            rest = args[len(macro.params):]
+            args = fixed + [", ".join(rest)]
+            param_names = macro.params + ["__VA_ARGS__"]
+        else:
+            param_names = macro.params
+        expanded_args = [self._expand(a, filename, lineno, active)
+                         for a in args]
+        by_name = dict(zip(param_names, expanded_args))
+        raw_by_name = dict(zip(param_names, args))
+        out: List[str] = []
+        i, n = 0, len(macro.body)
+        pending_paste = False
+        while i < n:
+            match = _TOKEN.match(macro.body, i)
+            if match is None:  # pragma: no cover
+                out.append(macro.body[i])
+                i += 1
+                continue
+            token = match.group(0)
+            ident = match.group("ident")
+            i = match.end()
+
+            # '#param' stringifies the raw (unexpanded) argument.
+            if token == "#" and not pending_paste:
+                rest = macro.body[i:]
+                stripped = rest.lstrip()
+                inner = _IDENT.match(stripped)
+                if inner and inner.group(0) in raw_by_name:
+                    raw = raw_by_name[inner.group(0)]
+                    escaped = raw.replace("\\", "\\\\").replace('"', '\\"')
+                    out.append(f'"{escaped}"')
+                    i += (len(rest) - len(stripped)) + inner.end()
+                    continue
+                if stripped.startswith("#"):
+                    # '##': paste the next token onto the previous one.
+                    i += (len(rest) - len(stripped)) + 1
+                    while out and not out[-1].strip():
+                        out.pop()
+                    pending_paste = True
+                    continue
+                out.append(token)
+                continue
+
+            if ident is not None and ident in by_name:
+                replacement = (raw_by_name if pending_paste
+                               else by_name)[ident]
+            else:
+                replacement = token
+            if pending_paste:
+                if replacement.strip():
+                    if out:
+                        out[-1] = out[-1] + replacement.strip()
+                    else:
+                        out.append(replacement.strip())
+                    pending_paste = False
+                # skip pure whitespace between ## and the next token
+            else:
+                out.append(replacement)
+        return "".join(out)
+
+    # -- #if expression evaluation --------------------------------------------------------
+
+    def _evaluate(self, expression: str, filename: str, lineno: int) -> int:
+        expression = self._replace_defined(expression)
+        expression = self.expand(expression, filename, lineno)
+        # Any identifier surviving expansion evaluates to 0 (C semantics).
+        tokens = _tokenize_if(expression, filename, lineno)
+        parser = _IfParser(tokens, filename, lineno)
+        value = parser.parse()
+        return value
+
+    def _replace_defined(self, expression: str) -> str:
+        def repl(match: re.Match) -> str:
+            name = match.group(1) or match.group(2)
+            return "1" if name in self.macros else "0"
+
+        pattern = re.compile(
+            r"defined\s*\(\s*([A-Za-z_]\w*)\s*\)|defined\s+([A-Za-z_]\w*)")
+        return pattern.sub(repl, expression)
+
+
+# -- tiny Pratt parser for #if expressions ------------------------------------
+
+_IF_OPS = ["||", "&&", "==", "!=", "<=", ">=", "<<", ">>",
+           "<", ">", "|", "^", "&", "+", "-", "*", "/", "%", "!", "~",
+           "(", ")", "?", ":"]
+
+_BINARY_PRECEDENCE = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6, "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8, "+": 9, "-": 9, "*": 10, "/": 10, "%": 10,
+}
+
+
+def _tokenize_if(text: str, filename: str, lineno: int) -> List[str]:
+    tokens: List[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "."):
+                j += 1
+            tokens.append(text[i:j])
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            tokens.append("0")  # surviving identifier: value 0
+            i = j
+            continue
+        if ch == "'":
+            match = _TOKEN.match(text, i)
+            if match is None or match.group("char") is None:
+                raise PreprocessorError("bad character constant in #if",
+                                        filename, lineno)
+            body = match.group(0)[1:-1]
+            value = ord(body[-1]) if body else 0
+            tokens.append(str(value))
+            i = match.end()
+            continue
+        for op in _IF_OPS:
+            if text.startswith(op, i):
+                tokens.append(op)
+                i += len(op)
+                break
+        else:
+            raise PreprocessorError(f"bad token {ch!r} in #if expression",
+                                    filename, lineno)
+    return tokens
+
+
+def _parse_int(token: str, filename: str, lineno: int) -> int:
+    cleaned = token.rstrip("uUlL")
+    try:
+        return int(cleaned, 0)
+    except ValueError as exc:
+        raise PreprocessorError(f"bad number {token!r} in #if",
+                                filename, lineno) from exc
+
+
+class _IfParser:
+    """Precedence-climbing parser for integer #if expressions."""
+
+    def __init__(self, tokens: List[str], filename: str, lineno: int) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.filename = filename
+        self.lineno = lineno
+
+    def _peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _next(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise PreprocessorError("unexpected end of #if expression",
+                                    self.filename, self.lineno)
+        self.pos += 1
+        return token
+
+    def parse(self) -> int:
+        value = self._ternary()
+        if self._peek() is not None:
+            raise PreprocessorError(
+                f"trailing tokens in #if expression: {self._peek()!r}",
+                self.filename, self.lineno)
+        return value
+
+    def _ternary(self) -> int:
+        condition = self._binary(0)
+        if self._peek() == "?":
+            self._next()
+            then_value = self._ternary()
+            if self._next() != ":":
+                raise PreprocessorError("expected ':' in ?:",
+                                        self.filename, self.lineno)
+            else_value = self._ternary()
+            return then_value if condition else else_value
+        return condition
+
+    def _binary(self, min_precedence: int) -> int:
+        left = self._unary()
+        while True:
+            op = self._peek()
+            precedence = _BINARY_PRECEDENCE.get(op or "")
+            if precedence is None or precedence < min_precedence:
+                return left
+            self._next()
+            right = self._binary(precedence + 1)
+            left = self._apply(op, left, right)
+
+    def _unary(self) -> int:
+        token = self._next()
+        if token == "!":
+            return int(not self._unary())
+        if token == "~":
+            return ~self._unary()
+        if token == "-":
+            return -self._unary()
+        if token == "+":
+            return self._unary()
+        if token == "(":
+            value = self._ternary()
+            if self._next() != ")":
+                raise PreprocessorError("expected ')'",
+                                        self.filename, self.lineno)
+            return value
+        if token[0].isdigit():
+            return _parse_int(token, self.filename, self.lineno)
+        raise PreprocessorError(f"unexpected token {token!r} in #if",
+                                self.filename, self.lineno)
+
+    def _apply(self, op: str, left: int, right: int) -> int:
+        if op == "||":
+            return int(bool(left) or bool(right))
+        if op == "&&":
+            return int(bool(left) and bool(right))
+        if op in ("/", "%") and right == 0:
+            raise PreprocessorError("division by zero in #if",
+                                    self.filename, self.lineno)
+        table = {
+            "|": lambda: left | right, "^": lambda: left ^ right,
+            "&": lambda: left & right, "==": lambda: int(left == right),
+            "!=": lambda: int(left != right), "<": lambda: int(left < right),
+            ">": lambda: int(left > right), "<=": lambda: int(left <= right),
+            ">=": lambda: int(left >= right), "<<": lambda: left << right,
+            ">>": lambda: left >> right, "+": lambda: left + right,
+            "-": lambda: left - right, "*": lambda: left * right,
+            "/": lambda: int(left / right) if (left < 0) != (right < 0)
+                 and left % right else left // right,
+            "%": lambda: left - right * (
+                int(left / right) if (left < 0) != (right < 0)
+                and left % right else left // right),
+        }
+        return table[op]()
+
+
+def preprocess(text: str, filename: str = "<text>",
+               include_dirs: Sequence = (),
+               defines: Optional[Dict[str, str]] = None) -> str:
+    """One-shot convenience wrapper around :class:`Preprocessor`."""
+    return Preprocessor(include_dirs=include_dirs,
+                        defines=defines).process_text(text, filename)

@@ -1,0 +1,87 @@
+"""Scoped symbol tables for the lowering pass."""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional
+
+from ..errors import TypeError_
+from .ctypes import CType
+
+
+class SymbolKind(enum.Enum):
+    VARIABLE = "variable"
+    FUNCTION = "function"
+    ENUM_CONSTANT = "enum-constant"
+
+
+class Symbol:
+    """One declared name.  Identity matters: the lowerer keys its SSA
+    environment and storage bindings by Symbol object, so shadowed
+    variables in inner scopes never collide with their shadowers."""
+
+    __slots__ = ("name", "ctype", "kind", "is_global", "storage", "value",
+                 "defined", "link_name")
+
+    def __init__(self, name: str, ctype: CType, kind: SymbolKind,
+                 is_global: bool = False, storage: str = "",
+                 value: Optional[int] = None) -> None:
+        self.name = name
+        self.ctype = ctype
+        self.kind = kind
+        self.is_global = is_global
+        self.storage = storage  # "", "static", "extern", "register"
+        self.value = value      # enum constants
+        self.defined = False    # functions: has a body been seen?
+        #: Program-level name for functions (differs from ``name`` for
+        #: TU-local statics in linked multi-file programs).
+        self.link_name: Optional[str] = None
+
+    def __repr__(self) -> str:
+        return f"<{self.kind.value} {self.name}: {self.ctype!r}>"
+
+
+class SymbolTable:
+    """A stack of lexical scopes."""
+
+    def __init__(self) -> None:
+        self._scopes: List[Dict[str, Symbol]] = [{}]
+
+    def push(self) -> None:
+        self._scopes.append({})
+
+    def pop(self) -> Dict[str, Symbol]:
+        if len(self._scopes) == 1:
+            raise TypeError_("cannot pop the global scope")
+        return self._scopes.pop()
+
+    @property
+    def depth(self) -> int:
+        return len(self._scopes)
+
+    @property
+    def at_global_scope(self) -> bool:
+        return len(self._scopes) == 1
+
+    def define(self, symbol: Symbol, allow_redeclare: bool = False) -> Symbol:
+        scope = self._scopes[-1]
+        existing = scope.get(symbol.name)
+        if existing is not None:
+            if allow_redeclare:
+                return existing
+            raise TypeError_(f"redeclaration of {symbol.name!r}")
+        scope[symbol.name] = symbol
+        return symbol
+
+    def lookup(self, name: str) -> Optional[Symbol]:
+        for scope in reversed(self._scopes):
+            symbol = scope.get(name)
+            if symbol is not None:
+                return symbol
+        return None
+
+    def require(self, name: str, line: Optional[int] = None) -> Symbol:
+        symbol = self.lookup(name)
+        if symbol is None:
+            raise TypeError_(f"undeclared identifier {name!r}", line=line)
+        return symbol

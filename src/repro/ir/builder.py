@@ -1,0 +1,239 @@
+"""Convenience API for constructing function graphs.
+
+Used by the C lowering pass and directly by tests and examples that
+hand-craft graphs (the analyses are defined over the IR, not over C, so
+graph-level construction is a supported public workflow).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ..errors import IRError
+from ..memory.access import AccessOp, AccessPath
+from .graph import FunctionGraph, Program
+from .nodes import (
+    AddressNode,
+    CallNode,
+    ConstNode,
+    EntryNode,
+    MergeNode,
+    Node,
+    OutputPort,
+    PrimopNode,
+    PrimopSemantics,
+    ReturnNode,
+    UpdateNode,
+    LookupNode,
+    ValueTag,
+)
+
+
+def unify_tags(ports: Sequence[OutputPort]) -> tuple[ValueTag, bool]:
+    """Infer the (tag, carries_pointers) for a merge of ``ports``.
+
+    All-store merges stay stores; otherwise the join of the value tags:
+    any pointer/function/aggregate wins over scalar, mixes degrade to
+    aggregate (which is conservative for alias-relatedness).
+    """
+    tags = {p.tag for p in ports}
+    carries = any(p.carries_pointers for p in ports)
+    if tags == {ValueTag.STORE}:
+        return ValueTag.STORE, True
+    if ValueTag.STORE in tags:
+        raise IRError("cannot merge store with non-store values")
+    if len(tags) == 1:
+        return next(iter(tags)), carries
+    tags.discard(ValueTag.SCALAR)
+    if len(tags) == 1:
+        return next(iter(tags)), carries
+    return ValueTag.AGGREGATE, carries
+
+
+class GraphBuilder:
+    """Builds one :class:`FunctionGraph` node by node."""
+
+    def __init__(self, name_or_graph, program: Optional[Program] = None) -> None:
+        if isinstance(name_or_graph, FunctionGraph):
+            self.graph = name_or_graph
+        else:
+            self.graph = FunctionGraph(name_or_graph)
+        self.program = program
+        self._origin: Optional[str] = None
+
+    # -- source positions ---------------------------------------------------
+
+    def set_origin(self, origin: Optional[str]) -> None:
+        """Record the source position attached to subsequent nodes."""
+        self._origin = origin
+
+    # -- structural nodes -----------------------------------------------------
+
+    def entry(self, formal_specs: Sequence[tuple[str, ValueTag, Optional[bool]]]
+              ) -> EntryNode:
+        node = EntryNode(self.graph, formal_specs, origin=self._origin)
+        self.graph.set_entry(node)
+        return node
+
+    def ret(self, value: Optional[OutputPort], store: OutputPort) -> ReturnNode:
+        node = ReturnNode(self.graph, has_value=value is not None,
+                          origin=self._origin)
+        if value is not None:
+            node.value.connect(value)
+        node.store.connect(store)
+        self.graph.set_return(node)
+        return node
+
+    # -- producers ----------------------------------------------------------
+
+    def const(self, value: object, tag: ValueTag = ValueTag.SCALAR) -> OutputPort:
+        return ConstNode(self.graph, value, tag, origin=self._origin).out
+
+    def null_pointer(self) -> OutputPort:
+        """The null pointer: a pointer-tagged constant with no pairs."""
+        return ConstNode(self.graph, 0, ValueTag.POINTER,
+                         origin=self._origin).out
+
+    def undef(self, tag: ValueTag = ValueTag.SCALAR) -> OutputPort:
+        """An undefined value (e.g. falling off a non-void function)."""
+        return ConstNode(self.graph, None, tag, origin=self._origin).out
+
+    def address(self, path: AccessPath,
+                tag: ValueTag = ValueTag.POINTER) -> OutputPort:
+        return AddressNode(self.graph, path, tag, origin=self._origin).out
+
+    # -- memory -------------------------------------------------------------
+
+    def lookup(self, loc: OutputPort, store: OutputPort, tag: ValueTag,
+               carries_pointers: Optional[bool] = None) -> OutputPort:
+        node = LookupNode(self.graph, tag, carries_pointers,
+                          origin=self._origin)
+        node.loc.connect(loc)
+        node.store.connect(store)
+        return node.out
+
+    def update(self, loc: OutputPort, store: OutputPort,
+               value: OutputPort) -> OutputPort:
+        node = UpdateNode(self.graph, origin=self._origin)
+        node.loc.connect(loc)
+        node.store.connect(store)
+        node.value.connect(value)
+        return node.ostore
+
+    # -- calls ---------------------------------------------------------------
+
+    def call(self, fcn: OutputPort, args: Sequence[OutputPort],
+             store: OutputPort, result_tag: ValueTag = ValueTag.SCALAR,
+             result_carries_pointers: Optional[bool] = None
+             ) -> tuple[OutputPort, OutputPort]:
+        node = CallNode(self.graph, len(args), result_tag,
+                        result_carries_pointers, origin=self._origin)
+        node.fcn.connect(fcn)
+        for port, arg in zip(node.args, args):
+            port.connect(arg)
+        node.store.connect(store)
+        return node.out, node.ostore
+
+    # -- joins ----------------------------------------------------------------
+
+    def merge(self, branches: Sequence[OutputPort],
+              tag: Optional[ValueTag] = None,
+              carries_pointers: Optional[bool] = None,
+              pred: Optional[OutputPort] = None) -> OutputPort:
+        """Join several values.  A one-branch merge is just the value."""
+        branches = list(branches)
+        if not branches:
+            raise IRError("merge needs at least one branch")
+        if len(branches) == 1 and pred is None:
+            return branches[0]
+        if tag is None:
+            tag, inferred_cp = unify_tags(branches)
+            if carries_pointers is None:
+                carries_pointers = inferred_cp
+        node = MergeNode(self.graph, len(branches), tag, carries_pointers,
+                         with_pred=pred is not None, origin=self._origin)
+        if pred is not None:
+            node.pred.connect(pred)
+        for port, branch in zip(node.branches, branches):
+            port.connect(branch)
+        return node.out
+
+    def loop_header(self, initial: OutputPort,
+                    tag: Optional[ValueTag] = None,
+                    carries_pointers: Optional[bool] = None) -> MergeNode:
+        """A merge with the back edge left open; close with
+        :meth:`close_loop` once the body has been lowered."""
+        if tag is None:
+            tag = initial.tag
+            if carries_pointers is None:
+                carries_pointers = initial.carries_pointers
+        node = MergeNode(self.graph, 1, tag, carries_pointers,
+                         origin=self._origin)
+        node.branches[0].connect(initial)
+        return node
+
+    def close_loop(self, header: MergeNode, back_edge: OutputPort) -> None:
+        header.add_branch().connect(back_edge)
+
+    # -- primops ----------------------------------------------------------------
+
+    def primop(self, op: str, operands: Sequence[OutputPort],
+               tag: ValueTag = ValueTag.SCALAR,
+               semantics: PrimopSemantics = PrimopSemantics.OPAQUE,
+               field_op: Optional[AccessOp] = None,
+               carries_pointers: Optional[bool] = None,
+               copy_operand: Optional[int] = None) -> OutputPort:
+        node = PrimopNode(self.graph, op, len(operands), tag, semantics,
+                          field_op, carries_pointers, copy_operand,
+                          origin=self._origin)
+        for port, operand in zip(node.operands, operands):
+            port.connect(operand)
+        return node.out
+
+    def library_store(self, name: str, args: Sequence[OutputPort],
+                      store: OutputPort) -> OutputPort:
+        """A library call modeled as the identity function on stores
+        (paper §5.1.2): consumes the arguments (they are genuinely
+        read), passes the store's pairs through untouched."""
+        return self.primop(f"lib:{name}", list(args) + [store],
+                           ValueTag.STORE, PrimopSemantics.COPY,
+                           copy_operand=-1)
+
+    def copy(self, value: OutputPort, op: str = "copy") -> OutputPort:
+        """Identity-on-pairs primop (pointer cast, strcpy-style return)."""
+        return self.primop(op, [value], value.tag, PrimopSemantics.COPY,
+                           carries_pointers=value.carries_pointers)
+
+    def ptradd(self, ptr: OutputPort, offset: OutputPort) -> OutputPort:
+        """Pointer arithmetic: stays within the array (paper caveat)."""
+        return self.primop("ptradd", [ptr, offset], ValueTag.POINTER,
+                           PrimopSemantics.COPY)
+
+    def field_addr(self, ptr: OutputPort, field_op: AccessOp) -> OutputPort:
+        """``&p->f``: each referent ``r`` becomes ``r.f``."""
+        return self.primop(f"field_addr{field_op!r}", [ptr],
+                           ValueTag.POINTER, PrimopSemantics.FIELD,
+                           field_op=field_op)
+
+    def index_addr(self, ptr: OutputPort) -> OutputPort:
+        """``&(*p)[i]`` / array decay: each referent ``r`` becomes ``r[*]``."""
+        return self.primop("index_addr", [ptr], ValueTag.POINTER,
+                           PrimopSemantics.INDEX)
+
+    def extract(self, aggregate: OutputPort, field_op: AccessOp,
+                tag: ValueTag, carries_pointers: Optional[bool] = None
+                ) -> OutputPort:
+        """Member read out of an aggregate value: pairs at offset
+        ``field·o`` become pairs at offset ``o``."""
+        return self.primop(f"extract{field_op!r}", [aggregate], tag,
+                           PrimopSemantics.EXTRACT, field_op=field_op,
+                           carries_pointers=carries_pointers)
+
+    # -- finishing ---------------------------------------------------------------
+
+    def finish(self) -> FunctionGraph:
+        if self.graph.entry is None:
+            raise IRError(f"{self.graph.name}: missing entry node")
+        if self.graph.return_node is None:
+            raise IRError(f"{self.graph.name}: missing return node")
+        return self.graph

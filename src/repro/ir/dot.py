@@ -1,0 +1,141 @@
+"""Graphviz (DOT) export of function graphs.
+
+Renders one procedure's VDG — optionally annotated with a points-to
+solution — for debugging lowering and for documentation figures:
+
+    dot = to_dot(program.functions["main"], result=ci)
+    Path("main.dot").write_text(dot)   # then: dot -Tsvg main.dot
+
+Store-carrying edges are drawn bold so the store thread (the paper's
+explicit store values) stands out; control uses are drawn dashed.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+from typing import Optional
+
+from .graph import FunctionGraph, Program
+from .nodes import (
+    AddressNode,
+    CallNode,
+    ConstNode,
+    EntryNode,
+    LookupNode,
+    MergeNode,
+    Node,
+    PrimopNode,
+    ReturnNode,
+    UpdateNode,
+    ValueTag,
+)
+
+_SHAPES = {
+    "entry": "invhouse",
+    "return": "house",
+    "lookup": "ellipse",
+    "update": "box",
+    "call": "hexagon",
+    "merge": "invtriangle",
+    "primop": "oval",
+    "const": "plaintext",
+    "address": "note",
+}
+
+_COLORS = {
+    "lookup": "#2e86de",
+    "update": "#c0392b",
+    "call": "#8e44ad",
+    "merge": "#7f8c8d",
+    "entry": "#27ae60",
+    "return": "#27ae60",
+    "address": "#d68910",
+}
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _node_label(node: Node, result=None) -> str:
+    if isinstance(node, ConstNode):
+        label = f"const {node.value!r}"
+    elif isinstance(node, AddressNode):
+        label = f"&{node.path!r}"
+    elif isinstance(node, PrimopNode):
+        label = node.op
+    elif isinstance(node, EntryNode):
+        formals = ", ".join(p.name.split(":", 1)[-1] for p in node.formals)
+        label = f"entry({formals})"
+    elif isinstance(node, (LookupNode, UpdateNode)) and node.is_indirect:
+        label = f"{node.kind}*"
+    else:
+        label = node.kind
+    if result is not None and isinstance(node, (LookupNode, UpdateNode)):
+        locations = sorted(repr(p) for p in result.op_locations(node))
+        if locations:
+            label += "\\n{" + ", ".join(locations) + "}"
+    return label
+
+
+def _emit_body(out: StringIO, graph: FunctionGraph, result,
+               include_origins: bool, prefix: str, indent: str) -> None:
+    """Emit one graph's node and edge statements with id prefix."""
+    for node in graph.nodes:
+        shape = _SHAPES.get(node.kind, "box")
+        color = _COLORS.get(node.kind, "#2c3e50")
+        label = _escape(_node_label(node, result))
+        if include_origins and node.origin:
+            label += f"\\n{_escape(node.origin)}"
+        out.write(f'{indent}{prefix}n{node.uid} [label="{label}", '
+                  f'shape={shape}, color="{color}"];\n')
+
+    for node in graph.nodes:
+        for port in node.inputs:
+            src = port.source
+            if src is None:
+                continue
+            attrs = [f'label="{_escape(port.name)}"']
+            if src.tag is ValueTag.STORE:
+                attrs.append("style=bold")
+                attrs.append('color="#555555"')
+            if isinstance(node, MergeNode) and port is node.pred:
+                attrs.append("style=dashed")
+            out.write(f'{indent}{prefix}n{src.node.uid} -> '
+                      f'{prefix}n{node.uid} [{", ".join(attrs)}];\n')
+
+    for index, port in enumerate(graph.control_uses):
+        out.write(f'{indent}{prefix}ctl{index} [label="γ", '
+                  f'shape=diamond, color="#7f8c8d"];\n')
+        out.write(f'{indent}{prefix}n{port.node.uid} -> '
+                  f'{prefix}ctl{index} [style=dashed, label="pred"];\n')
+
+
+def to_dot(graph: FunctionGraph, result=None,
+           include_origins: bool = False) -> str:
+    """Render one function graph as DOT text."""
+    out = StringIO()
+    out.write(f'digraph "{_escape(graph.name)}" {{\n')
+    out.write('  rankdir=TB;\n')
+    out.write('  node [fontname="monospace", fontsize=10];\n')
+    out.write('  edge [fontname="monospace", fontsize=8];\n')
+    _emit_body(out, graph, result, include_origins, prefix="", indent="  ")
+    out.write("}\n")
+    return out.getvalue()
+
+
+def program_to_dot(program: Program, result=None,
+                   include_origins: bool = False) -> str:
+    """Render every function as a cluster in one DOT digraph."""
+    out = StringIO()
+    out.write(f'digraph "{_escape(program.name)}" {{\n')
+    out.write('  node [fontname="monospace", fontsize=10];\n')
+    out.write('  edge [fontname="monospace", fontsize=8];\n')
+    for index, (name, graph) in enumerate(sorted(program.functions.items())):
+        out.write(f'  subgraph "cluster_{_escape(name)}" {{\n')
+        out.write(f'    label="{_escape(name)}";\n')
+        _emit_body(out, graph, result, include_origins,
+                   prefix=f"f{index}_", indent="    ")
+        out.write("  }\n")
+    out.write("}\n")
+    return out.getvalue()

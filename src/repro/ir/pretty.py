@@ -1,0 +1,98 @@
+"""Textual dump of function graphs, for debugging and golden tests."""
+
+from __future__ import annotations
+
+from io import StringIO
+from typing import Optional
+
+from .graph import FunctionGraph, Program
+from .nodes import (
+    AddressNode,
+    CallNode,
+    ConstNode,
+    EntryNode,
+    LookupNode,
+    MergeNode,
+    Node,
+    PrimopNode,
+    ReturnNode,
+    UpdateNode,
+)
+
+
+def _port_ref(node: Node, port_name: str) -> str:
+    return f"%{node.uid}.{port_name}" if len(node.outputs) > 1 else f"%{node.uid}"
+
+
+def _operand(port) -> str:
+    src = port.source
+    if src is None:
+        return "<dangling>"
+    return _port_ref(src.node, src.name)
+
+
+def format_node(node: Node) -> str:
+    """One line describing a node, its operands, and its outputs."""
+    outs = ", ".join(
+        f"{_port_ref(node, o.name)}:{o.tag.value}" for o in node.outputs)
+    if isinstance(node, ConstNode):
+        body = f"const {node.value!r}"
+    elif isinstance(node, AddressNode):
+        body = f"address {node.path!r}"
+    elif isinstance(node, LookupNode):
+        body = f"lookup loc={_operand(node.loc)} store={_operand(node.store)}"
+        if node.is_indirect:
+            body += "  ; indirect"
+    elif isinstance(node, UpdateNode):
+        body = (f"update loc={_operand(node.loc)} store={_operand(node.store)}"
+                f" value={_operand(node.value)}")
+        if node.is_indirect:
+            body += "  ; indirect"
+    elif isinstance(node, CallNode):
+        args = " ".join(_operand(a) for a in node.args)
+        body = (f"call fcn={_operand(node.fcn)} args=[{args}] "
+                f"store={_operand(node.store)}")
+    elif isinstance(node, EntryNode):
+        body = "entry"
+    elif isinstance(node, ReturnNode):
+        value = _operand(node.value) if node.value is not None else "<void>"
+        body = f"return value={value} store={_operand(node.store)}"
+    elif isinstance(node, MergeNode):
+        branches = " ".join(_operand(b) for b in node.branches)
+        pred = f" pred={_operand(node.pred)}" if node.pred is not None else ""
+        body = f"merge{pred} [{branches}]"
+    elif isinstance(node, PrimopNode):
+        operands = " ".join(_operand(o) for o in node.operands)
+        body = f"primop {node.op} [{operands}]"
+    else:  # pragma: no cover - future node kinds
+        body = node.kind
+    line = f"  {outs} = {body}" if outs else f"  {body}"
+    if node.origin:
+        line += f"    ; {node.origin}"
+    return line
+
+
+def format_function(graph: FunctionGraph) -> str:
+    out = StringIO()
+    rec = " (recursive)" if graph.recursive else ""
+    out.write(f"function {graph.name}{rec} {{\n")
+    for node in sorted(graph.nodes, key=lambda n: n.uid):
+        out.write(format_node(node) + "\n")
+    out.write("}\n")
+    return out.getvalue()
+
+
+def format_program(program: Program, only: Optional[str] = None) -> str:
+    out = StringIO()
+    out.write(f"program {program.name}\n")
+    out.write(f"roots: {', '.join(program.roots) or '<none>'}\n")
+    if program.initial_store:
+        out.write("initial store:\n")
+        for pair in program.initial_store:
+            out.write(f"  {pair!r}\n")
+    for name, graph in sorted(program.functions.items()):
+        if only is not None and name != only:
+            continue
+        out.write("\n")
+        out.write(format_function(graph))
+    return out.getvalue()

@@ -1,0 +1,110 @@
+"""Graph simplification: trivial-merge elimination and dead-node removal.
+
+The lowering pass conservatively creates a merge per live variable at
+every join; most are trivial (all branches carry the same value).  The
+paper's VDG is sparse precisely because such noise is removed ("they
+merely run faster on the VDG because it is more sparse"), and Figure 2's
+node counts assume a cleaned graph, so we simplify before reporting.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from .graph import FunctionGraph, Program
+from .nodes import MergeNode, Node, OutputPort, ReturnNode
+
+
+def _redirect(old: OutputPort, new: OutputPort) -> None:
+    """Point every consumer of ``old`` at ``new``, including any
+    control-use registrations."""
+    for consumer in list(old.consumers):
+        consumer.connect(new)
+    graph = old.node.graph
+    graph.control_uses = [new if port is old else port
+                          for port in graph.control_uses]
+
+
+def _detach(node: Node) -> None:
+    """Disconnect all of a node's inputs so it can be unregistered."""
+    for port in node.inputs:
+        if port.source is not None:
+            port.source.consumers.remove(port)
+            port.source = None
+
+
+def eliminate_trivial_merges(graph: FunctionGraph) -> int:
+    """Collapse merges whose branches all come from one output.
+
+    Self-referential loop headers whose only other input is the initial
+    value (``m = merge(x, m)``) also collapse to ``x`` — the variable
+    was loop-invariant.  Returns the number of merges removed.
+    """
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        for node in list(graph.nodes):
+            if not isinstance(node, MergeNode):
+                continue
+            sources = {port.source for port in node.branches}
+            sources.discard(node.out)  # ignore self loops (back edges)
+            if len(sources) != 1:
+                continue
+            replacement = next(iter(sources))
+            if replacement is None or replacement is node.out:
+                continue
+            _redirect(node.out, replacement)
+            _detach(node)
+            graph.unregister(node)
+            removed += 1
+            changed = True
+    return removed
+
+
+def remove_dead_nodes(graph: FunctionGraph) -> int:
+    """Drop nodes not reachable backwards from the return node.
+
+    The return node anchors liveness: the store chain keeps updates and
+    calls alive, merge predicates keep comparisons alive, and so on.
+    The entry node is always retained (its formals define the
+    procedure's interface even when unused).
+    """
+    live: Set[Node] = set()
+    stack: list[Node] = []
+    if graph.return_node is not None:
+        stack.append(graph.return_node)
+    for port in graph.control_uses:
+        stack.append(port.node)
+    if graph.entry is not None:
+        live.add(graph.entry)
+    while stack:
+        node = stack.pop()
+        if node in live:
+            continue
+        live.add(node)
+        for port in node.inputs:
+            if port.source is not None and port.source.node not in live:
+                stack.append(port.source.node)
+    removed = 0
+    for node in list(graph.nodes):
+        if node not in live:
+            _detach(node)
+            graph.unregister(node)
+            removed += 1
+    return removed
+
+
+def simplify_function(graph: FunctionGraph) -> int:
+    """Run all simplifications to fixpoint; returns nodes removed."""
+    total = 0
+    while True:
+        removed = eliminate_trivial_merges(graph)
+        removed += remove_dead_nodes(graph)
+        total += removed
+        if not removed:
+            return total
+
+
+def simplify_program(program: Program) -> int:
+    return sum(simplify_function(g) for g in program.functions.values())

@@ -1,0 +1,131 @@
+"""Structural well-formedness checks for function graphs and programs.
+
+The lowering pass and hand-built test graphs both run through here
+before analysis; a malformed graph (dangling input, open loop header,
+type-confused store wiring) raises :class:`~repro.errors.IRError`
+instead of producing silently wrong points-to sets.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import IRError
+from .graph import FunctionGraph, Program
+from .nodes import (
+    CallNode,
+    EntryNode,
+    LookupNode,
+    MergeNode,
+    Node,
+    ReturnNode,
+    UpdateNode,
+    ValueTag,
+)
+
+
+def _expect_tag(port_owner: Node, name: str, tag: ValueTag, expect_store: bool,
+                errors: List[str]) -> None:
+    where = f"{port_owner.graph.name}:{port_owner!r}.{name}"
+    if expect_store and tag is not ValueTag.STORE:
+        errors.append(f"{where}: expected store input, got {tag.value}")
+    if not expect_store and tag is ValueTag.STORE:
+        errors.append(f"{where}: store value used as ordinary value")
+
+
+def validate_function(graph: FunctionGraph) -> None:
+    """Raise :class:`IRError` describing every violation found."""
+    errors: List[str] = []
+
+    if graph.entry is None:
+        errors.append(f"{graph.name}: no entry node")
+    if graph.return_node is None:
+        errors.append(f"{graph.name}: no return node")
+
+    entry_count = sum(1 for n in graph.nodes if isinstance(n, EntryNode))
+    return_count = sum(1 for n in graph.nodes if isinstance(n, ReturnNode))
+    if entry_count != 1:
+        errors.append(f"{graph.name}: {entry_count} entry nodes")
+    if return_count != 1:
+        errors.append(f"{graph.name}: {return_count} return nodes")
+
+    for node in graph.nodes:
+        if node.graph is not graph:
+            errors.append(f"{graph.name}: foreign node {node!r}")
+        for port in node.inputs:
+            if port.source is None:
+                errors.append(
+                    f"{graph.name}: dangling input {node!r}.{port.name}")
+                continue
+            if port.source.node.graph is not graph:
+                errors.append(
+                    f"{graph.name}: cross-function edge into "
+                    f"{node!r}.{port.name}")
+            if port not in port.source.consumers:
+                errors.append(
+                    f"{graph.name}: consumers list out of sync at "
+                    f"{node!r}.{port.name}")
+        for out in node.outputs:
+            for consumer in out.consumers:
+                if consumer.source is not out:
+                    errors.append(
+                        f"{graph.name}: stale consumer {consumer!r} "
+                        f"recorded on {out!r}")
+
+        # Store-typing discipline.
+        if isinstance(node, LookupNode):
+            if node.store.source is not None:
+                _expect_tag(node, "store", node.store.source.tag, True, errors)
+            if node.loc.source is not None:
+                _expect_tag(node, "loc", node.loc.source.tag, False, errors)
+        elif isinstance(node, UpdateNode):
+            if node.store.source is not None:
+                _expect_tag(node, "store", node.store.source.tag, True, errors)
+            if node.loc.source is not None:
+                _expect_tag(node, "loc", node.loc.source.tag, False, errors)
+            if node.value.source is not None:
+                _expect_tag(node, "value", node.value.source.tag, False, errors)
+        elif isinstance(node, CallNode):
+            if node.store.source is not None:
+                _expect_tag(node, "store", node.store.source.tag, True, errors)
+        elif isinstance(node, ReturnNode):
+            if node.store.source is not None:
+                _expect_tag(node, "store", node.store.source.tag, True, errors)
+        elif isinstance(node, MergeNode):
+            if not node.branches:
+                errors.append(f"{graph.name}: empty merge {node!r}")
+            for branch in node.branches:
+                src = branch.source
+                if src is None:
+                    continue
+                if node.out.tag is ValueTag.STORE and src.tag is not ValueTag.STORE:
+                    errors.append(
+                        f"{graph.name}: non-store branch into store merge "
+                        f"{node!r}")
+                if node.out.tag is not ValueTag.STORE and src.tag is ValueTag.STORE:
+                    errors.append(
+                        f"{graph.name}: store branch into value merge {node!r}")
+
+    if errors:
+        raise IRError("; ".join(errors))
+
+
+def validate_program(program: Program) -> None:
+    """Validate every function plus program-level invariants."""
+    errors: List[str] = []
+    for graph in program.functions.values():
+        try:
+            validate_function(graph)
+        except IRError as exc:
+            errors.append(str(exc))
+    for root in program.roots:
+        if root not in program.functions:
+            errors.append(f"undefined root {root!r}")
+    for pair in program.initial_store:
+        if pair.path.base is None:
+            errors.append(f"initial store pair with offset path: {pair!r}")
+    for name in program.function_locations:
+        if name not in program.functions:
+            errors.append(f"function location for undefined function {name!r}")
+    if errors:
+        raise IRError("; ".join(errors))

@@ -1,0 +1,58 @@
+"""Storage model: base-locations, access paths, and points-to pairs.
+
+This package implements Section 2 of the paper — the namespace of
+abstract memory the analyses reason about — independent of both the C
+frontend and the IR, so it can be unit-tested (and property-tested) in
+isolation.
+"""
+
+from .access import (
+    EMPTY_OFFSET,
+    INDEX,
+    AccessOp,
+    AccessPath,
+    FieldOp,
+    IndexOp,
+    location_path,
+    make_path,
+)
+from .base import (
+    BaseLocation,
+    LocationKind,
+    function_location,
+    global_location,
+    heap_location,
+    local_location,
+    param_location,
+    string_location,
+)
+from .pairs import PointsToPair, classify, dereference_targets, direct, pair
+from .relations import dom, is_prefix, may_alias, strong_dom
+
+__all__ = [
+    "AccessOp",
+    "AccessPath",
+    "BaseLocation",
+    "EMPTY_OFFSET",
+    "FieldOp",
+    "INDEX",
+    "IndexOp",
+    "LocationKind",
+    "PointsToPair",
+    "classify",
+    "dereference_targets",
+    "direct",
+    "dom",
+    "function_location",
+    "global_location",
+    "heap_location",
+    "is_prefix",
+    "local_location",
+    "location_path",
+    "make_path",
+    "may_alias",
+    "pair",
+    "param_location",
+    "string_location",
+    "strong_dom",
+]

@@ -1,0 +1,218 @@
+"""Interned access paths.
+
+An access path (paper Section 2) is an optional base-location followed
+by a sequence of access operators, each denoting a structure/union
+member access or an array access:
+
+* paths **with** a base-location are *locations* and denote indirection
+  through the store;
+* paths with an **empty** base are *offsets* and denote relative
+  addressing into aggregate values (they appear on value outputs).
+
+"Careful interning of access operators ensures that an access path is
+aliased only to its prefixes" — we guarantee this by (a) interning
+every path so structural equality is identity, and (b) having the type
+elaborator collapse all members of a union onto a single field slot, so
+static union aliasing reduces to path equality.
+
+Array accesses are summaries: one :class:`IndexOp` stands for every
+element, per the paper's caveat that no array dependence analysis is
+performed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from .base import BaseLocation
+
+
+class AccessOp:
+    """Abstract access operator.  Interned; equality is identity."""
+
+    __slots__ = ()
+
+    @property
+    def is_index(self) -> bool:
+        raise NotImplementedError
+
+
+class FieldOp(AccessOp):
+    """Selection of a struct member (or the collapsed union slot).
+
+    ``owner`` is an opaque key identifying the aggregate type (so that
+    ``.x`` of two different struct types are distinct operators) and
+    ``name`` the member name — or the sentinel ``"<union>"`` for the
+    single slot shared by all members of a union.
+    """
+
+    __slots__ = ("owner", "name")
+    _interned: dict[tuple, "FieldOp"] = {}
+
+    def __new__(cls, owner: object, name: str) -> "FieldOp":
+        key = (owner, name)
+        op = cls._interned.get(key)
+        if op is None:
+            op = super().__new__(cls)
+            object.__setattr__(op, "owner", owner)
+            object.__setattr__(op, "name", name)
+            cls._interned[key] = op
+        return op
+
+    def __setattr__(self, key, value):  # immutable after interning
+        raise AttributeError("FieldOp is immutable")
+
+    @property
+    def is_index(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return f".{self.name}"
+
+
+class IndexOp(AccessOp):
+    """Array element access, collapsed over all indices.
+
+    There is exactly one instance: the analysis keeps a single
+    approximation for all values stored in an array.
+    """
+
+    __slots__ = ()
+    _instance: Optional["IndexOp"] = None
+
+    def __new__(cls) -> "IndexOp":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    @property
+    def is_index(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "[*]"
+
+
+INDEX = IndexOp()
+
+
+class AccessPath:
+    """An interned (base, operators) pair.
+
+    Use :func:`make_path` / :meth:`extend` / :meth:`append` /
+    :meth:`subtract` to construct paths; never instantiate directly.
+    Equality and hashing are identity, which is sound because of
+    interning.
+    """
+
+    __slots__ = ("base", "ops", "_hash")
+    _interned: dict[tuple, "AccessPath"] = {}
+
+    def __new__(cls, base: Optional[BaseLocation],
+                ops: Tuple[AccessOp, ...]) -> "AccessPath":
+        key = (id(base), ops)
+        path = cls._interned.get(key)
+        if path is None:
+            path = super().__new__(cls)
+            object.__setattr__(path, "base", base)
+            object.__setattr__(path, "ops", ops)
+            object.__setattr__(path, "_hash", hash(key))
+            cls._interned[key] = path
+        return path
+
+    def __setattr__(self, key, value):
+        raise AttributeError("AccessPath is immutable")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    # -- classification ------------------------------------------------
+
+    @property
+    def is_offset(self) -> bool:
+        """True for relative paths (no base), used on value outputs."""
+        return self.base is None
+
+    @property
+    def is_location(self) -> bool:
+        """True for absolute paths that denote storage."""
+        return self.base is not None
+
+    @property
+    def is_empty_offset(self) -> bool:
+        return self.base is None and not self.ops
+
+    @property
+    def strongly_updateable(self) -> bool:
+        """Whether a write through exactly this path kills old contents.
+
+        Paper definitions box: a path is strongly updateable when its
+        base-location denotes a single storage location and none of its
+        access operators are array dereferences.
+        """
+        if self.base is None or self.base.multi_instance:
+            return False
+        return not any(op.is_index for op in self.ops)
+
+    @property
+    def report_category(self) -> str:
+        """Figure 7 category of this path: offset/function/local/global/heap."""
+        if self.base is None:
+            return "offset"
+        return self.base.report_category
+
+    # -- construction --------------------------------------------------
+
+    def extend(self, op: AccessOp) -> "AccessPath":
+        """Append a single access operator."""
+        return AccessPath(self.base, self.ops + (op,))
+
+    def append(self, offset: "AccessPath") -> "AccessPath":
+        """The paper's ``+``: attach an offset path to this path.
+
+        ``loc + offset`` resolves relative addressing: writing an
+        aggregate value whose member ``offset`` holds a pointer into
+        location ``loc`` creates contents at ``loc + offset``.
+        """
+        if offset.base is not None:
+            raise ValueError(f"cannot append non-offset path {offset!r}")
+        if not offset.ops:
+            return self
+        return AccessPath(self.base, self.ops + offset.ops)
+
+    def subtract(self, prefix: "AccessPath") -> "AccessPath":
+        """The paper's ``−``: remove ``prefix``, yielding an offset.
+
+        Requires ``dom(prefix, self)``; the result is the relative path
+        from ``prefix`` down to ``self``.
+        """
+        if prefix.base is not self.base:
+            raise ValueError(f"{prefix!r} is not a prefix of {self!r}")
+        n = len(prefix.ops)
+        if self.ops[:n] != prefix.ops:
+            raise ValueError(f"{prefix!r} is not a prefix of {self!r}")
+        return AccessPath(None, self.ops[n:])
+
+    # -- display --------------------------------------------------------
+
+    def __repr__(self) -> str:
+        base = self.base.describe() if self.base else "ε" if not self.ops else ""
+        return base + "".join(repr(op) for op in self.ops)
+
+
+#: The empty offset path, written ε: a plain (non-aggregate) value.
+EMPTY_OFFSET = AccessPath(None, ())
+
+
+def make_path(base: Optional[BaseLocation],
+              ops: Iterable[AccessOp] = ()) -> AccessPath:
+    """Intern and return the access path ``base . ops...``."""
+    return AccessPath(base, tuple(ops))
+
+
+def location_path(base: BaseLocation,
+                  ops: Iterable[AccessOp] = ()) -> AccessPath:
+    """Intern a location path; ``base`` must be a real base-location."""
+    if base is None:
+        raise ValueError("location paths require a base-location")
+    return AccessPath(base, tuple(ops))

@@ -1,0 +1,129 @@
+"""Base-locations: the finite namespace of storage the analysis models.
+
+The paper (Section 2) names allocation sites with *base-locations*:
+
+    "a finite number of base-locations name allocation sites: there is
+    one base-location for each variable, and for each static invocation
+    site of memory-allocating library code such as malloc."
+
+A base-location may model a single runtime cell (a global, or a local
+of a non-recursive procedure) or many cells at once (heap allocation
+sites, string literals reached from several places, locals of recursive
+procedures under scheme 2 of footnote 4).  Only single-instance
+locations can anchor strong updates.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any, Optional
+
+
+class LocationKind(enum.Enum):
+    """Storage class of a base-location, used for Figure 7 breakdowns."""
+
+    GLOBAL = "global"      # file-scope variables and statics
+    LOCAL = "local"        # automatic variables
+    PARAM = "param"        # formal parameters (reported as "local" in Fig. 7)
+    HEAP = "heap"          # one per static malloc/calloc/realloc site
+    STRING = "string"      # string-literal storage (Fig. 7 counts as global)
+    FUNCTION = "function"  # code addresses, for function pointers
+
+
+#: Figure 7 collapses our six kinds into four reporting categories.
+_REPORT_CATEGORY = {
+    LocationKind.GLOBAL: "global",
+    LocationKind.STRING: "global",
+    LocationKind.LOCAL: "local",
+    LocationKind.PARAM: "local",
+    LocationKind.HEAP: "heap",
+    LocationKind.FUNCTION: "function",
+}
+
+_uid_counter = itertools.count(1)
+
+
+class BaseLocation:
+    """A named allocation site.
+
+    Instances are unique objects created by the frontend (or directly by
+    tests); equality is identity.  ``multi_instance`` marks locations
+    that may denote several runtime cells simultaneously and therefore
+    can never be strongly updated.
+    """
+
+    __slots__ = ("kind", "name", "uid", "multi_instance", "ctype",
+                 "procedure", "__weakref__")
+
+    def __init__(self, kind: LocationKind, name: str, *,
+                 multi_instance: bool | None = None,
+                 ctype: Any = None,
+                 procedure: Optional[str] = None) -> None:
+        if multi_instance is None:
+            # Heap sites and string literals summarize arbitrarily many
+            # runtime objects; everything else defaults to a single cell.
+            multi_instance = kind in (LocationKind.HEAP, LocationKind.STRING)
+        self.kind = kind
+        self.name = name
+        self.uid = next(_uid_counter)
+        self.multi_instance = multi_instance
+        self.ctype = ctype
+        self.procedure = procedure
+
+    @property
+    def report_category(self) -> str:
+        """The Figure 7 category: function, local, global, or heap."""
+        return _REPORT_CATEGORY[self.kind]
+
+    @property
+    def is_single_instance(self) -> bool:
+        return not self.multi_instance
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        scope = f"{self.procedure}::" if self.procedure else ""
+        return f"<{self.kind.value} {scope}{self.name}#{self.uid}>"
+
+    def describe(self) -> str:
+        """Stable human-readable name (no uid), used in reports."""
+        scope = f"{self.procedure}::" if self.procedure else ""
+        return f"{scope}{self.name}"
+
+
+def global_location(name: str, ctype: Any = None) -> BaseLocation:
+    """Convenience constructor for a file-scope variable's location."""
+    return BaseLocation(LocationKind.GLOBAL, name, ctype=ctype)
+
+
+def local_location(name: str, procedure: str, *, recursive: bool = False,
+                   ctype: Any = None) -> BaseLocation:
+    """Location for an automatic variable.
+
+    ``recursive=True`` applies scheme 2 of the paper's footnote 4: the
+    single base-location stands for every live stack instance, so it is
+    multi-instance and only weakly updateable.
+    """
+    return BaseLocation(LocationKind.LOCAL, name, procedure=procedure,
+                        multi_instance=recursive, ctype=ctype)
+
+
+def param_location(name: str, procedure: str, *, recursive: bool = False,
+                   ctype: Any = None) -> BaseLocation:
+    """Location for a formal parameter whose address is taken."""
+    return BaseLocation(LocationKind.PARAM, name, procedure=procedure,
+                        multi_instance=recursive, ctype=ctype)
+
+
+def heap_location(site: str, ctype: Any = None) -> BaseLocation:
+    """Location summarizing every object created at one malloc site."""
+    return BaseLocation(LocationKind.HEAP, site, ctype=ctype)
+
+
+def string_location(label: str) -> BaseLocation:
+    """Location for one string literal's storage."""
+    return BaseLocation(LocationKind.STRING, label)
+
+
+def function_location(name: str) -> BaseLocation:
+    """Location naming a function's code, the referent of ``&f``."""
+    return BaseLocation(LocationKind.FUNCTION, name, multi_instance=False)

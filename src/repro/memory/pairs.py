@@ -1,0 +1,98 @@
+"""Points-to pairs: the facts both analyses propagate.
+
+A points-to pair ``(a, b)`` on a node output means (paper Section 2):
+"in the value produced by this output, indirecting through any location
+(or offset) denoted by ``a`` may return any location denoted by ``b``".
+The first element is the *path*, the second the *referent*.
+
+Shapes in practice:
+
+* on a **store** output, the path is a location (it has a base) — the
+  pair records store contents;
+* on a **value** output, the path is an offset — ``(ε, b)`` means "this
+  value is (a pointer to) ``b``", and ``(.f, b)`` means "member ``f`` of
+  this aggregate value points to ``b``";
+* the referent is always a location (or a function's code address).
+
+Pairs are interned so that membership tests and set operations are
+cheap identity comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .access import EMPTY_OFFSET, AccessPath
+
+
+class PointsToPair:
+    """An interned ``(path, referent)`` pair."""
+
+    __slots__ = ("path", "referent", "_hash")
+    _interned: dict[tuple, "PointsToPair"] = {}
+
+    def __new__(cls, path: AccessPath, referent: AccessPath) -> "PointsToPair":
+        key = (path, referent)
+        pair = cls._interned.get(key)
+        if pair is None:
+            if referent.base is None:
+                raise ValueError(
+                    f"points-to referent must be a location, got {referent!r}")
+            pair = super().__new__(cls)
+            object.__setattr__(pair, "path", path)
+            object.__setattr__(pair, "referent", referent)
+            object.__setattr__(pair, "_hash", hash(key))
+            cls._interned[key] = pair
+        return pair
+
+    def __setattr__(self, key, value):
+        raise AttributeError("PointsToPair is immutable")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    @property
+    def is_direct(self) -> bool:
+        """True when the path is the empty offset: the value itself
+        points at the referent (the common case for pointer values)."""
+        return self.path is EMPTY_OFFSET
+
+    def __repr__(self) -> str:
+        return f"({self.path!r} -> {self.referent!r})"
+
+
+def pair(path: AccessPath, referent: AccessPath) -> PointsToPair:
+    """Intern and return the points-to pair ``(path, referent)``."""
+    return PointsToPair(path, referent)
+
+
+def direct(referent: AccessPath) -> PointsToPair:
+    """The pair ``(ε, referent)``: a value that points at ``referent``."""
+    return PointsToPair(EMPTY_OFFSET, referent)
+
+
+def path_of(p: PointsToPair) -> AccessPath:
+    return p.path
+
+
+def referent_of(p: PointsToPair) -> AccessPath:
+    return p.referent
+
+
+def classify(p: PointsToPair) -> tuple[str, str]:
+    """Figure 7 cell for a pair: (path category, referent category)."""
+    return (p.path.report_category, p.referent.report_category)
+
+
+def dereference_targets(pairs, offset: Optional[AccessPath] = None):
+    """The locations a value's pairs say it can point to.
+
+    With no ``offset`` (or ε), yields referents of direct pairs — what
+    indirecting through the value reaches.  With an offset, yields
+    referents stored at that member of an aggregate value.
+    """
+    if offset is None:
+        offset = EMPTY_OFFSET
+    for p in pairs:
+        if p.path is offset:
+            yield p.referent

@@ -1,0 +1,43 @@
+"""The paper's ``dom`` and ``strong-dom`` relations on access paths.
+
+From the definitions box of Figure 1:
+
+* ``A dom B``: a read (write) of ``A`` *may* observe (modify) a value
+  written to ``B``.  In the path representation this holds iff ``A`` is
+  a prefix of ``B``.
+
+* ``A strong-dom B``: a read (write) of ``A`` *must* observe (modify) a
+  value written to ``B``.  This holds iff ``A`` is strongly updateable
+  (its base denotes a single storage location and none of its operators
+  are array dereferences) and ``A`` is a prefix of ``B``.
+
+Prefixing is the only aliasing the representation admits because access
+operators are interned and union members collapse to one slot.
+"""
+
+from __future__ import annotations
+
+from .access import AccessPath
+
+
+def is_prefix(a: AccessPath, b: AccessPath) -> bool:
+    """Whether path ``a`` is a (non-strict) prefix of path ``b``."""
+    if a.base is not b.base:
+        return False
+    n = len(a.ops)
+    return len(b.ops) >= n and b.ops[:n] == a.ops
+
+
+def dom(a: AccessPath, b: AccessPath) -> bool:
+    """May-alias: a read/write of ``a`` may see a value written to ``b``."""
+    return is_prefix(a, b)
+
+
+def strong_dom(a: AccessPath, b: AccessPath) -> bool:
+    """Must-alias: a write of ``a`` definitely overwrites ``b``'s value."""
+    return a.strongly_updateable and is_prefix(a, b)
+
+
+def may_alias(a: AccessPath, b: AccessPath) -> bool:
+    """Symmetric may-alias: either path dominates the other."""
+    return is_prefix(a, b) or is_prefix(b, a)

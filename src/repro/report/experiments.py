@@ -1,0 +1,365 @@
+"""Experiment drivers: one per table/figure in the paper's evaluation.
+
+Each ``figN_rows`` function returns (headers, rows) for the measured
+reproduction of that figure over our suite; ``render_experiment`` turns
+an experiment id into printable text.  :class:`SuiteRunner` caches the
+lowered programs and both analysis results so benches that regenerate
+several figures don't re-analyze.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.common import AnalysisResult
+from ..analysis.compare import compare_results, spurious_breakdown
+from ..analysis.insensitive import analyze_insensitive
+from ..analysis.sensitive import analyze_sensitive
+from ..analysis.stats import (
+    PATH_CATEGORIES,
+    REFERENT_CATEGORIES,
+    breakdown_percentages,
+    indirect_op_stats,
+    pair_breakdown,
+    pair_census,
+    program_sizes,
+    pruning_coverage,
+    structure_stats,
+)
+from ..errors import ReproError
+from ..ir.graph import Program
+from ..suite.adversarial import load_cs_wins
+from ..suite.registry import PROGRAM_NAMES, load_program
+from . import paper
+from .tables import render_table
+
+EXPERIMENT_IDS = ("fig2", "fig3", "fig4", "fig6", "fig7", "opt42",
+                  "perf43", "struct51", "gap")
+
+
+class SuiteRunner:
+    """Loads and analyzes suite programs once, caching everything."""
+
+    def __init__(self, names: Optional[Sequence[str]] = None) -> None:
+        self.names: List[str] = list(names) if names is not None \
+            else list(PROGRAM_NAMES)
+        self._programs: Dict[str, Program] = {}
+        self._ci: Dict[str, AnalysisResult] = {}
+        self._cs: Dict[str, AnalysisResult] = {}
+
+    def program(self, name: str) -> Program:
+        if name not in self._programs:
+            self._programs[name] = load_program(name)
+        return self._programs[name]
+
+    def ci(self, name: str) -> AnalysisResult:
+        if name not in self._ci:
+            self._ci[name] = analyze_insensitive(self.program(name))
+        return self._ci[name]
+
+    def cs(self, name: str) -> AnalysisResult:
+        if name not in self._cs:
+            self._cs[name] = analyze_sensitive(self.program(name),
+                                               ci_result=self.ci(name))
+        return self._cs[name]
+
+
+# ---------------------------------------------------------------------------
+# Figure 2: benchmark sizes
+# ---------------------------------------------------------------------------
+
+
+def fig2_rows(runner: SuiteRunner):
+    headers = ["name", "lines", "VDG nodes", "alias-related outputs"]
+    rows = []
+    for name in runner.names:
+        sizes = program_sizes(runner.program(name))
+        rows.append([name, sizes.source_lines, sizes.vdg_nodes,
+                     sizes.alias_related_outputs])
+    return headers, rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: total context-insensitive pairs by output type
+# ---------------------------------------------------------------------------
+
+
+def fig3_rows(runner: SuiteRunner):
+    headers = ["name", "pointer", "function", "aggregate", "store", "total"]
+    rows = []
+    totals = [0] * 5
+    for name in runner.names:
+        census = pair_census(runner.ci(name))
+        row = [name, census.pointer, census.function, census.aggregate,
+               census.store, census.total]
+        for i in range(5):
+            totals[i] += row[i + 1]
+        rows.append(row)
+    rows.append(["TOTAL"] + totals)
+    return headers, rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: indirect memory operation statistics
+# ---------------------------------------------------------------------------
+
+
+def fig4_rows(runner: SuiteRunner):
+    headers = ["name", "type", "total", "@1", "@2", "@3", "@4+",
+               "max", "avg"]
+    rows = []
+    totals = {"read": [0] * 6, "write": [0] * 6}
+    sums = {"read": 0, "write": 0}
+    maxes = {"read": 0, "write": 0}
+    for name in runner.names:
+        ci = runner.ci(name)
+        for kind in ("read", "write"):
+            stats = indirect_op_stats(ci, kind)
+            rows.append([name, kind, stats.total, stats.one, stats.two,
+                         stats.three, stats.four_plus,
+                         stats.max_locations, stats.avg])
+            bucket = totals[kind]
+            bucket[0] += stats.total
+            bucket[1] += stats.one
+            bucket[2] += stats.two
+            bucket[3] += stats.three
+            bucket[4] += stats.four_plus
+            sums[kind] += stats.sum_locations
+            maxes[kind] = max(maxes[kind], stats.max_locations)
+    for kind in ("read", "write"):
+        bucket = totals[kind]
+        avg = sums[kind] / bucket[0] if bucket[0] else 0.0
+        rows.append(["TOTAL", kind, bucket[0], bucket[1], bucket[2],
+                     bucket[3], bucket[4], maxes[kind], avg])
+    return headers, rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: context-sensitive pairs and percent spurious
+# ---------------------------------------------------------------------------
+
+
+def fig6_rows(runner: SuiteRunner):
+    headers = ["name", "pointer", "function", "aggregate", "store",
+               "total", "total (insens.)", "% spurious",
+               "indirect ops identical"]
+    rows = []
+    totals = [0] * 6
+    for name in runner.names:
+        report = compare_results(runner.ci(name), runner.cs(name))
+        census = report.cs_census
+        row = [name, census.pointer, census.function, census.aggregate,
+               census.store, census.total, report.total_insensitive,
+               report.percent_spurious,
+               report.indirect_ops_identical]
+        for i in range(6):
+            totals[i] += row[i + 1]
+        rows.append(row)
+    overall = (100.0 * (totals[5] - totals[4]) / totals[5]
+               if totals[5] else 0.0)
+    rows.append(["TOTAL"] + totals + [overall, None])
+    return headers, rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: pair breakdown by path x referent type
+# ---------------------------------------------------------------------------
+
+
+def fig7_rows(runner: SuiteRunner):
+    all_counts: Dict[Tuple[str, str], int] = {}
+    spurious_counts: Dict[Tuple[str, str], int] = {}
+    for name in runner.names:
+        ci, cs = runner.ci(name), runner.cs(name)
+        for key, count in pair_breakdown(ci).items():
+            all_counts[key] = all_counts.get(key, 0) + count
+        for key, count in spurious_breakdown(ci, cs).items():
+            spurious_counts[key] = spurious_counts.get(key, 0) + count
+    all_pct = breakdown_percentages(all_counts)
+    spurious_pct = breakdown_percentages(spurious_counts)
+    headers = (["path \\ referent"]
+               + [f"all:{r}" for r in REFERENT_CATEGORIES]
+               + [f"spurious:{r}" for r in REFERENT_CATEGORIES])
+    rows = []
+    for path_cat in PATH_CATEGORIES:
+        row: List = [path_cat]
+        for ref_cat in REFERENT_CATEGORIES:
+            row.append(all_pct.get((path_cat, ref_cat), 0.0))
+        for ref_cat in REFERENT_CATEGORIES:
+            row.append(spurious_pct.get((path_cat, ref_cat), 0.0))
+        rows.append(row)
+    return headers, rows
+
+
+# ---------------------------------------------------------------------------
+# §4.2: pruning coverage
+# ---------------------------------------------------------------------------
+
+
+def opt42_rows(runner: SuiteRunner):
+    headers = ["name", "indirect ops", "single-location",
+               "% single", "% reads needing assumptions",
+               "% writes needing assumptions"]
+    rows = []
+    agg_total = agg_single = 0
+    agg_reads = agg_reads_need = agg_writes = agg_writes_need = 0
+    for name in runner.names:
+        cov = pruning_coverage(runner.ci(name))
+        rows.append([name, cov.indirect_total, cov.single_location,
+                     100.0 * cov.single_location_fraction,
+                     100.0 * cov.reads_fraction,
+                     100.0 * cov.writes_fraction])
+        agg_total += cov.indirect_total
+        agg_single += cov.single_location
+        agg_reads += cov.reads_total
+        agg_reads_need += cov.reads_needing_assumptions
+        agg_writes += cov.writes_total
+        agg_writes_need += cov.writes_needing_assumptions
+    rows.append([
+        "TOTAL", agg_total, agg_single,
+        100.0 * agg_single / agg_total if agg_total else 0.0,
+        100.0 * agg_reads_need / agg_reads if agg_reads else 0.0,
+        100.0 * agg_writes_need / agg_writes if agg_writes else 0.0,
+    ])
+    return headers, rows
+
+
+# ---------------------------------------------------------------------------
+# §4.2/§4.3: cost of context-sensitivity
+# ---------------------------------------------------------------------------
+
+
+def perf_rows(runner: SuiteRunner):
+    headers = ["name", "CI transfers", "CS transfers", "transfer ratio",
+               "CI meets", "CS meets", "meet ratio",
+               "CI seconds", "CS seconds", "slowdown"]
+    rows = []
+    for name in runner.names:
+        ci, cs = runner.ci(name), runner.cs(name)
+        t_ratio = (cs.counters.transfers / ci.counters.transfers
+                   if ci.counters.transfers else 0.0)
+        m_ratio = (cs.counters.meets / ci.counters.meets
+                   if ci.counters.meets else 0.0)
+        slowdown = (cs.elapsed_seconds / ci.elapsed_seconds
+                    if ci.elapsed_seconds else 0.0)
+        rows.append([name, ci.counters.transfers, cs.counters.transfers,
+                     t_ratio, ci.counters.meets, cs.counters.meets,
+                     m_ratio, round(ci.elapsed_seconds, 4),
+                     round(cs.elapsed_seconds, 4), slowdown])
+    return headers, rows
+
+
+# ---------------------------------------------------------------------------
+# §5.1.2: benchmark structure (call-graph sparsity, pointer nesting)
+# ---------------------------------------------------------------------------
+
+
+def struct51_rows(runner: SuiteRunner):
+    headers = ["name", "procedures", "called", "call edges",
+               "avg callers", "% single caller", "pointer pairs",
+               "% multi-level"]
+    rows = []
+    agg_edges = agg_called = agg_single = 0
+    agg_pairs = agg_multi = 0
+    for name in runner.names:
+        stats = structure_stats(runner.ci(name))
+        rows.append([name, stats.procedures, stats.called_procedures,
+                     stats.call_edges, stats.avg_callers,
+                     100.0 * stats.single_caller_fraction,
+                     stats.value_pairs,
+                     100.0 * stats.multi_level_fraction])
+        agg_edges += stats.call_edges
+        agg_called += stats.called_procedures
+        agg_single += stats.single_caller
+        agg_pairs += stats.value_pairs
+        agg_multi += stats.multi_level_pairs
+    rows.append([
+        "TOTAL", None, agg_called, agg_edges,
+        agg_edges / agg_called if agg_called else 0.0,
+        100.0 * agg_single / agg_called if agg_called else 0.0,
+        agg_pairs,
+        100.0 * agg_multi / agg_pairs if agg_pairs else 0.0,
+    ])
+    return headers, rows
+
+
+# ---------------------------------------------------------------------------
+# §5 ablation: programs where context-sensitivity wins
+# ---------------------------------------------------------------------------
+
+
+def gap_rows(site_counts: Sequence[int] = (2, 4, 8, 16, 32)):
+    headers = ["call sites", "CI avg locations/deref",
+               "CS avg locations/deref", "CI spurious pairs",
+               "precision gap (x)"]
+    rows = []
+    for n in site_counts:
+        program = load_cs_wins(n)
+        ci = analyze_insensitive(program)
+        cs = analyze_sensitive(program, ci_result=ci)
+        report = compare_results(ci, cs)
+        ci_stats = indirect_op_stats(ci, "write")
+        cs_stats = indirect_op_stats(cs, "write")
+        gap = (ci_stats.avg / cs_stats.avg) if cs_stats.avg else 0.0
+        rows.append([n, ci_stats.avg, cs_stats.avg,
+                     report.spurious_pairs, gap])
+    return headers, rows
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+_TITLES = {
+    "fig2": "Figure 2: benchmark programs and their sizes",
+    "fig3": "Figure 3: total points-to pairs (context-insensitive)",
+    "fig4": "Figure 4: locations referenced by indirect reads/writes",
+    "fig6": "Figure 6: context-sensitive pairs and spurious fraction",
+    "fig7": "Figure 7: pairs by path type x referent type (percent)",
+    "opt42": "Section 4.2: CI-based pruning coverage",
+    "perf43": "Sections 4.2/4.3: cost of context-sensitivity",
+    "struct51": "Section 5.1.2: benchmark structure (call-graph "
+                "sparsity, pointer nesting)",
+    "gap": "Section 5 ablation: constructed programs where CS wins",
+}
+
+
+def experiment_rows(experiment_id: str,
+                    runner: Optional[SuiteRunner] = None):
+    """(headers, rows) for one experiment by id."""
+    if experiment_id not in EXPERIMENT_IDS:
+        raise ReproError(
+            f"unknown experiment {experiment_id!r}; expected one of "
+            f"{', '.join(EXPERIMENT_IDS)}")
+    if experiment_id == "gap":
+        return gap_rows()
+    if runner is None:
+        runner = SuiteRunner()
+    return {
+        "fig2": fig2_rows,
+        "fig3": fig3_rows,
+        "fig4": fig4_rows,
+        "fig6": fig6_rows,
+        "fig7": fig7_rows,
+        "opt42": opt42_rows,
+        "perf43": perf_rows,
+        "struct51": struct51_rows,
+    }[experiment_id](runner)
+
+
+def render_experiment(experiment_id: str,
+                      runner: Optional[SuiteRunner] = None) -> str:
+    """Run one experiment by id and render its table as plain text."""
+    headers, rows = experiment_rows(experiment_id, runner)
+    return render_table(headers, rows, title=_TITLES[experiment_id])
+
+
+def render_experiment_markdown(experiment_id: str,
+                               runner: Optional[SuiteRunner] = None) -> str:
+    """Run one experiment and render a markdown section."""
+    from .tables import render_markdown
+
+    headers, rows = experiment_rows(experiment_id, runner)
+    return (f"## {_TITLES[experiment_id]}\n\n"
+            + render_markdown(headers, rows))

@@ -1,0 +1,131 @@
+"""JSON export of analysis results.
+
+Serializes everything a downstream tool needs — per-output points-to
+sets, per-operation location sets, the call graph, counters, and the
+figure-level statistics — into plain JSON-compatible dictionaries.
+Paths and locations are rendered as stable strings (base-location
+``describe()`` plus access operators), so exports from two runs of the
+same program are directly diffable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from ..analysis.common import AnalysisResult
+from ..analysis.stats import indirect_op_stats, pair_census, program_sizes
+from ..ir.nodes import LookupNode, Node, OutputPort, UpdateNode
+from ..memory.access import AccessPath
+
+
+def path_to_string(path: AccessPath) -> str:
+    base = path.base.describe() if path.base is not None else "ε"
+    return base + "".join(repr(op) for op in path.ops)
+
+
+def _output_key(output: OutputPort) -> str:
+    node = output.node
+    return f"{node.graph.name}:{node.kind}#{node.uid}.{output.name}"
+
+
+def _node_key(node: Node) -> str:
+    return f"{node.graph.name}:{node.kind}#{node.uid}"
+
+
+def result_to_dict(result: AnalysisResult,
+                   include_pairs: bool = True) -> Dict[str, Any]:
+    """Serialize one analysis result."""
+    program = result.program
+    sizes = program_sizes(program)
+    census = pair_census(result)
+    payload: Dict[str, Any] = {
+        "program": program.name,
+        "flavor": result.flavor,
+        "sizes": {
+            "source_lines": sizes.source_lines,
+            "vdg_nodes": sizes.vdg_nodes,
+            "alias_related_outputs": sizes.alias_related_outputs,
+        },
+        "counters": result.counters.as_dict(),
+        "elapsed_seconds": result.elapsed_seconds,
+        "pair_census": {
+            "pointer": census.pointer,
+            "function": census.function,
+            "aggregate": census.aggregate,
+            "store": census.store,
+            "total": census.total,
+        },
+    }
+    payload["call_graph"] = sorted(
+        ({"call": _node_key(call), "callee": callee.name}
+         for call, callee in result.callgraph.edges()),
+        key=lambda e: (e["call"], e["callee"]))
+
+    for kind in ("read", "write"):
+        stats = indirect_op_stats(result, kind)
+        payload[f"indirect_{kind}s"] = {
+            "total": stats.total,
+            "at_1": stats.one,
+            "at_2": stats.two,
+            "at_3": stats.three,
+            "at_4_plus": stats.four_plus,
+            "at_0": stats.zero,
+            "max": stats.max_locations,
+            "avg": stats.avg,
+        }
+
+    operations: List[Dict[str, Any]] = []
+    for graph in program.functions.values():
+        for node in graph.memory_operations():
+            operations.append({
+                "op": _node_key(node),
+                "kind": "read" if isinstance(node, LookupNode) else "write",
+                "indirect": node.is_indirect,
+                "origin": node.origin,
+                "locations": sorted(path_to_string(p)
+                                    for p in result.op_locations(node)),
+            })
+    payload["memory_operations"] = sorted(operations,
+                                          key=lambda o: o["op"])
+
+    if include_pairs:
+        pairs: Dict[str, List[List[str]]] = {}
+        for output, pair_set in result.solution.items():
+            if not pair_set:
+                continue
+            pairs[_output_key(output)] = sorted(
+                [path_to_string(p.path), path_to_string(p.referent)]
+                for p in pair_set)
+        payload["pairs"] = dict(sorted(pairs.items()))
+    return payload
+
+
+def comparison_to_dict(report) -> Dict[str, Any]:
+    """Serialize a :class:`~repro.analysis.compare.ComparisonReport`."""
+    return {
+        "program": report.program_name,
+        "total_insensitive": report.total_insensitive,
+        "total_sensitive": report.total_sensitive,
+        "spurious_pairs": report.spurious_pairs,
+        "percent_spurious": report.percent_spurious,
+        "indirect_ops_identical": report.indirect_ops_identical,
+        "indirect_diffs": [
+            {
+                "op": _node_key(diff.node),
+                "origin": diff.node.origin,
+                "ci": sorted(path_to_string(p) for p in diff.ci_locations),
+                "cs": sorted(path_to_string(p) for p in diff.cs_locations),
+            }
+            for diff in report.indirect_diffs
+        ],
+    }
+
+
+def result_to_json(result: AnalysisResult, include_pairs: bool = True,
+                   **json_kwargs) -> str:
+    """Serialize to a JSON string (stable key order)."""
+    json_kwargs.setdefault("indent", 2)
+    json_kwargs.setdefault("sort_keys", False)
+    return json.dumps(result_to_dict(result, include_pairs),
+                      **json_kwargs)

@@ -1,0 +1,66 @@
+"""Plain-text table rendering for the experiment drivers."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def format_cell(cell: Cell, float_digits: int = 2) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        return f"{cell:.{float_digits}f}"
+    return str(cell)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Cell]],
+                 title: Optional[str] = None,
+                 float_digits: int = 2) -> str:
+    """Render a fixed-width table.
+
+    The first column is left-aligned (row labels); the rest are
+    right-aligned (numbers), matching the paper's figure layout.
+    """
+    text_rows: List[List[str]] = [
+        [format_cell(cell, float_digits) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            if i >= len(widths):
+                widths.append(len(cell))
+            else:
+                widths[i] = max(widths[i], len(cell))
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            width = widths[i] if i < len(widths) else len(cell)
+            parts.append(cell.ljust(width) if i == 0 else cell.rjust(width))
+        return "  ".join(parts).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_line(list(headers)))
+    lines.append(fmt_line(["-" * w for w in widths[:len(headers)]]))
+    for row in text_rows:
+        lines.append(fmt_line(row))
+    return "\n".join(lines)
+
+
+def render_markdown(headers: Sequence[str], rows: Sequence[Sequence[Cell]],
+                    float_digits: int = 2) -> str:
+    """Render the same data as a GitHub-flavored markdown table."""
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(cells) + " |"
+
+    out = [line(list(headers)),
+           line(["---"] + ["---:"] * (len(headers) - 1))]
+    for row in rows:
+        out.append(line([format_cell(c, float_digits) for c in row]))
+    return "\n".join(out)

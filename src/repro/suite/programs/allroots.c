@@ -1,0 +1,152 @@
+/* allroots -- find all real roots of a polynomial by recursive
+ * bisection over sign changes of the derivative chain.
+ *
+ * Pointer character (matching the original Landi benchmark): arrays of
+ * coefficients passed by pointer, output parameters for roots, and
+ * pointer walks over coefficient vectors.
+ */
+
+extern int printf(const char *fmt, ...);
+extern void *malloc(unsigned long n);
+extern double fabs(double x);
+
+#define MAXDEG 16
+#define MAXROOTS 64
+#define EPS 1e-9
+
+/* Evaluate a polynomial (degree n, coefficients c[0..n]) at x. */
+static double poly_eval(double *c, int n, double x)
+{
+    double acc = 0.0;
+    double *p = c + n;
+    int i;
+    for (i = n; i >= 0; i--) {
+        acc = acc * x + *p;
+        p--;
+    }
+    return acc;
+}
+
+/* Differentiate: write the derivative's coefficients into d. */
+static int poly_deriv(double *c, int n, double *d)
+{
+    int i;
+    for (i = 1; i <= n; i++)
+        d[i - 1] = c[i] * (double)i;
+    return n - 1;
+}
+
+/* Bisect a bracketing interval down to EPS; store the root through
+ * the output pointer and report success. */
+static int bisect(double *c, int n, double lo, double hi, double *root)
+{
+    double flo = poly_eval(c, n, lo);
+    double fhi = poly_eval(c, n, hi);
+    double mid, fmid;
+    int iter;
+
+    if (flo == 0.0) { *root = lo; return 1; }
+    if (fhi == 0.0) { *root = hi; return 1; }
+    if ((flo < 0.0) == (fhi < 0.0))
+        return 0;
+    for (iter = 0; iter < 200; iter++) {
+        mid = 0.5 * (lo + hi);
+        fmid = poly_eval(c, n, mid);
+        if (fabs(fmid) < EPS || hi - lo < EPS) {
+            *root = mid;
+            return 1;
+        }
+        if ((fmid < 0.0) == (flo < 0.0)) {
+            lo = mid;
+            flo = fmid;
+        } else {
+            hi = mid;
+        }
+    }
+    *root = 0.5 * (lo + hi);
+    return 1;
+}
+
+/* Find all roots of c (degree n) in [lo, hi], using the roots of the
+ * derivative as bracket boundaries.  Returns the number of roots
+ * appended through the roots pointer. */
+static int all_roots(double *c, int n, double lo, double hi,
+                     double *roots)
+{
+    double deriv[MAXDEG + 1];
+    double crit[MAXROOTS];
+    double bounds[MAXROOTS + 2];
+    int ncrit, nbounds, nroots, dn, i;
+    double r;
+
+    if (n <= 0)
+        return 0;
+    if (n == 1) {
+        if (fabs(c[1]) < EPS)
+            return 0;
+        r = -c[0] / c[1];
+        if (r >= lo && r <= hi) {
+            roots[0] = r;
+            return 1;
+        }
+        return 0;
+    }
+    dn = poly_deriv(c, n, deriv);
+    ncrit = all_roots(deriv, dn, lo, hi, crit);
+
+    bounds[0] = lo;
+    for (i = 0; i < ncrit; i++)
+        bounds[i + 1] = crit[i];
+    bounds[ncrit + 1] = hi;
+    nbounds = ncrit + 2;
+
+    nroots = 0;
+    for (i = 0; i + 1 < nbounds; i++) {
+        if (bisect(c, n, bounds[i], bounds[i + 1], &r)) {
+            if (nroots == 0 || fabs(roots[nroots - 1] - r) > EPS) {
+                roots[nroots] = r;
+                nroots++;
+            }
+        }
+    }
+    return nroots;
+}
+
+/* A small battery of test polynomials. */
+static double case1[4] = { -6.0, 11.0, -6.0, 1.0 };   /* (x-1)(x-2)(x-3) */
+static double case2[3] = { -2.0, 0.0, 1.0 };          /* x^2 - 2 */
+static double case3[5] = { 0.0, -1.0, 0.0, 1.0, 0.0 };/* x^3 - x (deg 4 pad) */
+
+static void report(const char *name, double *roots, int count)
+{
+    int i;
+    printf("%s: %d roots:", name, count);
+    for (i = 0; i < count; i++)
+        printf(" %f", roots[i]);
+    printf("\n");
+}
+
+/* Coefficients are staged into this working vector before each run,
+ * so the evaluator's pointer walks see at most the working vector and
+ * the derivative chain's (recursive-local) storage. */
+static double work[MAXDEG + 1];
+
+static int solve(const char *name, double *source, int degree)
+{
+    double roots[MAXROOTS];
+    int count, i;
+    for (i = 0; i <= degree; i++)
+        work[i] = source[i];
+    count = all_roots(work, degree, -10.0, 10.0, roots);
+    report(name, roots, count);
+    return count;
+}
+
+int main(void)
+{
+    int total = 0;
+    total += solve("case1", case1, 3);  /* roots 1, 2, 3       */
+    total += solve("case2", case2, 2);  /* roots ±sqrt(2)      */
+    total += solve("case3", case3, 3);  /* roots -1, 0, 1      */
+    return total == 8 ? 0 : 1;
+}

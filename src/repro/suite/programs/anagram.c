@@ -1,0 +1,144 @@
+/* anagram -- group a word list into anagram classes.
+ *
+ * Pointer character (after the Landi original): char* heavy — a static
+ * dictionary of string literals, heap-copied words, letter-count
+ * signatures, and a linked list of anagram classes each carrying a
+ * list of member words.
+ */
+
+extern void *malloc(unsigned long n);
+extern int printf(const char *fmt, ...);
+extern unsigned long strlen(const char *s);
+extern int strcmp(const char *a, const char *b);
+extern char *strcpy(char *dst, const char *src);
+
+#define ALPHA 26
+
+struct word {
+    char *text;
+    struct word *next;
+};
+
+struct class {
+    int counts[ALPHA];
+    struct word *members;
+    int size;
+    struct class *next;
+};
+
+static struct class *classes;
+
+static char *dictionary[] = {
+    "listen", "silent", "enlist", "tinsel",
+    "rat", "tar", "art",
+    "stone", "tones", "notes", "onset",
+    "pale", "leap", "peal", "plea",
+    "spot",
+};
+
+#define NWORDS (sizeof(dictionary) / sizeof(dictionary[0]))
+
+/* Copy a word into the heap (one site for all word text). */
+static char *save_text(const char *s)
+{
+    char *copy = malloc(strlen(s) + 1);
+    strcpy(copy, s);
+    return copy;
+}
+
+/* Letter-count signature of a word, written through the out array. */
+static void signature(const char *s, int *counts)
+{
+    int i;
+    const char *p;
+    for (i = 0; i < ALPHA; i++)
+        counts[i] = 0;
+    for (p = s; *p; p++) {
+        int c = *p - 'a';
+        if (c >= 0 && c < ALPHA)
+            counts[c] = counts[c] + 1;
+    }
+}
+
+static int same_signature(int *a, int *b)
+{
+    int i;
+    for (i = 0; i < ALPHA; i++)
+        if (a[i] != b[i])
+            return 0;
+    return 1;
+}
+
+/* Find the class with this signature, or create one. */
+static struct class *find_class(int *counts)
+{
+    struct class *c;
+    int i;
+    for (c = classes; c; c = c->next)
+        if (same_signature(c->counts, counts))
+            return c;
+    c = malloc(sizeof(struct class));
+    for (i = 0; i < ALPHA; i++)
+        c->counts[i] = counts[i];
+    c->members = 0;
+    c->size = 0;
+    c->next = classes;
+    classes = c;
+    return c;
+}
+
+static void add_word(struct class *c, char *text)
+{
+    struct word *w = malloc(sizeof(struct word));
+    w->text = text;
+    w->next = c->members;
+    c->members = w;
+    c->size = c->size + 1;
+}
+
+/* A class summary returned by value: an aggregate carrying pointers
+ * flows through the call as a first-class value. */
+struct summary {
+    char *longest;
+    int members;
+};
+
+static struct summary summarize(struct class *c)
+{
+    struct summary s;
+    struct word *w;
+    s.longest = 0;
+    s.members = c->size;
+    for (w = c->members; w; w = w->next)
+        if (!s.longest || strlen(w->text) > strlen(s.longest))
+            s.longest = w->text;
+    return s;
+}
+
+int main(void)
+{
+    unsigned long i;
+    int sig[ALPHA];
+    struct class *c;
+    int groups = 0;
+
+    classes = 0;
+    for (i = 0; i < NWORDS; i++) {
+        char *text = save_text(dictionary[i]);
+        signature(text, sig);
+        add_word(find_class(sig), text);
+    }
+    for (c = classes; c; c = c->next) {
+        if (c->size > 1) {
+            struct summary s = summarize(c);
+            struct word *w;
+            groups = groups + 1;
+            printf("class of %d (longest %s):", s.members, s.longest);
+            for (w = c->members; w; w = w->next)
+                printf(" %s", w->text);
+            printf("\n");
+        }
+    }
+    printf("%d anagram groups\n", groups);
+    return 0;
+}

@@ -1,0 +1,378 @@
+/* assembler -- a two-pass assembler for a toy accumulator machine.
+ *
+ * Pointer character (after the Landi original): a chained-hash symbol
+ * table, a linked list of parsed statements, char* scanning over
+ * source lines, and an emitter whose segment pointer selects between
+ * the text and data segments (a genuine multi-target indirect write,
+ * of the kind Figure 4's >1-location columns count).
+ */
+
+extern void *malloc(unsigned long n);
+extern int printf(const char *fmt, ...);
+extern int strcmp(const char *a, const char *b);
+extern char *strcpy(char *dst, const char *src);
+extern unsigned long strlen(const char *s);
+
+#define HASH_SIZE 32
+#define MAXNAME 16
+#define SEG_SIZE 128
+
+/* Opcodes. */
+#define OP_LOAD 1
+#define OP_STORE 2
+#define OP_ADD 3
+#define OP_SUB 4
+#define OP_JMP 5
+#define OP_JZ 6
+#define OP_HALT 7
+#define OP_WORD 8   /* pseudo-op: reserve a data word */
+#define OP_LABEL 9  /* pseudo-op: define a label */
+
+struct symbol {
+    char name[MAXNAME];
+    int value;
+    int defined;
+    struct symbol *next;
+};
+
+struct statement {
+    int opcode;
+    char operand[MAXNAME];
+    int has_operand;
+    int address;
+    struct statement *next;
+};
+
+static struct symbol *hash_table[HASH_SIZE];
+static struct statement *program_head;
+static struct statement *program_tail;
+
+static int text_segment[SEG_SIZE];
+static int data_segment[SEG_SIZE];
+static int text_cursor;
+static int data_cursor;
+
+/* -- symbol table ------------------------------------------------------ */
+
+static int hash_name(const char *name)
+{
+    int h = 0;
+    const char *p;
+    for (p = name; *p; p++)
+        h = (h * 31 + *p) & (HASH_SIZE - 1);
+    return h;
+}
+
+static struct symbol *sym_lookup(const char *name)
+{
+    struct symbol *s;
+    for (s = hash_table[hash_name(name)]; s; s = s->next)
+        if (strcmp(s->name, name) == 0)
+            return s;
+    return 0;
+}
+
+static struct symbol *sym_enter(const char *name)
+{
+    struct symbol *s = sym_lookup(name);
+    int h;
+    if (s)
+        return s;
+    s = malloc(sizeof(struct symbol));
+    strcpy(s->name, name);
+    s->value = 0;
+    s->defined = 0;
+    h = hash_name(name);
+    s->next = hash_table[h];
+    hash_table[h] = s;
+    return s;
+}
+
+static void sym_define(const char *name, int value)
+{
+    struct symbol *s = sym_enter(name);
+    s->value = value;
+    s->defined = 1;
+}
+
+/* -- source scanning ---------------------------------------------------- */
+
+static char *source_lines[] = {
+    "start:  load  count",
+    "loop:   add   step",
+    "        store count",
+    "        sub   limit",
+    "        jz    done",
+    "        jmp   loop",
+    "done:   halt",
+    "count:  word  0",
+    "step:   word  2",
+    "limit:  word  10",
+};
+
+#define NLINES (sizeof(source_lines) / sizeof(source_lines[0]))
+
+struct mnemonic {
+    char *name;
+    int opcode;
+    int wants_operand;
+};
+
+static struct mnemonic mnemonics[] = {
+    { "load", OP_LOAD, 1 },
+    { "store", OP_STORE, 1 },
+    { "add", OP_ADD, 1 },
+    { "sub", OP_SUB, 1 },
+    { "jmp", OP_JMP, 1 },
+    { "jz", OP_JZ, 1 },
+    { "halt", OP_HALT, 0 },
+    { "word", OP_WORD, 1 },
+};
+
+#define NMNEMONICS (sizeof(mnemonics) / sizeof(mnemonics[0]))
+
+static char *skip_blanks(char *p)
+{
+    while (*p == ' ' || *p == '\t')
+        p++;
+    return p;
+}
+
+/* Copy one word (identifier/number) into buf; returns the new cursor. */
+static char *scan_word(char *p, char *buf)
+{
+    int n = 0;
+    while (*p && *p != ' ' && *p != '\t' && *p != ':' && n < MAXNAME - 1) {
+        buf[n] = *p;
+        n = n + 1;
+        p++;
+    }
+    buf[n] = '\0';
+    return p;
+}
+
+static int find_opcode(const char *name)
+{
+    unsigned long i;
+    for (i = 0; i < NMNEMONICS; i++)
+        if (strcmp(mnemonics[i].name, name) == 0)
+            return (int)i;
+    return -1;
+}
+
+/* Parse one line into zero, one, or two statements (label + op). */
+static void parse_line(char *line)
+{
+    char word[MAXNAME];
+    char *p = skip_blanks(line);
+    struct statement *st;
+    int m;
+
+    if (*p == '\0')
+        return;
+    p = scan_word(p, word);
+    if (*p == ':') {
+        p++;
+        st = malloc(sizeof(struct statement));
+        st->opcode = OP_LABEL;
+        strcpy(st->operand, word);
+        st->has_operand = 1;
+        st->address = 0;
+        st->next = 0;
+        if (program_tail)
+            program_tail->next = st;
+        else
+            program_head = st;
+        program_tail = st;
+        p = skip_blanks(p);
+        if (*p == '\0')
+            return;
+        p = scan_word(p, word);
+    }
+    m = find_opcode(word);
+    if (m < 0) {
+        printf("bad mnemonic: %s\n", word);
+        return;
+    }
+    st = malloc(sizeof(struct statement));
+    st->opcode = mnemonics[m].opcode;
+    st->has_operand = mnemonics[m].wants_operand;
+    st->operand[0] = '\0';
+    st->address = 0;
+    st->next = 0;
+    if (st->has_operand) {
+        p = skip_blanks(p);
+        scan_word(p, st->operand);
+    }
+    if (program_tail)
+        program_tail->next = st;
+    else
+        program_head = st;
+    program_tail = st;
+}
+
+/* -- pass 1: assign addresses, define labels ----------------------------- */
+
+static void pass1(void)
+{
+    struct statement *st;
+    int text_pc = 0;
+    int data_pc = 0;
+    for (st = program_head; st; st = st->next) {
+        if (st->opcode == OP_LABEL) {
+            /* A label binds to whichever segment the next real
+             * statement lands in; peek ahead. */
+            struct statement *peek = st->next;
+            while (peek && peek->opcode == OP_LABEL)
+                peek = peek->next;
+            if (peek && peek->opcode == OP_WORD)
+                sym_define(st->operand, data_pc);
+            else
+                sym_define(st->operand, text_pc);
+        } else if (st->opcode == OP_WORD) {
+            st->address = data_pc;
+            data_pc = data_pc + 1;
+        } else {
+            st->address = text_pc;
+            text_pc = text_pc + 1;
+        }
+    }
+}
+
+/* -- pass 2: emit ---------------------------------------------------------- */
+
+/* The emitter: seg points at either text_segment or data_segment, and
+ * cursor at the matching cursor variable — the multi-target writes. */
+static void emit(int *seg, int *cursor, int value)
+{
+    seg[*cursor] = value;
+    *cursor = *cursor + 1;
+}
+
+static int operand_value(struct statement *st)
+{
+    struct symbol *s;
+    char *p = st->operand;
+    int numeric = 1;
+    int value = 0;
+    while (*p) {
+        if (*p < '0' || *p > '9') {
+            numeric = 0;
+            break;
+        }
+        value = value * 10 + (*p - '0');
+        p++;
+    }
+    if (numeric && st->operand[0])
+        return value;
+    s = sym_lookup(st->operand);
+    if (!s || !s->defined) {
+        printf("undefined symbol: %s\n", st->operand);
+        return 0;
+    }
+    return s->value;
+}
+
+static void pass2(void)
+{
+    struct statement *st;
+    for (st = program_head; st; st = st->next) {
+        int *seg;
+        int *cursor;
+        if (st->opcode == OP_LABEL)
+            continue;
+        if (st->opcode == OP_WORD) {
+            seg = data_segment;
+            cursor = &data_cursor;
+        } else {
+            seg = text_segment;
+            cursor = &text_cursor;
+        }
+        if (st->opcode == OP_WORD) {
+            emit(seg, cursor, operand_value(st));
+        } else {
+            int word = st->opcode << 8;
+            if (st->has_operand)
+                word = word | (operand_value(st) & 0xff);
+            emit(seg, cursor, word);
+        }
+    }
+}
+
+/* -- a tiny interpreter to check the output -------------------------------- */
+
+static int run_program(void)
+{
+    int acc = 0;
+    int pc = 0;
+    int steps = 0;
+    while (pc < text_cursor && steps < 1000) {
+        int word = text_segment[pc];
+        int op = word >> 8;
+        int arg = word & 0xff;
+        steps = steps + 1;
+        pc = pc + 1;
+        switch (op) {
+        case OP_LOAD:
+            acc = data_segment[arg];
+            break;
+        case OP_STORE:
+            data_segment[arg] = acc;
+            break;
+        case OP_ADD:
+            acc = acc + data_segment[arg];
+            break;
+        case OP_SUB:
+            acc = acc - data_segment[arg];
+            break;
+        case OP_JMP:
+            pc = arg;
+            break;
+        case OP_JZ:
+            if (acc == 0)
+                pc = arg;
+            break;
+        case OP_HALT:
+            return acc;
+        default:
+            printf("bad opcode %d\n", op);
+            return -1;
+        }
+    }
+    return acc;
+}
+
+/* Each source line is staged into this buffer before parsing, so the
+ * scanner's dereferences hit one abstract location. */
+static char line_buffer[64];
+
+int main(void)
+{
+    unsigned long i;
+    int result;
+
+    program_head = 0;
+    program_tail = 0;
+    for (i = 0; i < HASH_SIZE; i++)
+        hash_table[i] = 0;
+
+    for (i = 0; i < NLINES; i++) {
+        strcpy(line_buffer, source_lines[i]);
+        parse_line(line_buffer);
+    }
+    pass1();
+    pass2();
+    result = run_program();
+    printf("assembled %d text words, %d data words; run => %d\n",
+           text_cursor, data_cursor, result);
+
+    /* Listing: every statement with its assigned address. */
+    {
+        struct statement *st;
+        for (st = program_head; st; st = st->next)
+            if (st->opcode != OP_LABEL)
+                printf("  %2d: op=%d %s\n", st->address, st->opcode,
+                       st->operand);
+    }
+    return 0;
+}

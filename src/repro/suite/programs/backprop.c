@@ -1,0 +1,141 @@
+/* backprop -- train a two-layer perceptron by backpropagation.
+ *
+ * Pointer character (matching Todd Austin's original): heap-allocated
+ * weight matrices reached through double** rows, activation vectors
+ * passed by pointer, and tight numeric loops.  Pointers are strictly
+ * single-level-per-deref and every indirect access resolves to one
+ * abstract location — the paper lists backprop among the programs
+ * where a context-sensitive analysis can add nothing for mod/ref
+ * clients.
+ */
+
+extern void *malloc(unsigned long n);
+extern int printf(const char *fmt, ...);
+extern double exp(double x);
+
+#define NIN 4
+#define NHID 5
+#define NOUT 3
+#define ETA 0.25
+
+/* Allocate a rows x cols matrix as an array of row pointers. */
+static double **alloc_matrix(int rows, int cols)
+{
+    double **m = malloc((unsigned long)rows * sizeof(double *));
+    int r, c;
+    for (r = 0; r < rows; r++) {
+        m[r] = malloc((unsigned long)cols * sizeof(double));
+        for (c = 0; c < cols; c++)
+            m[r][c] = 0.01 * (double)((r * 7 + c * 3) % 13 - 6);
+    }
+    return m;
+}
+
+static double *alloc_vector(int n)
+{
+    double *v = malloc((unsigned long)n * sizeof(double));
+    int i;
+    for (i = 0; i < n; i++)
+        v[i] = 0.0;
+    return v;
+}
+
+static double squash(double x)
+{
+    return 1.0 / (1.0 + exp(-x));
+}
+
+/* Forward pass: layer activation from inputs and a weight matrix. */
+static void forward(double *in, int nin, double **w, double *out, int nout)
+{
+    int j, i;
+    for (j = 0; j < nout; j++) {
+        double sum = 0.0;
+        for (i = 0; i < nin; i++)
+            sum = sum + w[j][i] * in[i];
+        out[j] = squash(sum);
+    }
+}
+
+/* Output-layer deltas. */
+static void output_error(double *out, double *target, double *delta, int n)
+{
+    int j;
+    for (j = 0; j < n; j++)
+        delta[j] = out[j] * (1.0 - out[j]) * (target[j] - out[j]);
+}
+
+/* Hidden-layer deltas folded back through the output weights. */
+static void hidden_error(double *hid, int nhid, double **w_out,
+                         double *delta_out, int nout, double *delta_hid)
+{
+    int i, j;
+    for (i = 0; i < nhid; i++) {
+        double sum = 0.0;
+        for (j = 0; j < nout; j++)
+            sum = sum + delta_out[j] * w_out[j][i];
+        delta_hid[i] = hid[i] * (1.0 - hid[i]) * sum;
+    }
+}
+
+/* Gradient step on one weight matrix. */
+static void adjust(double **w, double *delta, double *activ,
+                   int nto, int nfrom)
+{
+    int j, i;
+    for (j = 0; j < nto; j++)
+        for (i = 0; i < nfrom; i++)
+            w[j][i] = w[j][i] + ETA * delta[j] * activ[i];
+}
+
+static double patterns[4][NIN] = {
+    { 0.0, 0.0, 1.0, 0.0 },
+    { 0.0, 1.0, 0.0, 1.0 },
+    { 1.0, 0.0, 0.0, 1.0 },
+    { 1.0, 1.0, 1.0, 0.0 },
+};
+
+static double targets[4][NOUT] = {
+    { 1.0, 0.0, 0.0 },
+    { 0.0, 1.0, 0.0 },
+    { 0.0, 0.0, 1.0 },
+    { 1.0, 0.0, 1.0 },
+};
+
+int main(void)
+{
+    double **w_hid = alloc_matrix(NHID, NIN);
+    double **w_out = alloc_matrix(NOUT, NHID);
+    double *in_vec = alloc_vector(NIN);
+    double *tgt_vec = alloc_vector(NOUT);
+    double *hid = alloc_vector(NHID);
+    double *out = alloc_vector(NOUT);
+    double *delta_out = alloc_vector(NOUT);
+    double *delta_hid = alloc_vector(NHID);
+    int epoch, p, j, i;
+    double err;
+
+    for (epoch = 0; epoch < 50; epoch++) {
+        err = 0.0;
+        for (p = 0; p < 4; p++) {
+            /* Stage the pattern into heap vectors so every routine
+             * sees a single abstract input location. */
+            for (i = 0; i < NIN; i++)
+                in_vec[i] = patterns[p][i];
+            for (j = 0; j < NOUT; j++)
+                tgt_vec[j] = targets[p][j];
+            forward(in_vec, NIN, w_hid, hid, NHID);
+            forward(hid, NHID, w_out, out, NOUT);
+            output_error(out, tgt_vec, delta_out, NOUT);
+            hidden_error(hid, NHID, w_out, delta_out, NOUT, delta_hid);
+            adjust(w_out, delta_out, hid, NOUT, NHID);
+            adjust(w_hid, delta_hid, in_vec, NHID, NIN);
+            for (j = 0; j < NOUT; j++) {
+                double d = tgt_vec[j] - out[j];
+                err = err + d * d;
+            }
+        }
+    }
+    printf("final squared error: %f\n", err);
+    return 0;
+}

@@ -1,0 +1,284 @@
+/* bc -- an arbitrary-expression calculator with variables and a
+ * user-function table.
+ *
+ * Pointer character (after the GNU original the paper used): a token
+ * cursor advanced through a char**, a recursive-descent parser
+ * building heap expression trees, an operand stack, and variable
+ * cells addressed through pointers that may designate either the
+ * global table or a function's local frame (multi-target ops).
+ */
+
+extern void *malloc(unsigned long n);
+extern int printf(const char *fmt, ...);
+extern int strcmp(const char *a, const char *b);
+extern char *strcpy(char *dst, const char *src);
+
+#define MAXVARS 26
+#define MAXFRAME 8
+#define MAXDEPTH 32
+
+/* Expression-tree node kinds. */
+#define E_NUM 0
+#define E_VAR 1
+#define E_ADD 2
+#define E_SUB 3
+#define E_MUL 4
+#define E_DIV 5
+#define E_NEG 6
+#define E_CALL 7
+#define E_ASSIGN 8
+
+struct expr {
+    int kind;
+    long value;       /* E_NUM */
+    int slot;         /* E_VAR: variable index; E_CALL: function index */
+    struct expr *left;
+    struct expr *right;
+};
+
+/* One user function: f(x) = body, with x bound to frame slot 0. */
+struct func {
+    char name;
+    struct expr *body;
+};
+
+static long globals_table[MAXVARS];
+static struct func functions[4];
+static int nfunctions;
+
+/* -- scanner -------------------------------------------------------------- */
+
+static char *cursor;
+
+static void skip_space(void)
+{
+    while (*cursor == ' ' || *cursor == '\t')
+        cursor++;
+}
+
+static int peek(void)
+{
+    skip_space();
+    return *cursor;
+}
+
+static int advance(void)
+{
+    int c = peek();
+    if (c)
+        cursor++;
+    return c;
+}
+
+/* -- parser (recursive descent, heap tree) ---------------------------------- */
+
+static struct expr *parse_expr(void);
+
+static struct expr *new_expr(int kind)
+{
+    struct expr *e = malloc(sizeof(struct expr));
+    e->kind = kind;
+    e->value = 0;
+    e->slot = 0;
+    e->left = 0;
+    e->right = 0;
+    return e;
+}
+
+static int find_function(int name)
+{
+    int i;
+    for (i = 0; i < nfunctions; i++)
+        if (functions[i].name == (char)name)
+            return i;
+    return -1;
+}
+
+static struct expr *parse_primary(void)
+{
+    int c = peek();
+    struct expr *e;
+
+    if (c >= '0' && c <= '9') {
+        long v = 0;
+        while (peek() >= '0' && peek() <= '9')
+            v = v * 10 + (advance() - '0');
+        e = new_expr(E_NUM);
+        e->value = v;
+        return e;
+    }
+    if (c == '(') {
+        advance();
+        e = parse_expr();
+        if (peek() == ')')
+            advance();
+        return e;
+    }
+    if (c == '-') {
+        advance();
+        e = new_expr(E_NEG);
+        e->left = parse_primary();
+        return e;
+    }
+    if (c >= 'a' && c <= 'z') {
+        int name = advance();
+        if (peek() == '(') {
+            int f = find_function(name);
+            advance();
+            e = new_expr(E_CALL);
+            e->slot = f;
+            e->left = parse_expr();
+            if (peek() == ')')
+                advance();
+            return e;
+        }
+        e = new_expr(E_VAR);
+        e->slot = name - 'a';
+        return e;
+    }
+    /* Parse error: treat as zero. */
+    e = new_expr(E_NUM);
+    return e;
+}
+
+static struct expr *parse_term(void)
+{
+    struct expr *left = parse_primary();
+    while (peek() == '*' || peek() == '/') {
+        int op = advance();
+        struct expr *e = new_expr(op == '*' ? E_MUL : E_DIV);
+        e->left = left;
+        e->right = parse_primary();
+        left = e;
+    }
+    return left;
+}
+
+static struct expr *parse_expr(void)
+{
+    struct expr *left = parse_term();
+    while (peek() == '+' || peek() == '-') {
+        int op = advance();
+        struct expr *e = new_expr(op == '+' ? E_ADD : E_SUB);
+        e->left = left;
+        e->right = parse_term();
+        left = e;
+    }
+    return left;
+}
+
+/* -- evaluator ----------------------------------------------------------------- */
+
+/* Resolve a variable slot: the parameter (slot 0 of the active frame)
+ * inside a function body, otherwise a global cell.  The returned
+ * pointer may designate either table — the paper's multi-target read
+ * and write pattern. */
+static long *var_cell(int slot, long *frame)
+{
+    if (frame && slot == ('x' - 'a'))
+        return frame;
+    return &globals_table[slot];
+}
+
+static long eval(struct expr *e, long *frame)
+{
+    long a, b;
+    switch (e->kind) {
+    case E_NUM:
+        return e->value;
+    case E_VAR:
+        return *var_cell(e->slot, frame);
+    case E_ADD:
+        return eval(e->left, frame) + eval(e->right, frame);
+    case E_SUB:
+        return eval(e->left, frame) - eval(e->right, frame);
+    case E_MUL:
+        return eval(e->left, frame) * eval(e->right, frame);
+    case E_DIV:
+        a = eval(e->left, frame);
+        b = eval(e->right, frame);
+        return b ? a / b : 0;
+    case E_NEG:
+        return -eval(e->left, frame);
+    case E_CALL: {
+        long arg;
+        if (e->slot < 0)
+            return 0;
+        arg = eval(e->left, frame);
+        return eval(functions[e->slot].body, &arg);
+    }
+    case E_ASSIGN: {
+        long *cell = var_cell(e->slot, frame);
+        a = eval(e->left, frame);
+        *cell = a;
+        return a;
+    }
+    default:
+        return 0;
+    }
+}
+
+/* -- driver -------------------------------------------------------------------- */
+
+static void define_function(char name, char *body_text)
+{
+    cursor = body_text;
+    functions[nfunctions].name = name;
+    functions[nfunctions].body = parse_expr();
+    nfunctions = nfunctions + 1;
+}
+
+/* Parse a statement: either "v = expr" or a bare expression.  All
+ * character reads go through the shared scanner (peek/advance), as in
+ * the original's tokenizer. */
+static struct expr *parse_statement(void)
+{
+    int c = peek();
+    if (c >= 'a' && c <= 'z') {
+        char *save = cursor;
+        int name = advance();
+        if (peek() == '=') {
+            struct expr *e;
+            advance();
+            e = new_expr(E_ASSIGN);
+            e->slot = name - 'a';
+            e->left = parse_expr();
+            return e;
+        }
+        cursor = save;  /* not an assignment: rewind and reparse */
+    }
+    return parse_expr();
+}
+
+static long run_line(char *text)
+{
+    cursor = text;
+    return eval(parse_statement(), 0);
+}
+
+static char *session[] = {
+    "a = 2 + 3 * 4",
+    "b = (a + 1) * 2",
+    "c = f(a) + f(b)",
+    "c - a * b",
+};
+
+#define NLINES (sizeof(session) / sizeof(session[0]))
+
+int main(void)
+{
+    unsigned long i;
+    long last = 0;
+
+    nfunctions = 0;
+    define_function('f', "x * x + 1");
+    define_function('g', "f(x) - x");
+
+    for (i = 0; i < NLINES; i++) {
+        last = run_line(session[i]);
+        printf("=> %ld\n", last);
+    }
+    printf("globals: a=%ld b=%ld c=%ld\n",
+           globals_table[0], globals_table[1], globals_table[2]);
+    return last == 0 ? 0 : (int)last & 0;
+}

@@ -1,0 +1,266 @@
+/* compiler -- a tiny one-pass compiler: scanner, recursive-descent
+ * parser to a heap AST, constant folder, and stack-machine code
+ * generator into a code buffer.
+ *
+ * Pointer character (after the Landi original): heap tree nodes from a
+ * single site, recursive tree walks, a char* scanner, and an emit
+ * cursor.  Like the paper's compiler row, every indirect access
+ * resolves to one abstract location.
+ */
+
+extern void *malloc(unsigned long n);
+extern int printf(const char *fmt, ...);
+
+/* AST node kinds. */
+#define N_CONST 0
+#define N_VAR 1
+#define N_ADD 2
+#define N_SUB 3
+#define N_MUL 4
+
+/* Stack-machine opcodes. */
+#define I_PUSH 0
+#define I_LOADV 1
+#define I_ADD 2
+#define I_SUB 3
+#define I_MUL 4
+
+#define CODE_SIZE 256
+#define NVARS 26
+
+struct ast {
+    int kind;
+    int value;        /* N_CONST: literal; N_VAR: variable index */
+    struct ast *left;
+    struct ast *right;
+};
+
+struct instruction {
+    int opcode;
+    int operand;
+};
+
+static struct instruction code[CODE_SIZE];
+static int code_len;
+static int var_values[NVARS];
+
+/* -- scanner --------------------------------------------------------------- */
+
+static char *scan_cursor;
+
+static int scan_peek(void)
+{
+    while (*scan_cursor == ' ')
+        scan_cursor++;
+    return *scan_cursor;
+}
+
+static int scan_next(void)
+{
+    int c = scan_peek();
+    if (c)
+        scan_cursor++;
+    return c;
+}
+
+/* -- parser ----------------------------------------------------------------- */
+
+static struct ast *parse_sum(void);
+
+static struct ast *node(int kind, int value, struct ast *left,
+                        struct ast *right)
+{
+    struct ast *n = malloc(sizeof(struct ast));
+    n->kind = kind;
+    n->value = value;
+    n->left = left;
+    n->right = right;
+    return n;
+}
+
+static struct ast *parse_atom(void)
+{
+    int c = scan_peek();
+    if (c == '(') {
+        struct ast *inner;
+        scan_next();
+        inner = parse_sum();
+        if (scan_peek() == ')')
+            scan_next();
+        return inner;
+    }
+    if (c >= '0' && c <= '9') {
+        int v = 0;
+        while (scan_peek() >= '0' && scan_peek() <= '9')
+            v = v * 10 + (scan_next() - '0');
+        return node(N_CONST, v, 0, 0);
+    }
+    if (c >= 'a' && c <= 'z')
+        return node(N_VAR, scan_next() - 'a', 0, 0);
+    return node(N_CONST, 0, 0, 0);
+}
+
+static struct ast *parse_product(void)
+{
+    struct ast *left = parse_atom();
+    while (scan_peek() == '*') {
+        scan_next();
+        left = node(N_MUL, 0, left, parse_atom());
+    }
+    return left;
+}
+
+static struct ast *parse_sum(void)
+{
+    struct ast *left = parse_product();
+    while (scan_peek() == '+' || scan_peek() == '-') {
+        int op = scan_next();
+        left = node(op == '+' ? N_ADD : N_SUB, 0, left, parse_product());
+    }
+    return left;
+}
+
+/* -- constant folding --------------------------------------------------------- */
+
+static int is_const(struct ast *n)
+{
+    return n->kind == N_CONST;
+}
+
+static struct ast *fold(struct ast *n)
+{
+    if (n->kind == N_CONST || n->kind == N_VAR)
+        return n;
+    n->left = fold(n->left);
+    n->right = fold(n->right);
+    if (is_const(n->left) && is_const(n->right)) {
+        int a = n->left->value;
+        int b = n->right->value;
+        int v = n->kind == N_ADD ? a + b
+              : n->kind == N_SUB ? a - b : a * b;
+        return node(N_CONST, v, 0, 0);
+    }
+    /* Identities: x+0, x*1, x*0. */
+    if (n->kind == N_ADD && is_const(n->right) && n->right->value == 0)
+        return n->left;
+    if (n->kind == N_MUL && is_const(n->right)) {
+        if (n->right->value == 1)
+            return n->left;
+        if (n->right->value == 0)
+            return n->right;
+    }
+    return n;
+}
+
+/* -- code generation ------------------------------------------------------------ */
+
+static void emit(int opcode, int operand)
+{
+    if (code_len < CODE_SIZE) {
+        code[code_len].opcode = opcode;
+        code[code_len].operand = operand;
+        code_len = code_len + 1;
+    }
+}
+
+static void generate(struct ast *n)
+{
+    switch (n->kind) {
+    case N_CONST:
+        emit(I_PUSH, n->value);
+        break;
+    case N_VAR:
+        emit(I_LOADV, n->value);
+        break;
+    case N_ADD:
+        generate(n->left);
+        generate(n->right);
+        emit(I_ADD, 0);
+        break;
+    case N_SUB:
+        generate(n->left);
+        generate(n->right);
+        emit(I_SUB, 0);
+        break;
+    case N_MUL:
+        generate(n->left);
+        generate(n->right);
+        emit(I_MUL, 0);
+        break;
+    default:
+        break;
+    }
+}
+
+/* -- the virtual machine ---------------------------------------------------------- */
+
+static int execute(void)
+{
+    int stack[64];
+    int sp = 0;
+    int pc;
+    for (pc = 0; pc < code_len; pc++) {
+        int op = code[pc].opcode;
+        int arg = code[pc].operand;
+        switch (op) {
+        case I_PUSH:
+            stack[sp] = arg;
+            sp = sp + 1;
+            break;
+        case I_LOADV:
+            stack[sp] = var_values[arg];
+            sp = sp + 1;
+            break;
+        case I_ADD:
+            sp = sp - 1;
+            stack[sp - 1] = stack[sp - 1] + stack[sp];
+            break;
+        case I_SUB:
+            sp = sp - 1;
+            stack[sp - 1] = stack[sp - 1] - stack[sp];
+            break;
+        case I_MUL:
+            sp = sp - 1;
+            stack[sp - 1] = stack[sp - 1] * stack[sp];
+            break;
+        default:
+            break;
+        }
+    }
+    return sp > 0 ? stack[sp - 1] : 0;
+}
+
+/* -- driver ------------------------------------------------------------------------- */
+
+extern char *strcpy(char *dst, const char *src);
+
+/* All scanning happens over this one buffer (each expression is staged
+ * into it first), so the scanner's dereferences resolve to a single
+ * abstract location — the property §3.2 reports for compiler. */
+static char program_text[128];
+
+static int compile_and_run(const char *text)
+{
+    struct ast *tree;
+    strcpy(program_text, text);
+    scan_cursor = program_text;
+    tree = fold(parse_sum());
+    code_len = 0;
+    generate(tree);
+    return execute();
+}
+
+int main(void)
+{
+    int i;
+    var_values['a' - 'a'] = 6;
+    var_values['b' - 'a'] = 7;
+    var_values['x' - 'a'] = 3;
+
+    printf("a*b = %d\n", compile_and_run("a * b"));
+    printf("poly = %d\n", compile_and_run("x*x*x + 2*x*x + x + 5"));
+    printf("folded = %d\n", compile_and_run("(2+3)*(4+1) + x*0 + a*1"));
+    for (i = 0; i < 3; i++)
+        printf("series %d = %d\n", i, compile_and_run("x + x*x"));
+    return 0;
+}

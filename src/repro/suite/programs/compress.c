@@ -1,0 +1,173 @@
+/* compress -- LZW-style compressor over an in-memory buffer.
+ *
+ * Pointer character (after the SPEC92 original): a code table of
+ * (prefix, suffix) entries indexed by hash probing, char* cursors over
+ * input and output buffers, and a decompressor stacking suffixes.
+ */
+
+extern int printf(const char *fmt, ...);
+extern void *malloc(unsigned long n);
+
+#define TABLE_SIZE 512
+#define CODE_LIMIT 256
+#define FIRST_CODE 257
+#define INPUT_LEN 96
+
+static int prefix_of[TABLE_SIZE];
+static int suffix_of[TABLE_SIZE];
+static int code_of[TABLE_SIZE];
+
+static char input_data[INPUT_LEN + 1] =
+    "the rain in spain stays mainly in the plain "
+    "the rain in spain stays mainly in the plain";
+
+static int output_codes[INPUT_LEN * 2];
+static int output_count;
+
+static char recovered[INPUT_LEN * 4];
+
+/* Probe the table for (prefix, suffix); returns slot index. */
+static int probe(int prefix, int suffix)
+{
+    int h = ((prefix << 3) ^ suffix) & (TABLE_SIZE - 1);
+    while (code_of[h] != -1) {
+        if (prefix_of[h] == prefix && suffix_of[h] == suffix)
+            return h;
+        h = (h + 1) & (TABLE_SIZE - 1);
+    }
+    return h;
+}
+
+static void table_reset(void)
+{
+    int i;
+    for (i = 0; i < TABLE_SIZE; i++) {
+        code_of[i] = -1;
+        prefix_of[i] = -1;
+        suffix_of[i] = -1;
+    }
+}
+
+/* Emit one output code through the shared cursor. */
+static void emit(int *sink, int *count, int code)
+{
+    sink[*count] = code;
+    *count = *count + 1;
+}
+
+static int compress_buffer(char *src)
+{
+    int next_code = FIRST_CODE;
+    int prefix;
+    char *p = src;
+
+    table_reset();
+    output_count = 0;
+    if (*p == '\0')
+        return 0;
+    prefix = *p;
+    p++;
+    while (*p) {
+        int suffix = *p;
+        int slot = probe(prefix, suffix);
+        if (code_of[slot] != -1) {
+            prefix = code_of[slot];
+        } else {
+            emit(output_codes, &output_count, prefix);
+            if (next_code < TABLE_SIZE) {
+                code_of[slot] = next_code;
+                prefix_of[slot] = prefix;
+                suffix_of[slot] = suffix;
+                next_code = next_code + 1;
+            }
+            prefix = suffix;
+        }
+        p++;
+    }
+    emit(output_codes, &output_count, prefix);
+    return output_count;
+}
+
+/* Decompression tables, rebuilt from the code stream. */
+static int dec_prefix[TABLE_SIZE];
+static int dec_suffix[TABLE_SIZE];
+
+/* Expand one code onto a character stack; returns the stack depth. */
+static int expand(int code, char *stack)
+{
+    int depth = 0;
+    while (code >= FIRST_CODE) {
+        stack[depth] = (char)dec_suffix[code];
+        depth = depth + 1;
+        code = dec_prefix[code];
+    }
+    stack[depth] = (char)code;
+    return depth + 1;
+}
+
+static int decompress_buffer(int *codes, int ncodes, char *dst)
+{
+    char stack[TABLE_SIZE];
+    int next_code = FIRST_CODE;
+    int i, k, depth;
+    int prev;
+    char *out = dst;
+
+    if (ncodes == 0) {
+        *out = '\0';
+        return 0;
+    }
+    prev = codes[0];
+    depth = expand(prev, stack);
+    for (k = depth - 1; k >= 0; k--) {
+        *out = stack[k];
+        out++;
+    }
+    for (i = 1; i < ncodes; i++) {
+        int code = codes[i];
+        int first;
+        if (code < next_code) {
+            depth = expand(code, stack);
+        } else {
+            /* The tricky LZW case: code not yet in the table. */
+            depth = expand(prev, stack);
+            first = stack[depth - 1];
+            k = depth;
+            while (k > 0) {
+                stack[k] = stack[k - 1];
+                k = k - 1;
+            }
+            stack[0] = (char)first;
+            depth = depth + 1;
+        }
+        for (k = depth - 1; k >= 0; k--) {
+            *out = stack[k];
+            out++;
+        }
+        if (next_code < TABLE_SIZE) {
+            dec_prefix[next_code] = prev;
+            /* The new entry's suffix is the FIRST character of the
+             * current output string (top of the reversed stack). */
+            dec_suffix[next_code] = stack[depth - 1];
+            next_code = next_code + 1;
+        }
+        prev = code;
+    }
+    *out = '\0';
+    return (int)(out - dst);
+}
+
+int main(void)
+{
+    int ncodes = compress_buffer(input_data);
+    int nchars = decompress_buffer(output_codes, ncodes, recovered);
+    int ok = 1;
+    int i;
+    for (i = 0; input_data[i]; i++)
+        if (recovered[i] != input_data[i])
+            ok = 0;
+    printf("compressed %d chars to %d codes (%d recovered), "
+           "round-trip %s\n",
+           INPUT_LEN, ncodes, nchars, ok ? "ok" : "FAILED");
+    return ok ? 0 : 1;
+}

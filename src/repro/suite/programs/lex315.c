@@ -1,0 +1,173 @@
+/* lex315 -- a table-driven lexical scanner.
+ *
+ * Pointer character (after the Landi original): a DFA transition table
+ * walked by pointer, char* cursors over the input buffer, and a token
+ * record filled through pointer parameters.
+ */
+
+extern int printf(const char *fmt, ...);
+extern int strcmp(const char *a, const char *b);
+extern char *strcpy(char *dst, const char *src);
+
+#define NSTATES 8
+#define NCLASSES 6
+#define MAXTOK 64
+
+/* Character classes. */
+#define C_LETTER 0
+#define C_DIGIT 1
+#define C_SPACE 2
+#define C_OP 3
+#define C_QUOTE 4
+#define C_OTHER 5
+
+/* States. */
+#define S_START 0
+#define S_IDENT 1
+#define S_NUMBER 2
+#define S_STRING 3
+#define S_OPER 4
+#define S_DONE_IDENT 5
+#define S_DONE_NUMBER 6
+#define S_DONE_OTHER 7
+
+/* Token kinds. */
+#define T_IDENT 1
+#define T_NUMBER 2
+#define T_STRING 3
+#define T_OP 4
+#define T_KEYWORD 5
+#define T_EOF 0
+
+struct token {
+    int kind;
+    char text[MAXTOK];
+    int length;
+};
+
+static int transitions[NSTATES][NCLASSES] = {
+    /* START  */ { S_IDENT, S_NUMBER, S_START, S_OPER, S_STRING, S_START },
+    /* IDENT  */ { S_IDENT, S_IDENT, S_DONE_IDENT, S_DONE_IDENT,
+                   S_DONE_IDENT, S_DONE_IDENT },
+    /* NUMBER */ { S_DONE_NUMBER, S_NUMBER, S_DONE_NUMBER, S_DONE_NUMBER,
+                   S_DONE_NUMBER, S_DONE_NUMBER },
+    /* STRING */ { S_STRING, S_STRING, S_STRING, S_STRING, S_DONE_OTHER,
+                   S_STRING },
+    /* OPER   */ { S_DONE_OTHER, S_DONE_OTHER, S_DONE_OTHER, S_OPER,
+                   S_DONE_OTHER, S_DONE_OTHER },
+    /* DONE states never consulted: */
+    { 0, 0, 0, 0, 0, 0 },
+    { 0, 0, 0, 0, 0, 0 },
+    { 0, 0, 0, 0, 0, 0 },
+};
+
+static char *keywords[] = { "if", "else", "while", "return", "int" };
+#define NKEYWORDS (sizeof(keywords) / sizeof(keywords[0]))
+
+static char source_text[] =
+    "while (count < 315) { total = total + count; count = count + 1; } "
+    "if (total) return \"done\"; else return \"empty\";";
+
+static int classify(int c)
+{
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_')
+        return C_LETTER;
+    if (c >= '0' && c <= '9')
+        return C_DIGIT;
+    if (c == ' ' || c == '\t' || c == '\n')
+        return C_SPACE;
+    if (c == '"')
+        return C_QUOTE;
+    if (c == '+' || c == '-' || c == '*' || c == '/' || c == '=' ||
+        c == '<' || c == '>' || c == '(' || c == ')' || c == '{' ||
+        c == '}' || c == ';')
+        return C_OP;
+    return C_OTHER;
+}
+
+/* Promote identifiers that are keywords. */
+static void keywordize(struct token *tok)
+{
+    unsigned long i;
+    for (i = 0; i < NKEYWORDS; i++) {
+        if (strcmp(tok->text, keywords[i]) == 0) {
+            tok->kind = T_KEYWORD;
+            return;
+        }
+    }
+}
+
+/* Scan one token starting at *cursor; advance the cursor through the
+ * pointer-to-pointer parameter. */
+static int next_token(char **cursor, struct token *tok)
+{
+    char *p = *cursor;
+    int state = S_START;
+    int len = 0;
+
+    tok->kind = T_EOF;
+    tok->length = 0;
+    tok->text[0] = '\0';
+    while (*p) {
+        int cls = classify(*p);
+        int next = transitions[state][cls];
+        if (next == S_DONE_IDENT || next == S_DONE_NUMBER ||
+            next == S_DONE_OTHER) {
+            state = next;
+            if (state == S_DONE_OTHER && classify(*p) == C_QUOTE)
+                p++;  /* consume the closing quote */
+            break;
+        }
+        if (next != S_START && len < MAXTOK - 1) {
+            tok->text[len] = *p;
+            len = len + 1;
+        }
+        state = next;
+        p++;
+    }
+    tok->text[len] = '\0';
+    tok->length = len;
+    *cursor = p;
+
+    switch (state) {
+    case S_IDENT:
+    case S_DONE_IDENT:
+        tok->kind = T_IDENT;
+        keywordize(tok);
+        break;
+    case S_NUMBER:
+    case S_DONE_NUMBER:
+        tok->kind = T_NUMBER;
+        break;
+    case S_STRING:
+    case S_DONE_OTHER:
+        tok->kind = (len > 0 && tok->text[0] == '"') ? T_STRING : T_OP;
+        if (len > 0)
+            tok->kind = T_OP;
+        if (state == S_DONE_OTHER)
+            tok->kind = T_STRING;
+        break;
+    default:
+        tok->kind = len ? T_OP : T_EOF;
+        break;
+    }
+    if (len == 0 && *p == '\0')
+        tok->kind = T_EOF;
+    return tok->kind;
+}
+
+int main(void)
+{
+    char *cursor = source_text;
+    struct token tok;
+    int counts[6] = { 0, 0, 0, 0, 0, 0 };
+    int kind;
+
+    while ((kind = next_token(&cursor, &tok)) != T_EOF)
+        counts[kind] = counts[kind] + 1;
+
+    printf("identifiers=%d numbers=%d strings=%d operators=%d keywords=%d\n",
+           counts[T_IDENT], counts[T_NUMBER], counts[T_STRING],
+           counts[T_OP], counts[T_KEYWORD]);
+    return 0;
+}

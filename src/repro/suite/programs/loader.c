@@ -1,0 +1,242 @@
+/* loader -- link and relocate a set of toy object modules.
+ *
+ * Pointer character (after the Landi original): module descriptors
+ * with segment arrays, a chained global symbol table, relocation
+ * records processed through pointers that select the target segment
+ * (multi-target writes), and module lists.
+ */
+
+extern void *malloc(unsigned long n);
+extern int printf(const char *fmt, ...);
+extern int strcmp(const char *a, const char *b);
+extern char *strcpy(char *dst, const char *src);
+
+#define MAXNAME 12
+#define SEGWORDS 64
+#define NBUCKETS 16
+
+/* Relocation kinds. */
+#define R_ABS 0   /* add the module's text base */
+#define R_SYM 1   /* add a global symbol's address */
+
+struct reloc {
+    int kind;
+    int offset;            /* word index within the module's text */
+    char symbol[MAXNAME];  /* for R_SYM */
+    struct reloc *next;
+};
+
+struct module {
+    char name[MAXNAME];
+    int text[SEGWORDS];
+    int text_len;
+    int base;              /* assigned load address */
+    struct reloc *relocs;
+    struct module *next;
+};
+
+struct gsym {
+    char name[MAXNAME];
+    int address;
+    struct gsym *next;
+};
+
+static struct module *modules;
+static struct gsym *buckets[NBUCKETS];
+static int core[SEGWORDS * 4];
+static int core_used;
+
+/* -- global symbol table ------------------------------------------------ */
+
+static int hash_sym(const char *name)
+{
+    int h = 0;
+    while (*name) {
+        h = (h * 17 + *name) & (NBUCKETS - 1);
+        name++;
+    }
+    return h;
+}
+
+static struct gsym *gsym_find(const char *name)
+{
+    struct gsym *g;
+    for (g = buckets[hash_sym(name)]; g; g = g->next)
+        if (strcmp(g->name, name) == 0)
+            return g;
+    return 0;
+}
+
+static void gsym_define(const char *name, int address)
+{
+    struct gsym *g = gsym_find(name);
+    int h;
+    if (!g) {
+        g = malloc(sizeof(struct gsym));
+        strcpy(g->name, name);
+        h = hash_sym(name);
+        g->next = buckets[h];
+        buckets[h] = g;
+    }
+    g->address = address;
+}
+
+/* -- module construction --------------------------------------------------- */
+
+static struct module *new_module(const char *name)
+{
+    struct module *m = malloc(sizeof(struct module));
+    int i;
+    strcpy(m->name, name);
+    m->text_len = 0;
+    m->base = -1;
+    m->relocs = 0;
+    for (i = 0; i < SEGWORDS; i++)
+        m->text[i] = 0;
+    m->next = modules;
+    modules = m;
+    return m;
+}
+
+static void mod_word(struct module *m, int value)
+{
+    m->text[m->text_len] = value;
+    m->text_len = m->text_len + 1;
+}
+
+static void mod_reloc(struct module *m, int kind, int offset,
+                      const char *symbol)
+{
+    struct reloc *r = malloc(sizeof(struct reloc));
+    r->kind = kind;
+    r->offset = offset;
+    r->symbol[0] = '\0';
+    if (symbol)
+        strcpy(r->symbol, symbol);
+    r->next = m->relocs;
+    m->relocs = r;
+}
+
+/* -- loading ------------------------------------------------------------------ */
+
+/* Assign load addresses and export each module's name as a symbol. */
+static void assign_bases(void)
+{
+    struct module *m;
+    int base = 0;
+    for (m = modules; m; m = m->next) {
+        m->base = base;
+        gsym_define(m->name, base);
+        base = base + m->text_len;
+    }
+    core_used = base;
+}
+
+/* Copy a module's words into the core image through a destination
+ * cursor. */
+static void copy_segment(int *dst, int *src, int len)
+{
+    int i;
+    for (i = 0; i < len; i++)
+        dst[i] = src[i];
+}
+
+/* Resolve a symbol into a caller-provided slot (§5.2's out-parameter
+ * paradigm: each caller looks only at its own slot). */
+static int resolve_into(const char *name, struct gsym **out)
+{
+    *out = gsym_find(name);
+    return *out != 0;
+}
+
+/* Apply one relocation: patch the word at (module base + offset).
+ * The patch target pointer may land in any module's core region. */
+static int apply_reloc(struct module *m, struct reloc *r)
+{
+    int *target = &core[m->base + r->offset];
+    if (r->kind == R_ABS) {
+        *target = *target + m->base;
+        return 1;
+    }
+    if (r->kind == R_SYM) {
+        struct gsym *found;
+        if (!resolve_into(r->symbol, &found)) {
+            printf("undefined symbol %s in %s\n", r->symbol, m->name);
+            return 0;
+        }
+        *target = *target + found->address;
+        return 1;
+    }
+    return 0;
+}
+
+/* Report every module's load address through the same resolver. */
+static void dump_map(void)
+{
+    struct module *m;
+    for (m = modules; m; m = m->next) {
+        struct gsym *entry;
+        if (resolve_into(m->name, &entry))
+            printf("  %s @ %d\n", m->name, entry->address);
+    }
+}
+
+static int link_all(void)
+{
+    struct module *m;
+    int errors = 0;
+    assign_bases();
+    for (m = modules; m; m = m->next)
+        copy_segment(&core[m->base], m->text, m->text_len);
+    for (m = modules; m; m = m->next) {
+        struct reloc *r;
+        for (r = m->relocs; r; r = r->next)
+            if (!apply_reloc(m, r))
+                errors = errors + 1;
+    }
+    return errors;
+}
+
+/* -- a linked program: three modules calling across boundaries ------------------ */
+
+static void build_modules(void)
+{
+    struct module *m;
+
+    m = new_module("main");
+    mod_word(m, 100);          /* call lib+0 */
+    mod_reloc(m, R_SYM, 0, "lib");
+    mod_word(m, 5);            /* local jump */
+    mod_reloc(m, R_ABS, 1, 0);
+    mod_word(m, 0);
+
+    m = new_module("lib");
+    mod_word(m, 200);          /* call util+0 */
+    mod_reloc(m, R_SYM, 0, "util");
+    mod_word(m, 7);
+
+    m = new_module("util");
+    mod_word(m, 300);
+    mod_word(m, 2);            /* local jump */
+    mod_reloc(m, R_ABS, 1, 0);
+}
+
+int main(void)
+{
+    int errors;
+    int i;
+    int checksum = 0;
+
+    modules = 0;
+    for (i = 0; i < NBUCKETS; i++)
+        buckets[i] = 0;
+
+    build_modules();
+    errors = link_all();
+    dump_map();
+    for (i = 0; i < core_used; i++)
+        checksum = checksum * 31 + core[i];
+    printf("linked %d words, %d errors, checksum %d\n",
+           core_used, errors, checksum);
+    return errors;
+}

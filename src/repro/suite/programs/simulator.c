@@ -1,0 +1,187 @@
+/* simulator -- an instruction-level simulator for a small register
+ * machine.
+ *
+ * Pointer character (after the Landi original): a decoded-instruction
+ * cache of structs, register-file and memory arrays accessed through
+ * operand pointers that may designate either (multi-target reads and
+ * writes), and a dispatch table of function pointers — the paper notes
+ * its benchmarks "make only light use of indirect function calls", and
+ * this is the suite's one user of them.
+ */
+
+extern void *malloc(unsigned long n);
+extern int printf(const char *fmt, ...);
+
+#define NREGS 8
+#define MEMWORDS 64
+#define MAXPROG 32
+
+/* Opcodes. */
+#define OP_NOP 0
+#define OP_LI 1     /* rd <- imm */
+#define OP_MOV 2    /* rd <- rs */
+#define OP_ADD 3    /* rd <- rd + rs */
+#define OP_LD 4     /* rd <- mem[rs] */
+#define OP_ST 5     /* mem[rd] <- rs */
+#define OP_BNZ 6    /* if (rd) pc <- imm */
+#define OP_OUT 7    /* print rd */
+#define NOPCODES 8
+
+struct machine {
+    int regs[NREGS];
+    int memory[MEMWORDS];
+    int pc;
+    int halted;
+    long cycles;
+};
+
+struct decoded {
+    int opcode;
+    int rd, rs, imm;
+};
+
+static struct machine cpu;
+static struct decoded icache[MAXPROG];
+static int program_len;
+
+/* Operand resolution: a register or a memory cell, selected by the
+ * addressing mode — the returned pointer may designate either array. */
+static int *operand_cell(struct machine *m, int is_mem, int index)
+{
+    if (is_mem)
+        return &m->memory[index & (MEMWORDS - 1)];
+    return &m->regs[index & (NREGS - 1)];
+}
+
+/* -- one handler per opcode, dispatched through function pointers ----- */
+
+static void do_nop(struct machine *m, struct decoded *d)
+{
+    (void)d;
+    m->pc = m->pc + 1;
+}
+
+static void do_li(struct machine *m, struct decoded *d)
+{
+    int *rd = operand_cell(m, 0, d->rd);
+    *rd = d->imm;
+    m->pc = m->pc + 1;
+}
+
+static void do_mov(struct machine *m, struct decoded *d)
+{
+    int *rd = operand_cell(m, 0, d->rd);
+    int *rs = operand_cell(m, 0, d->rs);
+    *rd = *rs;
+    m->pc = m->pc + 1;
+}
+
+static void do_add(struct machine *m, struct decoded *d)
+{
+    int *rd = operand_cell(m, 0, d->rd);
+    int *rs = operand_cell(m, 0, d->rs);
+    *rd = *rd + *rs;
+    m->pc = m->pc + 1;
+}
+
+static void do_ld(struct machine *m, struct decoded *d)
+{
+    int *rd = operand_cell(m, 0, d->rd);
+    int *addr = operand_cell(m, 0, d->rs);
+    int *cell = operand_cell(m, 1, *addr);
+    *rd = *cell;
+    m->pc = m->pc + 1;
+}
+
+static void do_st(struct machine *m, struct decoded *d)
+{
+    int *addr = operand_cell(m, 0, d->rd);
+    int *cell = operand_cell(m, 1, *addr);
+    int *rs = operand_cell(m, 0, d->rs);
+    *cell = *rs;
+    m->pc = m->pc + 1;
+}
+
+static void do_bnz(struct machine *m, struct decoded *d)
+{
+    int *rd = operand_cell(m, 0, d->rd);
+    if (*rd)
+        m->pc = d->imm;
+    else
+        m->pc = m->pc + 1;
+}
+
+static void do_out(struct machine *m, struct decoded *d)
+{
+    int *rd = operand_cell(m, 0, d->rd);
+    printf("out: %d\n", *rd);
+    m->pc = m->pc + 1;
+}
+
+typedef void (*handler_fn)(struct machine *m, struct decoded *d);
+
+static handler_fn dispatch[NOPCODES] = {
+    do_nop, do_li, do_mov, do_add, do_ld, do_st, do_bnz, do_out,
+};
+
+/* -- program assembly into the decoded cache -------------------------------- */
+
+static void instr(int opcode, int rd, int rs, int imm)
+{
+    struct decoded *d = &icache[program_len];
+    d->opcode = opcode;
+    d->rd = rd;
+    d->rs = rs;
+    d->imm = imm;
+    program_len = program_len + 1;
+}
+
+/* sum = 1 + 2 + ... + 10, stored to memory cell 0. */
+static void build_program(void)
+{
+    program_len = 0;
+    instr(OP_LI, 0, 0, 0);    /* r0 = 0   (sum)      */
+    instr(OP_LI, 1, 0, 10);   /* r1 = 10  (counter)  */
+    instr(OP_LI, 2, 0, 0);    /* r2 = 0   (mem addr) */
+    instr(OP_LI, 3, 0, -1);   /* r3 = -1             */
+    instr(OP_ADD, 0, 1, 0);   /* loop: sum += counter */
+    instr(OP_ADD, 1, 3, 0);   /* counter -= 1        */
+    instr(OP_BNZ, 1, 0, 4);   /* if counter, branch to loop */
+    instr(OP_ST, 2, 0, 0);    /* mem[r2] = sum       */
+    instr(OP_OUT, 0, 0, 0);
+    instr(OP_NOP, 0, 0, 0);
+}
+
+static void reset(struct machine *m)
+{
+    int i;
+    for (i = 0; i < NREGS; i++)
+        m->regs[i] = 0;
+    for (i = 0; i < MEMWORDS; i++)
+        m->memory[i] = 0;
+    m->pc = 0;
+    m->halted = 0;
+    m->cycles = 0;
+}
+
+static long run(struct machine *m, long max_cycles)
+{
+    while (m->pc < program_len && m->cycles < max_cycles) {
+        struct decoded *d = &icache[m->pc];
+        handler_fn h = dispatch[d->opcode & (NOPCODES - 1)];
+        h(m, d);
+        m->cycles = m->cycles + 1;
+    }
+    return m->cycles;
+}
+
+int main(void)
+{
+    long cycles;
+    build_program();
+    reset(&cpu);
+    cycles = run(&cpu, 1000);
+    printf("ran %ld cycles, mem[0] = %d, sum reg = %d\n",
+           cycles, cpu.memory[0], cpu.regs[0]);
+    return cpu.memory[0] == 55 ? 0 : 1;
+}

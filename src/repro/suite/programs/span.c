@@ -1,0 +1,136 @@
+/* span -- minimum spanning tree over an adjacency-list graph.
+ *
+ * Pointer character: heap-allocated edge nodes chained per vertex, a
+ * parent array for union-find, and list walks.  Like the original,
+ * every indirect memory operation references a single abstract
+ * location (one heap site per list kind), so context-sensitivity has
+ * nothing to add (paper §3.2 names span among the three programs with
+ * no multi-target indirect loads or stores).
+ */
+
+extern void *malloc(unsigned long n);
+extern int printf(const char *fmt, ...);
+
+#define NVERT 12
+
+struct edge {
+    int to;
+    int weight;
+    struct edge *next;
+};
+
+static struct edge *adjacency[NVERT];
+static int parent[NVERT];
+static int rank_of[NVERT];
+
+/* All edge nodes come from this single allocation site, so every list
+ * walk resolves to one abstract location. */
+static struct edge *make_edge(int to, int w, struct edge *next)
+{
+    struct edge *e = malloc(sizeof(struct edge));
+    e->to = to;
+    e->weight = w;
+    e->next = next;
+    return e;
+}
+
+/* Add an undirected edge. */
+static void add_edge(int a, int b, int w)
+{
+    adjacency[a] = make_edge(b, w, adjacency[a]);
+    adjacency[b] = make_edge(a, w, adjacency[b]);
+}
+
+static int find_root(int v)
+{
+    while (parent[v] != v) {
+        parent[v] = parent[parent[v]];
+        v = parent[v];
+    }
+    return v;
+}
+
+static int unite(int a, int b)
+{
+    int ra = find_root(a);
+    int rb = find_root(b);
+    if (ra == rb)
+        return 0;
+    if (rank_of[ra] < rank_of[rb]) {
+        int t = ra;
+        ra = rb;
+        rb = t;
+    }
+    parent[rb] = ra;
+    if (rank_of[ra] == rank_of[rb])
+        rank_of[ra] = rank_of[ra] + 1;
+    return 1;
+}
+
+/* Prim-flavored scan: repeatedly take the lightest edge that joins two
+ * components.  Quadratic, like the tiny original. */
+static int span_tree(void)
+{
+    int total = 0;
+    int joined = 1;
+    while (joined) {
+        struct edge *best = 0;
+        int best_from = -1;
+        int v;
+        joined = 0;
+        for (v = 0; v < NVERT; v++) {
+            struct edge *e;
+            for (e = adjacency[v]; e; e = e->next) {
+                if (find_root(v) == find_root(e->to))
+                    continue;
+                if (!best || e->weight < best->weight) {
+                    best = e;
+                    best_from = v;
+                }
+            }
+        }
+        if (best) {
+            unite(best_from, best->to);
+            total = total + best->weight;
+            joined = 1;
+        }
+    }
+    return total;
+}
+
+static void build_graph(void)
+{
+    int v;
+    for (v = 0; v < NVERT; v++) {
+        adjacency[v] = 0;
+        parent[v] = v;
+        rank_of[v] = 0;
+    }
+    add_edge(0, 1, 4);
+    add_edge(0, 7, 8);
+    add_edge(1, 2, 8);
+    add_edge(1, 7, 11);
+    add_edge(2, 3, 7);
+    add_edge(2, 8, 2);
+    add_edge(2, 5, 4);
+    add_edge(3, 4, 9);
+    add_edge(3, 5, 14);
+    add_edge(4, 5, 10);
+    add_edge(5, 6, 2);
+    add_edge(6, 7, 1);
+    add_edge(6, 8, 6);
+    add_edge(7, 8, 7);
+    add_edge(8, 9, 3);
+    add_edge(9, 10, 5);
+    add_edge(10, 11, 12);
+    add_edge(9, 11, 6);
+}
+
+int main(void)
+{
+    int total;
+    build_graph();
+    total = span_tree();
+    printf("spanning tree weight: %d\n", total);
+    return 0;
+}

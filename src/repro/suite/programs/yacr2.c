@@ -1,0 +1,186 @@
+/* yacr2 -- yet another channel router: assign nets crossing a routing
+ * channel to horizontal tracks without vertical-constraint violations.
+ *
+ * Pointer character (after the SPEC/Landi original): an array of net
+ * structs, per-track occupancy lists reached through a pointer chosen
+ * from the track table (multi-target by construction is avoided — the
+ * track rows come from one allocation site), and dense index arrays.
+ */
+
+extern void *malloc(unsigned long n);
+extern int printf(const char *fmt, ...);
+
+#define MAXNETS 16
+#define MAXCOLS 32
+#define MAXTRACKS 8
+
+struct net {
+    int id;
+    int left;     /* leftmost column */
+    int right;    /* rightmost column */
+    int track;    /* assigned track, or -1 */
+};
+
+struct track {
+    int *occupied;      /* per-column occupancy map (heap) */
+    int nets_here;
+};
+
+static struct net nets[MAXNETS];
+static int nnets;
+static struct track tracks[MAXTRACKS];
+static int ntracks;
+
+/* -- channel construction ------------------------------------------------- */
+
+static void add_net(int left, int right)
+{
+    struct net *n = &nets[nnets];
+    n->id = nnets;
+    n->left = left < right ? left : right;
+    n->right = left < right ? right : left;
+    n->track = -1;
+    nnets = nnets + 1;
+}
+
+static void init_tracks(void)
+{
+    int t, c;
+    ntracks = MAXTRACKS;
+    for (t = 0; t < ntracks; t++) {
+        tracks[t].occupied = malloc(MAXCOLS * sizeof(int));
+        tracks[t].nets_here = 0;
+        for (c = 0; c < MAXCOLS; c++)
+            tracks[t].occupied[c] = 0;
+    }
+}
+
+/* -- assignment ----------------------------------------------------------------- */
+
+/* Whether a net fits on a track: no occupied column in its span. */
+static int fits(struct track *t, struct net *n)
+{
+    int c;
+    int *map = t->occupied;
+    for (c = n->left; c <= n->right; c++)
+        if (map[c])
+            return 0;
+    return 1;
+}
+
+/* Claim a net's span on a track's occupancy map. */
+static void claim(struct track *t, struct net *n)
+{
+    int c;
+    int *map = t->occupied;
+    for (c = n->left; c <= n->right; c++)
+        map[c] = n->id + 1;
+    t->nets_here = t->nets_here + 1;
+    n->track = (int)(t - tracks);
+}
+
+/* A placement decision, returned by value (aggregates carrying
+ * pointers flow as first-class values in the VDG). */
+struct placement {
+    struct track *where;
+    struct net *which;
+    int ok;
+};
+
+/* Find the first track the net fits on. */
+static struct placement find_slot(struct net *n)
+{
+    struct placement p;
+    int t;
+    p.where = 0;
+    p.which = n;
+    p.ok = 0;
+    for (t = 0; t < ntracks; t++) {
+        if (fits(&tracks[t], n)) {
+            p.where = &tracks[t];
+            p.ok = 1;
+            return p;
+        }
+    }
+    return p;
+}
+
+/* Left-edge algorithm: sort nets by left edge (insertion sort on the
+ * index array), then greedily pack each onto the first fitting track. */
+static int route_channel(void)
+{
+    int order[MAXNETS];
+    int i, j;
+    int failed = 0;
+
+    for (i = 0; i < nnets; i++)
+        order[i] = i;
+    for (i = 1; i < nnets; i++) {
+        int key = order[i];
+        j = i - 1;
+        while (j >= 0 && nets[order[j]].left > nets[key].left) {
+            order[j + 1] = order[j];
+            j = j - 1;
+        }
+        order[j + 1] = key;
+    }
+
+    for (i = 0; i < nnets; i++) {
+        struct placement p = find_slot(&nets[order[i]]);
+        if (p.ok)
+            claim(p.where, p.which);
+        else
+            failed = failed + 1;
+    }
+    return failed;
+}
+
+/* Count vertical constraint violations: nets on the same column whose
+ * track order inverts their id order (a stand-in for the real VCG). */
+static int check_quality(void)
+{
+    int violations = 0;
+    int i, j;
+    for (i = 0; i < nnets; i++) {
+        for (j = i + 1; j < nnets; j++) {
+            struct net *a = &nets[i];
+            struct net *b = &nets[j];
+            if (a->track < 0 || b->track < 0)
+                continue;
+            if (a->right >= b->left && b->right >= a->left)
+                if (a->track == b->track)
+                    violations = violations + 1;
+        }
+    }
+    return violations;
+}
+
+int main(void)
+{
+    int failed, violations, t;
+    int used = 0;
+
+    nnets = 0;
+    add_net(0, 5);
+    add_net(2, 9);
+    add_net(4, 12);
+    add_net(6, 8);
+    add_net(10, 18);
+    add_net(1, 3);
+    add_net(13, 20);
+    add_net(7, 15);
+    add_net(16, 24);
+    add_net(19, 27);
+    add_net(21, 23);
+    add_net(25, 30);
+
+    init_tracks();
+    failed = route_channel();
+    violations = check_quality();
+    for (t = 0; t < ntracks; t++)
+        if (tracks[t].nets_here > 0)
+            used = used + 1;
+    printf("routed %d nets on %d tracks, %d failures, %d violations\n",
+           nnets - failed, used, failed, violations);
+    return failed + violations;
+}

@@ -1,0 +1,108 @@
+"""Clients exercised over the full benchmark suite.
+
+Cross-module invariants: mod/ref closures, def/use walks, and
+dead-store detection must hold on every real program, not just the
+unit-test snippets.
+"""
+
+import pytest
+
+from repro.analysis.clients.deadstore import find_dead_stores
+from repro.analysis.clients.defuse import INITIAL, defuse
+from repro.analysis.clients.modref import modref
+from repro.ir.nodes import CallNode, LookupNode, UpdateNode
+
+
+class TestModRefOnSuite:
+    def test_caller_superset_of_callees(self, suite_cache, suite_name):
+        """Transitivity: a procedure's mod/ref set contains every
+        callee's."""
+        ci = suite_cache.ci(suite_name)
+        info = modref(ci)
+        for graph in ci.program.functions.values():
+            for node in graph.nodes:
+                if not isinstance(node, CallNode):
+                    continue
+                for callee in ci.callgraph.callees(node):
+                    assert info.mod_set(graph.name) \
+                        >= info.mod_set(callee.name)
+                    assert info.ref_set(graph.name) \
+                        >= info.ref_set(callee.name)
+
+    def test_direct_ops_included(self, suite_cache, suite_name):
+        ci = suite_cache.ci(suite_name)
+        info = modref(ci)
+        for graph in ci.program.functions.values():
+            for node in graph.memory_operations():
+                locations = ci.op_locations(node)
+                if isinstance(node, LookupNode):
+                    assert locations <= info.ref_set(graph.name)
+                else:
+                    assert locations <= info.mod_set(graph.name)
+
+    def test_main_reaches_everything_called(self, suite_cache,
+                                            suite_name):
+        """main's summary covers the whole reachable program."""
+        ci = suite_cache.ci(suite_name)
+        info = modref(ci)
+        reachable_mods = set()
+        for graph in ci.program.functions.values():
+            if ci.callgraph.callers(graph) or graph.name == "main":
+                reachable_mods |= info.mod_set(graph.name)
+        assert info.mod_set("main") == reachable_mods
+
+
+class TestDefUseOnSuite:
+    @pytest.mark.parametrize("program_name",
+                             ["part", "span", "compress", "lex315"])
+    def test_every_read_has_a_definition(self, suite_cache,
+                                         program_name):
+        """Each read observes at least one definition (a write or the
+        initial store) for every location it may reference."""
+        ci = suite_cache.ci(program_name)
+        du = defuse(ci, max_visits=2_000_000)
+        for graph in ci.program.functions.values():
+            for node in graph.nodes:
+                if not isinstance(node, LookupNode):
+                    continue
+                if not ci.op_locations(node):
+                    continue  # null-only dereference
+                defs = du.reaching_definitions(node)
+                assert defs, f"{graph.name}:{node!r} observes nothing"
+
+    def test_definitions_are_may_aliased(self, suite_cache):
+        """Every reported definition can actually write a location the
+        read references (no unrelated writes leak in)."""
+        from repro.memory.relations import may_alias
+        ci = suite_cache.ci("part")
+        du = defuse(ci, max_visits=2_000_000)
+        for graph in ci.program.functions.values():
+            for node in graph.nodes:
+                if not isinstance(node, LookupNode):
+                    continue
+                read_locations = ci.op_locations(node)
+                for definition in du.reaching_definitions(node):
+                    if definition is INITIAL:
+                        continue
+                    written = ci.op_locations(definition)
+                    assert any(may_alias(w, r) for w in written
+                               for r in read_locations)
+
+
+class TestDeadStoresOnSuite:
+    def test_reports_consistent(self, suite_cache, suite_name):
+        ci = suite_cache.ci(suite_name)
+        report = find_dead_stores(ci)
+        assert report.total == sum(
+            1 for g in ci.program.functions.values()
+            for n in g.nodes if isinstance(n, UpdateNode))
+        assert report.live >= 0
+        # The suite's programs are real: the overwhelming majority of
+        # their writes are observable.
+        assert report.live >= report.total * 0.5
+
+    def test_no_unreachable_writes_in_suite(self, suite_cache,
+                                            suite_name):
+        """Every suite write dereferences a valid pointer somewhere."""
+        report = find_dead_stores(suite_cache.ci(suite_name))
+        assert report.unreachable == []

@@ -1,0 +1,146 @@
+"""Shared analysis infrastructure."""
+
+import pytest
+
+from repro.analysis.common import (
+    CallGraph,
+    Counters,
+    PointsToSolution,
+    Worklist,
+    resolve_function_value,
+)
+from repro.errors import AnalysisError
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import FunctionGraph, Program
+from repro.ir.nodes import ValueTag
+from repro.memory import (
+    EMPTY_OFFSET,
+    FieldOp,
+    direct,
+    function_location,
+    global_location,
+    location_path,
+    make_path,
+    pair,
+)
+
+
+@pytest.fixture
+def solution():
+    return PointsToSolution()
+
+
+@pytest.fixture
+def output():
+    gb = GraphBuilder("f")
+    entry = gb.entry([("p", ValueTag.POINTER, None)])
+    gb.ret(None, entry.store_out)
+    return entry.formals[0]
+
+
+class TestPointsToSolution:
+    def test_add_deduplicates(self, solution, output):
+        g = direct(location_path(global_location("g")))
+        assert solution.add(output, g)
+        assert not solution.add(output, g)
+        assert solution.total_pairs() == 1
+
+    def test_pairs_returns_frozen_copy(self, solution, output):
+        g = direct(location_path(global_location("g")))
+        solution.add(output, g)
+        frozen = solution.pairs(output)
+        assert isinstance(frozen, frozenset)
+        solution.add(output, direct(location_path(global_location("h"))))
+        assert len(frozen) == 1  # earlier snapshot unchanged
+
+    def test_targets_filters_by_offset(self, solution, output):
+        g = location_path(global_location("g"))
+        h = location_path(global_location("h"))
+        f = FieldOp("S", "x")
+        solution.add(output, direct(g))
+        solution.add(output, pair(make_path(None, [f]), h))
+        assert solution.targets(output) == {g}
+        assert solution.targets(output, make_path(None, [f])) == {h}
+
+    def test_op_locations_requires_memory_op(self, solution, output):
+        with pytest.raises(AnalysisError):
+            solution.op_locations(output.node)
+
+    def test_empty_queries(self, solution, output):
+        assert solution.pairs(output) == frozenset()
+        assert solution.targets(output) == set()
+        assert solution.total_pairs() == 0
+
+
+class TestCallGraph:
+    def test_add_edge_idempotent(self):
+        cg = CallGraph()
+        graph = FunctionGraph("f")
+        gb = GraphBuilder("main")
+        entry = gb.entry([])
+        fcn = gb.address(location_path(function_location("f")),
+                         ValueTag.FUNCTION)
+        out, store = gb.call(fcn, [], entry.store_out)
+        gb.ret(None, store)
+        call = out.node
+        assert cg.add_edge(call, graph)
+        assert not cg.add_edge(call, graph)
+        assert cg.edge_count() == 1
+        assert cg.callees(call) == {graph}
+        assert cg.callers(graph) == {call}
+
+    def test_unknown_lookups_empty(self):
+        cg = CallGraph()
+        graph = FunctionGraph("f")
+        assert cg.callers(graph) == set()
+
+
+class TestWorklist:
+    def test_fifo_order(self):
+        wl = Worklist()
+        wl.push("a", 1)
+        wl.push("b", 2)
+        assert wl.pop() == ("a", 1)
+        assert wl.pop() == ("b", 2)
+        assert not wl
+
+    def test_len(self):
+        wl = Worklist()
+        assert len(wl) == 0
+        wl.push("a", 1)
+        assert len(wl) == 1
+
+
+class TestResolveFunctionValue:
+    def test_resolves_defined_function(self):
+        program = Program("p")
+        gb = GraphBuilder("f")
+        entry = gb.entry([])
+        gb.ret(None, entry.store_out)
+        loc = function_location("f")
+        program.add_function(gb.finish(), loc)
+        assert resolve_function_value(
+            program, location_path(loc)).name == "f"
+
+    def test_rejects_data_location(self):
+        program = Program("p")
+        g = location_path(global_location("g"))
+        assert resolve_function_value(program, g) is None
+
+    def test_rejects_path_with_ops(self):
+        program = Program("p")
+        loc = function_location("f")
+        path = location_path(loc).extend(FieldOp("S", "x"))
+        assert resolve_function_value(program, path) is None
+
+    def test_unknown_function_location(self):
+        program = Program("p")
+        loc = function_location("ghost")
+        assert resolve_function_value(program, location_path(loc)) is None
+
+
+class TestCounters:
+    def test_as_dict(self):
+        c = Counters(transfers=1, meets=2, pairs_added=3)
+        assert c.as_dict() == {"transfers": 1, "meets": 2,
+                               "pairs_added": 3}

@@ -1,0 +1,97 @@
+"""Spurious-pair computation and the §4.3 comparison report."""
+
+import pytest
+
+from repro.analysis.compare import (
+    compare_results,
+    spurious_breakdown,
+    spurious_pairs,
+)
+from repro.analysis.insensitive import analyze_insensitive
+from repro.analysis.sensitive import analyze_sensitive
+from repro.errors import AnalysisError
+from repro.memory import direct, global_location, location_path
+from repro.suite.adversarial import load_cs_wins
+from tests.conftest import analyze_both, lower
+
+
+class TestSpuriousPairs:
+    def test_none_when_equal(self):
+        _, ci, cs = analyze_both("""
+            int g; int *p;
+            int main(void) { p = &g; return *p; }
+        """)
+        assert spurious_pairs(ci, cs) == {}
+
+    def test_detected_on_adversarial(self):
+        program = load_cs_wins(4)
+        ci = analyze_insensitive(program)
+        cs = analyze_sensitive(program, ci_result=ci)
+        by_output = spurious_pairs(ci, cs)
+        assert by_output
+        total = sum(len(p) for p in by_output.values())
+        report = compare_results(ci, cs)
+        assert report.spurious_pairs == total
+        assert report.percent_spurious > 0
+        assert not report.indirect_ops_identical
+        assert report.indirect_diffs
+
+    def test_breakdown_categories(self):
+        program = load_cs_wins(3)
+        ci = analyze_insensitive(program)
+        cs = analyze_sensitive(program, ci_result=ci)
+        breakdown = spurious_breakdown(ci, cs)
+        assert breakdown
+        for (path_cat, ref_cat), count in breakdown.items():
+            assert path_cat in ("offset", "local", "global", "heap")
+            assert ref_cat in ("function", "local", "global", "heap")
+            assert count > 0
+
+
+class TestReport:
+    def test_census_totals_consistent(self):
+        program = load_cs_wins(4)
+        ci = analyze_insensitive(program)
+        cs = analyze_sensitive(program, ci_result=ci)
+        report = compare_results(ci, cs)
+        assert report.total_insensitive == report.ci_census.total
+        assert report.total_sensitive == report.cs_census.total
+        assert report.total_insensitive - report.total_sensitive \
+            == report.spurious_pairs
+
+    def test_diff_extras_are_ci_only(self):
+        program = load_cs_wins(2)
+        ci = analyze_insensitive(program)
+        cs = analyze_sensitive(program, ci_result=ci)
+        report = compare_results(ci, cs)
+        for diff in report.indirect_diffs:
+            assert diff.extra == diff.ci_locations - diff.cs_locations
+            assert diff.cs_locations < diff.ci_locations
+
+
+class TestGuards:
+    def test_flavor_mismatch_rejected(self):
+        program = lower("int main(void) { return 0; }")
+        ci = analyze_insensitive(program)
+        with pytest.raises(AnalysisError, match="context-sensitive"):
+            compare_results(ci, ci)
+
+    def test_program_mismatch_rejected(self):
+        a = lower("int main(void) { return 0; }")
+        b = lower("int main(void) { return 1; }")
+        ci_a = analyze_insensitive(a)
+        cs_b = analyze_sensitive(b)
+        with pytest.raises(AnalysisError, match="different programs"):
+            compare_results(ci_a, cs_b)
+
+    def test_unsound_cs_detected(self):
+        """A CS result containing pairs CI lacks is a bug; compare
+        refuses to bless it."""
+        program = lower("int g; int main(void) { g = 1; return 0; }")
+        ci = analyze_insensitive(program)
+        cs = analyze_sensitive(program, ci_result=ci)
+        rogue = direct(location_path(global_location("rogue")))
+        some_output = next(iter(cs.solution.outputs()))
+        cs.solution.add(some_output, rogue)
+        with pytest.raises(AnalysisError, match="not a subset"):
+            compare_results(ci, cs)

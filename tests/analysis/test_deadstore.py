@@ -1,0 +1,88 @@
+"""Dead-store detection."""
+
+import pytest
+
+from repro.analysis.clients.deadstore import find_dead_stores
+from repro.ir.nodes import UpdateNode
+from tests.conftest import analyze_both
+
+
+def writes(program, function):
+    return [n for n in program.functions[function].nodes
+            if isinstance(n, UpdateNode)]
+
+
+class TestDeadStores:
+    def test_overwritten_strong_store_is_dead(self):
+        program, ci, _ = analyze_both("""
+            int g;
+            int main(void) {
+                g = 1;
+                g = 2;
+                return g;
+            }
+        """)
+        report = find_dead_stores(ci)
+        first, second = writes(program, "main")
+        assert first in report.dead
+        assert second not in report.dead
+        assert report.total == 2 and report.live == 1
+
+    def test_weak_store_never_dead(self):
+        program, ci, _ = analyze_both("""
+            int a[4];
+            int main(void) {
+                a[0] = 1;
+                a[0] = 2;
+                return a[1];
+            }
+        """)
+        report = find_dead_stores(ci)
+        assert report.dead == []
+
+    def test_unread_location_is_dead(self):
+        program, ci, _ = analyze_both("""
+            int g, h;
+            int main(void) { g = 1; h = 2; return h; }
+        """)
+        report = find_dead_stores(ci)
+        (g_write, h_write) = writes(program, "main")
+        assert g_write in report.dead
+        assert h_write not in report.dead
+
+    def test_cross_procedure_read_keeps_store_live(self):
+        program, ci, _ = analyze_both("""
+            int g;
+            int reader(void) { return g; }
+            int main(void) { g = 1; return reader(); }
+        """)
+        report = find_dead_stores(ci)
+        assert report.dead == []
+
+    def test_null_deref_reported_unreachable(self):
+        program, ci, _ = analyze_both("""
+            int main(void) {
+                int *p = 0;
+                *p = 1;
+                return 0;
+            }
+        """)
+        report = find_dead_stores(ci)
+        assert len(report.unreachable) == 1
+        assert report.dead == []
+
+    def test_branch_keeps_either_store_live(self):
+        program, ci, _ = analyze_both("""
+            int g;
+            int main(int argc, char **argv) {
+                if (argc) g = 1; else g = 2;
+                return g;
+            }
+        """)
+        report = find_dead_stores(ci)
+        assert report.dead == []
+
+    def test_suite_program_has_no_unreachable_writes(self, suite_cache):
+        report = find_dead_stores(suite_cache.ci("span"))
+        assert report.unreachable == []
+        assert report.total > 0

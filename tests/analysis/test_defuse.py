@@ -1,0 +1,242 @@
+"""The def/use client: reaching definitions through the store."""
+
+import pytest
+
+from repro.analysis.clients.defuse import INITIAL, defuse
+from repro.errors import AnalysisError
+from repro.ir.nodes import LookupNode, UpdateNode
+from tests.conftest import analyze_both
+
+
+def ops(program, function, cls):
+    return [n for n in program.functions[function].nodes
+            if isinstance(n, cls)]
+
+
+class TestStraightLine:
+    def test_single_definition(self):
+        program, ci, _ = analyze_both("""
+            int g;
+            int main(void) { g = 1; return g; }
+        """)
+        du = defuse(ci)
+        read = ops(program, "main", LookupNode)[0]
+        write = ops(program, "main", UpdateNode)[0]
+        assert du.reaching_definitions(read) == {write}
+
+    def test_strong_update_kills_earlier_def(self):
+        program, ci, _ = analyze_both("""
+            int g;
+            int main(void) {
+                g = 1;
+                g = 2;
+                return g;
+            }
+        """)
+        du = defuse(ci)
+        read = ops(program, "main", LookupNode)[0]
+        first, second = ops(program, "main", UpdateNode)
+        assert du.reaching_definitions(read) == {second}
+
+    def test_weak_update_keeps_earlier_def(self):
+        program, ci, _ = analyze_both("""
+            int a[4];
+            int main(void) {
+                a[0] = 1;
+                a[1] = 2;
+                return a[2];
+            }
+        """)
+        du = defuse(ci)
+        read = ops(program, "main", LookupNode)[0]
+        writes = set(ops(program, "main", UpdateNode))
+        # Element writes are weak (summary location): neither kills,
+        # and the array's initial contents remain observable too.
+        assert du.reaching_definitions(read) == writes | {INITIAL}
+
+    def test_unrelated_write_not_a_def(self):
+        program, ci, _ = analyze_both("""
+            int g, h;
+            int main(void) { g = 1; h = 2; return g; }
+        """)
+        du = defuse(ci)
+        read = ops(program, "main", LookupNode)[0]
+        g_write = ops(program, "main", UpdateNode)[0]
+        defs = du.reaching_definitions(read)
+        assert defs == {g_write}
+
+    def test_uninitialized_global_reaches_initial(self):
+        program, ci, _ = analyze_both("""
+            int g;
+            int main(void) { return g; }
+        """)
+        du = defuse(ci)
+        read = ops(program, "main", LookupNode)[0]
+        assert du.reaching_definitions(read) == {INITIAL}
+
+
+class TestBranches:
+    def test_both_branch_defs_reach(self):
+        program, ci, _ = analyze_both("""
+            int g;
+            int main(int argc, char **argv) {
+                if (argc) g = 1; else g = 2;
+                return g;
+            }
+        """)
+        du = defuse(ci)
+        read = ops(program, "main", LookupNode)[0]
+        writes = set(ops(program, "main", UpdateNode))
+        assert du.reaching_definitions(read) == writes
+
+    def test_loop_carried_def(self):
+        program, ci, _ = analyze_both("""
+            int g;
+            int main(int argc, char **argv) {
+                g = 0;
+                while (argc--) g = g + 1;
+                return g;
+            }
+        """)
+        du = defuse(ci)
+        final_read = ops(program, "main", LookupNode)[-1]
+        writes = set(ops(program, "main", UpdateNode))
+        assert du.reaching_definitions(final_read) == writes
+
+
+class TestInterprocedural:
+    def test_def_in_callee_reaches_caller(self):
+        program, ci, _ = analyze_both("""
+            int g;
+            void set(void) { g = 7; }
+            int main(void) { set(); return g; }
+        """)
+        du = defuse(ci)
+        read = ops(program, "main", LookupNode)[0]
+        write = ops(program, "set", UpdateNode)[0]
+        assert du.reaching_definitions(read) == {write}
+
+    def test_def_in_caller_reaches_callee(self):
+        program, ci, _ = analyze_both("""
+            int g;
+            int get(void) { return g; }
+            int main(void) { g = 3; return get(); }
+        """)
+        du = defuse(ci)
+        read = ops(program, "get", LookupNode)[0]
+        write = ops(program, "main", UpdateNode)[0]
+        assert du.reaching_definitions(read) == {write}
+
+    def test_call_site_sensitivity_of_walk(self):
+        """The walk resumes at the specific call that entered the
+        callee, so definitions from unrelated call sites of a *another*
+        function do not leak in along the store chain."""
+        program, ci, _ = analyze_both("""
+            int g;
+            int get(void) { return g; }
+            int main(void) {
+                g = 1;
+                int a = get();
+                g = 2;
+                int b = get();
+                return a + b;
+            }
+        """)
+        du = defuse(ci)
+        read = ops(program, "get", LookupNode)[0]
+        writes = ops(program, "main", UpdateNode)
+        # From get()'s read, both call sites are callers: both defs
+        # reach (the second is strong but the walks are per-call-site).
+        assert du.reaching_definitions(read) == set(writes)
+
+    def test_uses_of_inverse_query(self):
+        program, ci, _ = analyze_both("""
+            int g;
+            void set(void) { g = 7; }
+            int use1(void) { return g; }
+            int main(void) { set(); return use1(); }
+        """)
+        du = defuse(ci)
+        write = ops(program, "set", UpdateNode)[0]
+        uses = du.uses_of(write)
+        read = ops(program, "use1", LookupNode)[0]
+        assert read in uses
+
+
+class TestThroughPointers:
+    def test_pointer_write_defines_target(self):
+        program, ci, _ = analyze_both("""
+            int g; int *p;
+            int main(void) {
+                p = &g;
+                *p = 5;
+                return g;
+            }
+        """)
+        du = defuse(ci)
+        final_read = ops(program, "main", LookupNode)[-1]
+        deref_write = [n for n in ops(program, "main", UpdateNode)
+                       if n.is_indirect][0]
+        assert deref_write in du.reaching_definitions(final_read)
+
+    def test_guards(self):
+        program, ci, _ = analyze_both("""
+            int g;
+            int main(void) { g = 1; return g; }
+        """)
+        du = defuse(ci)
+        write = ops(program, "main", UpdateNode)[0]
+        with pytest.raises(AnalysisError):
+            du.reaching_definitions(write)
+
+    def test_insensitive_walk_is_coarser_superset(self):
+        """The context-insensitive walk may add definitions but never
+        loses one."""
+        program, ci, _ = analyze_both("""
+            int g;
+            int get(void) { return g; }
+            int main(void) {
+                g = 1;
+                int a = get();
+                g = 2;
+                return a + get();
+            }
+        """)
+        sensitive = defuse(ci, call_site_sensitive=True)
+        insensitive = defuse(ci, call_site_sensitive=False)
+        for graph in program.functions.values():
+            for node in graph.nodes:
+                if isinstance(node, LookupNode):
+                    assert sensitive.reaching_definitions(node) <= \
+                        insensitive.reaching_definitions(node)
+
+    def test_recursive_program_terminates(self):
+        """Call-graph cycles must not blow the walk up (the recursive
+        context is merged rather than unrolled)."""
+        program, ci, _ = analyze_both("""
+            int g;
+            int depth(int n) {
+                if (!n) return g;
+                g = n;
+                return depth(n - 1);
+            }
+            int main(void) { return depth(5); }
+        """)
+        du = defuse(ci)
+        read = ops(program, "depth", LookupNode)[0]
+        defs = du.reaching_definitions(read)
+        write = ops(program, "depth", UpdateNode)[0]
+        assert write in defs
+
+    def test_visit_budget(self):
+        program, ci, _ = analyze_both("""
+            int g;
+            int main(int argc, char **argv) {
+                while (argc--) g = g + 1;
+                return g;
+            }
+        """)
+        du = defuse(ci, max_visits=1)
+        read = ops(program, "main", LookupNode)[-1]
+        with pytest.raises(AnalysisError, match="budget"):
+            du.reaching_definitions(read)

@@ -1,0 +1,140 @@
+"""Derivation explanations."""
+
+import pytest
+
+from repro.analysis.explain import Explainer, explain, format_derivation
+from repro.errors import AnalysisError
+from repro.ir.nodes import LookupNode, UpdateNode
+from tests.conftest import analyze_both, find_op
+
+
+def _some_fact(result, node_kind_filter=None):
+    for output, pairs in result.solution.items():
+        if node_kind_filter and output.node.kind != node_kind_filter:
+            continue
+        for pair in pairs:
+            return output, pair
+    raise AssertionError("no facts")
+
+
+class TestExplain:
+    def test_address_seed_is_leaf(self):
+        program, ci, _ = analyze_both(
+            "int g; int main(void) { int *p = &g; return *p; }")
+        addr = next(n for n in program.functions["main"].nodes
+                    if n.kind == "address"
+                    and n.path.base.name == "g")
+        (pair,) = ci.pairs(addr.out)
+        derivation = explain(ci, addr.out, pair)
+        assert derivation.rule == "address constant"
+        assert derivation.premises == []
+
+    def test_store_write_derivation(self):
+        program, ci, _ = analyze_both("""
+            int g; int *p;
+            int main(void) { p = &g; return *p; }
+        """)
+        update = find_op(program, "main", "write")
+        (pair,) = ci.pairs(update.ostore)
+        derivation = explain(ci, update.ostore, pair)
+        assert "memory write" in derivation.rule
+        assert len(derivation.premises) == 2
+        rules = {p.rule for p in derivation.premises}
+        assert "address constant" in rules
+
+    def test_interprocedural_derivation(self):
+        program, ci, _ = analyze_both("""
+            int g;
+            int *get(void) { return &g; }
+            int main(void) { return *get(); }
+        """)
+        read = [n for n in program.functions["main"].nodes
+                if isinstance(n, LookupNode)][0]
+        loc_output = read.loc.source
+        (pair,) = ci.pairs(loc_output)
+        derivation = explain(ci, loc_output, pair)
+        assert "return value of get" in derivation.rule
+        text = format_derivation(derivation)
+        assert "address constant" in text
+
+    def test_formal_derivation_cites_caller(self):
+        program, ci, _ = analyze_both("""
+            int g;
+            void sink(int *p) { *p = 1; }
+            int main(void) { sink(&g); return 0; }
+        """)
+        formal = program.functions["sink"].formals[0]
+        (pair,) = ci.pairs(formal)
+        derivation = explain(ci, formal, pair)
+        assert "argument 0" in derivation.rule
+        assert "main" in derivation.rule
+
+    def test_loop_derivation_terminates(self):
+        program, ci, _ = analyze_both("""
+            extern void *malloc(unsigned long n);
+            struct node { struct node *next; };
+            int main(void) {
+                struct node *h = 0;
+                int i;
+                for (i = 0; i < 3; i++) {
+                    struct node *n = malloc(sizeof(struct node));
+                    n->next = h;
+                    h = n;
+                }
+                while (h) h = h->next;
+                return 0;
+            }
+        """)
+        read = [n for n in program.functions["main"].nodes
+                if isinstance(n, LookupNode) and n.is_indirect][-1]
+        for pair in ci.pairs(read.out):
+            derivation = explain(ci, read.out, pair)
+            assert derivation.depth() < 60
+            format_derivation(derivation)  # must not raise
+
+    def test_every_suite_fact_explainable(self, suite_cache):
+        """Every pair in a real program has a justification."""
+        ci = suite_cache.ci("span")
+        explainer = Explainer(ci)
+        checked = 0
+        for output, pairs in ci.solution.items():
+            for pair in pairs:
+                derivation = explainer.explain(output, pair)
+                assert derivation.rule != "(no justification found)", \
+                    format_derivation(derivation)
+                checked += 1
+        assert checked > 100
+
+    def test_unknown_fact_rejected(self):
+        program, ci, _ = analyze_both(
+            "int g; int main(void) { g = 1; return g; }")
+        from repro.memory import direct, global_location, location_path
+        bogus = direct(location_path(global_location("ghost")))
+        output = next(iter(ci.solution.outputs()))
+        with pytest.raises(AnalysisError, match="does not hold"):
+            explain(ci, output, bogus)
+
+    def test_cs_result_rejected(self):
+        program, ci, cs = analyze_both(
+            "int g; int main(void) { g = 1; return g; }")
+        output, pair = _some_fact(cs)
+        with pytest.raises(AnalysisError, match="context-insensitive"):
+            explain(cs, output, pair)
+
+    def test_survival_derivation(self):
+        program, ci, _ = analyze_both("""
+            int g1, g2;
+            int *arr[2];
+            int main(void) {
+                arr[0] = &g1;
+                arr[1] = &g2;
+                return *arr[0];
+            }
+        """)
+        second = [n for n in program.functions["main"].nodes
+                  if isinstance(n, UpdateNode)][1]
+        # The g1 pair survives the (weak) second write.
+        g1_pair = next(p for p in ci.pairs(second.ostore)
+                       if p.referent.base.name == "g1")
+        derivation = explain(ci, second.ostore, g1_pair)
+        assert "survives the write" in derivation.rule

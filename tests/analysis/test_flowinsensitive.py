@@ -1,0 +1,88 @@
+"""The Weihl-style flow-insensitive baseline."""
+
+import pytest
+
+import repro
+from repro.analysis.flowinsensitive import analyze_flowinsensitive
+from repro.analysis.insensitive import analyze_insensitive
+from repro.ir.nodes import LookupNode, UpdateNode
+from tests.conftest import lower, op_base_names
+
+
+def analyze_fi(source: str):
+    program = lower(source)
+    return program, analyze_flowinsensitive(program)
+
+
+class TestGlobalStore:
+    def test_no_strong_updates(self):
+        """Without flow, the overwrite cannot kill: *p sees both."""
+        program, fi = analyze_fi("""
+            int g1, g2; int *p;
+            int main(void) { p = &g1; p = &g2; return *p; }
+        """)
+        read = [n for n in program.functions["main"].nodes
+                if isinstance(n, LookupNode) and n.is_indirect][0]
+        assert op_base_names(fi, read) == {"g1", "g2"}
+
+    def test_coarser_than_flow_sensitive(self):
+        source = """
+            int g1, g2; int *p;
+            int main(void) { p = &g1; p = &g2; return *p; }
+        """
+        program = lower(source)
+        ci = analyze_insensitive(program)
+        fi = analyze_flowinsensitive(program)
+        read = [n for n in program.functions["main"].nodes
+                if isinstance(n, LookupNode) and n.is_indirect][0]
+        assert ci.op_locations(read) < fi.op_locations(read)
+
+    def test_order_independence(self):
+        """A read lexically before the write still sees it (the global
+        mapping has no program points)."""
+        program, fi = analyze_fi("""
+            int g; int *p;
+            int use(void) { return *p; }
+            int main(void) { int r = use(); p = &g; return r; }
+        """)
+        read = [n for n in program.functions["use"].nodes
+                if isinstance(n, LookupNode) and n.is_indirect][0]
+        assert op_base_names(fi, read) == {"g"}
+
+    def test_sound_superset_of_ci_at_ops(self):
+        source = """
+            int g1, g2;
+            int *id(int *p) { return p; }
+            int main(int argc, char **argv) {
+                int *a = id(argc ? &g1 : &g2);
+                *a = 1;
+                return 0;
+            }
+        """
+        program = lower(source)
+        ci = analyze_insensitive(program)
+        fi = analyze_flowinsensitive(program)
+        for node in program.functions["main"].nodes:
+            if isinstance(node, (LookupNode, UpdateNode)):
+                assert ci.op_locations(node) <= fi.op_locations(node)
+
+    def test_store_outputs_report_global_map(self):
+        program, fi = analyze_fi("""
+            int g; int *p;
+            int main(void) { p = &g; return 0; }
+        """)
+        from repro.ir.nodes import ValueTag
+        store_outputs = [o for o in program.functions["main"].outputs()
+                         if o.tag is ValueTag.STORE]
+        sizes = {len(fi.pairs(o)) for o in store_outputs}
+        assert len(sizes) == 1  # every store output shows the same map
+        assert fi.extras["global_store_pairs"] == sizes.pop()
+
+    def test_flavor_tag(self):
+        _, fi = analyze_fi("int main(void) { return 0; }")
+        assert fi.flavor == "flowinsensitive"
+
+    def test_dispatch_via_top_level_api(self):
+        program = lower("int main(void) { return 0; }")
+        result = repro.analyze(program, sensitivity="flowinsensitive")
+        assert result.flavor == "flowinsensitive"

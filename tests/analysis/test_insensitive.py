@@ -1,0 +1,209 @@
+"""The context-insensitive analysis (paper Figure 1)."""
+
+import pytest
+
+import repro
+from repro.analysis.insensitive import analyze_insensitive
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import Program
+from repro.ir.nodes import LookupNode, UpdateNode, ValueTag
+from repro.ir.validate import validate_program
+from repro.memory import (
+    direct,
+    function_location,
+    global_location,
+    heap_location,
+    location_path,
+    pair,
+)
+from tests.conftest import analyze_both, find_op, lower, op_base_names, \
+    target_names
+
+
+def build_single(build_body):
+    """Build a one-function program; build_body(gb, entry) returns the
+    final store and optionally interesting ports."""
+    program = Program("t")
+    gb = GraphBuilder("main")
+    entry = gb.entry([])
+    extra = build_body(program, gb, entry)
+    program.add_function(gb.graph)
+    program.add_root("main")
+    validate_program(program)
+    return program, extra
+
+
+class TestLookupUpdate:
+    def test_update_then_lookup(self):
+        def body(program, gb, entry):
+            g = program.register_location(global_location("g"))
+            p = program.register_location(global_location("p"))
+            store = gb.update(gb.address(location_path(p)),
+                              entry.store_out,
+                              gb.address(location_path(g)))
+            loaded = gb.lookup(gb.address(location_path(p)), store,
+                               ValueTag.POINTER)
+            gb.ret(None, store)
+            return loaded
+
+        program, loaded = build_single(body)
+        result = analyze_insensitive(program)
+        assert target_names(result, loaded) == {"g"}
+
+    def test_lookup_sees_later_arriving_store_pairs(self):
+        """Two-sided join: order of arrival must not matter.  Here the
+        store pair transits a merge, arriving after the loc pair."""
+        def body(program, gb, entry):
+            g = program.register_location(global_location("g"))
+            p = program.register_location(global_location("p"))
+            store = gb.update(gb.address(location_path(p)),
+                              entry.store_out,
+                              gb.address(location_path(g)))
+            merged = gb.merge([store, entry.store_out],
+                              tag=ValueTag.STORE)
+            loaded = gb.lookup(gb.address(location_path(p)), merged,
+                               ValueTag.POINTER)
+            gb.ret(None, merged)
+            return loaded
+
+        program, loaded = build_single(body)
+        result = analyze_insensitive(program)
+        assert target_names(result, loaded) == {"g"}
+
+
+class TestStrongUpdates:
+    def test_single_strong_target_kills(self):
+        _, ci, _ = analyze_both("""
+            int g1, g2; int *p;
+            int main(void) { p = &g1; p = &g2; return *p; }
+        """)
+        read = [n for n in ci.program.functions["main"].nodes
+                if isinstance(n, LookupNode) and n.is_indirect][0]
+        assert op_base_names(ci, read) == {"g2"}
+
+    def test_weak_target_accumulates(self):
+        _, ci, _ = analyze_both("""
+            int g1, g2;
+            int *arr[2];
+            int main(void) {
+                arr[0] = &g1;
+                arr[0] = &g2;
+                return *arr[1];
+            }
+        """)
+        read = [n for n in ci.program.functions["main"].nodes
+                if isinstance(n, LookupNode) and n.is_indirect][0]
+        assert op_base_names(ci, read) == {"g1", "g2"}
+
+    def test_multi_referent_update_is_weak(self):
+        _, ci, _ = analyze_both("""
+            int g1, g2; int *p; int *q;
+            int main(int argc, char **argv) {
+                p = &g1;
+                int **pp = argc ? &p : &q;
+                *pp = &g2;   /* may write p or q: must not kill p->g1 */
+                return *p;
+            }
+        """)
+        read = [n for n in ci.program.functions["main"].nodes
+                if isinstance(n, LookupNode) and n.is_indirect][-1]
+        assert op_base_names(ci, read) == {"g1", "g2"}
+
+    def test_update_blocks_until_location_known(self):
+        """Store pairs are delayed at an update whose location set is
+        empty (dereferencing only null): nothing flows downstream."""
+        _, ci, _ = analyze_both("""
+            int g; int *p; int *q;
+            int main(void) {
+                p = &g;
+                *q = 5;      /* q is null: blocks the store chain */
+                return *p;
+            }
+        """)
+        read = [n for n in ci.program.functions["main"].nodes
+                if isinstance(n, LookupNode) and n.is_indirect][-1]
+        assert ci.op_locations(read) == set()
+
+
+class TestInterprocedural:
+    def test_call_merges_all_callers(self):
+        _, ci, _ = analyze_both("""
+            int g1, g2;
+            int *id(int *p) { return p; }
+            int main(void) {
+                int *a = id(&g1);
+                int *b = id(&g2);
+                return *a + *b;
+            }
+        """)
+        reads = [n for n in ci.program.functions["main"].nodes
+                 if isinstance(n, LookupNode) and n.is_indirect]
+        for read in reads:
+            assert op_base_names(ci, read) == {"g1", "g2"}
+
+    def test_callee_discovered_then_repropagated(self):
+        program, ci, _ = analyze_both("""
+            int g;
+            void sink(int *p) { *p = 1; }
+            void (*fp)(int *);
+            void install(void) { fp = sink; }
+            int main(void) {
+                install();
+                fp(&g);
+                return 0;
+            }
+        """)
+        write = find_op(program, "sink", "write")
+        assert op_base_names(ci, write) == {"g"}
+
+    def test_unresolved_callee_recorded(self):
+        program, ci, _ = analyze_both("""
+            extern void (*mystery_hook)(void);
+            int main(void) { mystery_hook(); return 0; }
+        """)
+        assert len(ci.callgraph.unresolved) == 0  # null fcn: no pairs at all
+
+    def test_counters_populated(self):
+        _, ci, _ = analyze_both("int g; int main(void) { g = 1; return g; }")
+        assert ci.counters.transfers > 0
+        assert ci.counters.meets >= ci.counters.pairs_added > 0
+
+    def test_deterministic(self):
+        src = """
+            int g1, g2;
+            int *id(int *p) { return p; }
+            int main(void) { return *id(&g1) + *id(&g2); }
+        """
+        program = lower(src)
+        a = analyze_insensitive(program)
+        b = analyze_insensitive(program)
+        for output in a.solution.outputs():
+            assert a.pairs(output) == b.pairs(output)
+        assert a.counters.as_dict() == b.counters.as_dict()
+
+
+class TestRecursiveLocals:
+    def test_recursive_local_weakly_updated(self):
+        """Footnote 4: a recursive procedure's address-taken local is
+        multi-instance, so successive writes accumulate rather than
+        kill (scheme 2)."""
+        _, ci, _ = analyze_both("""
+            int g1, g2;
+            int rec(int n, int **out) {
+                int *cell;
+                cell = n ? &g1 : &g2;
+                *out = cell;
+                if (n) return rec(n - 1, &cell);
+                return 0;
+            }
+            int main(void) {
+                int *seen;
+                rec(3, &seen);
+                return *seen;
+            }
+        """)
+        program = ci.program
+        read = [n for n in program.functions["main"].nodes
+                if isinstance(n, LookupNode) and n.is_indirect][-1]
+        locs = op_base_names(ci, read)
+        assert {"g1", "g2"} <= locs

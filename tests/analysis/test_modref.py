@@ -1,0 +1,114 @@
+"""The mod/ref client."""
+
+import pytest
+
+from repro.analysis.clients.modref import modref
+from repro.analysis.insensitive import analyze_insensitive
+from repro.errors import AnalysisError
+from repro.ir.nodes import CallNode, LookupNode, UpdateNode
+from repro.memory import location_path
+from tests.conftest import analyze_both, lower
+
+
+SRC = """
+    int g; int h;
+    void write_g(void) { g = 1; }
+    int read_h(void) { return h; }
+    void both(void) { write_g(); g = read_h(); }
+    int main(void) { both(); return 0; }
+"""
+
+
+def names(paths):
+    return {p.base.name for p in paths}
+
+
+class TestDirectSets:
+    def test_leaf_mod(self):
+        _, ci, _ = analyze_both(SRC)
+        info = modref(ci)
+        assert names(info.mod_set("write_g")) == {"g"}
+        assert info.ref_set("write_g") == frozenset()
+
+    def test_leaf_ref(self):
+        _, ci, _ = analyze_both(SRC)
+        info = modref(ci)
+        assert names(info.ref_set("read_h")) == {"h"}
+        assert info.mod_set("read_h") == frozenset()
+
+
+class TestTransitiveClosure:
+    def test_caller_inherits_callee_effects(self):
+        _, ci, _ = analyze_both(SRC)
+        info = modref(ci)
+        assert names(info.mod_set("both")) == {"g"}
+        assert names(info.ref_set("both")) == {"h"}
+        assert names(info.mod_set("main")) == {"g"}
+        assert names(info.ref_set("main")) == {"h"}
+
+    def test_recursive_closure_terminates(self):
+        _, ci, _ = analyze_both("""
+            int g;
+            void even(int n);
+            void odd(int n) { g = n; if (n) even(n - 1); }
+            void even(int n) { if (n) odd(n - 1); }
+            int main(void) { even(4); return g; }
+        """)
+        info = modref(ci)
+        assert names(info.mod_set("even")) == {"g"}
+        assert names(info.mod_set("odd")) == {"g"}
+
+    def test_pointer_mediated_effects(self):
+        _, ci, _ = analyze_both("""
+            int a, b;
+            void poke(int *p) { *p = 1; }
+            int main(int argc, char **argv) {
+                poke(argc ? &a : &b);
+                return 0;
+            }
+        """)
+        info = modref(ci)
+        assert names(info.mod_set("poke")) == {"a", "b"}
+        assert names(info.mod_set("main")) == {"a", "b"}
+
+
+class TestPerOpAndCallQueries:
+    def test_op_queries(self):
+        program, ci, _ = analyze_both(SRC)
+        info = modref(ci)
+        write = next(n for n in program.functions["write_g"].nodes
+                     if isinstance(n, UpdateNode))
+        assert names(info.op_mod(write)) == {"g"}
+        with pytest.raises(AnalysisError):
+            info.op_ref(write)
+
+    def test_call_site_queries(self):
+        program, ci, _ = analyze_both(SRC)
+        info = modref(ci)
+        call = next(n for n in program.functions["main"].nodes
+                    if isinstance(n, CallNode))
+        assert names(info.call_mod(call)) == {"g"}
+        assert names(info.call_ref(call)) == {"h"}
+
+    def test_unknown_function_rejected(self):
+        _, ci, _ = analyze_both(SRC)
+        with pytest.raises(AnalysisError, match="unknown function"):
+            modref(ci).mod_set("ghost")
+
+
+class TestAliasAwareQueries:
+    def test_may_mod_prefix_aliasing(self):
+        program, ci, _ = analyze_both("""
+            struct s { int a; int b; } v;
+            void set_a(void) { v.a = 1; }
+            int main(void) { set_a(); return v.b; }
+        """)
+        info = modref(ci)
+        v_loc = next(loc for loc in program.locations if loc.name == "v")
+        whole = location_path(v_loc)
+        # Writing v.a may modify storage reachable through v ...
+        assert info.may_mod("set_a", whole)
+        # ... but not through v.b.
+        record = v_loc.ctype
+        b_path = whole.extend(record.field_op("b"))
+        assert not info.may_mod("set_a", b_path)

@@ -1,0 +1,171 @@
+"""Property-based tests over randomly generated pointer programs.
+
+A small generator builds valid C programs from pointer-assignment
+templates; the properties are the paper's structural invariants:
+
+* the context-sensitive solution is a refinement of (subset of) the
+  context-insensitive one, everywhere;
+* §4.2's optimizations never change the stripped CS solution;
+* both analyses are deterministic;
+* every location an op references context-insensitively is also
+  reported by the flow-insensitive baseline (CI refines Weihl).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.analysis.flowinsensitive import analyze_flowinsensitive
+from repro.analysis.insensitive import analyze_insensitive
+from repro.analysis.sensitive import analyze_sensitive
+from repro.ir.nodes import LookupNode, UpdateNode
+
+N_GLOBALS = 4
+N_POINTERS = 3
+N_HELPERS = 2
+
+
+@st.composite
+def pointer_programs(draw) -> str:
+    """A random but always-valid pointer-shuffling C program.
+
+    Covers globals, pointer cells, heap nodes with pointer members,
+    shared helper procedures (identity, store-through, select), loops,
+    and list-style walks — every construct the analyses' transfer
+    functions dispatch on.
+    """
+    lines = []
+    lines.append("extern void *malloc(unsigned long n);")
+    lines.append("struct box { int *ptr; struct box *link; };")
+    for i in range(N_GLOBALS):
+        lines.append(f"int g{i};")
+    for i in range(N_POINTERS):
+        lines.append(f"int *p{i};")
+    lines.append("struct box *boxes;")
+    # Helper procedures: identity, store-through, swap-ish.
+    lines.append("int *identity(int *x) { return x; }")
+    lines.append("void store_to(int **cell, int *value) "
+                 "{ *cell = value; }")
+    lines.append("int *choose(int *a, int *b, int c) "
+                 "{ if (c) return a; return b; }")
+    lines.append("struct box *wrap(int *value) {")
+    lines.append("    struct box *b = malloc(sizeof(struct box));")
+    lines.append("    b->ptr = value; b->link = boxes; return b;")
+    lines.append("}")
+
+    body = []
+    n_statements = draw(st.integers(min_value=1, max_value=12))
+    for _ in range(n_statements):
+        kind = draw(st.integers(min_value=0, max_value=8))
+        p = draw(st.integers(min_value=0, max_value=N_POINTERS - 1))
+        q = draw(st.integers(min_value=0, max_value=N_POINTERS - 1))
+        g = draw(st.integers(min_value=0, max_value=N_GLOBALS - 1))
+        h = draw(st.integers(min_value=0, max_value=N_GLOBALS - 1))
+        if kind == 0:
+            body.append(f"p{p} = &g{g};")
+        elif kind == 1:
+            body.append(f"p{p} = identity(&g{g});")
+        elif kind == 2:
+            body.append(f"store_to(&p{p}, &g{g});")
+        elif kind == 3:
+            body.append(f"p{p} = choose(&g{g}, &g{h}, argc);")
+        elif kind == 4:
+            body.append(f"if (argc) p{p} = p{q};")
+        elif kind == 5:
+            body.append(f"if (p{p}) *p{p} = {g};")
+        elif kind == 6:
+            body.append(f"boxes = wrap(&g{g});")
+        elif kind == 7:
+            body.append(f"if (boxes) p{p} = boxes->ptr;")
+        else:
+            body.append("{ struct box *walk; "
+                        "for (walk = boxes; walk; walk = walk->link) "
+                        f"if (walk->ptr) p{p} = walk->ptr; }}")
+    body.append("return 0;")
+    lines.append("int main(int argc, char **argv) {")
+    lines.extend("    " + s for s in body)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _memory_ops(program):
+    for graph in program.functions.values():
+        for node in graph.nodes:
+            if isinstance(node, (LookupNode, UpdateNode)):
+                yield node
+
+
+@settings(max_examples=25, deadline=None)
+@given(pointer_programs())
+def test_cs_refines_ci_everywhere(source):
+    program = repro.parse_source(source)
+    ci = analyze_insensitive(program)
+    cs = analyze_sensitive(program, ci_result=ci)
+    for output in cs.solution.outputs():
+        assert cs.pairs(output) <= ci.pairs(output)
+    for node in _memory_ops(program):
+        assert cs.op_locations(node) <= ci.op_locations(node)
+
+
+@settings(max_examples=15, deadline=None)
+@given(pointer_programs())
+def test_optimizations_preserve_cs_solution(source):
+    program = repro.parse_source(source)
+    ci = analyze_insensitive(program)
+    fast = analyze_sensitive(program, ci_result=ci, optimize=True)
+    slow = analyze_sensitive(program, ci_result=ci, optimize=False)
+    outputs = set(fast.solution.outputs()) | set(slow.solution.outputs())
+    for output in outputs:
+        assert fast.pairs(output) == slow.pairs(output)
+
+
+@settings(max_examples=15, deadline=None)
+@given(pointer_programs())
+def test_ci_deterministic(source):
+    program = repro.parse_source(source)
+    a = analyze_insensitive(program)
+    b = analyze_insensitive(program)
+    assert a.counters.as_dict() == b.counters.as_dict()
+    for output in a.solution.outputs():
+        assert a.pairs(output) == b.pairs(output)
+
+
+@settings(max_examples=15, deadline=None)
+@given(pointer_programs())
+def test_ci_refines_flow_insensitive_at_ops(source):
+    program = repro.parse_source(source)
+    ci = analyze_insensitive(program)
+    fi = analyze_flowinsensitive(program)
+    for node in _memory_ops(program):
+        assert ci.op_locations(node) <= fi.op_locations(node)
+
+
+@settings(max_examples=20, deadline=None)
+@given(pointer_programs())
+def test_solutions_are_fixpoints(source):
+    """The independent verifier (which shares no code with the
+    solvers) confirms every solution is closed under the transfer
+    functions."""
+    from repro.analysis.verify import verify_solution
+
+    program = repro.parse_source(source)
+    ci = analyze_insensitive(program)
+    assert verify_solution(ci) == []
+    cs = analyze_sensitive(program, ci_result=ci)
+    assert verify_solution(cs) == []
+
+
+@settings(max_examples=15, deadline=None)
+@given(pointer_programs())
+def test_referents_are_locations(source):
+    """Structural sanity of every computed pair."""
+    program = repro.parse_source(source)
+    ci = analyze_insensitive(program)
+    from repro.ir.nodes import ValueTag
+    for output, pairs in ci.solution.items():
+        for pair in pairs:
+            assert pair.referent.base is not None
+            if output.tag is ValueTag.STORE:
+                assert pair.path.base is not None  # store paths absolute
+            else:
+                assert pair.path.base is None      # value paths relative

@@ -1,0 +1,130 @@
+"""Qualified pairs, assumption sets, and the subsumption rule."""
+
+import pytest
+
+from repro.analysis.qualified import (
+    AssumptionAntichain,
+    EMPTY_ASSUMPTIONS,
+    QualifiedPair,
+    QualifiedSolution,
+)
+from repro.ir.builder import GraphBuilder
+from repro.ir.nodes import ValueTag
+from repro.memory import direct, global_location, location_path
+
+
+@pytest.fixture
+def ports():
+    gb = GraphBuilder("f")
+    entry = gb.entry([("p", ValueTag.POINTER, None),
+                      ("q", ValueTag.POINTER, None)])
+    gb.ret(None, entry.store_out)
+    return entry.formals[0], entry.formals[1], entry.store_out
+
+
+@pytest.fixture
+def pairs():
+    a = direct(location_path(global_location("a")))
+    b = direct(location_path(global_location("b")))
+    c = direct(location_path(global_location("c")))
+    return a, b, c
+
+
+class TestAntichain:
+    def test_first_insert(self):
+        chain = AssumptionAntichain()
+        assert chain.add(frozenset())
+        assert len(chain) == 1
+
+    def test_subsumed_discarded(self, ports, pairs):
+        """(p, B) is discarded when (p, A) with A ⊆ B is stored."""
+        p, q, _ = ports
+        a, b, _ = pairs
+        chain = AssumptionAntichain()
+        small = frozenset({(p, a)})
+        large = frozenset({(p, a), (q, b)})
+        assert chain.add(small)
+        assert not chain.add(large)
+        assert list(chain) == [small]
+
+    def test_weaker_replaces_stronger(self, ports, pairs):
+        p, q, _ = ports
+        a, b, _ = pairs
+        chain = AssumptionAntichain()
+        large = frozenset({(p, a), (q, b)})
+        small = frozenset({(p, a)})
+        assert chain.add(large)
+        assert chain.add(small)
+        assert list(chain) == [small]
+
+    def test_incomparable_both_kept(self, ports, pairs):
+        p, q, _ = ports
+        a, b, _ = pairs
+        chain = AssumptionAntichain()
+        assert chain.add(frozenset({(p, a)}))
+        assert chain.add(frozenset({(q, b)}))
+        assert len(chain) == 2
+
+    def test_empty_set_subsumes_everything(self, ports, pairs):
+        p, _, _ = ports
+        a, _, _ = pairs
+        chain = AssumptionAntichain()
+        assert chain.add(frozenset({(p, a)}))
+        assert chain.add(EMPTY_ASSUMPTIONS)
+        assert list(chain) == [EMPTY_ASSUMPTIONS]
+        assert not chain.add(frozenset({(p, a)}))
+
+    def test_duplicate_rejected(self, ports, pairs):
+        p, _, _ = ports
+        a, _, _ = pairs
+        chain = AssumptionAntichain()
+        s = frozenset({(p, a)})
+        assert chain.add(s)
+        assert not chain.add(s)
+
+
+class TestQualifiedSolution:
+    def test_strip_deduplicates(self, ports, pairs):
+        p, q, store = ports
+        a, b, _ = pairs
+        sol = QualifiedSolution()
+        sol.add(store, QualifiedPair(a, frozenset({(p, a)})))
+        sol.add(store, QualifiedPair(a, frozenset({(q, b)})))
+        stripped = sol.strip()
+        assert stripped.pairs(store) == frozenset({a})
+
+    def test_counts(self, ports, pairs):
+        p, q, store = ports
+        a, b, c = pairs
+        sol = QualifiedSolution()
+        sol.add(store, QualifiedPair(a, frozenset({(p, a)})))
+        sol.add(store, QualifiedPair(a, frozenset({(q, b)})))
+        sol.add(store, QualifiedPair(b))
+        assert sol.total_plain_pairs() == 2
+        assert sol.total_qualified_pairs() == 3
+        assert sol.max_assumption_set_size() == 1
+
+    def test_add_applies_subsumption(self, ports, pairs):
+        p, q, store = ports
+        a, b, _ = pairs
+        sol = QualifiedSolution()
+        assert sol.add(store, QualifiedPair(a, frozenset({(p, a)})))
+        assert not sol.add(
+            store, QualifiedPair(a, frozenset({(p, a), (q, b)})))
+
+    def test_assumption_sets_query(self, ports, pairs):
+        p, _, store = ports
+        a, _, _ = pairs
+        sol = QualifiedSolution()
+        sol.add(store, QualifiedPair(a, frozenset({(p, a)})))
+        assert sol.assumption_sets(store, a) == [frozenset({(p, a)})]
+        assert sol.assumption_sets(store, direct(a.referent)) \
+            == [frozenset({(p, a)})]
+
+    def test_qualified_pair_equality(self, ports, pairs):
+        p, _, _ = ports
+        a, _, _ = pairs
+        x = QualifiedPair(a, frozenset({(p, a)}))
+        y = QualifiedPair(a, frozenset({(p, a)}))
+        assert x == y and hash(x) == hash(y)
+        assert x != QualifiedPair(a)

@@ -1,0 +1,110 @@
+"""Context-specific queries (using the qualified information directly)."""
+
+import pytest
+
+from repro.analysis.insensitive import analyze_insensitive
+from repro.analysis.query import (
+    op_locations_at_call,
+    pairs_under,
+    project_at_call,
+)
+from repro.errors import AnalysisError
+from repro.ir.nodes import CallNode, UpdateNode
+from repro.memory.pairs import direct
+from tests.conftest import analyze_both
+
+
+SRC = """
+int g1, g2;
+int *id(int *p) { return p; }
+int main(void) {
+    int *a = id(&g1);
+    int *b = id(&g2);
+    *a = 1;
+    *b = 2;
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def setup():
+    program, ci, cs = analyze_both(SRC)
+    id_graph = program.functions["id"]
+    calls = sorted((n for n in program.functions["main"].nodes
+                    if isinstance(n, CallNode)), key=lambda n: n.uid)
+    return program, cs, id_graph, calls
+
+
+class TestPairsUnder:
+    def test_empty_context_gives_unconditional_only(self, setup):
+        program, cs, id_graph, calls = setup
+        formal = id_graph.formals[0]
+        assert pairs_under(cs, formal, []) == set()
+
+    def test_matching_context_reveals_pair(self, setup):
+        program, cs, id_graph, calls = setup
+        formal = id_graph.formals[0]
+        g1 = next(loc for loc in program.locations if loc.name == "g1")
+        from repro.memory.access import location_path
+        fact = direct(location_path(g1))
+        held = pairs_under(cs, formal, [(formal, fact)])
+        assert held == {fact}
+
+    def test_requires_cs_result(self, setup):
+        program, cs, id_graph, calls = setup
+        ci = analyze_insensitive(program)
+        with pytest.raises(AnalysisError, match="context-sensitive"):
+            pairs_under(ci, id_graph.formals[0], [])
+
+
+class TestProjectAtCall:
+    def test_formal_projected_per_site(self, setup):
+        program, cs, id_graph, calls = setup
+        formal = id_graph.formals[0]
+        first = {p.referent.base.name
+                 for p in project_at_call(cs, formal, calls[0])}
+        second = {p.referent.base.name
+                  for p in project_at_call(cs, formal, calls[1])}
+        assert first == {"g1"}
+        assert second == {"g2"}
+
+    def test_stripped_is_union_over_sites(self, setup):
+        program, cs, id_graph, calls = setup
+        formal = id_graph.formals[0]
+        union = set()
+        for call in calls:
+            union |= project_at_call(cs, formal, call)
+        assert union == set(cs.pairs(formal))
+
+    def test_wrong_call_rejected(self, setup):
+        program, cs, id_graph, calls = setup
+        main_graph = program.functions["main"]
+        with pytest.raises(AnalysisError, match="does not invoke"):
+            # an output of main projected "at" a call into id
+            project_at_call(cs, main_graph.store_formal, calls[0])
+
+
+class TestOpLocationsAtCall:
+    def test_per_site_deref_view(self):
+        program, ci, cs = analyze_both("""
+            int g1, g2;
+            void poke(int *p) { *p = 9; }
+            int main(void) {
+                poke(&g1);
+                poke(&g2);
+                return 0;
+            }
+        """)
+        poke = program.functions["poke"]
+        write = next(n for n in poke.nodes if isinstance(n, UpdateNode))
+        calls = sorted((n for n in program.functions["main"].nodes
+                        if isinstance(n, CallNode)), key=lambda n: n.uid)
+        # Stripped (Figure 6) view: both globals.
+        assert {p.base.name for p in cs.op_locations(write)} \
+            == {"g1", "g2"}
+        # Per-call-site view: each site sees only its own target.
+        at_first = op_locations_at_call(cs, write, calls[0])
+        at_second = op_locations_at_call(cs, write, calls[1])
+        assert {p.base.name for p in at_first} == {"g1"}
+        assert {p.base.name for p in at_second} == {"g2"}

@@ -1,0 +1,186 @@
+"""The statistics module: every figure's metric on known programs."""
+
+import pytest
+
+from repro.analysis.insensitive import analyze_insensitive
+from repro.analysis.stats import (
+    IndirectOpStats,
+    breakdown_percentages,
+    indirect_op_stats,
+    indirect_operations,
+    pair_breakdown,
+    pair_census,
+    program_sizes,
+    pruning_coverage,
+)
+from repro.errors import AnalysisError
+from tests.conftest import analyze_both, lower
+
+
+class TestProgramSizes:
+    def test_counts(self):
+        program = lower("int g;\nint main(void) { g = 1; return g; }\n",
+                        name="tiny.c")
+        sizes = program_sizes(program)
+        assert sizes.name == "tiny.c"
+        assert sizes.source_lines == 2
+        assert sizes.vdg_nodes == program.node_count()
+        assert sizes.alias_related_outputs > 0
+
+    def test_alias_related_excludes_scalars(self):
+        program = lower("int main(void) { int a = 1; return a + 2; }")
+        sizes = program_sizes(program)
+        graph = program.functions["main"]
+        scalars = sum(1 for port in graph.outputs()
+                      if not port.alias_related)
+        assert scalars > 0
+        assert sizes.alias_related_outputs + scalars \
+            == sum(1 for _ in graph.outputs())
+
+
+class TestPairCensus:
+    def test_buckets(self):
+        _, ci, _ = analyze_both("""
+            int g; int *p;
+            int f(int x) { return x; }
+            int main(void) {
+                int (*fp)(int) = f;
+                p = &g;
+                return fp(*p);
+            }
+        """)
+        census = pair_census(ci)
+        assert census.pointer > 0
+        assert census.function > 0
+        assert census.store > 0
+        assert census.other == 0  # no pairs on scalar outputs, ever
+        assert census.total == (census.pointer + census.function
+                                + census.aggregate + census.store)
+
+    def test_aggregate_bucket(self):
+        _, ci, _ = analyze_both("""
+            int g;
+            struct box { int *p; };
+            struct box make(void) { struct box b; b.p = &g; return b; }
+            int main(void) { struct box v = make(); return *v.p; }
+        """)
+        assert pair_census(ci).aggregate > 0
+
+
+class TestIndirectOpStats:
+    def test_histogram(self):
+        _, ci, _ = analyze_both("""
+            int g1, g2; int *p; int *q;
+            int main(int argc, char **argv) {
+                p = argc ? &g1 : &g2;
+                q = &g1;
+                *p = 1;   /* 2 locations */
+                *q = 2;   /* 1 location */
+                return 0;
+            }
+        """)
+        stats = indirect_op_stats(ci, "write")
+        assert stats.total == 2
+        assert stats.one == 1 and stats.two == 1
+        assert stats.max_locations == 2
+        assert stats.avg == pytest.approx(1.5)
+
+    def test_zero_location_op(self):
+        """The paper's backprop row: a null-only dereference counts in
+        the total but in no histogram column, dragging avg below 1."""
+        _, ci, _ = analyze_both("""
+            int main(void) { int *p = 0; return *p; }
+        """)
+        stats = indirect_op_stats(ci, "read")
+        assert stats.total == 1 and stats.zero == 1
+        assert stats.avg == 0.0
+
+    def test_bad_kind_rejected(self):
+        _, ci, _ = analyze_both("int main(void) { return 0; }")
+        with pytest.raises(AnalysisError):
+            indirect_op_stats(ci, "modify")
+
+    def test_indirect_operations_filter(self):
+        program, ci, _ = analyze_both("""
+            int g; int *p;
+            int main(void) { p = &g; *p = 1; return *p; }
+        """)
+        all_ops = list(indirect_operations(program))
+        reads = list(indirect_operations(program, "read"))
+        writes = list(indirect_operations(program, "write"))
+        assert len(all_ops) == len(reads) + len(writes)
+        assert len(reads) == 1 and len(writes) == 1
+
+
+class TestBreakdown:
+    def test_categories_cover_pairs(self):
+        _, ci, _ = analyze_both("""
+            void *malloc(unsigned long n);
+            int g; int *p;
+            int main(void) {
+                int *h = malloc(4);
+                p = &g;
+                return *p + *h;
+            }
+        """)
+        breakdown = pair_breakdown(ci)
+        assert sum(breakdown.values()) == ci.solution.total_pairs()
+        assert any(key[1] == "heap" for key in breakdown)
+        assert any(key[1] == "global" for key in breakdown)
+
+    def test_percentages_sum_to_100(self):
+        _, ci, _ = analyze_both("""
+            int g; int *p;
+            int main(void) { p = &g; return *p; }
+        """)
+        pct = breakdown_percentages(pair_breakdown(ci))
+        assert sum(pct.values()) == pytest.approx(100.0)
+
+    def test_empty_breakdown(self):
+        assert breakdown_percentages({}) == {}
+
+
+class TestPruningCoverage:
+    def test_single_location_counted(self):
+        _, ci, _ = analyze_both("""
+            int g1, g2; int *single; int *multi;
+            int main(int argc, char **argv) {
+                single = &g1;
+                multi = argc ? &g1 : &g2;
+                *single = 1;
+                *multi = 2;
+                return 0;
+            }
+        """)
+        coverage = pruning_coverage(ci)
+        assert coverage.indirect_total == 2
+        assert coverage.single_location == 1
+        assert coverage.single_location_fraction == pytest.approx(0.5)
+
+    def test_scalar_moves_need_no_assumptions(self):
+        """Only ops moving pointer/function values count against the
+        9%/7% figures; scalar traffic is free."""
+        _, ci, _ = analyze_both("""
+            int g1, g2; int *multi;
+            int main(int argc, char **argv) {
+                multi = argc ? &g1 : &g2;
+                *multi = 7;        /* scalar write */
+                return *multi;     /* scalar read */
+            }
+        """)
+        coverage = pruning_coverage(ci)
+        assert coverage.reads_needing_assumptions == 0
+        assert coverage.writes_needing_assumptions == 0
+
+    def test_pointer_moves_do_need_assumptions(self):
+        _, ci, _ = analyze_both("""
+            int g1, g2; int *a; int *b; int **multi;
+            int main(int argc, char **argv) {
+                multi = argc ? &a : &b;
+                *multi = argc ? &g1 : &g2;  /* pointer-valued write */
+                return **multi;             /* pointer-valued read */
+            }
+        """)
+        coverage = pruning_coverage(ci)
+        assert coverage.writes_needing_assumptions == 1
+        assert coverage.reads_needing_assumptions >= 1

@@ -1,0 +1,90 @@
+"""The §5.1.2 structural statistics and CS context counts."""
+
+import pytest
+
+from repro.analysis.stats import context_stats, structure_stats
+from repro.errors import AnalysisError
+from tests.conftest import analyze_both
+
+
+class TestCallGraphShape:
+    def test_caller_counts(self):
+        _, ci, _ = analyze_both("""
+            int leaf(int x) { return x; }
+            int mid(int x) { return leaf(x) + leaf(x + 1); }
+            int main(void) { return mid(1) + leaf(2); }
+        """)
+        stats = structure_stats(ci)
+        assert stats.procedures == 3
+        # leaf is called from 3 sites, mid from 1.
+        assert stats.called_procedures == 2
+        assert stats.call_edges == 4
+        assert stats.avg_callers == pytest.approx(2.0)
+        assert stats.single_caller == 1
+        assert stats.single_caller_fraction == pytest.approx(0.5)
+
+    def test_no_calls(self):
+        _, ci, _ = analyze_both("int main(void) { return 0; }")
+        stats = structure_stats(ci)
+        assert stats.called_procedures == 0
+        assert stats.avg_callers == 0.0
+
+
+class TestPointerNesting:
+    def test_single_level_pointers(self):
+        _, ci, _ = analyze_both("""
+            int g; int *p;
+            int main(void) { p = &g; return *p; }
+        """)
+        stats = structure_stats(ci)
+        assert stats.value_pairs > 0
+        # Pointers to g (a scalar cell) are single-level; the one
+        # multi-level value is the address constant &p used by the
+        # store itself — p's cell does hold a pointer.
+        assert stats.multi_level_pairs == 1
+
+    def test_multi_level_pointers_detected(self):
+        _, ci, _ = analyze_both("""
+            int g; int *p; int **pp;
+            int main(void) { p = &g; pp = &p; return **pp; }
+        """)
+        stats = structure_stats(ci)
+        # The pointer to p is multi-level (p's cell holds a pointer);
+        # the pointer to g is not.
+        assert stats.multi_level_pairs >= 1
+        assert stats.multi_level_pairs < stats.value_pairs
+
+    def test_contexts_counted_per_procedure(self):
+        _, _, cs = analyze_both("""
+            int g1, g2;
+            int *id(int *p) { return p; }
+            int main(void) {
+                int *a = id(&g1);
+                int *b = id(&g2);
+                return *a + *b;
+            }
+        """)
+        stats = context_stats(cs)
+        # id was entered under (at least) two distinct pointer contexts.
+        assert stats.per_procedure["id"] >= 2
+        assert stats.per_procedure["main"] == 0  # root: no assumptions
+        assert stats.max_contexts >= 2
+        assert stats.avg_contexts > 0
+
+    def test_context_stats_requires_cs(self):
+        _, ci, _ = analyze_both("int main(void) { return 0; }")
+        with pytest.raises(AnalysisError):
+            context_stats(ci)
+
+    def test_linked_list_is_multi_level(self):
+        _, ci, _ = analyze_both("""
+            extern void *malloc(unsigned long n);
+            struct node { struct node *next; };
+            int main(void) {
+                struct node *n = malloc(sizeof(struct node));
+                n->next = n;
+                return n->next == n;
+            }
+        """)
+        stats = structure_stats(ci)
+        assert stats.multi_level_fraction > 0.0

@@ -1,0 +1,173 @@
+"""Transfer functions exercised directly on hand-built graphs.
+
+The C-level tests cover the common paths; these pin down the exact
+per-node semantics (Figure 1's flow-in cases) including corners the
+frontend rarely produces.
+"""
+
+import pytest
+
+from repro.analysis.insensitive import analyze_insensitive
+from repro.analysis.sensitive import analyze_sensitive
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import Program
+from repro.ir.nodes import ValueTag
+from repro.ir.validate import validate_program
+from repro.memory import (
+    EMPTY_OFFSET,
+    FieldOp,
+    direct,
+    global_location,
+    heap_location,
+    location_path,
+    make_path,
+    pair,
+)
+from tests.conftest import target_names
+
+
+def program_with_main():
+    program = Program("t")
+    gb = GraphBuilder("main")
+    entry = gb.entry([])
+    return program, gb, entry
+
+
+def finish(program, gb, store):
+    gb.ret(None, store)
+    program.add_function(gb.graph)
+    program.add_root("main")
+    validate_program(program)
+    return program
+
+
+class TestLookupTransfer:
+    def test_aggregate_read_yields_offset_pairs(self):
+        """Reading a whole struct returns member contents at offsets."""
+        program, gb, entry = program_with_main()
+        s = program.register_location(global_location("s"))
+        g = program.register_location(global_location("g"))
+        f = FieldOp("S", "p")
+        # store: s.p -> g
+        member_addr = gb.address(location_path(s, [f]))
+        store = gb.update(member_addr, entry.store_out,
+                          gb.address(location_path(g)))
+        whole = gb.lookup(gb.address(location_path(s)), store,
+                          ValueTag.AGGREGATE, carries_pointers=True)
+        store2 = gb.update(gb.address(location_path(s)), store, whole)
+        finish(program, gb, store2)
+        result = analyze_insensitive(program)
+        offset = make_path(None, [f])
+        assert result.solution.targets(whole, offset) \
+            == {location_path(g)}
+        # And no direct pair: the aggregate itself points nowhere.
+        assert result.targets(whole) == set()
+
+    def test_extract_projects_member(self):
+        program, gb, entry = program_with_main()
+        s = program.register_location(global_location("s"))
+        g = program.register_location(global_location("g"))
+        f = FieldOp("S", "p")
+        store = gb.update(gb.address(location_path(s, [f])),
+                          entry.store_out,
+                          gb.address(location_path(g)))
+        whole = gb.lookup(gb.address(location_path(s)), store,
+                          ValueTag.AGGREGATE, carries_pointers=True)
+        member = gb.extract(whole, f, ValueTag.POINTER)
+        store2 = gb.update(member, store, gb.const(1))
+        finish(program, gb, store2)
+        result = analyze_insensitive(program)
+        assert target_names(result, member) == {"g"}
+
+    def test_extract_ignores_other_members(self):
+        program, gb, entry = program_with_main()
+        s = program.register_location(global_location("s"))
+        g = program.register_location(global_location("g"))
+        f = FieldOp("S", "p")
+        other = FieldOp("S", "q")
+        store = gb.update(gb.address(location_path(s, [f])),
+                          entry.store_out,
+                          gb.address(location_path(g)))
+        whole = gb.lookup(gb.address(location_path(s)), store,
+                          ValueTag.AGGREGATE, carries_pointers=True)
+        wrong = gb.extract(whole, other, ValueTag.POINTER)
+        store2 = gb.update(gb.address(location_path(s)), store, wrong)
+        finish(program, gb, store2)
+        result = analyze_insensitive(program)
+        assert result.targets(wrong) == set()
+
+
+class TestUpdateTransfer:
+    def test_aggregate_write_resolves_offsets(self):
+        """Writing an aggregate value stores each member's pairs at
+        the destination's extended paths."""
+        program, gb, entry = program_with_main()
+        src = program.register_location(global_location("src"))
+        dst = program.register_location(global_location("dst"))
+        g = program.register_location(global_location("g"))
+        f = FieldOp("S", "p")
+        store = gb.update(gb.address(location_path(src, [f])),
+                          entry.store_out,
+                          gb.address(location_path(g)))
+        value = gb.lookup(gb.address(location_path(src)), store,
+                          ValueTag.AGGREGATE, carries_pointers=True)
+        store = gb.update(gb.address(location_path(dst)), store, value)
+        readback = gb.lookup(gb.address(location_path(dst, [f])), store,
+                             ValueTag.POINTER)
+        store = gb.update(readback, store, gb.const(0))
+        finish(program, gb, store)
+        result = analyze_insensitive(program)
+        assert target_names(result, readback) == {"g"}
+
+    def test_weak_update_preserves_across_heap(self):
+        program, gb, entry = program_with_main()
+        h = program.register_location(heap_location("h"))
+        g1 = program.register_location(global_location("g1"))
+        g2 = program.register_location(global_location("g2"))
+        addr = gb.address(location_path(h))
+        store = gb.update(addr, entry.store_out,
+                          gb.address(location_path(g1)))
+        store = gb.update(addr, store, gb.address(location_path(g2)))
+        loaded = gb.lookup(addr, store, ValueTag.POINTER)
+        store = gb.update(loaded, store, gb.const(1))
+        finish(program, gb, store)
+        result = analyze_insensitive(program)
+        assert target_names(result, loaded) == {"g1", "g2"}
+
+    def test_non_direct_loc_pairs_ignored(self):
+        """Only (ε, r) pairs on a location input dereference; offset
+        pairs (an aggregate misused as a location) are skipped."""
+        program, gb, entry = program_with_main()
+        s = program.register_location(global_location("s"))
+        g = program.register_location(global_location("g"))
+        f = FieldOp("S", "p")
+        store = gb.update(gb.address(location_path(s, [f])),
+                          entry.store_out,
+                          gb.address(location_path(g)))
+        whole = gb.lookup(gb.address(location_path(s)), store,
+                          ValueTag.AGGREGATE, carries_pointers=True)
+        # 'whole' carries only the offset pair (.p, g): using it as a
+        # location dereferences nothing.
+        bogus = gb.lookup(whole, store, ValueTag.POINTER)
+        store = gb.update(bogus, store, gb.const(1))
+        finish(program, gb, store)
+        result = analyze_insensitive(program)
+        assert result.targets(bogus) == set()
+
+
+class TestSensitiveParity:
+    def test_hand_built_graph_cs_refines_ci(self):
+        program, gb, entry = program_with_main()
+        g1 = program.register_location(global_location("g1"))
+        p = program.register_location(global_location("p"))
+        addr_p = gb.address(location_path(p))
+        store = gb.update(addr_p, entry.store_out,
+                          gb.address(location_path(g1)))
+        loaded = gb.lookup(addr_p, store, ValueTag.POINTER)
+        store = gb.update(loaded, store, gb.const(1))
+        finish(program, gb, store)
+        ci = analyze_insensitive(program)
+        cs = analyze_sensitive(program, ci_result=ci)
+        for output in cs.solution.outputs():
+            assert cs.pairs(output) <= ci.pairs(output)
+        assert target_names(cs, loaded) == {"g1"}

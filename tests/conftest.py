@@ -1,0 +1,87 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+import pytest
+
+import repro
+from repro.analysis.common import AnalysisResult
+from repro.ir.graph import Program
+from repro.ir.nodes import LookupNode, Node, OutputPort, UpdateNode
+from repro.suite.registry import PROGRAM_NAMES, load_program
+
+
+def lower(source: str, name: str = "<test>", **options) -> Program:
+    """Preprocess/parse/lower a C snippet."""
+    return repro.parse_source(source, name=name, **options)
+
+
+def analyze_both(source: str, **options
+                 ) -> Tuple[Program, AnalysisResult, AnalysisResult]:
+    """Lower a snippet and run both analyses."""
+    program = lower(source, **options)
+    ci = repro.analyze_insensitive(program)
+    cs = repro.analyze_sensitive(program, ci_result=ci)
+    return program, ci, cs
+
+
+def find_op(program: Program, function: str, kind: str,
+            index: int = 0) -> Node:
+    """The ``index``-th lookup ("read") or update ("write") in a
+    function, in uid order."""
+    graph = program.functions[function]
+    wanted = LookupNode if kind == "read" else UpdateNode
+    ops = sorted((n for n in graph.nodes if isinstance(n, wanted)),
+                 key=lambda n: n.uid)
+    return ops[index]
+
+
+def target_names(result: AnalysisResult, output: OutputPort) -> Set[str]:
+    """Base-location names a value may point at (ignoring access ops)."""
+    return {path.base.name for path in result.targets(output)}
+
+
+def op_location_names(result: AnalysisResult, node: Node) -> Set[str]:
+    """Full path strings an op may reference/modify."""
+    return {repr(path) for path in result.op_locations(node)}
+
+
+def op_base_names(result: AnalysisResult, node: Node) -> Set[str]:
+    return {path.base.name for path in result.op_locations(node)}
+
+
+class _SuiteCache:
+    """Lazily loads + analyzes suite programs once per session."""
+
+    def __init__(self) -> None:
+        self._programs: Dict[str, Program] = {}
+        self._ci: Dict[str, AnalysisResult] = {}
+        self._cs: Dict[str, AnalysisResult] = {}
+
+    def program(self, name: str) -> Program:
+        if name not in self._programs:
+            self._programs[name] = load_program(name)
+        return self._programs[name]
+
+    def ci(self, name: str) -> AnalysisResult:
+        if name not in self._ci:
+            self._ci[name] = repro.analyze_insensitive(self.program(name))
+        return self._ci[name]
+
+    def cs(self, name: str) -> AnalysisResult:
+        if name not in self._cs:
+            self._cs[name] = repro.analyze_sensitive(
+                self.program(name), ci_result=self.ci(name))
+        return self._cs[name]
+
+
+@pytest.fixture(scope="session")
+def suite_cache() -> _SuiteCache:
+    return _SuiteCache()
+
+
+@pytest.fixture(scope="session", params=PROGRAM_NAMES)
+def suite_name(request) -> str:
+    return request.param

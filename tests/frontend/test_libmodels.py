@@ -1,0 +1,37 @@
+"""The library-model table."""
+
+import pytest
+
+from repro.frontend.libmodels import LIBRARY_MODELS, model_for
+
+
+class TestTable:
+    def test_allocators_are_alloc(self):
+        for name in ("malloc", "calloc", "realloc", "strdup", "fopen"):
+            assert model_for(name).kind == "alloc"
+
+    def test_string_copies_return_arg0(self):
+        for name in ("strcpy", "strcat", "memcpy", "fgets", "strchr"):
+            model = model_for(name)
+            assert model.kind == "returns_arg" and model.arg_index == 0
+
+    def test_pure_functions_opaque(self):
+        for name in ("strlen", "strcmp", "printf", "exit", "isalpha"):
+            assert model_for(name).kind == "opaque"
+
+    def test_paper_exclusions_unsupported(self):
+        for name in ("signal", "longjmp", "setjmp", "qsort"):
+            model = model_for(name)
+            assert model.kind == "unsupported"
+            assert model.reason
+
+    def test_unknown_unmodeled(self):
+        assert model_for("frobnicate") is None
+
+    def test_names_consistent(self):
+        for name, model in LIBRARY_MODELS.items():
+            assert model.name == name
+
+    def test_table_covers_common_libc(self):
+        # A sanity floor so additions don't silently drop entries.
+        assert len(LIBRARY_MODELS) >= 90

@@ -1,0 +1,273 @@
+"""Multi-translation-unit linking."""
+
+import pytest
+
+import repro
+from repro.analysis.insensitive import analyze_insensitive
+from repro.analysis.verify import verify_solution
+from repro.errors import TypeError_
+from repro.ir.nodes import LookupNode, UpdateNode
+from tests.conftest import op_base_names
+
+
+def link(tmp_path, sources, **options):
+    paths = []
+    for index, source in enumerate(sources):
+        path = tmp_path / f"tu{index}.c"
+        path.write_text(source)
+        paths.append(path)
+    return repro.parse_files(paths, **options)
+
+
+class TestCrossTuCalls:
+    def test_call_resolves_to_other_file(self, tmp_path):
+        program = link(tmp_path, [
+            """
+            int helper(int x);
+            int main(void) { return helper(41); }
+            """,
+            """
+            int helper(int x) { return x + 1; }
+            """,
+        ])
+        ci = analyze_insensitive(program)
+        call = next(n for n in program.functions["main"].nodes
+                    if n.kind == "call")
+        assert {g.name for g in ci.callgraph.callees(call)} == {"helper"}
+        assert program.extras["warnings"] == []
+
+    def test_pointer_flows_across_files(self, tmp_path):
+        program = link(tmp_path, [
+            """
+            int g;
+            int *locate(void);
+            int main(void) { *locate() = 5; return 0; }
+            """,
+            """
+            extern int g;
+            int *locate(void) { return &g; }
+            """,
+        ])
+        ci = analyze_insensitive(program)
+        write = next(n for n in program.functions["main"].nodes
+                     if isinstance(n, UpdateNode))
+        assert op_base_names(ci, write) == {"g"}
+        assert verify_solution(ci) == []
+
+    def test_duplicate_definition_rejected(self, tmp_path):
+        with pytest.raises(TypeError_, match="multiple definitions"):
+            link(tmp_path, [
+                "int f(void) { return 1; }",
+                "int f(void) { return 2; }",
+            ])
+
+
+class TestSharedGlobals:
+    def test_extern_shares_storage(self, tmp_path):
+        program = link(tmp_path, [
+            """
+            int shared; int *p;
+            void set(void);
+            int main(void) { set(); *p = 1; return 0; }
+            """,
+            """
+            extern int shared;
+            extern int *p;
+            void set(void) { p = &shared; }
+            """,
+        ])
+        ci = analyze_insensitive(program)
+        write = [n for n in program.functions["main"].nodes
+                 if isinstance(n, UpdateNode) and n.is_indirect][0]
+        assert op_base_names(ci, write) == {"shared"}
+        # Exactly one location named 'shared' program-wide.
+        assert sum(1 for loc in program.locations
+                   if loc.name == "shared") == 1
+
+    def test_initializer_crosses_files(self, tmp_path):
+        program = link(tmp_path, [
+            "int g; int *p = &g;",
+            """
+            extern int *p;
+            int main(void) { *p = 3; return 0; }
+            """,
+        ])
+        ci = analyze_insensitive(program)
+        write = next(n for n in program.functions["main"].nodes
+                     if isinstance(n, UpdateNode))
+        assert op_base_names(ci, write) == {"g"}
+
+    def test_double_initialization_rejected(self, tmp_path):
+        with pytest.raises(TypeError_, match="multiple initializations"):
+            link(tmp_path, [
+                "int g = 1;",
+                "int g = 2; int main(void) { return g; }",
+            ])
+
+
+class TestStaticIsolation:
+    def test_static_functions_do_not_collide(self, tmp_path):
+        program = link(tmp_path, [
+            """
+            int ga;
+            static int *pick(void) { return &ga; }
+            int *entry_a(void) { return pick(); }
+            int main(void) { extern int *entry_b(void);
+                             *entry_a() = 1; *entry_b() = 2; return 0; }
+            """,
+            """
+            int gb;
+            static int *pick(void) { return &gb; }
+            int *entry_b(void) { return pick(); }
+            """,
+        ])
+        ci = analyze_insensitive(program)
+        # Two distinct pick functions exist.
+        picks = [name for name in program.functions if "pick" in name]
+        assert len(picks) == 2
+        writes = [n for n in program.functions["main"].nodes
+                  if isinstance(n, UpdateNode)]
+        assert op_base_names(ci, writes[0]) == {"ga"}
+        assert op_base_names(ci, writes[1]) == {"gb"}
+
+    def test_static_globals_do_not_collide(self, tmp_path):
+        program = link(tmp_path, [
+            """
+            static int counter;
+            int *addr_a(void) { return &counter; }
+            int main(void) { extern int *addr_b(void);
+                             *addr_a() = 1; *addr_b() = 2; return 0; }
+            """,
+            """
+            static int counter;
+            int *addr_b(void) { return &counter; }
+            """,
+        ])
+        assert sum(1 for loc in program.locations
+                   if loc.name == "counter") == 2
+        ci = analyze_insensitive(program)
+        writes = [n for n in program.functions["main"].nodes
+                  if isinstance(n, UpdateNode)]
+        # Distinct storage: the two writes hit different locations.
+        assert ci.op_locations(writes[0]) != ci.op_locations(writes[1])
+
+
+class TestCrossTuStructs:
+    def test_struct_paths_compatible_across_files(self, tmp_path):
+        program = link(tmp_path, [
+            """
+            extern void *malloc(unsigned long n);
+            struct node { int v; struct node *next; };
+            struct node *make(void) {
+                struct node *n = malloc(sizeof(struct node));
+                n->next = 0;
+                return n;
+            }
+            """,
+            """
+            struct node { int v; struct node *next; };
+            struct node *make(void);
+            int main(void) {
+                struct node *n = make();
+                n->v = 7;
+                return n->v;
+            }
+            """,
+        ])
+        ci = analyze_insensitive(program)
+        write = [n for n in program.functions["main"].nodes
+                 if isinstance(n, UpdateNode) and n.is_indirect][0]
+        locations = ci.op_locations(write)
+        assert len(locations) == 1
+        (path,) = locations
+        assert repr(path).endswith(".v")
+        assert verify_solution(ci) == []
+
+
+class TestCrossTuRecursion:
+    def test_mutual_recursion_across_files_detected(self, tmp_path):
+        program = link(tmp_path, [
+            """
+            int pong(int n);
+            int ping(int n) { return n ? pong(n - 1) : 0; }
+            int main(void) { return ping(4); }
+            """,
+            """
+            int ping(int n);
+            int pong(int n) { return n ? ping(n - 1) : 1; }
+            """,
+        ])
+        assert program.functions["ping"].recursive
+        assert program.functions["pong"].recursive
+        assert not program.functions["main"].recursive
+
+    def test_cross_tu_recursive_locals_weak(self, tmp_path):
+        """Footnote 4 applies to recursion the single-file prepass
+        cannot see."""
+        program = link(tmp_path, [
+            """
+            void pong(int n, int **out);
+            void ping(int n, int **out) {
+                int slot;
+                *out = &slot;
+                if (n) pong(n - 1, out);
+            }
+            int main(void) { int *p; ping(3, &p); return 0; }
+            """,
+            """
+            void ping(int n, int **out);
+            void pong(int n, int **out) { if (n) ping(n - 1, out); }
+            """,
+        ])
+        slot = next(loc for loc in program.locations
+                    if loc.name == "slot")
+        assert slot.multi_instance  # scheme 2 kicked in cross-TU
+
+
+class TestMultifileExample:
+    """The shipped examples/multifile program, end to end."""
+
+    @pytest.fixture(scope="class")
+    def program(self):
+        from pathlib import Path
+        here = Path(__file__).parent.parent.parent / "examples" / "multifile"
+        return repro.parse_files([here / "main.c", here / "symtab.c"])
+
+    def test_links_with_header(self, program):
+        assert "main" in program.functions
+        assert "table_insert" in program.functions
+        # Statics from both files, qualified by their TU.
+        assert "main::score_of" in program.functions
+        assert "symtab::hash_of" in program.functions
+        assert program.extras["warnings"] == []
+
+    def test_heap_entries_resolve_cross_file(self, program):
+        ci = analyze_insensitive(program)
+        read = [n for n in program.functions["main"].nodes
+                if isinstance(n, LookupNode) and n.is_indirect][0]
+        locations = ci.op_locations(read)
+        assert len(locations) == 1
+        (path,) = locations
+        assert path.base.report_category == "heap"
+
+    def test_headline_holds_when_linked(self, program):
+        from repro.analysis.compare import compare_results
+        from repro.analysis.sensitive import analyze_sensitive
+        ci = analyze_insensitive(program)
+        cs = analyze_sensitive(program, ci_result=ci)
+        assert compare_results(ci, cs).indirect_ops_identical
+
+
+class TestMetadata:
+    def test_program_name_and_lines(self, tmp_path):
+        program = link(tmp_path, [
+            "int helper(void) { return 1; }",
+            "int helper(void); int main(void) { return helper(); }",
+        ], name="pair")
+        assert program.name == "pair"
+        assert program.source_lines == 2
+
+    def test_empty_file_list_rejected(self):
+        from repro.errors import LoweringError
+        with pytest.raises(LoweringError):
+            repro.parse_files([])

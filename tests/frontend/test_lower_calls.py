@@ -1,0 +1,243 @@
+"""Lowering of calls: direct, indirect, varargs, library models."""
+
+import pytest
+
+from repro.errors import UnsupportedFeatureError
+from repro.ir.nodes import CallNode, PrimopNode, UpdateNode
+from tests.conftest import analyze_both, find_op, lower, op_base_names
+
+
+class TestDirectCalls:
+    def test_pointer_through_call(self):
+        program, ci, _ = analyze_both("""
+            int g;
+            int *get(void) { return &g; }
+            int main(void) { *get() = 1; return 0; }
+        """)
+        write = find_op(program, "main", "write")
+        assert op_base_names(ci, write) == {"g"}
+
+    def test_argument_flows_to_formal(self):
+        program, ci, _ = analyze_both("""
+            int g;
+            void set(int *p) { *p = 1; }
+            int main(void) { set(&g); return 0; }
+        """)
+        write = find_op(program, "set", "write")
+        assert op_base_names(ci, write) == {"g"}
+
+    def test_store_effects_visible_to_caller(self):
+        program, ci, _ = analyze_both("""
+            int g; int *p;
+            void point_it(void) { p = &g; }
+            int main(void) { point_it(); *p = 1; return 0; }
+        """)
+        write = [n for n in program.functions["main"].nodes
+                 if isinstance(n, UpdateNode) and n.is_indirect][0]
+        assert op_base_names(ci, write) == {"g"}
+
+    def test_recursion_terminates_and_is_sound(self):
+        program, ci, _ = analyze_both("""
+            struct node { struct node *next; int v; };
+            int count(struct node *n) {
+                if (!n) return 0;
+                return 1 + count(n->next);
+            }
+            void *malloc(unsigned long x);
+            int main(void) {
+                struct node *a = malloc(sizeof(struct node));
+                a->next = 0;
+                return count(a);
+            }
+        """)
+        read = find_op(program, "count", "read")
+        locs = ci.op_locations(read)
+        assert len(locs) == 1
+
+    def test_varargs_extra_args_dropped(self):
+        program, ci, _ = analyze_both("""
+            int first(int n, ...) { return n; }
+            int main(void) { return first(1, 2, 3); }
+        """)
+        call = [n for n in program.functions["main"].nodes
+                if isinstance(n, CallNode)][0]
+        assert len(call.args) == 3
+        assert {g.name for g in ci.callgraph.callees(call)} == {"first"}
+
+    def test_struct_argument_by_value(self):
+        program, ci, _ = analyze_both("""
+            int g;
+            struct box { int *p; };
+            int use(struct box b) { *b.p = 1; return 0; }
+            int main(void) {
+                struct box v;
+                v.p = &g;
+                return use(v);
+            }
+        """)
+        # Skip the prologue's by-value parameter spill; take the deref.
+        write = [n for n in program.functions["use"].nodes
+                 if isinstance(n, UpdateNode) and n.is_indirect][0]
+        assert op_base_names(ci, write) == {"g"}
+
+    def test_struct_return_by_value(self):
+        program, ci, _ = analyze_both("""
+            int g;
+            struct box { int *p; };
+            struct box make(void) {
+                struct box b;
+                b.p = &g;
+                return b;
+            }
+            int main(void) {
+                struct box v = make();
+                *v.p = 1;
+                return 0;
+            }
+        """)
+        writes = [n for n in program.functions["main"].nodes
+                  if isinstance(n, UpdateNode) and n.is_indirect]
+        assert op_base_names(ci, writes[-1]) == {"g"}
+
+
+class TestIndirectCalls:
+    def test_function_pointer_variable(self):
+        program, ci, _ = analyze_both("""
+            int g1, g2;
+            void f1(void) { g1 = 1; }
+            void f2(void) { g2 = 2; }
+            int main(int argc, char **argv) {
+                void (*fp)(void) = argc ? f1 : f2;
+                fp();
+                return 0;
+            }
+        """)
+        call = [n for n in program.functions["main"].nodes
+                if isinstance(n, CallNode)][0]
+        callees = {g.name for g in ci.callgraph.callees(call)}
+        assert callees == {"f1", "f2"}
+
+    def test_explicit_deref_call(self):
+        program, ci, _ = analyze_both("""
+            int f(int x) { return x; }
+            int main(void) {
+                int (*fp)(int) = &f;
+                return (*fp)(3);
+            }
+        """)
+        call = [n for n in program.functions["main"].nodes
+                if isinstance(n, CallNode)][0]
+        assert {g.name for g in ci.callgraph.callees(call)} == {"f"}
+
+    def test_dispatch_table(self):
+        program, ci, _ = analyze_both("""
+            int add(int a) { return a + 1; }
+            int sub(int a) { return a - 1; }
+            int (*table[2])(int) = { add, sub };
+            int main(int argc, char **argv) {
+                return table[argc & 1](5);
+            }
+        """)
+        call = [n for n in program.functions["main"].nodes
+                if isinstance(n, CallNode)][0]
+        assert {g.name for g in ci.callgraph.callees(call)} == {"add", "sub"}
+
+    def test_repropagation_on_late_callee(self):
+        """Arguments seen before the callee is known still reach it."""
+        program, ci, _ = analyze_both("""
+            int g;
+            void writer(int *p) { *p = 1; }
+            void (*hook)(int *);
+            int main(void) {
+                hook = writer;
+                hook(&g);
+                return 0;
+            }
+        """)
+        write = find_op(program, "writer", "write")
+        assert op_base_names(ci, write) == {"g"}
+
+
+class TestLibraryModels:
+    def test_malloc_named_by_site(self):
+        program = lower("""
+            void *malloc(unsigned long n);
+            int main(void) { int *p = malloc(4); *p = 1; return 0; }
+        """)
+        heap = [loc for loc in program.locations
+                if loc.report_category == "heap"]
+        assert len(heap) == 1
+        assert "malloc" in heap[0].name and "main" in heap[0].name
+
+    def test_strcpy_returns_destination(self):
+        program, ci, _ = analyze_both("""
+            char *strcpy(char *dst, const char *src);
+            char buf[8];
+            int main(void) {
+                char *r = strcpy(buf, "hi");
+                *r = 'x';
+                return 0;
+            }
+        """)
+        write = [n for n in program.functions["main"].nodes
+                 if isinstance(n, UpdateNode)][-1]
+        assert op_base_names(ci, write) == {"buf"}
+
+    def test_opaque_extern_identity_on_store(self):
+        program, ci, _ = analyze_both("""
+            int printf(const char *fmt, ...);
+            int g; int *p;
+            int main(void) {
+                p = &g;
+                printf("%d", *p);
+                *p = 2;
+                return 0;
+            }
+        """)
+        write = [n for n in program.functions["main"].nodes
+                 if isinstance(n, UpdateNode) and n.is_indirect][0]
+        assert op_base_names(ci, write) == {"g"}
+
+    def test_no_call_node_for_library_model(self):
+        program = lower("""
+            int printf(const char *fmt, ...);
+            int main(void) { printf("x"); return 0; }
+        """)
+        assert not any(isinstance(n, CallNode)
+                       for n in program.functions["main"].nodes)
+
+    def test_qsort_unsupported(self):
+        with pytest.raises(UnsupportedFeatureError, match="qsort"):
+            lower("""
+                void qsort(void *b, unsigned long n, unsigned long s,
+                           int (*cmp)(const void *, const void *));
+                int main(void) { qsort(0, 0, 0, 0); return 0; }
+            """)
+
+    def test_longjmp_unsupported(self):
+        with pytest.raises(UnsupportedFeatureError, match="longjmp"):
+            lower("""
+                void longjmp(int *env, int val);
+                int main(void) { longjmp(0, 1); return 0; }
+            """)
+
+
+class TestExternPolicy:
+    SRC = """
+        int mystery(int *p);
+        int g;
+        int main(void) { return mystery(&g); }
+    """
+
+    def test_warn_policy_records_warning(self):
+        program = lower(self.SRC)
+        warnings = program.extras["warnings"]
+        assert any("mystery" in w for w in warnings)
+
+    def test_error_policy_raises(self):
+        with pytest.raises(UnsupportedFeatureError, match="mystery"):
+            lower(self.SRC, extern_policy="error")
+
+    def test_undeclared_function_warns(self):
+        program = lower("int main(void) { ghost(1); return 0; }")
+        assert any("ghost" in w for w in program.extras["warnings"])

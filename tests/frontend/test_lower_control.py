@@ -1,0 +1,270 @@
+"""Lowering of control flow: joins, loops, switch, short-circuit."""
+
+import pytest
+
+from repro.ir.nodes import LookupNode, MergeNode, UpdateNode
+from tests.conftest import analyze_both, find_op, lower, op_base_names
+
+
+class TestIf:
+    def test_join_unions_pointer_values(self):
+        program, ci, _ = analyze_both("""
+            int g1, g2;
+            int main(int argc, char **argv) {
+                int *p;
+                if (argc) p = &g1; else p = &g2;
+                *p = 1;
+                return 0;
+            }
+        """)
+        write = find_op(program, "main", "write")
+        assert op_base_names(ci, write) == {"g1", "g2"}
+
+    def test_then_only_branch(self):
+        program, ci, _ = analyze_both("""
+            int g1, g2;
+            int main(int argc, char **argv) {
+                int *p = &g1;
+                if (argc) p = &g2;
+                *p = 1;
+                return 0;
+            }
+        """)
+        write = find_op(program, "main", "write")
+        assert op_base_names(ci, write) == {"g1", "g2"}
+
+    def test_early_return_keeps_condition_read(self):
+        """A read used only as a branch predicate must survive
+        simplification (control-use liveness)."""
+        program = lower("""
+            int g; int *p;
+            int main(void) {
+                p = &g;
+                if (*p) return 1;
+                return 0;
+            }
+        """)
+        reads = [n for n in program.functions["main"].nodes
+                 if isinstance(n, LookupNode)]
+        assert reads  # the *p read is alive
+
+    def test_terminated_branches(self):
+        program, ci, _ = analyze_both("""
+            int g1, g2;
+            int *pick(int c) {
+                if (c) return &g1;
+                return &g2;
+            }
+            int main(void) { *pick(1) = 3; return 0; }
+        """)
+        write = find_op(program, "main", "write")
+        assert op_base_names(ci, write) == {"g1", "g2"}
+
+
+class TestLoops:
+    def test_while_list_walk(self):
+        program, ci, _ = analyze_both("""
+            void *malloc(unsigned long n);
+            struct node { struct node *next; int v; };
+            int main(void) {
+                struct node *head = 0;
+                int i;
+                for (i = 0; i < 3; i++) {
+                    struct node *n = malloc(sizeof(struct node));
+                    n->next = head;
+                    head = n;
+                }
+                int total = 0;
+                while (head) {
+                    total += head->v;
+                    head = head->next;
+                }
+                return total;
+            }
+        """)
+        reads = [n for n in program.functions["main"].nodes
+                 if isinstance(n, LookupNode) and n.is_indirect]
+        assert reads
+        for read in reads:
+            locs = ci.op_locations(read)
+            assert len(locs) == 1
+            (path,) = locs
+            assert path.base.report_category == "heap"
+
+    def test_loop_carried_variable_without_init(self):
+        """A variable first assigned inside the loop still merges
+        correctly at the exit."""
+        program, ci, _ = analyze_both("""
+            int g1, g2;
+            int main(int argc, char **argv) {
+                int *p;
+                int i;
+                p = &g1;
+                for (i = 0; i < argc; i++)
+                    p = &g2;
+                *p = 1;
+                return 0;
+            }
+        """)
+        write = [n for n in program.functions["main"].nodes
+                 if isinstance(n, UpdateNode) and n.is_indirect][0]
+        assert op_base_names(ci, write) == {"g1", "g2"}
+
+    def test_do_while(self):
+        program, ci, _ = analyze_both("""
+            int g1, g2;
+            int main(int argc, char **argv) {
+                int *p = &g1;
+                do {
+                    *p = 1;
+                    p = &g2;
+                } while (argc--);
+                return 0;
+            }
+        """)
+        write = [n for n in program.functions["main"].nodes
+                 if isinstance(n, UpdateNode) and n.is_indirect][0]
+        assert op_base_names(ci, write) == {"g1", "g2"}
+
+    def test_break_merges_state(self):
+        program, ci, _ = analyze_both("""
+            int g1, g2;
+            int main(int argc, char **argv) {
+                int *p = &g1;
+                while (1) {
+                    if (argc) { p = &g2; break; }
+                    break;
+                }
+                *p = 1;
+                return 0;
+            }
+        """)
+        write = [n for n in program.functions["main"].nodes
+                 if isinstance(n, UpdateNode) and n.is_indirect][0]
+        assert op_base_names(ci, write) == {"g1", "g2"}
+
+    def test_continue_feeds_back_edge(self):
+        program, ci, _ = analyze_both("""
+            int g1, g2;
+            int main(int argc, char **argv) {
+                int *p = &g1;
+                int i;
+                for (i = 0; i < argc; i++) {
+                    if (i == 1) { p = &g2; continue; }
+                    *p = 1;
+                }
+                return 0;
+            }
+        """)
+        write = [n for n in program.functions["main"].nodes
+                 if isinstance(n, UpdateNode) and n.is_indirect][0]
+        # After a continue iteration, *p can write g2 too.
+        assert op_base_names(ci, write) == {"g1", "g2"}
+
+    def test_infinite_loop_without_breaks(self):
+        program = lower("""
+            int main(void) {
+                for (;;) { }
+                return 0;
+            }
+        """)
+        assert program.functions["main"].return_node is not None
+
+
+class TestSwitch:
+    SRC = """
+        int g1, g2, g3;
+        int main(int argc, char **argv) {
+            int *p = 0;
+            switch (argc) {
+            case 1:
+                p = &g1;
+                break;
+            case 2:
+                p = &g2;
+                /* fall through */
+            case 3:
+                *p = 9;
+                break;
+            default:
+                p = &g3;
+                break;
+            }
+            *p = 1;
+            return 0;
+        }
+    """
+
+    def test_fallthrough_union(self):
+        program, ci, _ = analyze_both(self.SRC)
+        writes = [n for n in program.functions["main"].nodes
+                  if isinstance(n, UpdateNode) and n.is_indirect]
+        # The case-3 write sees the fallthrough value g2 and the direct
+        # entry (p still null: contributes nothing).
+        inner = writes[0]
+        assert op_base_names(ci, inner) == {"g2"}
+
+    def test_exit_merges_all_cases(self):
+        program, ci, _ = analyze_both(self.SRC)
+        writes = [n for n in program.functions["main"].nodes
+                  if isinstance(n, UpdateNode) and n.is_indirect]
+        final = writes[-1]
+        assert op_base_names(ci, final) == {"g1", "g2", "g3"}
+
+    def test_switch_without_default_keeps_entry_state(self):
+        program, ci, _ = analyze_both("""
+            int g1, g2;
+            int main(int argc, char **argv) {
+                int *p = &g1;
+                switch (argc) {
+                case 1: p = &g2; break;
+                }
+                *p = 1;
+                return 0;
+            }
+        """)
+        write = [n for n in program.functions["main"].nodes
+                 if isinstance(n, UpdateNode) and n.is_indirect][0]
+        assert op_base_names(ci, write) == {"g1", "g2"}
+
+
+class TestConditionalExpressions:
+    def test_ternary_pointer_choice(self):
+        program, ci, _ = analyze_both("""
+            int g1, g2;
+            int main(int argc, char **argv) {
+                int *p = argc ? &g1 : &g2;
+                *p = 1;
+                return 0;
+            }
+        """)
+        write = find_op(program, "main", "write")
+        assert op_base_names(ci, write) == {"g1", "g2"}
+
+    def test_short_circuit_side_effects_merge(self):
+        program, ci, _ = analyze_both("""
+            int g1, g2; int *p;
+            int set2(void) { p = &g2; return 1; }
+            int main(int argc, char **argv) {
+                p = &g1;
+                if (argc && set2()) { }
+                *p = 1;
+                return 0;
+            }
+        """)
+        write = [n for n in program.functions["main"].nodes
+                 if isinstance(n, UpdateNode) and n.is_indirect][0]
+        assert op_base_names(ci, write) == {"g1", "g2"}
+
+    def test_comma_expression(self):
+        program, ci, _ = analyze_both("""
+            int g1, g2;
+            int main(void) {
+                int *p;
+                p = (p = &g1, &g2);
+                *p = 1;
+                return 0;
+            }
+        """)
+        write = find_op(program, "main", "write")
+        assert op_base_names(ci, write) == {"g2"}

@@ -1,0 +1,88 @@
+"""The modeled C subset's boundaries (paper §2 caveats)."""
+
+import pytest
+
+from repro.errors import (
+    LoweringError,
+    TypeError_,
+    UnsupportedFeatureError,
+)
+from tests.conftest import lower
+
+
+class TestPaperCaveats:
+    def test_int_to_pointer_cast_rejected(self):
+        with pytest.raises(UnsupportedFeatureError, match="cast"):
+            lower("int main(void) { int *p = (int *)42; return 0; }")
+
+    def test_pointer_to_int_cast_rejected(self):
+        with pytest.raises(UnsupportedFeatureError, match="cast"):
+            lower("""
+                int g;
+                int main(void) { long x = (long)&g; return (int)x; }
+            """)
+
+    def test_null_pointer_casts_allowed(self):
+        program = lower(
+            "int main(void) { int *p = (int *)0; return p == 0; }")
+        assert "main" in program.functions
+
+    def test_void_pointer_roundtrip_allowed(self):
+        program = lower("""
+            int g;
+            int main(void) {
+                void *v = (void *)&g;
+                int *p = (int *)v;
+                return *p;
+            }
+        """)
+        assert "main" in program.functions
+
+    def test_integer_assigned_to_pointer_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            lower("int main(void) { int *p; p = 42; return 0; }")
+
+    def test_zero_assigned_to_pointer_allowed(self):
+        program = lower("int main(void) { int *p; p = 0; return 0; }")
+        assert "main" in program.functions
+
+
+class TestStructuralLimits:
+    def test_goto_rejected(self):
+        with pytest.raises(UnsupportedFeatureError, match="goto"):
+            lower("""
+                int main(void) {
+                    int x = 0;
+                    goto done;
+                done:
+                    return x;
+                }
+            """)
+
+    def test_knr_definitions_rejected(self):
+        with pytest.raises(UnsupportedFeatureError, match="K&R"):
+            lower("""
+                int f(x)
+                    int x;
+                { return x; }
+                int main(void) { return f(1); }
+            """)
+
+    def test_compound_literal_rejected(self):
+        with pytest.raises((UnsupportedFeatureError, Exception)):
+            lower("""
+                struct s { int a; };
+                int main(void) { struct s v = (struct s){1}; return 0; }
+            """)
+
+    def test_undeclared_identifier(self):
+        with pytest.raises(TypeError_, match="undeclared"):
+            lower("int main(void) { return ghost_var; }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(LoweringError, match="break"):
+            lower("int main(void) { break; return 0; }")
+
+    def test_continue_outside_loop(self):
+        with pytest.raises(LoweringError, match="continue"):
+            lower("int main(void) { continue; return 0; }")

@@ -1,0 +1,96 @@
+"""Address-taken and recursion pre-passes."""
+
+from repro.frontend.parser import parse_preprocessed
+from repro.frontend.prepasses import run_prepasses
+
+
+def prepass(source: str):
+    ast = parse_preprocessed(source)
+    func_defs = {ext.decl.name: ext for ext in ast.ext
+                 if ext.__class__.__name__ == "FuncDef"}
+    return run_prepasses(func_defs)
+
+
+class TestAddressTaken:
+    def test_simple_address_of(self):
+        info = prepass("void f(void) { int x; int *p = &x; }")
+        assert info.is_address_taken("f", "x")
+        assert not info.is_address_taken("f", "p")
+
+    def test_address_of_member_marks_base(self):
+        info = prepass(
+            "struct s { int a; };"
+            "void f(void) { struct s v; int *p = &v.a; }")
+        assert info.is_address_taken("f", "v")
+
+    def test_address_of_element_marks_array(self):
+        info = prepass("void f(void) { int a[4]; int *p = &a[1]; }")
+        assert info.is_address_taken("f", "a")
+
+    def test_address_through_deref_marks_nothing(self):
+        """&p->field exposes no named variable's storage."""
+        info = prepass(
+            "struct s { int a; };"
+            "void f(struct s *p) { int *q = &p->a; }")
+        assert not info.is_address_taken("f", "p")
+
+    def test_per_function_scoping(self):
+        info = prepass(
+            "void f(void) { int x; int *p = &x; }"
+            "void g(void) { int x; x = 1; }")
+        assert info.is_address_taken("f", "x")
+        assert not info.is_address_taken("g", "x")
+
+    def test_function_reference_detected(self):
+        info = prepass(
+            "int h(int x) { return x; }"
+            "void f(void) { int (*fp)(int) = h; fp(1); }")
+        assert "h" in info.address_taken_functions
+        assert "f" in info.has_indirect_call
+
+    def test_direct_call_is_not_function_reference(self):
+        info = prepass(
+            "int h(int x) { return x; }"
+            "void f(void) { h(1); }")
+        assert "h" not in info.address_taken_functions
+
+
+class TestRecursion:
+    def test_self_recursion(self):
+        info = prepass("int f(int n) { return n ? f(n - 1) : 0; }")
+        assert "f" in info.recursive
+
+    def test_mutual_recursion(self):
+        info = prepass(
+            "int g(int n);"
+            "int f(int n) { return n ? g(n - 1) : 0; }"
+            "int g(int n) { return n ? f(n - 1) : 1; }")
+        assert {"f", "g"} <= info.recursive
+
+    def test_non_recursive(self):
+        info = prepass(
+            "int leaf(int n) { return n + 1; }"
+            "int caller(int n) { return leaf(n); }")
+        assert info.recursive == set()
+
+    def test_call_chain_not_recursive(self):
+        info = prepass(
+            "int a(int n) { return n; }"
+            "int b(int n) { return a(n); }"
+            "int c(int n) { return b(n); }")
+        assert info.recursive == set()
+
+    def test_indirect_call_conservative(self):
+        """With &h taken and f making an indirect call, f→h is assumed;
+        h calls f directly, closing a conservative cycle."""
+        info = prepass(
+            "int f(int n);"
+            "int h(int n) { return f(n); }"
+            "int f(int n) { int (*fp)(int) = h; return fp(n); }")
+        assert {"f", "h"} <= info.recursive
+
+    def test_direct_calls_recorded(self):
+        info = prepass(
+            "int a(void) { return 0; }"
+            "int b(void) { return a() + a(); }")
+        assert info.direct_calls["b"] == {"a"}

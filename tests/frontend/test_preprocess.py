@@ -1,0 +1,323 @@
+"""The mini C preprocessor."""
+
+import pytest
+
+from repro.errors import PreprocessorError
+from repro.frontend.preprocess import Preprocessor, preprocess, strip_comments
+
+
+def lines_of(text):
+    """Non-marker, non-blank output lines."""
+    return [line for line in text.splitlines()
+            if line.strip() and not line.startswith("#")]
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert strip_comments("int x; // gone\nint y;") == "int x; \nint y;"
+
+    def test_block_comment_preserves_lines(self):
+        out = strip_comments("a /* one\ntwo */ b")
+        assert out.count("\n") == 1
+        assert "one" not in out and "a" in out and "b" in out
+
+    def test_comment_markers_in_strings_kept(self):
+        src = 'char *s = "no /* comment */ here"; // real'
+        out = strip_comments(src)
+        assert '"no /* comment */ here"' in out
+        assert "real" not in out
+
+    def test_unterminated_block_raises(self):
+        with pytest.raises(PreprocessorError, match="unterminated"):
+            strip_comments("int x; /* oops")
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(PreprocessorError):
+            strip_comments('char *s = "oops\nint y;')
+
+    def test_escaped_quote_in_string(self):
+        src = 'char *s = "a\\"b"; // comment'
+        assert '"a\\"b"' in strip_comments(src)
+
+
+class TestObjectMacros:
+    def test_simple_define(self):
+        out = preprocess("#define N 10\nint a[N];")
+        assert "int a[10];" in out
+
+    def test_redefinition_wins(self):
+        out = preprocess("#define N 1\n#define N 2\nint x = N;")
+        assert "int x = 2;" in out
+
+    def test_undef(self):
+        out = preprocess("#define N 1\n#undef N\nint x = N;")
+        assert "int x = N;" in out
+
+    def test_no_expansion_in_strings(self):
+        out = preprocess('#define N 10\nchar *s = "N";')
+        assert '"N"' in out
+
+    def test_chained_expansion(self):
+        out = preprocess("#define A B\n#define B 3\nint x = A;")
+        assert "int x = 3;" in out
+
+    def test_self_reference_stops(self):
+        out = preprocess("#define X X\nint X;")
+        assert "int X;" in out
+
+    def test_mutual_recursion_stops(self):
+        out = preprocess("#define A B\n#define B A\nint A;")
+        assert lines_of(out)  # terminates; exact spelling unimportant
+
+
+class TestFunctionMacros:
+    def test_basic_substitution(self):
+        out = preprocess("#define SQ(x) ((x)*(x))\nint y = SQ(3);")
+        assert "int y = ((3)*(3));" in out
+
+    def test_multi_argument(self):
+        out = preprocess("#define MAX(a,b) ((a)>(b)?(a):(b))\n"
+                         "int m = MAX(x, y+1);")
+        assert "((x)>(y+1)?(x):(y+1))" in out
+
+    def test_nested_parens_in_argument(self):
+        out = preprocess("#define ID(x) x\nint y = ID(f(a, b));")
+        assert "int y = f(a, b);" in out
+
+    def test_name_without_parens_not_invoked(self):
+        out = preprocess("#define F(x) x\nint F;")
+        assert "int F;" in out
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(PreprocessorError, match="expects"):
+            preprocess("#define F(a,b) a\nint x = F(1);")
+
+    def test_arguments_expand_first(self):
+        out = preprocess("#define N 5\n#define ID(x) x\nint y = ID(N);")
+        assert "int y = 5;" in out
+
+
+class TestVariadicMacros:
+    def test_basic_va_args(self):
+        out = preprocess(
+            "#define LOG(fmt, ...) printf(fmt, __VA_ARGS__)\n"
+            'LOG("%d %d", 1, 2);')
+        assert 'printf("%d %d", 1, 2);' in out
+
+    def test_only_varargs(self):
+        out = preprocess(
+            "#define CALL(...) f(__VA_ARGS__)\nCALL(a, b, c);")
+        assert "f(a, b, c);" in out
+
+    def test_empty_varargs(self):
+        out = preprocess(
+            "#define CALL(x, ...) f(x)\nCALL(1);")
+        assert "f(1);" in out
+
+    def test_too_few_arguments_rejected(self):
+        with pytest.raises(PreprocessorError, match="at least"):
+            preprocess("#define LOG(fmt, x, ...) fmt\nLOG(1);")
+
+    def test_dots_must_be_last(self):
+        with pytest.raises(PreprocessorError, match="last"):
+            preprocess("#define BAD(..., x) x")
+
+
+class TestStringifyAndPaste:
+    def test_stringify(self):
+        out = preprocess('#define STR(x) #x\nchar *s = STR(hello);')
+        assert 'char *s = "hello";' in out
+
+    def test_stringify_uses_raw_argument(self):
+        out = preprocess(
+            "#define N 5\n#define STR(x) #x\nchar *s = STR(N);")
+        assert '"N"' in out  # stringify sees the unexpanded spelling
+
+    def test_stringify_escapes_quotes(self):
+        out = preprocess('#define STR(x) #x\nchar *s = STR("hi");')
+        assert '"\\"hi\\""' in out
+
+    def test_paste_identifiers(self):
+        out = preprocess(
+            "#define GLUE(a, b) a##b\nint GLUE(count, er) = 1;")
+        assert "int counter = 1;" in out
+
+    def test_paste_with_literal(self):
+        out = preprocess(
+            "#define FIELD(n) field_##n\nint FIELD(x);")
+        assert "int field_x;" in out
+
+    def test_paste_then_expand(self):
+        out = preprocess(
+            "#define AB 7\n#define JOIN(a, b) a##b\n"
+            "int v = JOIN(A, B);")
+        # Pasting forms AB; rescanning expands it.
+        assert "int v = 7;" in out
+
+    def test_stringify_whole_expression(self):
+        out = preprocess("#define STR(x) #x\nchar *s = STR(a + b);")
+        assert '"a + b"' in out
+
+
+class TestConditionals:
+    def test_ifdef_taken(self):
+        out = preprocess("#define YES 1\n#ifdef YES\nint a;\n#endif")
+        assert "int a;" in out
+
+    def test_ifdef_skipped(self):
+        out = preprocess("#ifdef NO\nint a;\n#endif\nint b;")
+        assert "int a;" not in out and "int b;" in out
+
+    def test_ifndef(self):
+        out = preprocess("#ifndef NO\nint a;\n#endif")
+        assert "int a;" in out
+
+    def test_else(self):
+        out = preprocess("#ifdef NO\nint a;\n#else\nint b;\n#endif")
+        assert "int b;" in out and "int a;" not in out
+
+    def test_elif_chain(self):
+        src = ("#define V 2\n#if V == 1\nint a;\n#elif V == 2\n"
+               "int b;\n#elif V == 3\nint c;\n#else\nint d;\n#endif")
+        out = preprocess(src)
+        assert lines_of(out) == ["int b;"]
+
+    def test_nested_conditionals(self):
+        src = ("#define A 1\n#ifdef A\n#ifdef B\nint x;\n#else\n"
+               "int y;\n#endif\n#endif")
+        assert lines_of(preprocess(src)) == ["int y;"]
+
+    def test_defines_inside_dead_branch_ignored(self):
+        out = preprocess("#ifdef NO\n#define N 1\n#endif\nint x = N;")
+        assert "int x = N;" in out
+
+    def test_unterminated_conditional_raises(self):
+        with pytest.raises(PreprocessorError, match="unterminated"):
+            preprocess("#ifdef A\nint x;")
+
+    def test_dangling_endif_raises(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("#endif")
+
+    def test_else_after_else_raises(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("#ifdef A\n#else\n#else\n#endif")
+
+
+class TestIfExpressions:
+    @pytest.mark.parametrize("expr,expected", [
+        ("1 + 2 * 3 == 7", True),
+        ("(1 + 2) * 3 == 7", False),
+        ("defined(A)", True),
+        ("defined B", False),
+        ("!defined(A)", False),
+        ("defined(A) && defined(B)", False),
+        ("defined(A) || defined(B)", True),
+        ("UNKNOWN_NAME", False),
+        ("1 << 4", True),
+        ("0x10 == 16", True),
+        ("~0 & 1", True),
+        ("5 % 2 == 1", True),
+        ("1 ? 2 : 0", True),
+        ("0 ? 2 : 0", False),
+        ("'a' == 97", True),
+    ])
+    def test_expression(self, expr, expected):
+        src = f"#define A 1\n#if {expr}\nyes;\n#endif"
+        out = preprocess(src)
+        assert ("yes;" in out) == expected
+
+    def test_macro_in_if(self):
+        out = preprocess("#define N 4\n#if N > 3\nyes;\n#endif")
+        assert "yes;" in out
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("#if 1 / 0\n#endif")
+
+    def test_garbage_raises(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("#if 1 +\n#endif")
+
+
+class TestIncludes:
+    def test_quoted_include(self, tmp_path):
+        (tmp_path / "header.h").write_text("int from_header;\n")
+        main = tmp_path / "main.c"
+        main.write_text('#include "header.h"\nint x;\n')
+        pre = Preprocessor()
+        out = pre.process_file(main)
+        assert "int from_header;" in out
+        assert "int x;" in out
+
+    def test_include_relative_to_includer(self, tmp_path):
+        sub = tmp_path / "sub"
+        sub.mkdir()
+        (sub / "inner.h").write_text("int inner;\n")
+        (sub / "outer.h").write_text('#include "inner.h"\n')
+        main = tmp_path / "main.c"
+        main.write_text('#include "sub/outer.h"\n')
+        assert "int inner;" in Preprocessor().process_file(main)
+
+    def test_include_dirs_searched(self, tmp_path):
+        incdir = tmp_path / "include"
+        incdir.mkdir()
+        (incdir / "lib.h").write_text("int lib;\n")
+        pre = Preprocessor(include_dirs=[incdir])
+        out = pre.process_text('#include "lib.h"\n', "main.c")
+        assert "int lib;" in out
+
+    def test_missing_include_raises(self):
+        with pytest.raises(PreprocessorError, match="cannot find"):
+            preprocess('#include "nope.h"')
+
+    def test_system_include_without_dirs_raises(self):
+        with pytest.raises(PreprocessorError, match="system include"):
+            preprocess("#include <stdio.h>")
+
+    def test_system_include_with_dirs(self, tmp_path):
+        (tmp_path / "stdio.h").write_text("int stdio_stub;\n")
+        pre = Preprocessor(system_dirs=[tmp_path])
+        out = pre.process_text("#include <stdio.h>\n", "main.c")
+        assert "int stdio_stub;" in out
+
+    def test_include_guard_idiom(self, tmp_path):
+        (tmp_path / "guarded.h").write_text(
+            "#ifndef G_H\n#define G_H\nint once;\n#endif\n")
+        main = tmp_path / "main.c"
+        main.write_text('#include "guarded.h"\n#include "guarded.h"\n')
+        out = Preprocessor().process_file(main)
+        assert out.count("int once;") == 1
+
+    def test_self_include_depth_limited(self, tmp_path):
+        loop = tmp_path / "loop.h"
+        loop.write_text('#include "loop.h"\n')
+        with pytest.raises(PreprocessorError, match="depth"):
+            Preprocessor().process_file(loop)
+
+
+class TestMisc:
+    def test_line_splicing(self):
+        out = preprocess("#define LONG 1 + \\\n    2\nint x = LONG;")
+        flattened = " ".join(out.split())
+        assert "int x = 1 + 2;" in flattened
+
+    def test_error_directive(self):
+        with pytest.raises(PreprocessorError, match="boom"):
+            preprocess("#error boom")
+
+    def test_pragma_ignored(self):
+        out = preprocess("#pragma once\nint x;")
+        assert "int x;" in out
+
+    def test_unknown_directive_raises(self):
+        with pytest.raises(PreprocessorError, match="unknown directive"):
+            preprocess("#frobnicate")
+
+    def test_line_markers_emitted(self):
+        out = preprocess("int x;\n", filename="file.c")
+        assert '# 1 "file.c"' in out
+
+    def test_predefines(self):
+        pre = Preprocessor(defines={"N": "3"})
+        assert "int a[3];" in pre.process_text("int a[N];", "t.c")

@@ -1,0 +1,75 @@
+"""Scoped symbol tables."""
+
+import pytest
+
+from repro.errors import TypeError_
+from repro.frontend.ctypes import INT, PointerType
+from repro.frontend.symbols import Symbol, SymbolKind, SymbolTable
+
+
+def var(name, ctype=INT):
+    return Symbol(name, ctype, SymbolKind.VARIABLE)
+
+
+class TestScoping:
+    def test_lookup_in_current_scope(self):
+        table = SymbolTable()
+        sym = table.define(var("x"))
+        assert table.lookup("x") is sym
+
+    def test_lookup_falls_through_to_outer(self):
+        table = SymbolTable()
+        outer = table.define(var("x"))
+        table.push()
+        assert table.lookup("x") is outer
+
+    def test_shadowing_creates_distinct_symbol(self):
+        table = SymbolTable()
+        outer = table.define(var("x"))
+        table.push()
+        inner = table.define(var("x"))
+        assert table.lookup("x") is inner
+        assert inner is not outer
+        table.pop()
+        assert table.lookup("x") is outer
+
+    def test_pop_returns_scope_contents(self):
+        table = SymbolTable()
+        table.push()
+        sym = table.define(var("y"))
+        popped = table.pop()
+        assert popped == {"y": sym}
+        assert table.lookup("y") is None
+
+    def test_cannot_pop_global_scope(self):
+        with pytest.raises(TypeError_):
+            SymbolTable().pop()
+
+    def test_at_global_scope(self):
+        table = SymbolTable()
+        assert table.at_global_scope
+        table.push()
+        assert not table.at_global_scope
+
+
+class TestDefine:
+    def test_duplicate_in_same_scope_rejected(self):
+        table = SymbolTable()
+        table.define(var("x"))
+        with pytest.raises(TypeError_, match="redeclaration"):
+            table.define(var("x"))
+
+    def test_allow_redeclare_returns_existing(self):
+        table = SymbolTable()
+        first = table.define(var("x"))
+        second = table.define(var("x"), allow_redeclare=True)
+        assert second is first
+
+    def test_require_raises_on_missing(self):
+        with pytest.raises(TypeError_, match="undeclared"):
+            SymbolTable().require("ghost")
+
+    def test_require_returns_symbol(self):
+        table = SymbolTable()
+        sym = table.define(var("p", PointerType(INT)))
+        assert table.require("p") is sym

@@ -1,0 +1,285 @@
+"""Type elaboration and constant evaluation."""
+
+import pytest
+
+from repro.errors import TypeError_, UnsupportedFeatureError
+from repro.frontend.ctypes import (
+    ArrayType,
+    EnumType,
+    FunctionType,
+    IntType,
+    PointerType,
+    RecordType,
+    VoidType,
+)
+from repro.frontend.parser import parse_preprocessed
+from repro.frontend.typemap import (
+    TypeContext,
+    decode_string_literal,
+    int_literal,
+)
+from repro.ir.nodes import ValueTag
+
+
+def elaborate(source: str):
+    """Parse declarations and return (context, [(name, ctype)])."""
+    ast = parse_preprocessed(source)
+    ctx = TypeContext()
+    decls = []
+    for ext in ast.ext:
+        if ext.__class__.__name__ == "Typedef":
+            ctx.register_typedef(ext)
+        elif getattr(ext, "name", None) is not None:
+            decls.append((ext.name, ctx.type_of(ext.type)))
+        else:
+            ctx.type_of(ext.type)
+    return ctx, dict(decls)
+
+
+class TestBuiltins:
+    @pytest.mark.parametrize("decl,kind,signed", [
+        ("int x;", "int", True),
+        ("unsigned x;", "int", False),
+        ("unsigned int x;", "int", False),
+        ("long x;", "long", True),
+        ("unsigned long int x;", "long", False),
+        ("short int x;", "short", True),
+        ("signed char x;", "char", True),
+        ("unsigned char x;", "char", False),
+        ("long long x;", "longlong", True),
+    ])
+    def test_int_combos(self, decl, kind, signed):
+        _, decls = elaborate(decl)
+        ctype = decls["x"]
+        assert isinstance(ctype, IntType)
+        assert ctype.kind == kind and ctype.signed == signed
+
+    def test_floats(self):
+        _, decls = elaborate("float f; double d; long double ld;")
+        assert decls["f"].kind == "float"
+        assert decls["d"].kind == "double"
+        assert decls["ld"].kind == "longdouble"
+
+    def test_unknown_type_raises(self):
+        from repro.errors import ParseError
+        # pycparser itself rejects unknown type names at parse time.
+        with pytest.raises(ParseError):
+            elaborate("sometype x;")
+
+
+class TestDerived:
+    def test_pointer_chain(self):
+        _, decls = elaborate("int ***p;")
+        ctype = decls["p"]
+        for _ in range(3):
+            assert isinstance(ctype, PointerType)
+            ctype = ctype.pointee
+        assert isinstance(ctype, IntType)
+
+    def test_array_with_constant_bound(self):
+        _, decls = elaborate("int a[3 * 4];")
+        arr = decls["a"]
+        assert isinstance(arr, ArrayType) and arr.length == 12
+
+    def test_unsized_array(self):
+        _, decls = elaborate("extern int a[];")
+        assert decls["a"].length is None
+
+    def test_multidim_array(self):
+        _, decls = elaborate("int m[2][3];")
+        assert decls["m"].length == 2
+        assert decls["m"].element.length == 3
+
+    def test_function_type(self):
+        _, decls = elaborate("int f(int a, char *b);")
+        f = decls["f"]
+        assert isinstance(f, FunctionType)
+        assert len(f.params) == 2 and not f.varargs
+
+    def test_varargs(self):
+        _, decls = elaborate("int printf(const char *fmt, ...);")
+        assert decls["printf"].varargs
+
+    def test_void_param_list_empty(self):
+        _, decls = elaborate("int f(void);")
+        assert decls["f"].params == []
+
+    def test_array_param_adjusts_to_pointer(self):
+        _, decls = elaborate("int f(int a[10]);")
+        assert isinstance(decls["f"].params[0], PointerType)
+
+    def test_function_pointer(self):
+        _, decls = elaborate("int (*handler)(int);")
+        h = decls["handler"]
+        assert isinstance(h, PointerType)
+        assert isinstance(h.pointee, FunctionType)
+
+
+class TestRecords:
+    def test_struct_members(self):
+        _, decls = elaborate(
+            "struct point { int x; int y; }; struct point p;")
+        p = decls["p"]
+        assert isinstance(p, RecordType) and not p.is_union
+        assert p.has_member("x") and p.has_member("y")
+        assert isinstance(p.member_type("x"), IntType)
+
+    def test_self_referential_struct(self):
+        _, decls = elaborate(
+            "struct node { int v; struct node *next; }; struct node n;")
+        n = decls["n"]
+        assert n.member_type("next").pointee is n
+
+    def test_union_field_ops_collapse(self):
+        _, decls = elaborate("union u { int i; float f; }; union u v;")
+        v = decls["v"]
+        assert v.is_union
+        assert v.field_op("i") is v.field_op("f")
+
+    def test_struct_field_ops_distinct(self):
+        _, decls = elaborate("struct s { int a; int b; }; struct s v;")
+        v = decls["v"]
+        assert v.field_op("a") is not v.field_op("b")
+
+    def test_same_tag_same_type(self):
+        ctx, decls = elaborate(
+            "struct t { int x; }; struct t a; struct t b;")
+        assert decls["a"] is decls["b"]
+
+    def test_incomplete_member_access_raises(self):
+        _, decls = elaborate("struct fwd *p;")
+        record = decls["p"].pointee
+        with pytest.raises(TypeError_, match="incomplete"):
+            record.members
+
+    def test_unknown_member_raises(self):
+        _, decls = elaborate("struct s { int a; }; struct s v;")
+        with pytest.raises(TypeError_, match="no member"):
+            decls["v"].member_type("zz")
+
+    def test_contains_pointers(self):
+        _, decls = elaborate(
+            "struct a { int x; }; struct b { int *p; };"
+            "struct c { struct b inner; };"
+            "struct a va; struct b vb; struct c vc;")
+        assert not decls["va"].contains_pointers()
+        assert decls["vb"].contains_pointers()
+        assert decls["vc"].contains_pointers()
+
+    def test_recursive_contains_pointers_terminates(self):
+        _, decls = elaborate(
+            "struct n { struct n *next; }; struct n v;")
+        assert decls["v"].contains_pointers()
+
+
+class TestEnums:
+    def test_constants_assigned(self):
+        ctx, decls = elaborate("enum color { RED, GREEN = 5, BLUE };")
+        assert ctx.enum_constants["RED"] == 0
+        assert ctx.enum_constants["GREEN"] == 5
+        assert ctx.enum_constants["BLUE"] == 6
+
+    def test_enum_type(self):
+        _, decls = elaborate("enum e { A } v;")
+        assert isinstance(decls["v"], EnumType)
+
+
+class TestTypedefs:
+    def test_simple(self):
+        _, decls = elaborate("typedef unsigned long size_t; size_t n;")
+        assert isinstance(decls["n"], IntType)
+        assert not decls["n"].signed
+
+    def test_struct_typedef(self):
+        _, decls = elaborate(
+            "typedef struct { int x; } point_t; point_t p;")
+        assert isinstance(decls["p"], RecordType)
+
+
+class TestConstEval:
+    def _eval(self, expr: str) -> int:
+        ast = parse_preprocessed(f"int a[{expr}];")
+        ctx = TypeContext()
+        return ctx.type_of(ast.ext[0].type).length
+
+    @pytest.mark.parametrize("expr,expected", [
+        ("3", 3), ("2 + 3 * 4", 14), ("(2 + 3) * 4", 20),
+        ("1 << 4", 16), ("15 & 7", 7), ("10 / 3", 3), ("10 % 3", 1),
+        ("-(-5)", 5), ("!0 + !5", 1), ("~0 & 3", 3),
+        ("1 < 2", 1), ("3 == 3", 1), ("1 && 0", 0), ("1 || 0", 1),
+        ("'A'", 65), ("'\\n'", 10), ("0x20", 32), ("010", 8),
+        ("1 ? 7 : 9", 7),
+    ])
+    def test_arithmetic(self, expr, expected):
+        assert self._eval(expr) == expected
+
+    def test_enum_constant_in_bound(self):
+        ast = parse_preprocessed("enum { N = 6 }; int a[N];")
+        ctx = TypeContext()
+        ctx.type_of(ast.ext[0].type)
+        assert ctx.type_of(ast.ext[1].type).length == 6
+
+    def test_sizeof_type(self):
+        assert self._eval("sizeof(int)") == 4
+        assert self._eval("sizeof(char)") == 1
+        assert self._eval("sizeof(int *)") == 8
+
+    def test_non_constant_raises(self):
+        with pytest.raises(TypeError_):
+            ast = parse_preprocessed("int x; int a[x];")
+            ctx = TypeContext()
+            for ext in ast.ext:
+                ctx.type_of(ext.type)
+
+
+class TestSizeOf:
+    def _type(self, source, name="x"):
+        _, decls = elaborate(source)
+        return decls[name]
+
+    def test_struct_sums_members(self):
+        t = self._type("struct s { int a; char b; double c; } x;")
+        assert t.size_of() == 13  # packed model: 4 + 1 + 8
+
+    def test_union_takes_max(self):
+        t = self._type("union u { int a; double b; } x;")
+        assert t.size_of() == 8
+
+    def test_array_multiplies(self):
+        t = self._type("int x[10];")
+        assert t.size_of() == 40
+
+    def test_infinite_struct_raises(self):
+        record = RecordType("bad")
+        record.complete([("self", record)])
+        with pytest.raises(TypeError_):
+            record.size_of()
+
+
+class TestValueTags:
+    def test_tags(self):
+        _, decls = elaborate(
+            "int i; int *p; struct s { int x; } v; int (*fp)(void);"
+            "int arr[3];")
+        assert decls["i"].value_tag() is ValueTag.SCALAR
+        assert decls["p"].value_tag() is ValueTag.POINTER
+        assert decls["v"].value_tag() is ValueTag.AGGREGATE
+        assert decls["fp"].value_tag() is ValueTag.FUNCTION
+        assert decls["arr"].value_tag() is ValueTag.AGGREGATE
+
+
+class TestLiterals:
+    @pytest.mark.parametrize("text,expected", [
+        ("42", 42), ("0x2A", 42), ("052", 42), ("0", 0),
+        ("42L", 42), ("42UL", 42), ("0xFFu", 255),
+    ])
+    def test_int_literal(self, text, expected):
+        assert int_literal(text) == expected
+
+    @pytest.mark.parametrize("literal,expected", [
+        ('"abc"', "abc"), ('"a\\nb"', "a\nb"), ('"\\t"', "\t"),
+        ('"\\x41"', "A"), ('"\\101"', "A"), ('""', ""),
+        ('"a\\\\b"', "a\\b"), ('"\\""', '"'),
+    ])
+    def test_decode_string(self, literal, expected):
+        assert decode_string_literal(literal) == expected

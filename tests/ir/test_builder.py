@@ -1,0 +1,140 @@
+"""GraphBuilder construction API."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.builder import GraphBuilder, unify_tags
+from repro.ir.graph import FunctionGraph
+from repro.ir.nodes import MergeNode, ValueTag
+from repro.memory import global_location, location_path
+
+
+@pytest.fixture
+def gb():
+    return GraphBuilder("f")
+
+
+@pytest.fixture
+def gpath():
+    return location_path(global_location("g"))
+
+
+def minimal(gb):
+    entry = gb.entry([("p", ValueTag.POINTER, None)])
+    return entry
+
+
+class TestBasics:
+    def test_finish_requires_entry_and_return(self, gb):
+        with pytest.raises(IRError):
+            gb.finish()
+        entry = minimal(gb)
+        with pytest.raises(IRError):
+            gb.finish()
+        gb.ret(None, entry.store_out)
+        graph = gb.finish()
+        assert graph.entry is entry
+
+    def test_wraps_existing_graph(self):
+        graph = FunctionGraph("g")
+        gb = GraphBuilder(graph)
+        assert gb.graph is graph
+
+    def test_lookup_update_chain(self, gb, gpath):
+        entry = minimal(gb)
+        addr = gb.address(gpath)
+        value = gb.lookup(addr, entry.store_out, ValueTag.POINTER)
+        store = gb.update(addr, entry.store_out, value)
+        gb.ret(None, store)
+        graph = gb.finish()
+        assert len(list(graph.memory_operations())) == 2
+
+    def test_call_ports(self, gb, gpath):
+        entry = minimal(gb)
+        fcn = gb.address(gpath, ValueTag.FUNCTION)
+        out, store = gb.call(fcn, [entry.formals[0]], entry.store_out,
+                             ValueTag.POINTER)
+        assert out.tag is ValueTag.POINTER
+        assert store.tag is ValueTag.STORE
+
+    def test_origin_recorded(self, gb):
+        gb.set_origin("file.c:3")
+        port = gb.const(1)
+        assert port.node.origin == "file.c:3"
+
+
+class TestMerge:
+    def test_single_branch_is_identity(self, gb):
+        entry = minimal(gb)
+        assert gb.merge([entry.formals[0]]) is entry.formals[0]
+
+    def test_empty_merge_rejected(self, gb):
+        with pytest.raises(IRError):
+            gb.merge([])
+
+    def test_merge_with_pred(self, gb):
+        a = gb.const(1)
+        b = gb.const(2)
+        pred = gb.const(0)
+        out = gb.merge([a, b], pred=pred)
+        node = out.node
+        assert isinstance(node, MergeNode)
+        assert node.pred.source is pred
+
+    def test_loop_header_and_close(self, gb):
+        entry = minimal(gb)
+        header = gb.loop_header(entry.formals[0])
+        assert len(header.branches) == 1
+        gb.close_loop(header, header.out)  # self back edge
+        assert len(header.branches) == 2
+        assert header.branches[1].source is header.out
+
+
+class TestUnifyTags:
+    def _port(self, gb, tag, carries=None):
+        return gb.const(0, tag)
+
+    def test_same_tags(self, gb):
+        a, b = gb.const(0, ValueTag.POINTER), gb.const(0, ValueTag.POINTER)
+        tag, _ = unify_tags([a, b])
+        assert tag is ValueTag.POINTER
+
+    def test_scalar_loses_to_pointer(self, gb):
+        a, b = gb.const(0), gb.const(0, ValueTag.POINTER)
+        tag, _ = unify_tags([a, b])
+        assert tag is ValueTag.POINTER
+
+    def test_mixed_nonscalar_degrades_to_aggregate(self, gb):
+        a = gb.const(0, ValueTag.POINTER)
+        b = gb.const(0, ValueTag.FUNCTION)
+        tag, _ = unify_tags([a, b])
+        assert tag is ValueTag.AGGREGATE
+
+    def test_store_mix_rejected(self, gb):
+        entry = minimal(gb)
+        with pytest.raises(IRError):
+            unify_tags([entry.store_out, gb.const(0)])
+
+    def test_all_store(self, gb):
+        entry = minimal(gb)
+        tag, carries = unify_tags([entry.store_out, entry.store_out])
+        assert tag is ValueTag.STORE and carries
+
+
+class TestPrimopHelpers:
+    def test_copy_preserves_tag(self, gb):
+        p = gb.const(0, ValueTag.POINTER)
+        out = gb.copy(p)
+        assert out.tag is ValueTag.POINTER
+
+    def test_field_addr(self, gb):
+        from repro.memory.access import FieldOp
+        p = gb.const(0, ValueTag.POINTER)
+        out = gb.field_addr(p, FieldOp("S", "x"))
+        assert out.node.field_op is FieldOp("S", "x")
+
+    def test_extract(self, gb):
+        from repro.memory.access import FieldOp
+        agg = gb.const(0, ValueTag.AGGREGATE)
+        out = gb.extract(agg, FieldOp("S", "x"), ValueTag.POINTER)
+        assert out.tag is ValueTag.POINTER

@@ -1,0 +1,81 @@
+"""DOT export."""
+
+import re
+
+import pytest
+
+import repro
+from repro.analysis.insensitive import analyze_insensitive
+from repro.ir.dot import program_to_dot, to_dot
+
+SRC = """
+int g; int *p;
+int helper(int x) { return x + 1; }
+int main(void) {
+    p = &g;
+    if (helper(1))
+        *p = 2;
+    return *p;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def program():
+    return repro.parse_source(SRC)
+
+
+class TestFunctionDot:
+    def test_valid_structure(self, program):
+        dot = to_dot(program.functions["main"])
+        assert dot.startswith('digraph "main" {')
+        assert dot.rstrip().endswith("}")
+        # Balanced braces, one statement per line.
+        assert dot.count("{") == dot.count("}")
+
+    def test_all_nodes_present(self, program):
+        graph = program.functions["main"]
+        dot = to_dot(graph)
+        for node in graph.nodes:
+            assert f"n{node.uid} [" in dot
+
+    def test_all_edges_present(self, program):
+        graph = program.functions["main"]
+        dot = to_dot(graph)
+        edges = sum(1 for node in graph.nodes for port in node.inputs
+                    if port.source is not None)
+        assert dot.count(" -> ") >= edges
+
+    def test_store_edges_bold(self, program):
+        dot = to_dot(program.functions["main"])
+        assert "style=bold" in dot
+
+    def test_control_uses_shown(self, program):
+        dot = to_dot(program.functions["main"])
+        assert "ctl0" in dot
+        assert 'label="γ"' in dot
+
+    def test_annotation_with_result(self, program):
+        result = analyze_insensitive(program)
+        dot = to_dot(program.functions["main"], result=result)
+        assert "{g}" in dot.replace("\\n", " ")
+
+    def test_origins_included_when_asked(self, program):
+        dot = to_dot(program.functions["main"], include_origins=True)
+        assert "<source>:" in dot
+
+
+class TestProgramDot:
+    def test_clusters(self, program):
+        dot = program_to_dot(program)
+        assert 'subgraph "cluster_main"' in dot
+        assert 'subgraph "cluster_helper"' in dot
+        assert dot.count("{") == dot.count("}")
+
+    def test_node_ids_unique_across_clusters(self, program):
+        dot = program_to_dot(program)
+        # Node *declarations* start their line with the id; edge lines
+        # contain "->" after the id and are excluded by the anchor.
+        ids = re.findall(r"^\s*(f\d+_n\d+) \[", dot, re.MULTILINE)
+        assert len(ids) == len(set(ids))
+        assert len(ids) == program.node_count()

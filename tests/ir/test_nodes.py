@@ -1,0 +1,135 @@
+"""Node/port mechanics and output classification."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import FunctionGraph
+from repro.ir.nodes import (
+    AddressNode,
+    ConstNode,
+    LookupNode,
+    MergeNode,
+    PrimopNode,
+    PrimopSemantics,
+    UpdateNode,
+    ValueTag,
+)
+from repro.memory import global_location, location_path
+
+
+@pytest.fixture
+def graph():
+    return FunctionGraph("f")
+
+
+@pytest.fixture
+def gpath():
+    return location_path(global_location("g"))
+
+
+class TestPorts:
+    def test_connect_tracks_consumers(self, graph, gpath):
+        addr = AddressNode(graph, gpath)
+        store_in = LookupNode(graph, ValueTag.SCALAR)
+        store_in.loc.connect(addr.out)
+        assert store_in.loc.source is addr.out
+        assert store_in.loc in addr.out.consumers
+
+    def test_reconnect_removes_old_consumer(self, graph, gpath):
+        a = AddressNode(graph, gpath)
+        b = AddressNode(graph, gpath)
+        node = LookupNode(graph, ValueTag.SCALAR)
+        node.loc.connect(a.out)
+        node.loc.connect(b.out)
+        assert node.loc not in a.out.consumers
+        assert node.loc in b.out.consumers
+
+    def test_named_port_lookup(self, graph):
+        node = UpdateNode(graph)
+        assert node.input("loc") is node.loc
+        assert node.output("store") is node.ostore
+        with pytest.raises(KeyError):
+            node.input("nope")
+
+    def test_uids_increase(self, graph, gpath):
+        a = AddressNode(graph, gpath)
+        b = AddressNode(graph, gpath)
+        assert b.uid > a.uid
+        assert graph.nodes == [a, b]
+
+
+class TestAliasRelated:
+    """Figure 2's alias-related output definition."""
+
+    def test_pointer_function_store_related(self, graph, gpath):
+        assert AddressNode(graph, gpath).out.alias_related
+        assert AddressNode(graph, gpath,
+                           ValueTag.FUNCTION).out.alias_related
+        assert UpdateNode(graph).ostore.alias_related
+
+    def test_scalar_not_related(self, graph):
+        assert not ConstNode(graph, 1).out.alias_related
+
+    def test_aggregate_depends_on_contents(self, graph):
+        with_ptr = LookupNode(graph, ValueTag.AGGREGATE,
+                              carries_pointers=True)
+        without = LookupNode(graph, ValueTag.AGGREGATE,
+                             carries_pointers=False)
+        assert with_ptr.out.alias_related
+        assert not without.out.alias_related
+
+
+class TestNodeConstruction:
+    def test_address_requires_location(self, graph):
+        from repro.memory.access import EMPTY_OFFSET
+        with pytest.raises(ValueError):
+            AddressNode(graph, EMPTY_OFFSET)
+
+    def test_field_primop_requires_op(self, graph):
+        with pytest.raises(ValueError):
+            PrimopNode(graph, "fa", 1, ValueTag.POINTER,
+                       PrimopSemantics.FIELD)
+
+    def test_extract_requires_op(self, graph):
+        with pytest.raises(ValueError):
+            PrimopNode(graph, "ex", 1, ValueTag.POINTER,
+                       PrimopSemantics.EXTRACT)
+
+    def test_merge_add_branch(self, graph):
+        merge = MergeNode(graph, 1, ValueTag.POINTER)
+        port = merge.add_branch()
+        assert len(merge.branches) == 2
+        assert merge.branches[1] is port
+
+    def test_is_indirect(self, graph, gpath):
+        addr = AddressNode(graph, gpath)
+        direct = LookupNode(graph, ValueTag.SCALAR)
+        direct.loc.connect(addr.out)
+        assert not direct.is_indirect
+        computed = PrimopNode(graph, "ptradd", 1, ValueTag.POINTER,
+                              PrimopSemantics.COPY)
+        computed.operands[0].connect(addr.out)
+        indirect = LookupNode(graph, ValueTag.SCALAR)
+        indirect.loc.connect(computed.out)
+        assert indirect.is_indirect
+
+
+class TestGraphQueries:
+    def test_memory_operations(self, graph, gpath):
+        AddressNode(graph, gpath)
+        lk = LookupNode(graph, ValueTag.SCALAR)
+        up = UpdateNode(graph)
+        assert set(graph.memory_operations()) == {lk, up}
+
+    def test_double_entry_rejected(self, graph):
+        from repro.ir.nodes import EntryNode
+        graph.set_entry(EntryNode(graph, []))
+        with pytest.raises(IRError):
+            graph.set_entry(EntryNode(graph, []))
+
+    def test_control_use_foreign_rejected(self, graph, gpath):
+        other = FunctionGraph("other")
+        node = AddressNode(other, gpath)
+        with pytest.raises(IRError):
+            graph.add_control_use(node.out)

@@ -1,0 +1,62 @@
+"""Textual dumps."""
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import Program
+from repro.ir.nodes import ValueTag
+from repro.ir.pretty import format_function, format_program
+from repro.memory import global_location, location_path
+from repro.memory.pairs import direct
+
+
+def _program():
+    program = Program("demo")
+    gb = GraphBuilder("f")
+    entry = gb.entry([("p", ValueTag.POINTER, None)])
+    gpath = location_path(global_location("g"))
+    addr = gb.address(gpath)
+    value = gb.lookup(addr, entry.store_out, ValueTag.POINTER)
+    store = gb.update(value, entry.store_out, gb.const(7))
+    gb.ret(None, store)
+    program.add_function(gb.finish())
+    program.add_root("f")
+    return program
+
+
+class TestFormatFunction:
+    def test_contains_all_node_kinds(self):
+        text = format_function(_program().functions["f"])
+        for expected in ("entry", "address g", "lookup", "update",
+                         "return", "const 7"):
+            assert expected in text
+
+    def test_indirect_marker(self):
+        text = format_function(_program().functions["f"])
+        assert "; indirect" in text  # the update through a loaded pointer
+
+    def test_recursive_marker(self):
+        program = _program()
+        program.functions["f"].recursive = True
+        assert "(recursive)" in format_function(program.functions["f"])
+
+
+class TestFormatProgram:
+    def test_header_and_roots(self):
+        text = format_program(_program())
+        assert "program demo" in text
+        assert "roots: f" in text
+
+    def test_initial_store_section(self):
+        program = _program()
+        g = location_path(global_location("gp"))
+        program.seed_store([direct(g)])
+        assert "initial store" in format_program(program)
+
+    def test_only_filter(self):
+        program = _program()
+        gb = GraphBuilder("other")
+        entry = gb.entry([])
+        gb.ret(None, entry.store_out)
+        program.add_function(gb.finish())
+        text = format_program(program, only="other")
+        assert "function other" in text
+        assert "function f" not in text

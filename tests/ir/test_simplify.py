@@ -1,0 +1,144 @@
+"""Trivial-merge elimination and dead-node removal."""
+
+import pytest
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.nodes import ConstNode, LookupNode, MergeNode, ValueTag
+from repro.ir.simplify import (
+    eliminate_trivial_merges,
+    remove_dead_nodes,
+    simplify_function,
+)
+from repro.memory import global_location, location_path
+
+
+@pytest.fixture
+def gpath():
+    return location_path(global_location("g"))
+
+
+class TestTrivialMerges:
+    def test_same_source_collapses(self, gpath):
+        gb = GraphBuilder("f")
+        entry = gb.entry([])
+        addr = gb.address(gpath)
+        merged = gb.merge([addr, addr, addr], tag=ValueTag.POINTER)
+        value = gb.lookup(merged, entry.store_out, ValueTag.SCALAR)
+        store = gb.update(addr, entry.store_out, value)
+        gb.ret(None, store)
+        removed = eliminate_trivial_merges(gb.graph)
+        assert removed == 1
+        lookup = next(n for n in gb.graph.nodes
+                      if isinstance(n, LookupNode))
+        assert lookup.loc.source is addr
+
+    def test_distinct_sources_kept(self, gpath):
+        gb = GraphBuilder("f")
+        entry = gb.entry([])
+        a = gb.address(gpath)
+        b = gb.address(location_path(global_location("h")))
+        merged = gb.merge([a, b])
+        store = gb.update(merged, entry.store_out, gb.const(1))
+        gb.ret(None, store)
+        assert eliminate_trivial_merges(gb.graph) == 0
+        assert any(isinstance(n, MergeNode) for n in gb.graph.nodes)
+
+    def test_self_loop_header_collapses(self, gpath):
+        """A loop-invariant header merge(x, self) reduces to x."""
+        gb = GraphBuilder("f")
+        entry = gb.entry([])
+        addr = gb.address(gpath)
+        header = gb.loop_header(addr)
+        gb.close_loop(header, header.out)
+        store = gb.update(header.out, entry.store_out, gb.const(1))
+        gb.ret(None, store)
+        assert eliminate_trivial_merges(gb.graph) == 1
+
+    def test_cascading_collapse(self, gpath):
+        gb = GraphBuilder("f")
+        entry = gb.entry([])
+        addr = gb.address(gpath)
+        m1 = gb.merge([addr, addr])
+        m2 = gb.merge([m1, addr])  # trivial only after m1 collapses
+        store = gb.update(m2, entry.store_out, gb.const(1))
+        gb.ret(None, store)
+        assert eliminate_trivial_merges(gb.graph) == 2
+
+
+class TestDeadNodes:
+    def test_unused_const_removed(self):
+        gb = GraphBuilder("f")
+        entry = gb.entry([])
+        gb.const(42)  # never consumed
+        gb.ret(None, entry.store_out)
+        assert remove_dead_nodes(gb.graph) == 1
+        assert not any(isinstance(n, ConstNode) for n in gb.graph.nodes)
+
+    def test_store_chain_kept(self, gpath):
+        gb = GraphBuilder("f")
+        entry = gb.entry([])
+        addr = gb.address(gpath)
+        store = gb.update(addr, entry.store_out, gb.const(1))
+        gb.ret(None, store)
+        assert remove_dead_nodes(gb.graph) == 0
+
+    def test_unused_lookup_removed(self, gpath):
+        """Dead-code removal: a read whose value goes nowhere."""
+        gb = GraphBuilder("f")
+        entry = gb.entry([])
+        addr = gb.address(gpath)
+        gb.lookup(addr, entry.store_out, ValueTag.SCALAR)
+        gb.ret(None, entry.store_out)
+        # Both the lookup and its now-unreferenced address node go in
+        # one backward-reachability pass.
+        assert remove_dead_nodes(gb.graph) == 2
+        assert not any(isinstance(n, LookupNode) for n in gb.graph.nodes)
+
+    def test_control_use_anchors_liveness(self, gpath):
+        """A loop/branch predicate computation must survive even though
+        no data value consumes it (it feeds a γ in VDG terms)."""
+        gb = GraphBuilder("f")
+        entry = gb.entry([])
+        addr = gb.address(gpath)
+        cond = gb.lookup(addr, entry.store_out, ValueTag.SCALAR)
+        gb.graph.add_control_use(cond)
+        gb.ret(None, entry.store_out)
+        assert remove_dead_nodes(gb.graph) == 0
+        assert any(isinstance(n, LookupNode) for n in gb.graph.nodes)
+
+    def test_entry_always_kept(self):
+        gb = GraphBuilder("f")
+        entry = gb.entry([("p", ValueTag.POINTER, None)])
+        gb.ret(None, entry.store_out)
+        remove_dead_nodes(gb.graph)
+        assert gb.graph.entry is entry
+        assert entry in gb.graph.nodes
+
+
+class TestSimplifyFixpoint:
+    def test_simplify_runs_to_fixpoint(self, gpath):
+        gb = GraphBuilder("f")
+        entry = gb.entry([])
+        addr = gb.address(gpath)
+        m = gb.merge([addr, addr])
+        gb.lookup(m, entry.store_out, ValueTag.SCALAR)  # dead after collapse
+        store = gb.update(addr, entry.store_out, gb.const(1))
+        gb.ret(None, store)
+        total = simplify_function(gb.graph)
+        assert total >= 2
+        assert not any(isinstance(n, (MergeNode, LookupNode))
+                       for n in gb.graph.nodes)
+
+    def test_control_use_redirect_on_merge_collapse(self, gpath):
+        """A collapsed merge that was registered as a control use hands
+        its registration to the replacement value."""
+        gb = GraphBuilder("f")
+        entry = gb.entry([])
+        addr = gb.address(gpath)
+        cond = gb.lookup(addr, entry.store_out, ValueTag.SCALAR)
+        m = gb.merge([cond, cond])
+        gb.graph.add_control_use(m)
+        gb.ret(None, entry.store_out)
+        simplify_function(gb.graph)
+        assert gb.graph.control_uses == [cond]
+        assert any(isinstance(n, LookupNode) for n in gb.graph.nodes)

@@ -1,0 +1,95 @@
+"""The structural validator."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import Program
+from repro.ir.nodes import LookupNode, UpdateNode, ValueTag
+from repro.ir.validate import validate_function, validate_program
+from repro.memory import global_location, location_path
+from repro.memory.access import EMPTY_OFFSET
+from repro.memory.pairs import pair
+
+
+def valid_graph():
+    gb = GraphBuilder("f")
+    entry = gb.entry([])
+    gpath = location_path(global_location("g"))
+    addr = gb.address(gpath)
+    value = gb.lookup(addr, entry.store_out, ValueTag.POINTER)
+    store = gb.update(addr, entry.store_out, value)
+    gb.ret(None, store)
+    return gb.finish()
+
+
+class TestFunctionValidation:
+    def test_valid_graph_passes(self):
+        validate_function(valid_graph())
+
+    def test_dangling_input_caught(self):
+        gb = GraphBuilder("f")
+        entry = gb.entry([])
+        node = LookupNode(gb.graph, ValueTag.SCALAR)  # nothing connected
+        gb.ret(None, entry.store_out)
+        with pytest.raises(IRError, match="dangling"):
+            validate_function(gb.graph)
+
+    def test_store_type_confusion_caught(self):
+        gb = GraphBuilder("f")
+        entry = gb.entry([])
+        bad = LookupNode(gb.graph, ValueTag.SCALAR)
+        bad.loc.connect(entry.store_out)       # store into loc input
+        bad.store.connect(gb.const(1))         # scalar into store input
+        gb.ret(None, entry.store_out)
+        with pytest.raises(IRError, match="store"):
+            validate_function(gb.graph)
+
+    def test_cross_function_edge_caught(self):
+        other = GraphBuilder("other")
+        other_entry = other.entry([])
+        other.ret(None, other_entry.store_out)
+
+        gb = GraphBuilder("f")
+        entry = gb.entry([])
+        node = UpdateNode(gb.graph)
+        node.loc.connect(other_entry.store_out)
+        node.store.connect(entry.store_out)
+        node.value.connect(gb.const(1))
+        gb.ret(None, entry.store_out)
+        with pytest.raises(IRError, match="cross-function"):
+            validate_function(gb.graph)
+
+    def test_missing_return_caught(self):
+        gb = GraphBuilder("f")
+        gb.entry([])
+        with pytest.raises(IRError, match="no return"):
+            validate_function(gb.graph)
+
+
+class TestProgramValidation:
+    def test_valid_program(self):
+        program = Program("p")
+        program.add_function(valid_graph())
+        program.add_root("f")
+        validate_program(program)
+
+    def test_offset_initial_store_pair_caught(self):
+        program = Program("p")
+        program.add_function(valid_graph())
+        g = location_path(global_location("g"))
+        program.seed_store([pair(EMPTY_OFFSET, g)])
+        with pytest.raises(IRError, match="offset path"):
+            validate_program(program)
+
+    def test_unknown_root_rejected(self):
+        program = Program("p")
+        program.add_function(valid_graph())
+        with pytest.raises(IRError):
+            program.add_root("missing")
+
+    def test_duplicate_function_rejected(self):
+        program = Program("p")
+        program.add_function(valid_graph())
+        with pytest.raises(IRError, match="duplicate"):
+            program.add_function(valid_graph())

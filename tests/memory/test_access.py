@@ -1,0 +1,147 @@
+"""Access-path interning and construction."""
+
+import pytest
+
+from repro.memory.access import (
+    EMPTY_OFFSET,
+    INDEX,
+    AccessPath,
+    FieldOp,
+    IndexOp,
+    location_path,
+    make_path,
+)
+from repro.memory.base import global_location, heap_location
+
+
+@pytest.fixture
+def g():
+    return global_location("g")
+
+
+class TestInterning:
+    def test_same_components_same_object(self, g):
+        f = FieldOp("S", "x")
+        assert make_path(g, [f]) is make_path(g, [f])
+
+    def test_field_ops_interned(self):
+        assert FieldOp("S", "x") is FieldOp("S", "x")
+        assert FieldOp("S", "x") is not FieldOp("S", "y")
+        assert FieldOp("S", "x") is not FieldOp("T", "x")
+
+    def test_index_is_singleton(self):
+        assert IndexOp() is INDEX
+
+    def test_different_bases_different_paths(self):
+        a = global_location("a")
+        b = global_location("b")
+        assert make_path(a) is not make_path(b)
+
+    def test_empty_offset_singleton(self):
+        assert make_path(None) is EMPTY_OFFSET
+
+    def test_immutable(self, g):
+        path = make_path(g)
+        with pytest.raises(AttributeError):
+            path.base = None
+        with pytest.raises(AttributeError):
+            FieldOp("S", "x").name = "y"
+
+
+class TestClassification:
+    def test_offset_vs_location(self, g):
+        assert EMPTY_OFFSET.is_offset
+        assert not EMPTY_OFFSET.is_location
+        assert make_path(g).is_location
+        assert not make_path(g).is_offset
+
+    def test_empty_offset_flag(self, g):
+        assert EMPTY_OFFSET.is_empty_offset
+        assert not make_path(None, [INDEX]).is_empty_offset
+        assert not make_path(g).is_empty_offset
+
+    def test_report_category(self, g):
+        assert EMPTY_OFFSET.report_category == "offset"
+        assert make_path(None, [INDEX]).report_category == "offset"
+        assert make_path(g).report_category == "global"
+        assert make_path(heap_location("h")).report_category == "heap"
+
+
+class TestStrongUpdateability:
+    """Paper: strongly updateable iff the base denotes a single storage
+    location and no access operator is an array dereference."""
+
+    def test_global_scalar_strong(self, g):
+        assert make_path(g).strongly_updateable
+
+    def test_field_of_global_strong(self, g):
+        assert make_path(g, [FieldOp("S", "x")]).strongly_updateable
+
+    def test_array_element_weak(self, g):
+        assert not make_path(g, [INDEX]).strongly_updateable
+
+    def test_field_under_index_weak(self, g):
+        path = make_path(g, [INDEX, FieldOp("S", "x")])
+        assert not path.strongly_updateable
+
+    def test_heap_weak(self):
+        assert not make_path(heap_location("h")).strongly_updateable
+
+    def test_offset_weak(self):
+        assert not EMPTY_OFFSET.strongly_updateable
+
+
+class TestConstruction:
+    def test_extend(self, g):
+        f = FieldOp("S", "x")
+        path = make_path(g).extend(f)
+        assert path.ops == (f,)
+        assert path.base is g
+
+    def test_append_offset(self, g):
+        f = FieldOp("S", "x")
+        offset = make_path(None, [f, INDEX])
+        combined = make_path(g).append(offset)
+        assert combined is make_path(g, [f, INDEX])
+
+    def test_append_empty_offset_is_identity(self, g):
+        path = make_path(g, [INDEX])
+        assert path.append(EMPTY_OFFSET) is path
+
+    def test_append_rejects_location(self, g):
+        other = make_path(global_location("h"))
+        with pytest.raises(ValueError):
+            make_path(g).append(other)
+
+    def test_subtract_prefix(self, g):
+        f = FieldOp("S", "x")
+        full = make_path(g, [f, INDEX])
+        prefix = make_path(g, [f])
+        assert full.subtract(prefix) is make_path(None, [INDEX])
+
+    def test_subtract_self_gives_empty(self, g):
+        path = make_path(g, [INDEX])
+        assert path.subtract(path) is EMPTY_OFFSET
+
+    def test_subtract_non_prefix_raises(self, g):
+        f = FieldOp("S", "x")
+        h = FieldOp("S", "y")
+        with pytest.raises(ValueError):
+            make_path(g, [f]).subtract(make_path(g, [h]))
+
+    def test_subtract_wrong_base_raises(self, g):
+        with pytest.raises(ValueError):
+            make_path(g).subtract(make_path(global_location("h")))
+
+    def test_location_path_requires_base(self):
+        with pytest.raises(ValueError):
+            location_path(None)
+
+
+class TestRepr:
+    def test_location_repr(self, g):
+        path = make_path(g, [FieldOp("S", "x"), INDEX])
+        assert repr(path) == "g.x[*]"
+
+    def test_empty_offset_repr(self):
+        assert repr(EMPTY_OFFSET) == "ε"

@@ -1,0 +1,86 @@
+"""Base-location semantics."""
+
+import pytest
+
+from repro.memory.base import (
+    BaseLocation,
+    LocationKind,
+    function_location,
+    global_location,
+    heap_location,
+    local_location,
+    param_location,
+    string_location,
+)
+
+
+class TestConstruction:
+    def test_global_is_single_instance(self):
+        loc = global_location("g")
+        assert loc.kind is LocationKind.GLOBAL
+        assert loc.is_single_instance
+        assert not loc.multi_instance
+
+    def test_heap_defaults_to_multi_instance(self):
+        loc = heap_location("malloc@f:3")
+        assert loc.kind is LocationKind.HEAP
+        assert loc.multi_instance
+
+    def test_string_defaults_to_multi_instance(self):
+        assert string_location("<str1>").multi_instance
+
+    def test_local_non_recursive_is_single(self):
+        loc = local_location("x", "f")
+        assert loc.is_single_instance
+        assert loc.procedure == "f"
+
+    def test_local_recursive_is_multi(self):
+        """Footnote 4 scheme 2: a recursive procedure's local stands for
+        all live stack instances."""
+        loc = local_location("x", "f", recursive=True)
+        assert loc.multi_instance
+
+    def test_param_recursive_is_multi(self):
+        assert param_location("p", "f", recursive=True).multi_instance
+        assert param_location("p", "f").is_single_instance
+
+    def test_function_location_kind(self):
+        loc = function_location("main")
+        assert loc.kind is LocationKind.FUNCTION
+        assert loc.is_single_instance
+
+    def test_uids_are_unique(self):
+        a = global_location("g")
+        b = global_location("g")
+        assert a.uid != b.uid
+        assert a is not b
+
+
+class TestReportCategories:
+    """Figure 7's four reporting categories."""
+
+    @pytest.mark.parametrize("factory,expected", [
+        (lambda: global_location("g"), "global"),
+        (lambda: string_location("s"), "global"),
+        (lambda: local_location("x", "f"), "local"),
+        (lambda: param_location("p", "f"), "local"),
+        (lambda: heap_location("h"), "heap"),
+        (lambda: function_location("f"), "function"),
+    ])
+    def test_category(self, factory, expected):
+        assert factory().report_category == expected
+
+
+class TestDescribe:
+    def test_describe_includes_procedure(self):
+        assert local_location("x", "f").describe() == "f::x"
+
+    def test_describe_global(self):
+        assert global_location("g").describe() == "g"
+
+    def test_identity_equality(self):
+        a = global_location("g")
+        b = global_location("g")
+        assert a == a
+        assert a != b
+        assert len({a, b}) == 2

@@ -1,0 +1,74 @@
+"""Points-to pair interning and classification."""
+
+import pytest
+
+from repro.memory.access import EMPTY_OFFSET, INDEX, FieldOp, make_path
+from repro.memory.base import function_location, global_location, \
+    heap_location, local_location
+from repro.memory.pairs import (
+    PointsToPair,
+    classify,
+    dereference_targets,
+    direct,
+    pair,
+)
+
+
+@pytest.fixture
+def g_path():
+    return make_path(global_location("g"))
+
+
+class TestInterning:
+    def test_same_pair_same_object(self, g_path):
+        assert pair(EMPTY_OFFSET, g_path) is pair(EMPTY_OFFSET, g_path)
+
+    def test_direct_constructor(self, g_path):
+        p = direct(g_path)
+        assert p.path is EMPTY_OFFSET
+        assert p.referent is g_path
+        assert p.is_direct
+
+    def test_store_pair_not_direct(self, g_path):
+        h = make_path(heap_location("h"))
+        assert not pair(g_path, h).is_direct
+
+    def test_referent_must_be_location(self, g_path):
+        with pytest.raises(ValueError):
+            pair(g_path, EMPTY_OFFSET)
+
+    def test_immutable(self, g_path):
+        with pytest.raises(AttributeError):
+            direct(g_path).path = EMPTY_OFFSET
+
+
+class TestClassify:
+    def test_store_pair_categories(self):
+        local = make_path(local_location("x", "f"))
+        heap = make_path(heap_location("h"))
+        assert classify(pair(local, heap)) == ("local", "heap")
+
+    def test_value_pair_offset_path(self, g_path):
+        assert classify(direct(g_path)) == ("offset", "global")
+
+    def test_function_referent(self):
+        f = make_path(function_location("f"))
+        assert classify(direct(f)) == ("offset", "function")
+
+
+class TestDereferenceTargets:
+    def test_direct_targets(self, g_path):
+        h = make_path(heap_location("h"))
+        fop = FieldOp("S", "x")
+        pairs = [direct(g_path), direct(h),
+                 pair(make_path(None, [fop]), g_path)]
+        assert set(dereference_targets(pairs)) == {g_path, h}
+
+    def test_member_offset_targets(self, g_path):
+        fop = FieldOp("S", "x")
+        offset = make_path(None, [fop])
+        pairs = [direct(g_path), pair(offset, g_path)]
+        assert set(dereference_targets(pairs, offset)) == {g_path}
+
+    def test_empty(self):
+        assert set(dereference_targets([])) == set()

@@ -1,0 +1,110 @@
+"""Property-based tests of the memory model's algebraic laws."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.access import INDEX, AccessPath, FieldOp, make_path
+from repro.memory.base import global_location, heap_location
+from repro.memory.relations import dom, is_prefix, may_alias, strong_dom
+
+# A small universe of interned components keeps the search space dense.
+_BASES = [global_location("g1"), global_location("g2"),
+          heap_location("h1"), None]
+_OPS = [FieldOp("S", "x"), FieldOp("S", "y"), FieldOp("T", "x"), INDEX]
+
+bases = st.sampled_from(_BASES)
+ops = st.lists(st.sampled_from(_OPS), max_size=5).map(tuple)
+paths = st.builds(lambda b, o: make_path(b, o), bases, ops)
+location_paths = st.builds(
+    lambda b, o: make_path(b, o),
+    st.sampled_from([b for b in _BASES if b is not None]), ops)
+offsets = st.builds(lambda o: make_path(None, o), ops)
+
+
+class TestInterningLaws:
+    @given(bases, ops)
+    def test_make_is_canonical(self, base, op_tuple):
+        assert make_path(base, op_tuple) is make_path(base, op_tuple)
+
+    @given(paths, st.sampled_from(_OPS))
+    def test_extend_appends_one(self, path, op):
+        extended = path.extend(op)
+        assert extended.ops == path.ops + (op,)
+        assert extended.base is path.base
+
+
+class TestPrefixAlgebra:
+    @given(paths)
+    def test_dom_reflexive(self, path):
+        assert dom(path, path)
+
+    @given(paths, paths)
+    def test_dom_antisymmetric(self, a, b):
+        if dom(a, b) and dom(b, a):
+            assert a is b
+
+    @given(paths, paths, paths)
+    def test_dom_transitive(self, a, b, c):
+        if dom(a, b) and dom(b, c):
+            assert dom(a, c)
+
+    @given(paths, paths)
+    def test_strong_dom_implies_dom(self, a, b):
+        if strong_dom(a, b):
+            assert dom(a, b)
+
+    @given(paths, paths)
+    def test_may_alias_symmetric(self, a, b):
+        assert may_alias(a, b) == may_alias(b, a)
+
+    @given(paths, paths)
+    def test_dom_implies_may_alias(self, a, b):
+        if dom(a, b):
+            assert may_alias(a, b)
+
+
+class TestAppendSubtract:
+    @given(location_paths, offsets)
+    def test_subtract_inverts_append(self, location, offset):
+        combined = location.append(offset)
+        assert dom(location, combined)
+        assert combined.subtract(location) is offset
+
+    @given(location_paths, offsets)
+    def test_append_preserves_base(self, location, offset):
+        assert location.append(offset).base is location.base
+
+    @given(location_paths, offsets, offsets)
+    def test_append_associates(self, location, o1, o2):
+        both = make_path(None, o1.ops + o2.ops)
+        assert location.append(o1).append(o2) is location.append(both)
+
+    @given(paths, paths)
+    def test_subtract_defined_exactly_on_prefixes(self, a, b):
+        if is_prefix(a, b):
+            offset = b.subtract(a)
+            assert offset.is_offset
+            assert a.append(offset) is b
+        else:
+            try:
+                b.subtract(a)
+            except ValueError:
+                pass
+            else:  # pragma: no cover
+                raise AssertionError("subtract accepted a non-prefix")
+
+
+class TestStrongUpdateability:
+    @given(paths)
+    def test_index_anywhere_blocks_strong(self, path):
+        if any(op.is_index for op in path.ops):
+            assert not path.strongly_updateable
+
+    @given(paths, st.sampled_from(_OPS))
+    def test_extension_never_gains_strength(self, path, op):
+        """Extending a weak path never produces a strong one (monotone
+        in the weak direction)."""
+        if not path.strongly_updateable and path.base is not None:
+            if not path.base.multi_instance:
+                # weak due to an index op; extension keeps the index
+                assert not path.extend(op).strongly_updateable

@@ -1,0 +1,98 @@
+"""The dom / strong-dom relations (paper Figure 1 definitions box)."""
+
+import pytest
+
+from repro.memory.access import INDEX, FieldOp, make_path
+from repro.memory.base import global_location, heap_location
+from repro.memory.relations import dom, is_prefix, may_alias, strong_dom
+
+
+@pytest.fixture
+def g():
+    return global_location("g")
+
+
+@pytest.fixture
+def fx():
+    return FieldOp("S", "x")
+
+
+@pytest.fixture
+def fy():
+    return FieldOp("S", "y")
+
+
+class TestDom:
+    def test_reflexive(self, g):
+        path = make_path(g)
+        assert dom(path, path)
+
+    def test_prefix_dominates(self, g, fx):
+        whole = make_path(g)
+        member = make_path(g, [fx])
+        assert dom(whole, member)
+        assert not dom(member, whole)
+
+    def test_siblings_do_not_alias(self, g, fx, fy):
+        """Struct members are independent: an access path is aliased
+        only to its prefixes."""
+        assert not dom(make_path(g, [fx]), make_path(g, [fy]))
+        assert not dom(make_path(g, [fy]), make_path(g, [fx]))
+
+    def test_union_members_collapse(self, g):
+        """Union members share one slot, so they are the same path."""
+        slot = FieldOp("U", "<union>")
+        a = make_path(g, [slot])
+        b = make_path(g, [slot])
+        assert a is b and dom(a, b)
+
+    def test_different_bases_unrelated(self, fx):
+        a = make_path(global_location("a"), [fx])
+        b = make_path(global_location("b"), [fx])
+        assert not dom(a, b) and not dom(b, a)
+
+    def test_deep_prefix(self, g, fx, fy):
+        deep = make_path(g, [fx, INDEX, fy])
+        assert dom(make_path(g, [fx]), deep)
+        assert dom(make_path(g, [fx, INDEX]), deep)
+        assert not dom(make_path(g, [fy]), deep)
+
+
+class TestStrongDom:
+    def test_strong_on_scalar_global(self, g, fx):
+        assert strong_dom(make_path(g), make_path(g, [fx]))
+
+    def test_not_strong_through_index(self, g, fx):
+        indexed = make_path(g, [INDEX])
+        assert dom(indexed, make_path(g, [INDEX, fx]))
+        assert not strong_dom(indexed, make_path(g, [INDEX, fx]))
+
+    def test_not_strong_on_heap(self, fx):
+        h = make_path(heap_location("h"))
+        assert dom(h, h.extend(fx))
+        assert not strong_dom(h, h.extend(fx))
+
+    def test_strong_implies_dom(self, g, fx):
+        a, b = make_path(g), make_path(g, [fx])
+        assert strong_dom(a, b)
+        assert dom(a, b)
+
+    def test_not_strong_when_not_prefix(self, g, fx, fy):
+        assert not strong_dom(make_path(g, [fx]), make_path(g, [fy]))
+
+
+class TestMayAlias:
+    def test_symmetric(self, g, fx):
+        a, b = make_path(g), make_path(g, [fx])
+        assert may_alias(a, b) and may_alias(b, a)
+
+    def test_disjoint(self, g, fx, fy):
+        assert not may_alias(make_path(g, [fx]), make_path(g, [fy]))
+
+
+class TestIsPrefix:
+    def test_empty_ops_prefix_of_all_same_base(self, g, fx):
+        assert is_prefix(make_path(g), make_path(g, [fx, INDEX]))
+
+    def test_longer_not_prefix_of_shorter(self, g, fx):
+        assert not is_prefix(make_path(g, [fx]), make_path(g))

@@ -1,0 +1,101 @@
+"""JSON export of analysis results."""
+
+import json
+
+import pytest
+
+import repro
+from repro.analysis.compare import compare_results
+from repro.analysis.insensitive import analyze_insensitive
+from repro.analysis.sensitive import analyze_sensitive
+from repro.report.export import (
+    comparison_to_dict,
+    path_to_string,
+    result_to_dict,
+    result_to_json,
+)
+
+SRC = """
+int g; int *p;
+void set(void) { p = &g; }
+int main(void) { set(); *p = 1; return 0; }
+"""
+
+
+@pytest.fixture(scope="module")
+def result():
+    return analyze_insensitive(repro.parse_source(SRC, name="export.c"))
+
+
+class TestResultExport:
+    def test_round_trips_through_json(self, result):
+        text = result_to_json(result)
+        payload = json.loads(text)
+        assert payload["program"] == "export.c"
+        assert payload["flavor"] == "insensitive"
+
+    def test_census_matches(self, result):
+        payload = result_to_dict(result)
+        assert payload["pair_census"]["total"] \
+            == result.solution.total_pairs()
+
+    def test_memory_operations_serialized(self, result):
+        payload = result_to_dict(result)
+        ops = payload["memory_operations"]
+        assert ops == sorted(ops, key=lambda o: o["op"])
+        indirect = [o for o in ops if o["indirect"]]
+        assert indirect
+        assert indirect[0]["locations"] == ["g"]
+
+    def test_call_graph_serialized(self, result):
+        payload = result_to_dict(result)
+        callees = {edge["callee"] for edge in payload["call_graph"]}
+        assert callees == {"set"}
+
+    def test_pairs_optional(self, result):
+        with_pairs = result_to_dict(result)
+        without = result_to_dict(result, include_pairs=False)
+        assert "pairs" in with_pairs
+        assert "pairs" not in without
+
+    def test_deterministic(self, result):
+        assert result_to_json(result) == result_to_json(result)
+
+    def test_two_runs_identical(self):
+        program_a = repro.parse_source(SRC, name="export.c")
+        program_b = repro.parse_source(SRC, name="export.c")
+        a = result_to_dict(analyze_insensitive(program_a))
+        b = result_to_dict(analyze_insensitive(program_b))
+        a.pop("elapsed_seconds")
+        b.pop("elapsed_seconds")
+        # Location uids differ across runs but rendered names do not.
+        assert a == b
+
+
+class TestComparisonExport:
+    def test_fields(self):
+        program = repro.parse_source(SRC)
+        ci = analyze_insensitive(program)
+        cs = analyze_sensitive(program, ci_result=ci)
+        payload = comparison_to_dict(compare_results(ci, cs))
+        assert payload["indirect_ops_identical"] is True
+        assert payload["indirect_diffs"] == []
+        assert payload["total_insensitive"] >= payload["total_sensitive"]
+
+    def test_diffs_serialized(self):
+        from repro.suite.adversarial import load_cs_wins
+        program = load_cs_wins(2)
+        ci = analyze_insensitive(program)
+        cs = analyze_sensitive(program, ci_result=ci)
+        payload = comparison_to_dict(compare_results(ci, cs))
+        assert payload["indirect_ops_identical"] is False
+        diff = payload["indirect_diffs"][0]
+        assert set(diff["cs"]) < set(diff["ci"])
+
+
+class TestPathStrings:
+    def test_rendering(self, result):
+        payload = result_to_dict(result)
+        pair_lists = payload["pairs"].values()
+        rendered = {pair[0] for pairs in pair_lists for pair in pairs}
+        assert "ε" in rendered or any(r == "p" for r in rendered)

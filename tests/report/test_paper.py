@@ -1,0 +1,123 @@
+"""Internal consistency of the transcribed paper data."""
+
+import pytest
+
+from repro.report import paper
+from repro.suite.registry import PROGRAM_NAMES
+
+
+class TestFigure2:
+    def test_covers_suite(self):
+        assert set(paper.FIGURE2) == set(PROGRAM_NAMES)
+
+    def test_positive(self):
+        for lines, nodes, outputs in paper.FIGURE2.values():
+            assert 0 < outputs < nodes
+            assert lines > 0
+
+
+class TestFigure3:
+    def test_totals_sum(self):
+        """The TOTAL row must equal the column sums (checks the
+        transcription)."""
+        sums = [0] * 5
+        for row in paper.FIGURE3.values():
+            for i, value in enumerate(row):
+                sums[i] += value
+        assert tuple(sums) == paper.FIGURE3_TOTAL
+
+    def test_row_totals(self):
+        for name, (p, f, a, s, total) in paper.FIGURE3.items():
+            assert p + f + a + s == total, name
+
+
+class TestFigure4:
+    def test_histograms_bounded_by_totals(self):
+        """Histogram columns sum to ≤ total; the gap is the
+        zero-location ops (backprop and bc each have one such read)."""
+        for (name, kind), row in paper.FIGURE4.items():
+            total, one, two, three, fourplus, mx, avg = row
+            histogram = one + two + three + fourplus
+            assert histogram <= total, (name, kind)
+            gap = total - histogram
+            if gap:
+                assert (name, kind) in (("backprop", "read"), ("bc", "read"))
+
+    def test_total_rows_sum(self):
+        for kind in ("read", "write"):
+            sums = [0] * 5
+            max_seen = 0
+            for (name, k), row in paper.FIGURE4.items():
+                if k != kind:
+                    continue
+                for i in range(5):
+                    sums[i] += row[i]
+                max_seen = max(max_seen, row[5])
+            expected = paper.FIGURE4_TOTAL[kind]
+            assert tuple(sums) == expected[:5]
+            assert max_seen == expected[5]
+
+    def test_avg_consistent_with_rows(self):
+        """Where a row's histogram is complete (no >4 bucket and no
+        zero ops), its average must match the recomputed value."""
+        for (name, kind), row in paper.FIGURE4.items():
+            total, one, two, three, fourplus, mx, avg = row
+            if fourplus == 0 and one + two + three == total:
+                recomputed = (one + 2 * two + 3 * three) / total
+                assert recomputed == pytest.approx(avg, abs=0.011), \
+                    (name, kind)
+
+
+class TestFigure6:
+    def test_covers_suite(self):
+        assert set(paper.FIGURE6) == set(PROGRAM_NAMES)
+
+    def test_row_consistency(self):
+        for name, row in paper.FIGURE6.items():
+            p, f, a, s, total, ci_total, pct = row
+            assert p + f + a + s == total, name
+            assert total <= ci_total, name
+            spurious = ci_total - total
+            if ci_total:
+                assert 100 * spurious / ci_total == \
+                    pytest.approx(pct, abs=0.06), name
+
+    def test_overall_two_percent(self):
+        *_, total, ci_total, pct = paper.FIGURE6_TOTAL
+        assert pct == 2.0
+        assert 100 * (ci_total - total) / ci_total == \
+            pytest.approx(2.0, abs=0.05)
+
+    def test_cs_never_exceeds_ci_by_type(self):
+        for name in PROGRAM_NAMES:
+            ci_row = paper.FIGURE3[name]
+            cs_row = paper.FIGURE6[name]
+            for i in range(4):
+                assert cs_row[i] <= ci_row[i], name
+
+
+class TestFigure7:
+    def test_spurious_percentages_sum_to_100(self):
+        total = sum(v for v in paper.FIGURE7_SPURIOUS.values()
+                    if v is not None)
+        assert total == pytest.approx(100.0, abs=0.5)
+
+    def test_headline_skews(self):
+        """§5.2: spurious pairs skew toward local paths and heap
+        referents."""
+        local_paths = sum(v for (p, r), v in paper.FIGURE7_SPURIOUS.items()
+                          if p == "local")
+        heap_refs = sum(v for (p, r), v in paper.FIGURE7_SPURIOUS.items()
+                        if r == "heap")
+        assert local_paths > 40
+        assert heap_refs > 25
+
+
+class TestTextClaims:
+    def test_fractions_are_fractions(self):
+        claims = paper.TEXT_CLAIMS
+        assert 0 < claims["single_location_fraction"] < 1
+        assert 0 < claims["reads_needing_assumptions"] < 1
+        assert 0 < claims["writes_needing_assumptions"] < 1
+        assert claims["cs_transfer_ratio"] > 1
+        assert claims["cs_meet_ratio_max"] == 100.0

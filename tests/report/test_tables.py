@@ -1,0 +1,56 @@
+"""Table rendering."""
+
+from repro.report.tables import format_cell, render_markdown, render_table
+
+
+class TestFormatCell:
+    def test_none_is_dash(self):
+        assert format_cell(None) == "-"
+
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_float_digits(self):
+        assert format_cell(1.23456) == "1.23"
+        assert format_cell(1.23456, float_digits=3) == "1.235"
+
+    def test_int_unchanged(self):
+        assert format_cell(42) == "42"
+
+
+class TestRenderTable:
+    HEADERS = ["name", "count", "ratio"]
+    ROWS = [["alpha", 3, 1.5], ["b", 400, 0.25]]
+
+    def test_structure(self):
+        text = render_table(self.HEADERS, self.ROWS, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1] == "="
+        assert "name" in lines[2] and "ratio" in lines[2]
+        assert set(lines[3]) <= {"-", " "}
+        assert len(lines) == 6
+
+    def test_alignment(self):
+        text = render_table(self.HEADERS, self.ROWS)
+        data = text.splitlines()[2:]
+        # First column left-aligned, numbers right-aligned.
+        assert data[0].startswith("alpha")
+        assert data[1].startswith("b ")
+        assert data[0].rstrip().endswith("1.50")
+        assert data[1].rstrip().endswith("0.25")
+
+    def test_no_title(self):
+        text = render_table(self.HEADERS, self.ROWS)
+        assert text.splitlines()[0].startswith("name")
+
+
+class TestRenderMarkdown:
+    def test_markdown_shape(self):
+        text = render_markdown(["a", "b"], [[1, 2.5], [None, 0]])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "| --- | ---: |"
+        assert lines[2] == "| 1 | 2.50 |"
+        assert lines[3] == "| - | 0 |"

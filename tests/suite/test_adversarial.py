@@ -1,0 +1,123 @@
+"""The adversarial generators (§5's constructible counterexamples)."""
+
+import pytest
+
+from repro.analysis.compare import compare_results
+from repro.analysis.insensitive import analyze_insensitive
+from repro.analysis.sensitive import analyze_sensitive
+from repro.analysis.stats import indirect_op_stats
+from repro.analysis.sensitive import analyze_sensitive as _cs
+from repro.suite.adversarial import (
+    assumption_chain_source,
+    copy_chain_source,
+    cs_wins_source,
+    deep_chain_source,
+    load_assumption_chain,
+    load_copy_chain,
+    load_cs_wins,
+    load_deep_chain,
+    load_swap_cells,
+    swap_cells_source,
+)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("n", [1, 3, 10])
+    def test_cs_wins_source_scales(self, n):
+        source = cs_wins_source(n)
+        assert source.count("id(&g") == n
+        program = load_cs_wins(n)
+        assert len(program.functions) == 2
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            cs_wins_source(0)
+        with pytest.raises(ValueError):
+            deep_chain_source(0)
+        with pytest.raises(ValueError):
+            swap_cells_source(-1)
+
+    def test_deep_chain_functions(self):
+        program = load_deep_chain(5)
+        assert len(program.functions) == 7  # w0..w5 + main
+
+    def test_assumption_chain_bounds(self):
+        with pytest.raises(ValueError):
+            assumption_chain_source(0)
+        with pytest.raises(ValueError):
+            assumption_chain_source(2, n_sites=27)
+        source = assumption_chain_source(3, n_sites=2)
+        assert source.count("chain(") == 3  # definition + 2 sites
+
+    def test_copy_chain_bounds(self):
+        with pytest.raises(ValueError):
+            copy_chain_source(0, 1)
+        with pytest.raises(ValueError):
+            copy_chain_source(1, 0)
+
+
+class TestAssumptionChain:
+    def test_equal_precision_any_optimize(self):
+        program = load_assumption_chain(4, n_sites=2)
+        ci = analyze_insensitive(program)
+        fast = _cs(program, ci_result=ci, optimize=True)
+        slow = _cs(program, ci_result=ci, optimize=False)
+        outputs = set(fast.solution.outputs()) \
+            | set(slow.solution.outputs())
+        for output in outputs:
+            assert fast.pairs(output) == slow.pairs(output) \
+                <= ci.pairs(output)
+
+    def test_unoptimized_cost_grows(self):
+        costs = []
+        for length in (2, 4, 6):
+            program = load_assumption_chain(length)
+            ci = analyze_insensitive(program)
+            slow = _cs(program, ci_result=ci, optimize=False)
+            costs.append(slow.counters.meets / ci.counters.meets)
+        assert costs == sorted(costs)
+        assert costs[-1] > 3 * costs[0]
+
+
+class TestCopyChain:
+    def test_pair_counts_are_product(self):
+        for p, t in ((4, 3), (6, 5)):
+            program = load_copy_chain(p, t)
+            ci = analyze_insensitive(program)
+            # Each of the p cells holds pointers to all t targets.
+            from repro.analysis.stats import indirect_op_stats
+            reads = indirect_op_stats(ci, "read")
+            assert reads.max_locations == t
+
+
+class TestPrecisionGap:
+    @pytest.mark.parametrize("n", [2, 6, 12])
+    def test_gap_is_linear_in_sites(self, n):
+        program = load_cs_wins(n)
+        ci = analyze_insensitive(program)
+        cs = analyze_sensitive(program, ci_result=ci)
+        ci_writes = indirect_op_stats(ci, "write")
+        cs_writes = indirect_op_stats(cs, "write")
+        assert ci_writes.avg == pytest.approx(n)
+        assert cs_writes.avg == pytest.approx(1.0)
+
+    def test_spurious_pairs_grow(self):
+        counts = []
+        for n in (2, 4, 8):
+            program = load_cs_wins(n)
+            ci = analyze_insensitive(program)
+            cs = analyze_sensitive(program, ci_result=ci)
+            counts.append(compare_results(ci, cs).spurious_pairs)
+        assert counts[0] < counts[1] < counts[2]
+
+    def test_chain_depth_does_not_break_separation(self):
+        for depth in (1, 6):
+            program = load_deep_chain(depth)
+            ci = analyze_insensitive(program)
+            cs = analyze_sensitive(program, ci_result=ci)
+            report = compare_results(ci, cs)
+            assert not report.indirect_ops_identical
+            ci_reads = indirect_op_stats(ci, "write")
+            cs_reads = indirect_op_stats(cs, "write")
+            assert ci_reads.max_locations == 2
+            assert cs_reads.max_locations == 1

@@ -1,0 +1,126 @@
+"""The paper's headline results, asserted per benchmark program.
+
+These are the reproduction's acceptance tests: for every suite
+program, context-sensitivity must buy *nothing* at the location inputs
+of indirect memory operations (§4.3), the CS solution must refine the
+CI solution, and the Figure 4/6 shape targets from DESIGN.md must
+hold.
+"""
+
+import pytest
+
+from repro.analysis.compare import compare_results
+from repro.analysis.stats import (
+    indirect_op_stats,
+    pair_census,
+    pruning_coverage,
+)
+from repro.suite.registry import PROGRAM_NAMES
+
+
+class TestHeadline:
+    def test_indirect_ops_identical(self, suite_cache, suite_name):
+        """§4.3: "the results for indirect memory references are
+        identical to the context-insensitive results"."""
+        report = compare_results(suite_cache.ci(suite_name),
+                                 suite_cache.cs(suite_name))
+        assert report.indirect_ops_identical, report.indirect_diffs
+
+    def test_cs_refines_ci(self, suite_cache, suite_name):
+        ci = suite_cache.ci(suite_name)
+        cs = suite_cache.cs(suite_name)
+        for output in cs.solution.outputs():
+            assert cs.pairs(output) <= ci.pairs(output)
+
+    def test_spurious_fraction_small(self, suite_cache, suite_name):
+        """Figure 6: CS finds only a few percent fewer pairs (paper
+        benchmarks range 0-11.8%, overall 2.0%)."""
+        report = compare_results(suite_cache.ci(suite_name),
+                                 suite_cache.cs(suite_name))
+        assert report.percent_spurious <= 12.0
+
+    def test_no_scalar_pairs(self, suite_cache, suite_name):
+        census = pair_census(suite_cache.ci(suite_name))
+        assert census.other == 0
+
+
+class TestFigure4Shape:
+    def test_most_ops_reference_few_locations(self, suite_cache,
+                                               suite_name):
+        """Figure 4: "on average, most indirect memory operations
+        reference very few locations."  (The paper's own allroots row
+        is only 51% single-target, so the per-program bar is ≤2
+        locations for at least three quarters of the ops.)"""
+        ci = suite_cache.ci(suite_name)
+        reads = indirect_op_stats(ci, "read")
+        writes = indirect_op_stats(ci, "write")
+        total = reads.total + writes.total
+        few = (reads.zero + reads.one + reads.two
+               + writes.zero + writes.one + writes.two)
+        if total >= 5:
+            assert few / total >= 0.75
+
+    def test_zero_multi_target_programs(self, suite_cache):
+        """§3.2: backprop, compiler, and span have no indirect
+        loads/stores referencing more than one location."""
+        for name in ("backprop", "compiler", "span"):
+            ci = suite_cache.ci(name)
+            assert indirect_op_stats(ci, "read").max_locations <= 1
+            assert indirect_op_stats(ci, "write").max_locations <= 1
+
+    def test_multi_target_programs_exist(self, suite_cache):
+        """Conversely the suite must exercise the >1 columns, as the
+        paper's does (assembler, bc, part, ...)."""
+        multi = 0
+        for name in PROGRAM_NAMES:
+            ci = suite_cache.ci(name)
+            if indirect_op_stats(ci, "read").max_locations > 1 or \
+                    indirect_op_stats(ci, "write").max_locations > 1:
+                multi += 1
+        assert multi >= 4
+
+
+class TestPruningShape:
+    def test_aggregate_single_location_fraction(self, suite_cache):
+        """§4.2: the single-location optimization applies to the great
+        majority of indirect operations (paper: 87%)."""
+        total = single = 0
+        for name in PROGRAM_NAMES:
+            coverage = pruning_coverage(suite_cache.ci(name))
+            total += coverage.indirect_total
+            single += coverage.single_location
+        assert total > 0
+        assert single / total >= 0.6
+
+    def test_few_ops_need_assumptions(self, suite_cache):
+        """§4.2: only a small minority of reads/writes move pointer or
+        function values through multi-target ops (paper: 9% / 7%)."""
+        reads = reads_need = writes = writes_need = 0
+        for name in PROGRAM_NAMES:
+            coverage = pruning_coverage(suite_cache.ci(name))
+            reads += coverage.reads_total
+            reads_need += coverage.reads_needing_assumptions
+            writes += coverage.writes_total
+            writes_need += coverage.writes_needing_assumptions
+        assert reads_need / reads <= 0.25
+        assert writes_need / writes <= 0.25
+
+
+class TestCostShape:
+    def test_cs_costs_more_meets_overall(self, suite_cache):
+        """§4.2: the optimized CS analysis performs more meet
+        operations than CI over the suite (the paper saw up to 100x on
+        its larger programs)."""
+        ci_meets = cs_meets = 0
+        for name in PROGRAM_NAMES:
+            ci_meets += suite_cache.ci(name).counters.meets
+            cs_meets += suite_cache.cs(name).counters.meets
+        assert cs_meets > ci_meets
+
+    def test_transfer_counts_same_order(self, suite_cache):
+        """§4.2: CS executes only slightly more transfer functions
+        (paper: ~10% more); allow generous slack but same order."""
+        for name in PROGRAM_NAMES:
+            ci_t = suite_cache.ci(name).counters.transfers
+            cs_t = suite_cache.cs(name).counters.transfers
+            assert cs_t < 20 * ci_t

@@ -1,0 +1,49 @@
+"""The benchmark suite registry."""
+
+import pytest
+
+from repro.errors import SuiteError
+from repro.suite.registry import (
+    PROGRAM_NAMES,
+    load_program,
+    program_path,
+    source_text,
+)
+
+
+class TestRegistry:
+    def test_thirteen_programs(self):
+        """Figure 2 lists exactly 13 benchmarks."""
+        assert len(PROGRAM_NAMES) == 13
+        assert PROGRAM_NAMES == sorted(PROGRAM_NAMES)
+
+    def test_paper_names_present(self):
+        for name in ("allroots", "bc", "part", "simulator", "yacr2"):
+            assert name in PROGRAM_NAMES
+
+    def test_paths_exist(self):
+        for name in PROGRAM_NAMES:
+            assert program_path(name).is_file()
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(SuiteError, match="unknown suite program"):
+            program_path("gcc")
+
+    def test_source_text_nonempty(self):
+        for name in PROGRAM_NAMES:
+            text = source_text(name)
+            assert len(text.splitlines()) > 50
+            assert "main" in text
+
+    def test_load_program_clean(self, suite_cache, suite_name):
+        program = suite_cache.program(suite_name)
+        assert "main" in program.functions
+        assert program.roots == ["main"]
+        # No frontend warnings: every extern the suite uses is modeled.
+        assert program.extras["warnings"] == []
+
+    def test_sources_avoid_unmodeled_features(self):
+        for name in PROGRAM_NAMES:
+            text = source_text(name)
+            assert "goto" not in text
+            assert "#include" not in text  # self-contained, no host libc

@@ -1,0 +1,65 @@
+"""The top-level public API."""
+
+import pytest
+
+import repro
+
+
+SRC = """
+int g; int *p;
+void set(int **q) { *q = &g; }
+int main(void) { set(&p); *p = 1; return 0; }
+"""
+
+
+class TestParse:
+    def test_parse_source(self):
+        program = repro.parse_source(SRC)
+        assert set(program.functions) == {"set", "main"}
+        assert program.roots == ["main"]
+
+    def test_parse_file(self, tmp_path):
+        path = tmp_path / "x.c"
+        path.write_text(SRC)
+        program = repro.parse_file(path)
+        assert program.name == "x.c"
+        assert program.source_lines == 3
+
+    def test_parse_source_with_defines(self):
+        program = repro.parse_source(
+            "#if WANTED\nint main(void){return 0;}\n#endif\n",
+            defines={"WANTED": "1"})
+        assert "main" in program.functions
+
+    def test_custom_roots(self):
+        program = repro.parse_source(SRC, roots=["set"])
+        assert program.roots == ["set"]
+
+    def test_parse_error_type(self):
+        with pytest.raises(repro.ParseError):
+            repro.parse_source("int main(void) { return ; ; } } }")
+
+
+class TestAnalyze:
+    def test_sensitivity_dispatch(self):
+        program = repro.parse_source(SRC)
+        assert repro.analyze(program).flavor == "insensitive"
+        assert repro.analyze(program, sensitivity="sensitive").flavor \
+            == "sensitive"
+        assert repro.analyze(program,
+                             sensitivity="flowinsensitive").flavor \
+            == "flowinsensitive"
+
+    def test_unknown_sensitivity(self):
+        program = repro.parse_source(SRC)
+        with pytest.raises(ValueError, match="unknown sensitivity"):
+            repro.analyze(program, sensitivity="psychic")
+
+    def test_docstring_example_works(self):
+        program = repro.parse_source(SRC)
+        ci = repro.analyze(program)
+        cs = repro.analyze(program, sensitivity="sensitive")
+        assert ci.solution.total_pairs() >= cs.solution.total_pairs()
+
+    def test_version(self):
+        assert repro.__version__

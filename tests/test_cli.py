@@ -1,0 +1,144 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.suite.registry import program_path
+
+
+@pytest.fixture
+def tiny_c(tmp_path):
+    path = tmp_path / "tiny.c"
+    path.write_text("""
+int g; int *p;
+int main(void) { p = &g; *p = 1; return *p; }
+""")
+    return str(path)
+
+
+class TestAnalyze:
+    def test_both(self, tiny_c, capsys):
+        assert main(["analyze", tiny_c]) == 0
+        out = capsys.readouterr().out
+        assert "[context-insensitive]" in out
+        assert "[context-sensitive]" in out
+        assert "spurious pairs:" in out
+
+    def test_insensitive_only(self, tiny_c, capsys):
+        assert main(["analyze", tiny_c,
+                     "--sensitivity", "insensitive"]) == 0
+        out = capsys.readouterr().out
+        assert "[context-insensitive]" in out
+        assert "[context-sensitive]" not in out
+
+    def test_flowinsensitive(self, tiny_c, capsys):
+        assert main(["analyze", tiny_c,
+                     "--sensitivity", "flowinsensitive"]) == 0
+        assert "[flow-insensitive]" in capsys.readouterr().out
+
+    def test_show_pairs(self, tiny_c, capsys):
+        assert main(["analyze", tiny_c, "--show-pairs",
+                     "--sensitivity", "insensitive"]) == 0
+        out = capsys.readouterr().out
+        assert "(ε -> g)" in out
+
+    def test_modref(self, tiny_c, capsys):
+        assert main(["analyze", tiny_c, "--modref",
+                     "--sensitivity", "insensitive"]) == 0
+        out = capsys.readouterr().out
+        assert "main: mod=" in out
+
+    def test_suite_program(self, capsys):
+        assert main(["analyze", str(program_path("part"))]) == 0
+        out = capsys.readouterr().out
+        assert "indirect ops identical: True" in out
+
+
+class TestDump:
+    def test_dump(self, tiny_c, capsys):
+        assert main(["dump", tiny_c]) == 0
+        out = capsys.readouterr().out
+        assert "function main" in out
+        assert "update" in out
+
+    def test_dump_single_function(self, capsys):
+        assert main(["dump", str(program_path("part")),
+                     "--function", "cell_pop"]) == 0
+        out = capsys.readouterr().out
+        assert "function cell_pop" in out
+        assert "function main" not in out
+
+    def test_dump_dot(self, tiny_c, capsys):
+        assert main(["dump", tiny_c, "--dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert 'subgraph "cluster_main"' in out
+
+    def test_dump_dot_single_function(self, tiny_c, capsys):
+        assert main(["dump", tiny_c, "--dot", "--function", "main"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith('digraph "main"')
+
+    def test_dump_dot_unknown_function(self, tiny_c, capsys):
+        assert main(["dump", tiny_c, "--dot", "--function", "nope"]) == 1
+        assert "no function" in capsys.readouterr().err
+
+    def test_dump_annotate(self, tiny_c, capsys):
+        assert main(["dump", tiny_c, "--annotate"]) == 0
+        out = capsys.readouterr().out
+        assert "-> {g}" in out.replace("'", "")
+
+
+class TestExport:
+    def test_export_json(self, tiny_c, capsys):
+        import json
+        assert main(["export", tiny_c]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["flavor"] == "insensitive"
+        assert "pairs" in payload
+
+    def test_export_no_pairs_sensitive(self, tiny_c, capsys):
+        import json
+        assert main(["export", tiny_c, "--sensitivity", "sensitive",
+                     "--no-pairs"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["flavor"] == "sensitive"
+        assert "pairs" not in payload
+
+
+class TestExplain:
+    def test_explain_indirect_op(self, tiny_c, capsys):
+        assert main(["explain", tiny_c]) == 0
+        out = capsys.readouterr().out
+        assert "address constant" in out
+        assert "memory write" in out or "lookup" in out
+
+    def test_explain_function_filter(self, capsys):
+        assert main(["explain", str(program_path("part")),
+                     "--function", "cell_momentum"]) == 0
+        out = capsys.readouterr().out
+        assert "cell_momentum" in out
+        assert "cell_push" not in out.split("argument")[0].split("\n")[0]
+
+    def test_explain_no_match(self, tiny_c, capsys):
+        assert main(["explain", tiny_c, "--line", "99999"]) == 1
+        assert "no matching" in capsys.readouterr().err
+
+
+class TestOther:
+    def test_suite_listing(self, capsys):
+        assert main(["suite"]) == 0
+        out = capsys.readouterr().out
+        assert "allroots" in out and "yacr2" in out
+
+    def test_experiment_gap(self, capsys):
+        assert main(["experiment", "gap"]) == 0
+        out = capsys.readouterr().out
+        assert "CS wins" in out
+        assert "call sites" in out
+
+    def test_error_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.c"
+        bad.write_text("int main(void) { goto x; x: return 0; }")
+        assert main(["analyze", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
