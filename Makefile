@@ -2,16 +2,22 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench tables examples verify-suite clean
+.PHONY: install test bench bench-smoke tables examples verify-suite clean
 
 install:
 	$(PYTHON) setup.py develop
 
-test:
+test: bench-smoke
 	$(PYTHON) -m pytest tests/
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Fast solver-throughput gate: reduced workload, two workers, asserts
+# schedule equivalence and emits BENCH_solver.json at the repo root.
+bench-smoke:
+	$(PYTHON) benchmarks/bench_solver_throughput.py --smoke --jobs 2
+	@test -s BENCH_solver.json || (echo "BENCH_solver.json missing" && exit 1)
 
 tables:
 	$(PYTHON) examples/regenerate_paper_tables.py

@@ -1,0 +1,162 @@
+"""Solver throughput and end-to-end sweep benchmark.
+
+Measures, and records in ``BENCH_solver.json`` at the repo root:
+
+* **Solver throughput** — the CI fixpoint over the adversarial
+  copy-chain workload (solver-bound: quadratic pair sets flowing
+  through a linear store chain), under both worklist schedules.
+  Reported as wall-clock and facts/sec (transfers per second); the
+  batched schedule's speedup over FIFO isolates the gain from
+  batch-draining ports, delta-joins, and dispatch tables alone —
+  everything else (program, interning state, process) is held fixed.
+* **Suite sweep** — the full CI+CS analysis of all 13 suite programs,
+  comparing the pre-batching configuration (cold lowering, FIFO
+  schedule, one process) against the optimized path (persistent
+  lowering cache warm, batched schedule, ``--jobs`` workers).
+
+Run directly::
+
+    python benchmarks/bench_solver_throughput.py            # full
+    python benchmarks/bench_solver_throughput.py --smoke    # fast gate
+
+The ``--smoke`` mode runs a reduced workload (seconds, not minutes)
+and is wired into ``make bench-smoke`` / ``make test`` as a regression
+gate: it still writes the JSON and still asserts both schedules reach
+the same solution.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.insensitive import analyze_insensitive  # noqa: E402
+from repro.frontend.cache import clear_cache, resolve_cache_dir  # noqa: E402
+from repro.perf import PhaseTimer, best_of  # noqa: E402
+from repro.runner import run_suite  # noqa: E402
+from repro.suite.adversarial import load_copy_chain  # noqa: E402
+from repro.suite.registry import PROGRAM_NAMES  # noqa: E402
+
+OUTPUT = REPO_ROOT / "BENCH_solver.json"
+
+
+def bench_solver(width: int, length: int, repeats: int) -> dict:
+    """CI fixpoint over copy_chain under both schedules."""
+    program = load_copy_chain(width, length)
+    report = {"workload": f"copy_chain({width}, {length})"}
+    solutions = {}
+    for schedule in ("batched", "fifo"):
+        def run(schedule=schedule):
+            return analyze_insensitive(program, schedule=schedule)
+        seconds, result = best_of(run, repeats)
+        solutions[schedule] = {
+            output: frozenset(result.solution.pairs(output))
+            for output in result.solution.outputs()}
+        report[schedule] = {
+            "seconds": round(seconds, 6),
+            "transfers": result.counters.transfers,
+            "facts_per_sec": round(result.counters.transfers / seconds),
+        }
+    assert solutions["batched"] == solutions["fifo"], \
+        "schedules disagree on the copy-chain solution"
+    report["batched_speedup_vs_fifo"] = round(
+        report["fifo"]["seconds"] / report["batched"]["seconds"], 3)
+    return report
+
+
+def bench_sweep(names, jobs: int, repeats: int) -> dict:
+    """Full CI+CS sweep: pre-batching configuration vs optimized."""
+    cache_dir = resolve_cache_dir(True)
+
+    def baseline():
+        # The seed's behavior: lower every program from source, FIFO
+        # worklist, one process, no persistence.
+        return run_suite(names=names, jobs=1, schedule="fifo",
+                         cache=False)
+
+    def optimized():
+        return run_suite(names=names, jobs=jobs, schedule="batched",
+                         cache=True)
+
+    optimized()  # warm the lowering cache (and allocator)
+    base_seconds, _ = best_of(baseline, repeats)
+    opt_seconds, results = best_of(optimized, repeats)
+
+    effective_jobs = max(1, min(jobs, len(names), os.cpu_count() or 1))
+    return {
+        "programs": list(names),
+        "flavors": ["insensitive", "sensitive"],
+        "jobs_requested": jobs,
+        "jobs_effective": effective_jobs,
+        "cache_dir": str(cache_dir) if cache_dir else None,
+        "baseline_cold_fifo_serial_seconds": round(base_seconds, 6),
+        "optimized_warm_batched_parallel_seconds": round(opt_seconds, 6),
+        "end_to_end_speedup": round(base_seconds / opt_seconds, 3),
+        "ci_transfers_total": sum(
+            by_flavor["insensitive"].counters.transfers
+            for by_flavor in results.values()),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced workload for the CI gate")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="workers for the sweep (default: 4)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repeats (default: 3, smoke: 1)")
+    parser.add_argument("--output", type=Path, default=OUTPUT,
+                        help=f"JSON report path (default: {OUTPUT})")
+    args = parser.parse_args(argv)
+
+    repeats = args.repeats or (1 if args.smoke else 3)
+    if args.smoke:
+        width, length = 24, 16
+        names = ["anagram", "backprop", "span"]
+    else:
+        width, length = 60, 40
+        names = list(PROGRAM_NAMES)
+
+    timer = PhaseTimer()
+    with timer.phase("solver"):
+        solver = bench_solver(width, length, repeats)
+    with timer.phase("sweep"):
+        sweep = bench_sweep(names, args.jobs, repeats)
+
+    report = {
+        "schema": 1,
+        "generated_unix": int(time.time()),
+        "smoke": args.smoke,
+        "machine": {
+            "cpus": os.cpu_count(),
+            "python": ".".join(map(str, sys.version_info[:3])),
+        },
+        "bench_seconds": {k: round(v, 3)
+                          for k, v in timer.as_dict().items()},
+        "solver": solver,
+        "sweep": sweep,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"solver: batched {solver['batched']['facts_per_sec']:,} "
+          f"facts/s vs fifo {solver['fifo']['facts_per_sec']:,} facts/s "
+          f"({solver['batched_speedup_vs_fifo']}x)")
+    print(f"sweep: {sweep['baseline_cold_fifo_serial_seconds']:.3f}s "
+          f"cold/fifo/serial -> "
+          f"{sweep['optimized_warm_batched_parallel_seconds']:.3f}s "
+          f"warm/batched/jobs={sweep['jobs_effective']} "
+          f"({sweep['end_to_end_speedup']}x)")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

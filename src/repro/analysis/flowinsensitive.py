@@ -42,23 +42,35 @@ from ..ir.nodes import (
 )
 from .common import (
     AnalysisResult,
+    BatchedWorklist,
     CallGraph,
     Counters,
     PointsToSolution,
     Worklist,
+    check_schedule,
     resolve_function_value,
 )
 
 
 class FlowInsensitiveAnalysis:
-    """One run of the program-wide baseline."""
+    """One run of the program-wide baseline.
 
-    def __init__(self, program: Program) -> None:
+    The batched schedule drains each dirty port in one pop but keeps
+    per-fact transfer functions: the global store's re-fire cascade
+    (``_add_store_pair`` recursing through ``flow_out``) leaves no
+    batch-level set algebra to exploit in this baseline.
+    """
+
+    def __init__(self, program: Program, schedule: str = "batched") -> None:
         self.program = program
+        self.schedule = check_schedule(schedule)
         self.solution = PointsToSolution()
         self.callgraph = CallGraph()
         self.counters = Counters()
-        self.worklist = Worklist()
+        if self.schedule == "batched":
+            self.worklist: object = BatchedWorklist()
+        else:
+            self.worklist = Worklist()
         #: The single global store: set of (location path, referent).
         self.global_store: Set[PointsToPair] = set()
         #: All lookups, re-fired whenever the global store grows.
@@ -74,10 +86,19 @@ class FlowInsensitiveAnalysis:
             self._add_store_pair(pair)
         for output, pair in self.program.seeded_values:
             self.flow_out(output, pair)
-        while self.worklist:
-            input_port, fact = self.worklist.pop()
-            self.counters.transfers += 1
-            self.flow_in(input_port, fact)
+        if self.schedule == "batched":
+            while self.worklist:
+                input_port, facts = self.worklist.pop()
+                self.counters.batches += 1
+                self.counters.transfers += len(facts)
+                for fact in facts:
+                    self.flow_in(input_port, fact)
+        else:
+            while self.worklist:
+                input_port, fact = self.worklist.pop()
+                self.counters.transfers += 1
+                self.counters.batches += 1
+                self.flow_in(input_port, fact)
         # Materialize the global store onto every store-typed output so
         # the census machinery sees what a client would see.
         for graph in self.program.functions.values():
@@ -230,6 +251,7 @@ class FlowInsensitiveAnalysis:
             self.flow_out(node.out, direct(fact.referent.extend(INDEX)))
 
 
-def analyze_flowinsensitive(program: Program) -> AnalysisResult:
+def analyze_flowinsensitive(program: Program,
+                            schedule: str = "batched") -> AnalysisResult:
     """Run the Weihl-style program-wide baseline."""
-    return FlowInsensitiveAnalysis(program).run()
+    return FlowInsensitiveAnalysis(program, schedule=schedule).run()

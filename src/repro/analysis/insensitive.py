@@ -19,12 +19,22 @@ discovered callees.
 Termination: outputs and pairs are finite and sets only grow, giving
 the paper's O(n³) worst case (O(n²) average when each pointer has a
 small constant number of referents).
+
+Two schedules drive the same transfer functions (the paper notes
+convergence is independent of the scheduling strategy):
+
+* ``"batched"`` (default) — a port-keyed worklist drains every fact
+  pending at a port through one application of a pre-bound handler,
+  amortizing dispatch and sibling-input set construction over the
+  whole batch;
+* ``"fifo"`` — the original one-fact-per-pop queue, kept as the
+  reference implementation for the schedule-equivalence gate.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Optional
+from typing import Callable, Dict, List, Optional
 
 from ..errors import AnalysisError
 from ..memory.access import EMPTY_OFFSET, INDEX, AccessPath
@@ -36,44 +46,54 @@ from ..ir.nodes import (
     InputPort,
     LookupNode,
     MergeNode,
+    Node,
     OutputPort,
     PrimopNode,
     PrimopSemantics,
     ReturnNode,
     UpdateNode,
+    input_roles,
 )
 from .common import (
     AnalysisResult,
+    BatchedWorklist,
     CallGraph,
     Counters,
     PointsToSolution,
     Worklist,
+    check_schedule,
     resolve_function_value,
     seed_addresses,
     seed_roots,
 )
 
+#: A batch handler consumes every fact pending at one input port.
+BatchHandler = Callable[[List[PointsToPair]], None]
+
 
 class InsensitiveAnalysis:
     """One run of the context-insensitive analysis over a program."""
 
-    def __init__(self, program: Program) -> None:
+    def __init__(self, program: Program, schedule: str = "batched") -> None:
         self.program = program
+        self.schedule = check_schedule(schedule)
         self.solution = PointsToSolution()
         self.callgraph = CallGraph()
         self.counters = Counters()
-        self.worklist = Worklist()
+        self._dispatch: Dict[InputPort, BatchHandler] = {}
+        if self.schedule == "batched":
+            self.worklist: object = BatchedWorklist()
+        else:
+            self.worklist = Worklist()
 
     # -- driver ------------------------------------------------------------
 
     def run(self) -> AnalysisResult:
         started = time.perf_counter()
-        seed_addresses(self.program, self.flow_out)
-        seed_roots(self.program, self.flow_out)
-        while self.worklist:
-            input_port, fact = self.worklist.pop()
-            self.counters.transfers += 1
-            self.flow_in(input_port, fact)
+        if self.schedule == "batched":
+            self._run_batched()
+        else:
+            self._run_fifo()
         elapsed = time.perf_counter() - started
         return AnalysisResult(
             program=self.program,
@@ -83,6 +103,33 @@ class InsensitiveAnalysis:
             elapsed_seconds=elapsed,
             flavor="insensitive",
         )
+
+    def _run_fifo(self) -> None:
+        seed_addresses(self.program, self.flow_out)
+        seed_roots(self.program, self.flow_out)
+        worklist = self.worklist
+        counters = self.counters
+        while worklist:
+            input_port, fact = worklist.pop()
+            counters.transfers += 1
+            counters.batches += 1
+            self.flow_in(input_port, fact)
+
+    def _run_batched(self) -> None:
+        dispatch = self._dispatch
+        seed_addresses(self.program, self.flow_out)
+        seed_roots(self.program, self.flow_out)
+        worklist = self.worklist
+        counters = self.counters
+        bind_node = self._bind_node
+        while worklist:
+            input_port, facts = worklist.pop()
+            counters.batches += 1
+            counters.transfers += len(facts)
+            handler = dispatch.get(input_port)
+            if handler is None:
+                handler = bind_node(input_port)
+            handler(facts)
 
     # -- propagation ----------------------------------------------------------
 
@@ -95,13 +142,288 @@ class InsensitiveAnalysis:
         for consumer in output.consumers:
             self.worklist.push(consumer, pair)
 
+    def flow_out_many(self, output: OutputPort,
+                      pairs: List[PointsToPair]) -> None:
+        """Batched flow-out: one delta-join for a whole list of
+        candidate pairs, counters updated in bulk, and each consumer
+        notified once with the full delta."""
+        if not pairs:
+            return
+        self.counters.meets += len(pairs)
+        new = self.solution.join(output, pairs)
+        if not new:
+            return
+        self.counters.pairs_added += len(new)
+        worklist = self.worklist
+        for consumer in output.consumers:
+            worklist.push_many(consumer, new)
+
     def _pairs(self, input_port: Optional[InputPort]):
         """Current pairs on the output feeding ``input_port``."""
         if input_port is None or input_port.source is None:
             return ()
         return self.solution.raw_pairs(input_port.source)
 
-    # -- transfer functions (flow-in, Figure 1) ----------------------------------
+    # -- batched dispatch ----------------------------------------------------
+
+    def _bind_node(self, input_port: InputPort) -> BatchHandler:
+        """Bind handlers for one node, on the first fact to reach it.
+
+        The handlers capture their node's sibling ports in closure
+        cells, so the hot loop performs a single dict lookup and call
+        per dirty port instead of an ``isinstance`` chain plus port
+        identity comparisons per fact.  Binding lazily — per node, the
+        first time any of its ports goes dirty — matters for small
+        programs, where walking every node up front costs more than
+        the whole fixpoint; nodes facts never reach are never bound.
+        """
+        dispatch = self._dispatch
+        for port, role, index in input_roles(input_port.node):
+            dispatch[port] = self._make_handler(input_port.node, role, index)
+        handler = dispatch.get(input_port)
+        if handler is None:
+            raise AnalysisError(
+                f"pair arrived at unexpected node {input_port.node!r}")
+        return handler
+
+    def _make_handler(self, node: Node, role: str, index: int) -> BatchHandler:
+        flow_out_many = self.flow_out_many
+        pairs_at = self._pairs
+
+        if role == "lookup.loc":
+            out, store_in = node.out, node.store
+            # Live base-location grouping of the store input's pairs,
+            # kept fresh by PointsToSolution.add/join: a location (ε,
+            # r_l) can only dereference store pairs rooted at r_l.base,
+            # so the cross-product dom() scan collapses to one bucket.
+            store_index = None
+            if store_in.source is not None:
+                store_index = self.solution.enable_base_index(store_in.source)
+
+            def handler(facts: List[PointsToPair]) -> None:
+                if store_index is None:
+                    return
+                emit: List[PointsToPair] = []
+                for fact in facts:
+                    if fact.path is not EMPTY_OFFSET:
+                        continue  # only the pointer itself dereferences
+                    r_l = fact.referent
+                    candidates = store_index.get(r_l.base)
+                    if not candidates:
+                        continue
+                    r_ops = r_l.ops
+                    if not r_ops:
+                        for sp in candidates:
+                            emit.append(make_pair(
+                                AccessPath(None, sp.path.ops), sp.referent))
+                    else:
+                        n = len(r_ops)
+                        for sp in candidates:
+                            sp_ops = sp.path.ops
+                            # tuple slice compare == is_prefix (a short
+                            # slice never equals a longer r_ops)
+                            if sp_ops[:n] == r_ops:
+                                emit.append(make_pair(
+                                    AccessPath(None, sp_ops[n:]),
+                                    sp.referent))
+                flow_out_many(out, emit)
+            return handler
+
+        if role == "lookup.store":
+            out, loc_in = node.out, node.loc
+
+            def handler(facts: List[PointsToPair]) -> None:
+                locs_by_base: Dict[object, List[AccessPath]] = {}
+                for lp in pairs_at(loc_in):
+                    if lp.path is EMPTY_OFFSET:
+                        locs_by_base.setdefault(
+                            lp.referent.base, []).append(lp.referent)
+                if not locs_by_base:
+                    return
+                emit: List[PointsToPair] = []
+                for fact in facts:
+                    candidates = locs_by_base.get(fact.path.base)
+                    if not candidates:
+                        continue
+                    f_ops = fact.path.ops
+                    for r_l in candidates:
+                        n = len(r_l.ops)
+                        if f_ops[:n] == r_l.ops:
+                            emit.append(make_pair(
+                                AccessPath(None, f_ops[n:]), fact.referent))
+                flow_out_many(out, emit)
+            return handler
+
+        if role == "update.loc":
+            ostore, store_in, value_in = node.ostore, node.store, node.value
+
+            def handler(facts: List[PointsToPair]) -> None:
+                value_pairs = pairs_at(value_in)
+                store_pairs = pairs_at(store_in)
+                emit: List[PointsToPair] = []
+                released_all = False
+                for fact in facts:
+                    if fact.path is not EMPTY_OFFSET:
+                        continue
+                    r_l = fact.referent
+                    for vp in value_pairs:
+                        emit.append(make_pair(r_l.append(vp.path),
+                                              vp.referent))
+                    if released_all:
+                        continue  # store release already maximal
+                    if not r_l.strongly_updateable:
+                        # A weak location kills nothing: the whole store
+                        # passes through, and any further fact's release
+                        # is a subset of this one.
+                        emit.extend(store_pairs)
+                        released_all = True
+                        continue
+                    base, r_ops = r_l.base, r_l.ops
+                    n = len(r_ops)
+                    survivors = [sp for sp in store_pairs
+                                 if sp.path.base is not base
+                                 or sp.path.ops[:n] != r_ops]
+                    if len(survivors) == len(store_pairs):
+                        released_all = True
+                    emit.extend(survivors)
+                flow_out_many(ostore, emit)
+            return handler
+
+        if role == "update.store":
+            ostore, loc_in = node.ostore, node.loc
+
+            def handler(facts: List[PointsToPair]) -> None:
+                locs = [lp.referent for lp in pairs_at(loc_in)
+                        if lp.path is EMPTY_OFFSET]
+                emit = [fact for fact in facts
+                        if any(not strong_dom(r_l, fact.path)
+                               for r_l in locs)]
+                flow_out_many(ostore, emit)
+            return handler
+
+        if role == "update.value":
+            ostore, loc_in = node.ostore, node.loc
+
+            def handler(facts: List[PointsToPair]) -> None:
+                locs = [lp.referent for lp in pairs_at(loc_in)
+                        if lp.path is EMPTY_OFFSET]
+                emit: List[PointsToPair] = []
+                for fact in facts:
+                    for r_l in locs:
+                        emit.append(make_pair(r_l.append(fact.path),
+                                              fact.referent))
+                flow_out_many(ostore, emit)
+            return handler
+
+        if role == "call.fcn":
+            def handler(facts: List[PointsToPair]) -> None:
+                for fact in facts:
+                    self._discover_callee(node, fact)
+            return handler
+
+        if role == "call.store":
+            callees = self.callgraph.callees
+
+            def handler(facts: List[PointsToPair]) -> None:
+                for callee in callees(node):
+                    flow_out_many(callee.store_formal, facts)
+            return handler
+
+        if role == "call.arg":
+            callees = self.callgraph.callees
+
+            def handler(facts: List[PointsToPair]) -> None:
+                for callee in callees(node):
+                    formal = callee.corresponding_formal(index)
+                    if formal is not None:
+                        flow_out_many(formal, facts)
+            return handler
+
+        if role == "return.value":
+            graph, callers = node.graph, self.callgraph.callers
+
+            def handler(facts: List[PointsToPair]) -> None:
+                for call in callers(graph):
+                    flow_out_many(call.out, facts)
+            return handler
+
+        if role == "return.store":
+            graph, callers = node.graph, self.callgraph.callers
+
+            def handler(facts: List[PointsToPair]) -> None:
+                for call in callers(graph):
+                    flow_out_many(call.ostore, facts)
+            return handler
+
+        if role == "merge.pred":
+            return _consume  # predicate is ignored (Figure 1)
+
+        if role == "merge.branch":
+            out = node.out
+
+            def handler(facts: List[PointsToPair]) -> None:
+                flow_out_many(out, facts)
+            return handler
+
+        if role == "primop.operand":
+            return self._make_primop_handler(node, index)
+
+        def handler(facts: List[PointsToPair]) -> None:
+            raise AnalysisError(f"pair arrived at unexpected node {node!r}")
+        return handler
+
+    def _make_primop_handler(self, node: PrimopNode, index: int
+                             ) -> BatchHandler:
+        flow_out_many = self.flow_out_many
+        semantics = node.semantics
+        out = node.out
+
+        if semantics is PrimopSemantics.OPAQUE:
+            return _consume
+
+        if semantics is PrimopSemantics.COPY:
+            if node.copy_operand is not None and index != node.copy_operand:
+                return _consume  # consumed, but pairs do not flow (lib calls)
+
+            def handler(facts: List[PointsToPair]) -> None:
+                flow_out_many(out, facts)
+            return handler
+
+        if semantics is PrimopSemantics.EXTRACT:
+            field_op = node.field_op
+
+            def handler(facts: List[PointsToPair]) -> None:
+                emit: List[PointsToPair] = []
+                for fact in facts:
+                    path = fact.path
+                    if path.base is None and path.ops \
+                            and path.ops[0] is field_op:
+                        emit.append(make_pair(AccessPath(None, path.ops[1:]),
+                                              fact.referent))
+                flow_out_many(out, emit)
+            return handler
+
+        if semantics is PrimopSemantics.FIELD:
+            field_op = node.field_op
+
+            def handler(facts: List[PointsToPair]) -> None:
+                emit = [direct(fact.referent.extend(field_op))
+                        for fact in facts if fact.path is EMPTY_OFFSET]
+                flow_out_many(out, emit)
+            return handler
+
+        if semantics is PrimopSemantics.INDEX:
+            def handler(facts: List[PointsToPair]) -> None:
+                emit = [direct(fact.referent.extend(INDEX))
+                        for fact in facts if fact.path is EMPTY_OFFSET]
+                flow_out_many(out, emit)
+            return handler
+
+        def handler(facts: List[PointsToPair]) -> None:  # pragma: no cover
+            raise AnalysisError(f"unknown primop semantics {semantics!r}")
+        return handler
+
+    # -- transfer functions (flow-in, Figure 1; FIFO schedule) ----------------
 
     def flow_in(self, input_port: InputPort, fact: PointsToPair) -> None:
         node = input_port.node
@@ -195,7 +517,13 @@ class InsensitiveAnalysis:
 
     def _discover_callee(self, node: CallNode, fact: PointsToPair) -> None:
         """A new function value updates the call graph and performs the
-        appropriate repropagation of already-known actuals and returns."""
+        appropriate repropagation of already-known actuals and returns.
+
+        The ``list()`` copies are load-bearing under both schedules: in
+        a self-recursive procedure an actual's source can be the
+        callee's own formal output, so the iterated set is the one
+        being grown.
+        """
         if fact.path is not EMPTY_OFFSET:
             return
         callee = resolve_function_value(self.program, fact.referent)
@@ -267,6 +595,11 @@ class InsensitiveAnalysis:
             raise AnalysisError(f"unknown primop semantics {semantics!r}")
 
 
-def analyze_insensitive(program: Program) -> AnalysisResult:
+def _consume(facts: List[PointsToPair]) -> None:
+    """Handler for ports that consume facts without producing pairs."""
+
+
+def analyze_insensitive(program: Program,
+                        schedule: str = "batched") -> AnalysisResult:
     """Run the context-insensitive analysis (paper Section 3)."""
-    return InsensitiveAnalysis(program).run()
+    return InsensitiveAnalysis(program, schedule=schedule).run()

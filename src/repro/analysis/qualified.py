@@ -67,32 +67,46 @@ class QualifiedPair:
 
 
 class AssumptionAntichain:
-    """Minimal assumption sets under which one plain pair holds."""
+    """Minimal assumption sets under which one plain pair holds.
 
-    __slots__ = ("sets",)
+    Internally the chain stores whole :class:`QualifiedPair` objects
+    (all sharing the same plain pair) so that iterating a solution can
+    hand back the stored facts instead of allocating fresh wrappers —
+    the CS solver re-reads qualified pairs far more often than it
+    inserts them.  Iteration still yields the assumption sets.
+    """
+
+    __slots__ = ("quals",)
 
     def __init__(self) -> None:
-        self.sets: List[AssumptionSet] = []
+        self.quals: List[QualifiedPair] = []
 
-    def add(self, candidate: AssumptionSet) -> bool:
+    def add_qualified(self, qp: QualifiedPair) -> bool:
         """Insert applying the subsumption rule.
 
         Returns False (and stores nothing) when an existing set is a
-        subset of ``candidate``; otherwise removes existing supersets,
-        stores ``candidate``, and returns True.
+        subset of ``qp.assumptions``; otherwise removes existing
+        supersets, stores ``qp``, and returns True.
         """
-        for existing in self.sets:
-            if existing <= candidate:
+        candidate = qp.assumptions
+        for existing in self.quals:
+            if existing.assumptions <= candidate:
                 return False
-        self.sets = [s for s in self.sets if not (candidate <= s)]
-        self.sets.append(candidate)
+        self.quals = [q for q in self.quals
+                      if not (candidate <= q.assumptions)]
+        self.quals.append(qp)
         return True
 
+    def add(self, candidate: AssumptionSet) -> bool:
+        """Insert a bare assumption set (kept for direct antichain use)."""
+        return self.add_qualified(QualifiedPair(None, candidate))
+
     def __iter__(self) -> Iterator[AssumptionSet]:
-        return iter(self.sets)
+        for qp in self.quals:
+            yield qp.assumptions
 
     def __len__(self) -> int:
-        return len(self.sets)
+        return len(self.quals)
 
 
 class QualifiedSolution:
@@ -110,7 +124,7 @@ class QualifiedSolution:
         if chain is None:
             chain = AssumptionAntichain()
             by_pair[qp.pair] = chain
-        return chain.add(qp.assumptions)
+        return chain.add_qualified(qp)
 
     # -- queries ------------------------------------------------------------
 
@@ -127,9 +141,8 @@ class QualifiedSolution:
         return list(chain) if chain is not None else []
 
     def qualified_pairs(self, output: OutputPort) -> Iterator[QualifiedPair]:
-        for pair, chain in self._pairs.get(output, {}).items():
-            for assumptions in chain:
-                yield QualifiedPair(pair, assumptions)
+        for chain in self._pairs.get(output, {}).values():
+            yield from chain.quals
 
     def outputs(self) -> Iterator[OutputPort]:
         return iter(self._pairs)

@@ -30,13 +30,20 @@ Section 4.2's optimizations, on by default and individually toggleable:
   proved single-target (87% of indirect ops in the paper's suite);
 * store pairs the CI analysis proves unmodified by an update pass
   through without acquiring location assumptions.
+
+Like the CI analysis, the solver accepts ``schedule="batched"``
+(default; port-keyed worklist plus a per-port dispatch table bound
+before the run) or ``schedule="fifo"`` (the original one-fact queue).
+Because subsumption makes the amount of work order-dependent, the CS
+counters vary between schedules; the *stripped* solution does not.
 """
 
 from __future__ import annotations
 
 import itertools
 import time
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from functools import partial
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..errors import AnalysisError
 from ..memory.access import EMPTY_OFFSET, INDEX, AccessPath
@@ -48,18 +55,22 @@ from ..ir.nodes import (
     InputPort,
     LookupNode,
     MergeNode,
+    Node,
     OutputPort,
     PrimopNode,
     PrimopSemantics,
     ReturnNode,
     UpdateNode,
+    input_roles,
 )
 from .common import (
     AnalysisResult,
+    BatchedWorklist,
     CallGraph,
     Counters,
     PointsToSolution,
     Worklist,
+    check_schedule,
 )
 from .insensitive import analyze_insensitive
 from .qualified import (
@@ -69,6 +80,9 @@ from .qualified import (
     QualifiedPair,
     QualifiedSolution,
 )
+
+#: Per-fact handler bound to one (node, role, index) at dispatch-build time.
+FactHandler = Callable[[QualifiedPair], None]
 
 
 class PruneInfo:
@@ -120,7 +134,8 @@ class SensitiveAnalysis:
     def __init__(self, program: Program,
                  ci_result: Optional[AnalysisResult] = None,
                  optimize: bool = True,
-                 max_transfers: Optional[int] = None) -> None:
+                 max_transfers: Optional[int] = None,
+                 schedule: str = "batched") -> None:
         self.program = program
         if ci_result is None:
             ci_result = analyze_insensitive(program)
@@ -133,23 +148,22 @@ class SensitiveAnalysis:
         #: context-insensitive in the paper's implementation too).
         self.callgraph = ci_result.callgraph
         self.counters = Counters()
-        self.worklist = Worklist()
+        self.schedule = check_schedule(schedule)
+        self._dispatch: Dict[InputPort, FactHandler] = {}
+        if self.schedule == "batched":
+            self.worklist: object = BatchedWorklist()
+        else:
+            self.worklist = Worklist()
         self.max_transfers = max_transfers
 
     # -- driver -------------------------------------------------------------
 
     def run(self) -> AnalysisResult:
         started = time.perf_counter()
-        self._seed()
-        while self.worklist:
-            input_port, fact = self.worklist.pop()
-            self.counters.transfers += 1
-            if (self.max_transfers is not None
-                    and self.counters.transfers > self.max_transfers):
-                raise AnalysisError(
-                    f"context-sensitive analysis exceeded "
-                    f"{self.max_transfers} transfer functions")
-            self.flow_in(input_port, fact)
+        if self.schedule == "batched":
+            self._run_batched()
+        else:
+            self._run_fifo()
         elapsed = time.perf_counter() - started
         stripped = self.solution.strip()
         return AnalysisResult(
@@ -167,6 +181,41 @@ class SensitiveAnalysis:
                     self.solution.max_assumption_set_size(),
             },
         )
+
+    def _run_fifo(self) -> None:
+        self._seed()
+        while self.worklist:
+            input_port, fact = self.worklist.pop()
+            self.counters.transfers += 1
+            self.counters.batches += 1
+            if (self.max_transfers is not None
+                    and self.counters.transfers > self.max_transfers):
+                raise AnalysisError(
+                    f"context-sensitive analysis exceeded "
+                    f"{self.max_transfers} transfer functions")
+            self.flow_in(input_port, fact)
+
+    def _run_batched(self) -> None:
+        dispatch = self._dispatch
+        self._seed()
+        worklist = self.worklist
+        counters = self.counters
+        max_transfers = self.max_transfers
+        bind_node = self._bind_node
+        while worklist:
+            input_port, facts = worklist.pop()
+            counters.batches += 1
+            counters.transfers += len(facts)
+            if (max_transfers is not None
+                    and counters.transfers > max_transfers):
+                raise AnalysisError(
+                    f"context-sensitive analysis exceeded "
+                    f"{max_transfers} transfer functions")
+            handler = dispatch.get(input_port)
+            if handler is None:
+                handler = bind_node(input_port)
+            for qp in facts:
+                handler(qp)
 
     def _seed(self) -> None:
         for node in self.program.address_nodes():
@@ -191,6 +240,77 @@ class SensitiveAnalysis:
         if input_port is None or input_port.source is None:
             return []
         return list(self.solution.qualified_pairs(input_port.source))
+
+    # -- batched dispatch ----------------------------------------------------
+
+    def _bind_node(self, input_port: InputPort) -> FactHandler:
+        """Bind handlers for one node, on the first fact to reach it.
+
+        Unlike the CI analysis, handlers stay per-fact (assumption
+        chaining and subsumption make batch-level set algebra
+        unprofitable); the win is replacing the per-event
+        ``isinstance`` chain and port-identity scans with a single
+        dict lookup.  Binding is lazy per node — see the CI analysis
+        for why that matters on small programs."""
+        dispatch = self._dispatch
+        for port, role, index in input_roles(input_port.node):
+            dispatch[port] = self._make_handler(input_port.node, role, index)
+        handler = dispatch.get(input_port)
+        if handler is None:
+            raise AnalysisError(
+                f"qualified pair at unexpected node {input_port.node!r}")
+        return handler
+
+    def _make_handler(self, node: Node, role: str, index: int) -> FactHandler:
+        if role == "lookup.loc":
+            return partial(self._lookup_loc, node)
+        if role == "lookup.store":
+            return partial(self._lookup_store, node)
+        if role == "update.loc":
+            return partial(self._update_loc, node)
+        if role == "update.store":
+            return partial(self._update_store, node)
+        if role == "update.value":
+            return partial(self._update_value, node)
+        if role == "call.fcn":
+            return _consume_q  # call graph is fixed from the CI pass
+        if role == "call.store":
+            return partial(self._call_store, node)
+        if role == "call.arg":
+            return partial(self._call_arg, node, index)
+        if role == "return.value":
+            return partial(self._return_value, node)
+        if role == "return.store":
+            return partial(self._return_store, node)
+        if role == "merge.pred":
+            return _consume_q  # predicate is ignored (Figure 1)
+        if role == "merge.branch":
+            return partial(self.flow_out, node.out)
+        if role == "primop.operand":
+            return self._make_primop_handler(node, index)
+
+        def handler(qp: QualifiedPair) -> None:
+            raise AnalysisError(f"qualified pair at unexpected node {node!r}")
+        return handler
+
+    def _make_primop_handler(self, node: PrimopNode, index: int) -> FactHandler:
+        semantics = node.semantics
+        if semantics is PrimopSemantics.OPAQUE:
+            return _consume_q
+        if semantics is PrimopSemantics.COPY:
+            if node.copy_operand is not None and index != node.copy_operand:
+                return _consume_q  # consumed, but pairs do not flow
+            return partial(self.flow_out, node.out)
+        if semantics is PrimopSemantics.EXTRACT:
+            return partial(self._primop_extract, node)
+        if semantics is PrimopSemantics.FIELD:
+            return partial(self._primop_field, node)
+        if semantics is PrimopSemantics.INDEX:
+            return partial(self._primop_index, node)
+
+        def handler(qp: QualifiedPair) -> None:  # pragma: no cover
+            raise AnalysisError(f"unknown primop semantics {semantics!r}")
+        return handler
 
     # -- transfer functions (flow-in, Figure 5) -----------------------------------
 
@@ -224,69 +344,84 @@ class SensitiveAnalysis:
     def _flow_lookup(self, node: LookupNode, input_port: InputPort,
                      qp: QualifiedPair) -> None:
         if input_port is node.loc:
-            if qp.pair.path is not EMPTY_OFFSET:
-                return
-            r_l = qp.pair.referent
-            a_l = self._loc_assumptions(node, qp.assumptions)
-            for sp in self._qpairs(node.store):
-                if dom(r_l, sp.pair.path):
-                    self.flow_out(node.out, QualifiedPair(
-                        make_pair(sp.pair.path.subtract(r_l), sp.pair.referent),
-                        a_l | sp.assumptions))
+            self._lookup_loc(node, qp)
         elif input_port is node.store:
-            for lp in self._qpairs(node.loc):
-                if lp.pair.path is not EMPTY_OFFSET:
-                    continue
-                r_l = lp.pair.referent
-                if dom(r_l, qp.pair.path):
-                    a_l = self._loc_assumptions(node, lp.assumptions)
-                    self.flow_out(node.out, QualifiedPair(
-                        make_pair(qp.pair.path.subtract(r_l), qp.pair.referent),
-                        a_l | qp.assumptions))
+            self._lookup_store(node, qp)
         else:  # pragma: no cover - defensive
             raise AnalysisError(f"unknown lookup input {input_port!r}")
+
+    def _lookup_loc(self, node: LookupNode, qp: QualifiedPair) -> None:
+        if qp.pair.path is not EMPTY_OFFSET:
+            return
+        r_l = qp.pair.referent
+        a_l = self._loc_assumptions(node, qp.assumptions)
+        for sp in self._qpairs(node.store):
+            if dom(r_l, sp.pair.path):
+                self.flow_out(node.out, QualifiedPair(
+                    make_pair(sp.pair.path.subtract(r_l), sp.pair.referent),
+                    a_l | sp.assumptions))
+
+    def _lookup_store(self, node: LookupNode, qp: QualifiedPair) -> None:
+        for lp in self._qpairs(node.loc):
+            if lp.pair.path is not EMPTY_OFFSET:
+                continue
+            r_l = lp.pair.referent
+            if dom(r_l, qp.pair.path):
+                a_l = self._loc_assumptions(node, lp.assumptions)
+                self.flow_out(node.out, QualifiedPair(
+                    make_pair(qp.pair.path.subtract(r_l), qp.pair.referent),
+                    a_l | qp.assumptions))
 
     # .. update ..................................................................
 
     def _flow_update(self, node: UpdateNode, input_port: InputPort,
                      qp: QualifiedPair) -> None:
         if input_port is node.loc:
-            if qp.pair.path is not EMPTY_OFFSET:
-                return
-            r_l = qp.pair.referent
-            a_l = self._loc_assumptions(node, qp.assumptions)
-            for vp in self._qpairs(node.value):
-                self.flow_out(node.ostore, QualifiedPair(
-                    make_pair(r_l.append(vp.pair.path), vp.pair.referent),
-                    a_l | vp.assumptions))
-            for sp in self._qpairs(node.store):
-                self._update_survive(node, qp, sp)
+            self._update_loc(node, qp)
         elif input_port is node.store:
-            loc_pairs = [lp for lp in self._qpairs(node.loc)
-                         if lp.pair.path is EMPTY_OFFSET]
-            if self.prune.cannot_modify(node, qp.pair.path):
-                # Optimization 2 of §4.2: CI proves this update never
-                # writes the pair's path; pass it through unqualified.
-                # The CWZ90 delay still applies: nothing flows until a
-                # location pair has arrived (the loc-arrival rescan
-                # releases delayed pairs), so the optimization cannot
-                # change the solution, only the amount of work.
-                if loc_pairs:
-                    self.flow_out(node.ostore, qp)
-                return
-            for lp in loc_pairs:
-                self._update_survive(node, lp, qp)
+            self._update_store(node, qp)
         elif input_port is node.value:
-            for lp in self._qpairs(node.loc):
-                if lp.pair.path is not EMPTY_OFFSET:
-                    continue
-                a_l = self._loc_assumptions(node, lp.assumptions)
-                self.flow_out(node.ostore, QualifiedPair(
-                    make_pair(lp.pair.referent.append(qp.pair.path),
-                              qp.pair.referent),
-                    a_l | qp.assumptions))
+            self._update_value(node, qp)
         else:  # pragma: no cover - defensive
             raise AnalysisError(f"unknown update input {input_port!r}")
+
+    def _update_loc(self, node: UpdateNode, qp: QualifiedPair) -> None:
+        if qp.pair.path is not EMPTY_OFFSET:
+            return
+        r_l = qp.pair.referent
+        a_l = self._loc_assumptions(node, qp.assumptions)
+        for vp in self._qpairs(node.value):
+            self.flow_out(node.ostore, QualifiedPair(
+                make_pair(r_l.append(vp.pair.path), vp.pair.referent),
+                a_l | vp.assumptions))
+        for sp in self._qpairs(node.store):
+            self._update_survive(node, qp, sp)
+
+    def _update_store(self, node: UpdateNode, qp: QualifiedPair) -> None:
+        loc_pairs = [lp for lp in self._qpairs(node.loc)
+                     if lp.pair.path is EMPTY_OFFSET]
+        if self.prune.cannot_modify(node, qp.pair.path):
+            # Optimization 2 of §4.2: CI proves this update never
+            # writes the pair's path; pass it through unqualified.
+            # The CWZ90 delay still applies: nothing flows until a
+            # location pair has arrived (the loc-arrival rescan
+            # releases delayed pairs), so the optimization cannot
+            # change the solution, only the amount of work.
+            if loc_pairs:
+                self.flow_out(node.ostore, qp)
+            return
+        for lp in loc_pairs:
+            self._update_survive(node, lp, qp)
+
+    def _update_value(self, node: UpdateNode, qp: QualifiedPair) -> None:
+        for lp in self._qpairs(node.loc):
+            if lp.pair.path is not EMPTY_OFFSET:
+                continue
+            a_l = self._loc_assumptions(node, lp.assumptions)
+            self.flow_out(node.ostore, QualifiedPair(
+                make_pair(lp.pair.referent.append(qp.pair.path),
+                          qp.pair.referent),
+                a_l | qp.assumptions))
 
     def _update_survive(self, node: UpdateNode, lp: QualifiedPair,
                         sp: QualifiedPair) -> None:
@@ -310,17 +445,23 @@ class SensitiveAnalysis:
         if input_port is node.fcn:
             return  # call graph is fixed from the CI pass
         if input_port is node.store:
-            for callee in self.callgraph.callees(node):
-                self._into_formal(node, callee, callee.store_formal, qp)
+            self._call_store(node, qp)
             return
         for index, arg in enumerate(node.args):
             if input_port is arg:
-                for callee in self.callgraph.callees(node):
-                    formal = callee.corresponding_formal(index)
-                    if formal is not None:
-                        self._into_formal(node, callee, formal, qp)
+                self._call_arg(node, index, qp)
                 return
         raise AnalysisError(f"unknown call input {input_port!r}")
+
+    def _call_store(self, node: CallNode, qp: QualifiedPair) -> None:
+        for callee in self.callgraph.callees(node):
+            self._into_formal(node, callee, callee.store_formal, qp)
+
+    def _call_arg(self, node: CallNode, index: int, qp: QualifiedPair) -> None:
+        for callee in self.callgraph.callees(node):
+            formal = callee.corresponding_formal(index)
+            if formal is not None:
+                self._into_formal(node, callee, formal, qp)
 
     def _into_formal(self, call: CallNode, callee: FunctionGraph,
                      formal: OutputPort, qp: QualifiedPair) -> None:
@@ -344,15 +485,22 @@ class SensitiveAnalysis:
 
     def _flow_return(self, node: ReturnNode, input_port: InputPort,
                      qp: QualifiedPair) -> None:
-        graph = node.graph
         if input_port is node.value:
-            for call in self.callgraph.callers(graph):
-                self._propagate_return(call, graph, qp, call.out)
+            self._return_value(node, qp)
         elif input_port is node.store:
-            for call in self.callgraph.callers(graph):
-                self._propagate_return(call, graph, qp, call.ostore)
+            self._return_store(node, qp)
         else:  # pragma: no cover - defensive
             raise AnalysisError(f"unknown return input {input_port!r}")
+
+    def _return_value(self, node: ReturnNode, qp: QualifiedPair) -> None:
+        graph = node.graph
+        for call in self.callgraph.callers(graph):
+            self._propagate_return(call, graph, qp, call.out)
+
+    def _return_store(self, node: ReturnNode, qp: QualifiedPair) -> None:
+        graph = node.graph
+        for call in self.callgraph.callers(graph):
+            self._propagate_return(call, graph, qp, call.ostore)
 
     def _actual_for_formal(self, call: CallNode, callee: FunctionGraph,
                            formal: OutputPort) -> Optional[InputPort]:
@@ -408,30 +556,44 @@ class SensitiveAnalysis:
             self.flow_out(node.out, qp)
             return
         if semantics is PrimopSemantics.EXTRACT:
-            path = qp.pair.path
-            if path.base is None and path.ops and path.ops[0] is node.field_op:
-                self.flow_out(node.out, QualifiedPair(
-                    make_pair(AccessPath(None, path.ops[1:]),
-                              qp.pair.referent),
-                    qp.assumptions))
-            return
-        if qp.pair.path is not EMPTY_OFFSET:
+            self._primop_extract(node, qp)
             return
         if semantics is PrimopSemantics.FIELD:
-            self.flow_out(node.out, QualifiedPair(
-                direct(qp.pair.referent.extend(node.field_op)),
-                qp.assumptions))
+            self._primop_field(node, qp)
         elif semantics is PrimopSemantics.INDEX:
-            self.flow_out(node.out, QualifiedPair(
-                direct(qp.pair.referent.extend(INDEX)), qp.assumptions))
+            self._primop_index(node, qp)
         else:  # pragma: no cover - future semantics
             raise AnalysisError(f"unknown primop semantics {semantics!r}")
+
+    def _primop_extract(self, node: PrimopNode, qp: QualifiedPair) -> None:
+        path = qp.pair.path
+        if path.base is None and path.ops and path.ops[0] is node.field_op:
+            self.flow_out(node.out, QualifiedPair(
+                make_pair(AccessPath(None, path.ops[1:]), qp.pair.referent),
+                qp.assumptions))
+
+    def _primop_field(self, node: PrimopNode, qp: QualifiedPair) -> None:
+        if qp.pair.path is not EMPTY_OFFSET:
+            return
+        self.flow_out(node.out, QualifiedPair(
+            direct(qp.pair.referent.extend(node.field_op)), qp.assumptions))
+
+    def _primop_index(self, node: PrimopNode, qp: QualifiedPair) -> None:
+        if qp.pair.path is not EMPTY_OFFSET:
+            return
+        self.flow_out(node.out, QualifiedPair(
+            direct(qp.pair.referent.extend(INDEX)), qp.assumptions))
+
+
+def _consume_q(qp: QualifiedPair) -> None:
+    """Handler for ports that consume facts without producing pairs."""
 
 
 def analyze_sensitive(program: Program,
                       ci_result: Optional[AnalysisResult] = None,
                       optimize: bool = True,
-                      max_transfers: Optional[int] = None) -> AnalysisResult:
+                      max_transfers: Optional[int] = None,
+                      schedule: str = "batched") -> AnalysisResult:
     """Run the maximally context-sensitive analysis (paper Section 4).
 
     ``ci_result`` may supply a previously computed context-insensitive
@@ -439,4 +601,5 @@ def analyze_sensitive(program: Program,
     disables the §4.2 CI-based pruning, which must not change the
     stripped solution — a property the test suite checks.
     """
-    return SensitiveAnalysis(program, ci_result, optimize, max_transfers).run()
+    return SensitiveAnalysis(program, ci_result, optimize, max_transfers,
+                             schedule=schedule).run()

@@ -36,7 +36,8 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     analyze = sub.add_parser(
-        "analyze", help="analyze a C program (several files are linked)")
+        "analyze", help="analyze a C program (several files are linked; "
+                        "with --jobs > 1 each file is a separate program)")
     analyze.add_argument("file", nargs="+", help="C source file(s)")
     analyze.add_argument("--sensitivity", default="both",
                          choices=["insensitive", "sensitive", "both",
@@ -45,6 +46,13 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="print every output's points-to set")
     analyze.add_argument("--modref", action="store_true",
                          help="print per-procedure mod/ref summaries")
+    analyze.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="analyze each input file as an independent "
+                              "program, fanned across N worker processes "
+                              "(files are NOT linked; default: 1, linked)")
+    analyze.add_argument("--no-cache", action="store_true",
+                         help="skip the persistent lowering cache under "
+                              ".repro-cache/ and lower from scratch")
 
     dump = sub.add_parser("dump", help="print the lowered VDG")
     dump.add_argument("file", help="C source file")
@@ -70,6 +78,11 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("id", choices=list(EXPERIMENT_IDS) + ["all"])
     experiment.add_argument("--markdown", action="store_true",
                             help="emit GitHub-flavored markdown tables")
+    experiment.add_argument("--jobs", type=int, default=1, metavar="N",
+                            help="fan suite analyses across N worker "
+                                 "processes (default: 1, in-process)")
+    experiment.add_argument("--no-cache", action="store_true",
+                            help="skip the persistent lowering cache")
 
     explain = sub.add_parser(
         "explain",
@@ -86,11 +99,14 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_analyze(args) -> int:
+    cache = not args.no_cache
+    if args.jobs > 1 and len(args.file) > 1:
+        return _analyze_parallel(args, cache)
     if len(args.file) == 1:
-        program = lower_file(args.file[0])
+        program = lower_file(args.file[0], cache=cache)
     else:
         from .frontend.lower import lower_files
-        program = lower_files(args.file)
+        program = lower_files(args.file, cache=cache)
     for warning in program.extras.get("warnings", ()):
         print(f"warning: {warning}", file=sys.stderr)
     sizes = program_sizes(program)
@@ -112,6 +128,38 @@ def _cmd_analyze(args) -> int:
         _print_result("context-sensitive", cs, args)
         if args.sensitivity == "both":
             report = compare_results(ci, cs)
+            print(f"spurious pairs: {report.spurious_pairs} "
+                  f"({report.percent_spurious:.1f}% of CI total); "
+                  f"indirect ops identical: "
+                  f"{report.indirect_ops_identical}")
+    return 0
+
+
+def _analyze_parallel(args, cache) -> int:
+    """--jobs > 1: each file is its own program, analyzed in a worker."""
+    from .runner import run_files
+
+    if args.sensitivity == "flowinsensitive":
+        flavors = ("flowinsensitive",)
+    elif args.sensitivity == "both":
+        flavors = ("insensitive", "sensitive")
+    else:
+        flavors = (args.sensitivity,)
+    labels = {"insensitive": "context-insensitive",
+              "sensitive": "context-sensitive",
+              "flowinsensitive": "flow-insensitive"}
+    for path, results in run_files(args.file, flavors=flavors,
+                                   jobs=args.jobs, cache=cache):
+        program = next(iter(results.values())).program
+        sizes = program_sizes(program)
+        print(f"{program.name}: {sizes.source_lines} lines, "
+              f"{sizes.vdg_nodes} VDG nodes, "
+              f"{sizes.alias_related_outputs} alias-related outputs")
+        for flavor in flavors:
+            _print_result(labels[flavor], results[flavor], args)
+        if args.sensitivity == "both":
+            report = compare_results(results["insensitive"],
+                                     results["sensitive"])
             print(f"spurious pairs: {report.spurious_pairs} "
                   f"({report.percent_spurious:.1f}% of CI total); "
                   f"indirect ops identical: "
@@ -194,7 +242,7 @@ def _cmd_experiment(args) -> int:
     from .report.experiments import SuiteRunner, render_experiment_markdown
 
     wanted = list(EXPERIMENT_IDS) if args.id == "all" else [args.id]
-    runner = SuiteRunner()
+    runner = SuiteRunner(jobs=args.jobs, cache=not args.no_cache)
     for experiment_id in wanted:
         if args.markdown:
             print(render_experiment_markdown(experiment_id, runner))

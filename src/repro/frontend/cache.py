@@ -1,0 +1,192 @@
+"""Persistent lowering cache.
+
+Lowering dominates a cold suite sweep (preprocess → parse → lower is
+an order of magnitude slower than the CI fixpoint itself), and the
+lowered :class:`~repro.ir.graph.Program` is a pure function of the
+source text plus lowering options.  This module memoizes that function
+on disk: programs are pickled under a content-hash key, so repeat
+analyses of unchanged sources skip the whole frontend.
+
+Key properties:
+
+* **Content-hash keys** — sha256 over the lowering version, the
+  interpreter version, every input file's bytes, and the lowering
+  options.  Editing a source file or changing options misses cleanly;
+  bumping :data:`LOWERING_VERSION` (do this whenever lowering output
+  changes shape) invalidates every prior entry at once.
+* **Identity-safe pickling** — interned objects (access paths, access
+  operators, points-to pairs) re-intern on load via their
+  ``__reduce__`` hooks, so a cached program is indistinguishable from
+  a freshly lowered one to the identity-based analyses.
+* **Failure-transparent** — a corrupt, truncated, or version-skewed
+  entry is treated as a miss (and deleted best-effort), never an
+  error; cache *writes* are atomic (temp file + ``os.replace``) so a
+  killed process cannot leave a half-written entry behind.
+
+Caveat: only the named input files are hashed.  ``#include``\\ d
+headers are not tracked, so after editing a header either pass
+``--no-cache`` or delete the cache directory.  The bundled suite
+programs are single self-contained files, where the key is exact.
+"""
+
+from __future__ import annotations
+
+import gc
+import hashlib
+import os
+import pickle
+import sys
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from ..ir.graph import Program
+
+#: Bump whenever the lowering pipeline's output changes shape —
+#: invalidates every previously cached program.
+LOWERING_VERSION = 1
+
+#: Default cache directory (relative to the working directory), and
+#: the environment variables that override/disable it.
+CACHE_DIR_NAME = ".repro-cache"
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+NO_CACHE_ENV = "REPRO_NO_CACHE"
+
+
+def caching_disabled() -> bool:
+    """Global opt-out: ``REPRO_NO_CACHE=1`` disables all cache use."""
+    return os.environ.get(NO_CACHE_ENV, "") not in ("", "0")
+
+
+def resolve_cache_dir(cache: object = True) -> Optional[Path]:
+    """Map a ``cache=`` argument to a directory, or ``None`` for off.
+
+    ``True`` selects ``$REPRO_CACHE_DIR`` or ``./.repro-cache``;
+    a string or path selects that directory; ``False``/``None``
+    disables caching, as does ``REPRO_NO_CACHE=1``.
+    """
+    if not cache or caching_disabled():
+        return None
+    if isinstance(cache, (str, os.PathLike)):
+        return Path(cache)
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path(CACHE_DIR_NAME)
+
+
+def compute_key(sources: Sequence[Tuple[str, bytes]],
+                include_dirs: Sequence = (),
+                defines: Optional[Dict[str, str]] = None,
+                options: Optional[dict] = None) -> str:
+    """Content-hash key for one lowering invocation."""
+    h = hashlib.sha256()
+    h.update(f"lowering-v{LOWERING_VERSION}".encode())
+    h.update(f"py{sys.version_info[0]}.{sys.version_info[1]}".encode())
+    for name, data in sources:
+        h.update(b"\x00file\x00")
+        h.update(name.encode(errors="replace"))
+        h.update(b"\x00")
+        h.update(data)
+    for inc in include_dirs:
+        h.update(f"\x00inc\x00{inc}".encode(errors="replace"))
+    for key, value in sorted((defines or {}).items()):
+        h.update(f"\x00def\x00{key}={value}".encode(errors="replace"))
+    for key, value in sorted((options or {}).items()):
+        h.update(f"\x00opt\x00{key}={value!r}".encode(errors="replace"))
+    return h.hexdigest()
+
+
+def key_for_files(paths: Sequence, include_dirs: Sequence = (),
+                  defines: Optional[Dict[str, str]] = None,
+                  options: Optional[dict] = None) -> str:
+    """Key for lowering the given files (reads each file's bytes)."""
+    sources = [(str(p), Path(p).read_bytes()) for p in paths]
+    return compute_key(sources, include_dirs, defines, options)
+
+
+def _entry_path(cache_dir: Path, key: str) -> Path:
+    return cache_dir / f"{key}.pkl"
+
+
+def load_program(cache_dir: Path, key: str) -> Optional[Program]:
+    """Fetch a cached program, or ``None`` on miss or *any* failure.
+
+    Corrupt entries (truncated pickle, wrong object type, unpicklable
+    bytes) are silently removed and reported as a miss — the caller
+    re-lowers and overwrites them.
+    """
+    path = _entry_path(cache_dir, key)
+    try:
+        with open(path, "rb") as fh:
+            # A program unpickles as one burst of small acyclic-until-
+            # proven-otherwise allocations; keeping the cyclic GC out
+            # of that burst is a measurable win on large graphs.
+            was_enabled = gc.isenabled()
+            gc.disable()
+            try:
+                program = pickle.load(fh)
+            finally:
+                if was_enabled:
+                    gc.enable()
+    except FileNotFoundError:
+        return None
+    except Exception:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+    if not isinstance(program, Program):
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+    return program
+
+
+def store_program(cache_dir: Path, key: str, program: Program) -> bool:
+    """Write a program to the cache atomically; returns success.
+
+    Failures (unwritable directory, unpicklable payload, recursion
+    depth on pathological graphs) are swallowed: the cache is an
+    optimization, never a correctness dependency.
+    """
+    try:
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=cache_dir, suffix=".tmp")
+        try:
+            # Port/node graphs are deeply linked; give pickle headroom.
+            limit = sys.getrecursionlimit()
+            sys.setrecursionlimit(max(limit, 100_000))
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(program, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            finally:
+                sys.setrecursionlimit(limit)
+            os.replace(tmp_name, _entry_path(cache_dir, key))
+            return True
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+    except Exception:
+        return False
+
+
+def clear_cache(cache: object = True) -> int:
+    """Delete all cache entries; returns the number removed."""
+    cache_dir = resolve_cache_dir(cache)
+    if cache_dir is None or not cache_dir.is_dir():
+        return 0
+    removed = 0
+    for entry in cache_dir.glob("*.pkl"):
+        try:
+            entry.unlink()
+            removed += 1
+        except OSError:
+            pass
+    return removed

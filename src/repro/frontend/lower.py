@@ -1846,18 +1846,41 @@ def lower_source(source: str, name: str = "<source>",
 
 def lower_file(path, include_dirs: Sequence = (),
                defines: Optional[Dict[str, str]] = None,
+               cache: object = None,
                **options) -> Program:
-    """Preprocess, parse, and lower a C file."""
+    """Preprocess, parse, and lower a C file.
+
+    ``cache`` enables the persistent lowering cache: ``True`` uses the
+    default directory (``$REPRO_CACHE_DIR`` or ``./.repro-cache``), a
+    path selects a specific directory, and ``None``/``False`` (the
+    default) lowers from scratch.  Cached entries are keyed by the
+    file's content hash plus the lowering options, so source edits
+    invalidate them automatically (included headers are not tracked —
+    see :mod:`repro.frontend.cache`).
+    """
+    from .cache import key_for_files, load_program, resolve_cache_dir, \
+        store_program
+
     path = Path(path)
+    cache_dir = resolve_cache_dir(cache)
+    key = None
+    if cache_dir is not None:
+        key = key_for_files([path], include_dirs, defines, options)
+        cached = load_program(cache_dir, key)
+        if cached is not None:
+            return cached
     ast = _parse_file(path, include_dirs=include_dirs, defines=defines)
     program = lower_ast(ast, name=path.name, **options)
     program.source_lines = _count_source_lines(path.read_text())
+    if cache_dir is not None:
+        store_program(cache_dir, key, program)
     return program
 
 
 def lower_files(paths: Sequence, include_dirs: Sequence = (),
                 defines: Optional[Dict[str, str]] = None,
-                name: Optional[str] = None, **options) -> Program:
+                name: Optional[str] = None, cache: object = None,
+                **options) -> Program:
     """Link several translation units into one analyzable program.
 
     External-linkage globals share storage by name, calls resolve to
@@ -1865,10 +1888,26 @@ def lower_files(paths: Sequence, include_dirs: Sequence = (),
     collide, and recursion detection runs over the merged call graph —
     so footnote 4's weakly-updateable locals apply to mutual recursion
     that crosses file boundaries too.
+
+    ``cache`` works as in :func:`lower_file`, keyed over all input
+    files' contents.
     """
+    from .cache import key_for_files, load_program, resolve_cache_dir, \
+        store_program
+
     path_list = [Path(p) for p in paths]
     if not path_list:
         raise LoweringError("lower_files needs at least one file")
+    cache_dir = resolve_cache_dir(cache)
+    key = None
+    if cache_dir is not None:
+        cache_options = dict(options)
+        if name is not None:
+            cache_options["name"] = name
+        key = key_for_files(path_list, include_dirs, defines, cache_options)
+        cached = load_program(cache_dir, key)
+        if cached is not None:
+            return cached
     program_name = name or "+".join(p.name for p in path_list)
     program = Program(program_name)
     linkage = Linkage(program)
@@ -1895,6 +1934,8 @@ def lower_files(paths: Sequence, include_dirs: Sequence = (),
     finisher.finish()
     program.source_lines = sum(_count_source_lines(p.read_text())
                                for p in path_list)
+    if cache_dir is not None:
+        store_program(cache_dir, key, program)
     return program
 
 

@@ -173,6 +173,20 @@ class Program:
         (e.g. a root formal's synthesized environment)."""
         self.seeded_values.append((output, pair))
 
+    # -- pickling ---------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        # _function_by_location is keyed by id(location); ids are not
+        # stable across processes, so drop it and rebuild on load.
+        state = self.__dict__.copy()
+        del state["_function_by_location"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._function_by_location = {
+            id(loc): name for name, loc in self.function_locations.items()}
+
     # -- queries ------------------------------------------------------------
 
     def function_for_location(self, loc: BaseLocation) -> Optional[FunctionGraph]:

@@ -299,6 +299,45 @@ class PrimopSemantics(enum.Enum):
                          # an aggregate *value* (e.g. f().member)
 
 
+def input_roles(node: Node):
+    """Yield ``(port, role, index)`` for every input of ``node``.
+
+    The role string names the transfer-function case the port selects
+    (e.g. ``"lookup.loc"``); ``index`` is the positional index for
+    ``call.arg`` / ``merge.branch`` / ``primop.operand`` ports and
+    ``-1`` otherwise.  This is the single place the solvers' dispatch
+    tables are derived from — built once per run, replacing the
+    per-event ``isinstance``/port-identity chains of the naive loop.
+    """
+    if isinstance(node, LookupNode):
+        yield node.loc, "lookup.loc", -1
+        yield node.store, "lookup.store", -1
+    elif isinstance(node, UpdateNode):
+        yield node.loc, "update.loc", -1
+        yield node.store, "update.store", -1
+        yield node.value, "update.value", -1
+    elif isinstance(node, CallNode):
+        yield node.fcn, "call.fcn", -1
+        for i, arg in enumerate(node.args):
+            yield arg, "call.arg", i
+        yield node.store, "call.store", -1
+    elif isinstance(node, ReturnNode):
+        if node.value is not None:
+            yield node.value, "return.value", -1
+        yield node.store, "return.store", -1
+    elif isinstance(node, MergeNode):
+        if node.pred is not None:
+            yield node.pred, "merge.pred", -1
+        for i, branch in enumerate(node.branches):
+            yield branch, "merge.branch", i
+    elif isinstance(node, PrimopNode):
+        for i, operand in enumerate(node.operands):
+            yield operand, "primop.operand", i
+    else:
+        for port in node.inputs:
+            yield port, "unknown", -1
+
+
 class PrimopNode(Node):
     """Primitive operation; behaviour varies by operator (Figure 1).
 

@@ -62,6 +62,12 @@ class FieldOp(AccessOp):
     def __setattr__(self, key, value):  # immutable after interning
         raise AttributeError("FieldOp is immutable")
 
+    def __reduce__(self):
+        # Route unpickling through __new__ so deserialized operators
+        # unify with the process-wide interned instances (equality is
+        # identity throughout the analysis).
+        return (FieldOp, (self.owner, self.name))
+
     @property
     def is_index(self) -> bool:
         return False
@@ -85,6 +91,9 @@ class IndexOp(AccessOp):
             cls._instance = super().__new__(cls)
         return cls._instance
 
+    def __reduce__(self):
+        return (IndexOp, ())
+
     @property
     def is_index(self) -> bool:
         return True
@@ -105,7 +114,7 @@ class AccessPath:
     interning.
     """
 
-    __slots__ = ("base", "ops", "_hash")
+    __slots__ = ("base", "ops")
     _interned: dict[tuple, "AccessPath"] = {}
 
     def __new__(cls, base: Optional[BaseLocation],
@@ -116,15 +125,22 @@ class AccessPath:
             path = super().__new__(cls)
             object.__setattr__(path, "base", base)
             object.__setattr__(path, "ops", ops)
-            object.__setattr__(path, "_hash", hash(key))
             cls._interned[key] = path
         return path
 
     def __setattr__(self, key, value):
         raise AttributeError("AccessPath is immutable")
 
-    def __hash__(self) -> int:
-        return self._hash
+    def __reduce__(self):
+        # Re-intern on load: the pickle memo keeps base-location
+        # identity consistent within one stream, and __new__ then
+        # guarantees one AccessPath per (base, ops) in the loading
+        # process, preserving the identity-equality invariant.
+        return (AccessPath, (self.base, self.ops))
+
+    # No __hash__/__eq__: interning makes structural equality identity,
+    # so the inherited id-based hashing is exact — and C-speed, which
+    # matters because every solver set operation hashes paths.
 
     # -- classification ------------------------------------------------
 

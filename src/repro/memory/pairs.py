@@ -28,7 +28,7 @@ from .access import EMPTY_OFFSET, AccessPath
 class PointsToPair:
     """An interned ``(path, referent)`` pair."""
 
-    __slots__ = ("path", "referent", "_hash")
+    __slots__ = ("path", "referent")
     _interned: dict[tuple, "PointsToPair"] = {}
 
     def __new__(cls, path: AccessPath, referent: AccessPath) -> "PointsToPair":
@@ -41,15 +41,18 @@ class PointsToPair:
             pair = super().__new__(cls)
             object.__setattr__(pair, "path", path)
             object.__setattr__(pair, "referent", referent)
-            object.__setattr__(pair, "_hash", hash(key))
             cls._interned[key] = pair
         return pair
 
     def __setattr__(self, key, value):
         raise AttributeError("PointsToPair is immutable")
 
-    def __hash__(self) -> int:
-        return self._hash
+    def __reduce__(self):
+        # Re-intern on load (see AccessPath.__reduce__).
+        return (PointsToPair, (self.path, self.referent))
+
+    # No __hash__/__eq__: interning makes structural equality identity,
+    # so the inherited id-based hashing is exact and C-speed.
 
     @property
     def is_direct(self) -> bool:

@@ -1,0 +1,61 @@
+"""Lightweight phase timing for benchmarks and drivers.
+
+:class:`PhaseTimer` accumulates named wall-clock phases; `best_of`
+repeats a callable and keeps the fastest run (the usual way to quote a
+throughput number that is dominated by the work, not by scheduler
+noise).  Nothing here imports the analyses — the benchmarks under
+``benchmarks/`` compose these with the solver entry points.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, Tuple
+
+
+class PhaseTimer:
+    """Accumulates wall-clock seconds per named phase.
+
+    >>> timer = PhaseTimer()
+    >>> with timer.phase("lower"):
+    ...     pass
+    >>> sorted(timer.as_dict()) == ["lower"]
+    True
+
+    Re-entering a phase name accumulates, so per-item loops can time
+    a shared phase without bookkeeping.
+    """
+
+    def __init__(self) -> None:
+        self.phases: Dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self.phases[name] = self.phases.get(name, 0.0) + elapsed
+
+    def total(self) -> float:
+        return sum(self.phases.values())
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.phases)
+
+
+def best_of(fn: Callable[[], object], repeats: int = 3
+            ) -> Tuple[float, object]:
+    """Run ``fn`` ``repeats`` times; return (fastest seconds, that
+    run's return value)."""
+    best = float("inf")
+    best_result: object = None
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best, best_result = elapsed, result
+    return best, best_result

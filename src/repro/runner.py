@@ -1,0 +1,130 @@
+"""Parallel analysis driver.
+
+The 13 suite programs (and independent user files) are embarrassingly
+parallel: each worker lowers one program — through the persistent
+lowering cache, so repeat sweeps skip the frontend entirely — and runs
+the requested analyses.  Results ship back whole: each worker's return
+value is pickled as one message, so a result's ``program``, solution
+ports, and call-graph nodes arrive identity-consistent with each other
+(and interned facts re-unify on load via their ``__reduce__`` hooks).
+
+``jobs=1`` (or a single task) runs inline in the calling process with
+no executor, keeping the driver usable where fork is unavailable and
+keeping tracebacks simple.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .analysis.common import AnalysisResult
+from .errors import ReproError
+
+#: Analysis flavors the driver understands, in run order (CI first:
+#: the CS pass reuses its result, the FI baseline is independent).
+FLAVORS = ("insensitive", "sensitive", "flowinsensitive")
+
+
+def default_jobs() -> int:
+    return os.cpu_count() or 1
+
+
+def _check_flavors(flavors: Sequence[str]) -> Tuple[str, ...]:
+    for flavor in flavors:
+        if flavor not in FLAVORS:
+            raise ReproError(
+                f"unknown analysis flavor {flavor!r}; expected one of "
+                f"{', '.join(FLAVORS)}")
+    return tuple(flavors)
+
+
+def _analyze_program(program, flavors: Tuple[str, ...], schedule: str
+                     ) -> Dict[str, AnalysisResult]:
+    from .analysis.flowinsensitive import analyze_flowinsensitive
+    from .analysis.insensitive import analyze_insensitive
+    from .analysis.sensitive import analyze_sensitive
+
+    results: Dict[str, AnalysisResult] = {}
+    if "insensitive" in flavors or "sensitive" in flavors:
+        ci = analyze_insensitive(program, schedule=schedule)
+        if "insensitive" in flavors:
+            results["insensitive"] = ci
+        if "sensitive" in flavors:
+            results["sensitive"] = analyze_sensitive(
+                program, ci_result=ci, schedule=schedule)
+    if "flowinsensitive" in flavors:
+        results["flowinsensitive"] = analyze_flowinsensitive(
+            program, schedule=schedule)
+    return results
+
+
+def _suite_worker(task) -> Tuple[str, Dict[str, AnalysisResult]]:
+    """Module-level so ProcessPoolExecutor can pickle the callable."""
+    name, flavors, schedule, cache = task
+    from .suite.registry import load_program
+
+    program = load_program(name, cache=cache)
+    return name, _analyze_program(program, flavors, schedule)
+
+
+def _file_worker(task) -> Tuple[str, Dict[str, AnalysisResult]]:
+    path, flavors, schedule, cache = task
+    from .frontend.lower import lower_file
+
+    program = lower_file(path, cache=cache)
+    return str(path), _analyze_program(program, flavors, schedule)
+
+
+def _run_tasks(worker, tasks: List[tuple], jobs: Optional[int]
+               ) -> List[Tuple[str, Dict[str, AnalysisResult]]]:
+    if jobs is None:
+        jobs = default_jobs()
+    # More workers than cores (or tasks) only adds fork/IPC overhead
+    # for this CPU-bound workload, so cap at both.
+    jobs = max(1, min(jobs, len(tasks), default_jobs())) if tasks else 1
+    if jobs == 1:
+        return [worker(task) for task in tasks]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(worker, tasks))
+
+
+def run_suite(names: Optional[Sequence[str]] = None,
+              flavors: Sequence[str] = ("insensitive", "sensitive"),
+              jobs: Optional[int] = None,
+              schedule: str = "batched",
+              cache: object = True,
+              ) -> Dict[str, Dict[str, AnalysisResult]]:
+    """Analyze suite programs across processes.
+
+    Returns ``{program name: {flavor: AnalysisResult}}``.  ``jobs``
+    defaults to the CPU count; ``jobs=1`` runs inline.  ``cache``
+    controls the persistent lowering cache (on by default for suite
+    sources).
+    """
+    from .suite.registry import PROGRAM_NAMES
+
+    if names is None:
+        names = PROGRAM_NAMES
+    flavors = _check_flavors(flavors)
+    tasks = [(name, flavors, schedule, cache) for name in names]
+    return dict(_run_tasks(_suite_worker, tasks, jobs))
+
+
+def run_files(paths: Sequence,
+              flavors: Sequence[str] = ("insensitive",),
+              jobs: Optional[int] = None,
+              schedule: str = "batched",
+              cache: object = None,
+              ) -> List[Tuple[str, Dict[str, AnalysisResult]]]:
+    """Analyze several C files as *independent* programs, in parallel.
+
+    Unlike :func:`repro.parse_files`, the files are not linked into
+    one program — each is lowered and analyzed on its own, which is
+    what a multi-file sweep (one program per file) wants.  Returns
+    ``[(path, {flavor: AnalysisResult}), ...]`` in input order.
+    """
+    flavors = _check_flavors(flavors)
+    tasks = [(str(p), flavors, schedule, cache) for p in paths]
+    return _run_tasks(_file_worker, tasks, jobs)

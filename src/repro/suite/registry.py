@@ -53,11 +53,18 @@ def source_text(name: str) -> str:
     return program_path(name).read_text()
 
 
-def load_program(name: str, **options) -> Program:
-    """Preprocess, parse, and lower one suite program."""
-    return lower_file(program_path(name), **options)
+def load_program(name: str, cache: object = True, **options) -> Program:
+    """Preprocess, parse, and lower one suite program.
+
+    Suite sources are immutable single files, so the persistent
+    lowering cache is on by default (a content-hash key still catches
+    local edits); pass ``cache=False`` or set ``REPRO_NO_CACHE=1`` to
+    lower from scratch.
+    """
+    return lower_file(program_path(name), cache=cache, **options)
 
 
-def load_all(**options) -> Dict[str, Program]:
+def load_all(cache: object = True, **options) -> Dict[str, Program]:
     """Lower the entire suite, keyed by program name."""
-    return {name: load_program(name, **options) for name in PROGRAM_NAMES}
+    return {name: load_program(name, cache=cache, **options)
+            for name in PROGRAM_NAMES}

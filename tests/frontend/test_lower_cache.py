@@ -1,0 +1,146 @@
+"""Persistent lowering cache: hits, misses, corruption, invalidation."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.analysis.insensitive import analyze_insensitive
+from repro.frontend.cache import (
+    CACHE_DIR_ENV,
+    NO_CACHE_ENV,
+    clear_cache,
+    key_for_files,
+    resolve_cache_dir,
+)
+from repro.frontend.lower import lower_file
+from repro.ir.graph import Program
+
+SOURCE = """
+int g;
+int *p;
+void set(int **h) { *h = &g; }
+int main(void) { set(&p); return *p; }
+"""
+
+EDITED = SOURCE.replace("int g;", "int g; int g2;")
+
+
+@pytest.fixture
+def cfile(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(SOURCE)
+    return path
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    return tmp_path / "cache"
+
+
+def _entries(cache_dir):
+    return sorted(cache_dir.glob("*.pkl")) if cache_dir.is_dir() else []
+
+
+class TestHitAndMiss:
+    def test_miss_populates_then_hit(self, cfile, cache_dir):
+        assert _entries(cache_dir) == []
+        first = lower_file(cfile, cache=cache_dir)
+        assert len(_entries(cache_dir)) == 1
+        second = lower_file(cfile, cache=cache_dir)
+        assert len(_entries(cache_dir)) == 1
+        # The hit is a distinct object graph with the same analysis.
+        assert second is not first
+        assert isinstance(second, Program)
+        a = analyze_insensitive(first)
+        b = analyze_insensitive(second)
+        assert a.counters.as_dict() == b.counters.as_dict()
+
+    def test_cache_off_by_default(self, cfile, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        lower_file(cfile)
+        assert not (tmp_path / ".repro-cache").exists()
+
+    def test_entry_is_keyed_by_content_hash(self, cfile, cache_dir):
+        lower_file(cfile, cache=cache_dir)
+        (entry,) = _entries(cache_dir)
+        assert entry.stem == key_for_files([cfile])
+
+
+class TestInvalidation:
+    def test_source_edit_misses(self, cfile, cache_dir):
+        lower_file(cfile, cache=cache_dir)
+        cfile.write_text(EDITED)
+        program = lower_file(cfile, cache=cache_dir)
+        # A second entry appears, and the program reflects the edit.
+        assert len(_entries(cache_dir)) == 2
+        assert "g2" in {loc.describe() for loc in program.locations}
+
+    def test_options_change_misses(self, cfile, cache_dir):
+        assert key_for_files([cfile]) != key_for_files(
+            [cfile], options={"model_library": False})
+
+    def test_edit_then_revert_hits_original_entry(self, cfile, cache_dir):
+        lower_file(cfile, cache=cache_dir)
+        cfile.write_text(EDITED)
+        lower_file(cfile, cache=cache_dir)
+        cfile.write_text(SOURCE)
+        lower_file(cfile, cache=cache_dir)
+        assert len(_entries(cache_dir)) == 2
+
+
+class TestCorruption:
+    def test_truncated_entry_relowers_silently(self, cfile, cache_dir):
+        lower_file(cfile, cache=cache_dir)
+        (entry,) = _entries(cache_dir)
+        entry.write_bytes(entry.read_bytes()[:40])
+        program = lower_file(cfile, cache=cache_dir)
+        assert isinstance(program, Program)
+        # The bad entry was replaced with a good one.
+        (entry,) = _entries(cache_dir)
+        with open(entry, "rb") as fh:
+            assert isinstance(pickle.load(fh), Program)
+
+    def test_garbage_entry_relowers_silently(self, cfile, cache_dir):
+        lower_file(cfile, cache=cache_dir)
+        (entry,) = _entries(cache_dir)
+        entry.write_bytes(b"not a pickle at all")
+        assert isinstance(lower_file(cfile, cache=cache_dir), Program)
+
+    def test_wrong_type_entry_relowers_silently(self, cfile, cache_dir):
+        lower_file(cfile, cache=cache_dir)
+        (entry,) = _entries(cache_dir)
+        entry.write_bytes(pickle.dumps({"not": "a program"}))
+        assert isinstance(lower_file(cfile, cache=cache_dir), Program)
+
+
+class TestEnvironment:
+    def test_no_cache_env_disables(self, cfile, cache_dir, monkeypatch):
+        monkeypatch.setenv(NO_CACHE_ENV, "1")
+        lower_file(cfile, cache=cache_dir)
+        assert _entries(cache_dir) == []
+        assert resolve_cache_dir(True) is None
+
+    def test_cache_dir_env_overrides_default(self, tmp_path, monkeypatch):
+        target = tmp_path / "elsewhere"
+        monkeypatch.setenv(CACHE_DIR_ENV, str(target))
+        assert resolve_cache_dir(True) == target
+
+    def test_clear_cache_counts_entries(self, cfile, cache_dir):
+        lower_file(cfile, cache=cache_dir)
+        assert clear_cache(cache_dir) == 1
+        assert _entries(cache_dir) == []
+
+
+class TestCachedProgramFidelity:
+    def test_loaded_program_analyzes_identically(self, cfile, cache_dir):
+        fresh = lower_file(cfile, cache=cache_dir)
+        loaded = lower_file(cfile, cache=cache_dir)
+        for schedule in ("batched", "fifo"):
+            a = analyze_insensitive(fresh, schedule=schedule)
+            b = analyze_insensitive(loaded, schedule=schedule)
+            assert a.counters.as_dict() == b.counters.as_dict()
+            census = lambda r: sorted(
+                (len(r.solution.pairs(o))
+                 for o in r.solution.outputs()))
+            assert census(a) == census(b)

@@ -1,0 +1,76 @@
+"""The parallel suite driver: worker fan-out and result fidelity."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.runner import run_files, run_suite
+
+NAMES = ["anagram", "backprop", "span"]
+
+
+def _snapshot(result):
+    """Structural summary that is comparable across processes (ports
+    differ by identity between object graphs, so compare censuses)."""
+    return (result.counters.as_dict(),
+            sorted(len(result.solution.pairs(o))
+                   for o in result.solution.outputs()))
+
+
+class TestRunSuite:
+    def test_inline_matches_parallel(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        inline = run_suite(names=NAMES, jobs=1)
+        fanned = run_suite(names=NAMES, jobs=2)
+        assert set(inline) == set(fanned) == set(NAMES)
+        for name in NAMES:
+            for flavor in ("insensitive", "sensitive"):
+                a, b = inline[name][flavor], fanned[name][flavor]
+                assert _snapshot(a)[1] == _snapshot(b)[1]
+            # CI counters are schedule- and process-invariant.
+            assert inline[name]["insensitive"].counters.as_dict() \
+                == fanned[name]["insensitive"].counters.as_dict()
+
+    def test_results_are_identity_consistent(self, tmp_path, monkeypatch):
+        """CI and CS results for one program must reference the same
+        shipped object graph — ports from one index into the other."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        results = run_suite(names=["anagram"], jobs=2)["anagram"]
+        ci, cs = results["insensitive"], results["sensitive"]
+        assert ci.program is cs.program
+        for output in ci.solution.outputs():
+            assert output.node.graph.name in ci.program.functions \
+                or output.node.graph is not None
+
+    def test_flavor_selection(self):
+        results = run_suite(names=["span"], jobs=1,
+                            flavors=("flowinsensitive",))
+        assert set(results["span"]) == {"flowinsensitive"}
+
+    def test_unknown_flavor_rejected(self):
+        with pytest.raises(ReproError, match="unknown analysis flavor"):
+            run_suite(names=["span"], flavors=("optimistic",))
+
+    def test_fifo_schedule_passthrough(self):
+        batched = run_suite(names=["span"], jobs=1)
+        fifo = run_suite(names=["span"], jobs=1, schedule="fifo")
+        assert _snapshot(batched["span"]["insensitive"])[1] \
+            == _snapshot(fifo["span"]["insensitive"])[1]
+
+
+class TestRunFiles:
+    def test_files_are_independent_programs(self, tmp_path):
+        a = tmp_path / "a.c"
+        a.write_text("int x; int *p = &x; int main(void){return *p;}")
+        b = tmp_path / "b.c"
+        b.write_text("int y; int *q = &y; int f(void){return *q;}")
+        results = run_files([a, b], jobs=2)
+        assert [path for path, _ in results] == [str(a), str(b)]
+        progs = [res["insensitive"].program for _, res in results]
+        assert progs[0] is not progs[1]
+        names0 = set(progs[0].functions)
+        names1 = set(progs[1].functions)
+        assert "main" in names0 and "f" in names1
+        assert "f" not in names0 and "main" not in names1
+
+    def test_empty_input(self):
+        assert run_files([]) == []
