@@ -40,7 +40,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.analysis.insensitive import analyze_insensitive  # noqa: E402
 from repro.frontend.cache import clear_cache, resolve_cache_dir  # noqa: E402
 from repro.perf import PhaseTimer, best_of  # noqa: E402
-from repro.runner import run_suite  # noqa: E402
+from repro.runner import run_suite, run_suite_report  # noqa: E402
 from repro.suite.adversarial import load_copy_chain  # noqa: E402
 from repro.suite.registry import PROGRAM_NAMES  # noqa: E402
 
@@ -82,14 +82,19 @@ def bench_sweep(names, jobs: int, repeats: int) -> dict:
                          cache=False)
 
     def optimized():
-        return run_suite(names=names, jobs=jobs, schedule="batched",
-                         cache=True)
+        # The report path: same sweep, but shipping back the per-
+        # (program, flavor) telemetry records the workers produced, so
+        # BENCH_solver.json shares the --telemetry schema.
+        return run_suite_report(names=names, jobs=jobs,
+                                schedule="batched", cache=True,
+                                fail_fast=True)
 
     optimized()  # warm the lowering cache (and allocator)
     base_seconds, _ = best_of(baseline, repeats)
-    opt_seconds, results = best_of(optimized, repeats)
+    opt_seconds, report = best_of(optimized, repeats)
+    results = report.results
 
-    effective_jobs = max(1, min(jobs, len(names), os.cpu_count() or 1))
+    effective_jobs = max(1, min(jobs, len(names)))
     return {
         "programs": list(names),
         "flavors": ["insensitive", "sensitive"],
@@ -102,6 +107,8 @@ def bench_sweep(names, jobs: int, repeats: int) -> dict:
         "ci_transfers_total": sum(
             by_flavor["insensitive"].counters.transfers
             for by_flavor in results.values()),
+        # repro.telemetry records (schema v1), one per (program, flavor).
+        "telemetry": report.records,
     }
 
 

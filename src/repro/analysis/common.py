@@ -250,6 +250,25 @@ class AnalysisResult:
     flavor: str = "insensitive"
     extras: dict = field(default_factory=dict)
 
+    @property
+    def phases(self) -> Dict[str, float]:
+        """Wall-clock phase accounting for this result: the program's
+        frontend phases (preprocess/parse/lower, or cache_load on a
+        cache hit — recorded by the lowering path in
+        ``program.extras["phases"]``) merged with the analysis's own
+        phases (``solve``).  Frontend phases are program-level and thus
+        shared by every flavor analyzed from the same program."""
+        merged: Dict[str, float] = {}
+        merged.update(self.program.extras.get("phases", {}))
+        merged.update(self.extras.get("phases", {}))
+        return merged
+
+    @property
+    def cache_status(self) -> str:
+        """Lowering-cache outcome for this result's program:
+        ``"hit"``, ``"miss"``, or ``"off"``."""
+        return self.program.extras.get("cache", "off")
+
     def pairs(self, output: OutputPort) -> FrozenSet[PointsToPair]:
         return self.solution.pairs(output)
 

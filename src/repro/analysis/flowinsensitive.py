@@ -114,7 +114,8 @@ class FlowInsensitiveAnalysis:
             counters=self.counters,
             elapsed_seconds=elapsed,
             flavor="flowinsensitive",
-            extras={"global_store_pairs": len(self.global_store)},
+            extras={"phases": {"solve": elapsed},
+                    "global_store_pairs": len(self.global_store)},
         )
 
     # -- propagation -------------------------------------------------------

@@ -102,6 +102,7 @@ class InsensitiveAnalysis:
             counters=self.counters,
             elapsed_seconds=elapsed,
             flavor="insensitive",
+            extras={"phases": {"solve": elapsed}},
         )
 
     def _run_fifo(self) -> None:

@@ -174,6 +174,7 @@ class SensitiveAnalysis:
             elapsed_seconds=elapsed,
             flavor="sensitive",
             extras={
+                "phases": {"solve": elapsed},
                 "qualified": self.solution,
                 "ci_result": self.ci_result,
                 "qualified_pair_count": self.solution.total_qualified_pairs(),

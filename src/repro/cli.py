@@ -6,7 +6,13 @@ Commands:
   points-to analysis over a C file and print a summary.
 * ``dump FILE [--function NAME]`` — print the lowered VDG.
 * ``experiment ID`` — regenerate one of the paper's tables/figures
-  (fig2, fig3, fig4, fig6, fig7, opt42, perf43, gap).
+  (fig2, fig3, fig4, fig6, fig7, cost, opt42, perf43, gap).
+
+``analyze`` and ``experiment`` share the run-layer flags:
+``--telemetry PATH`` writes one JSON-lines record per (program,
+flavor) — see :mod:`repro.telemetry` for the schema — and
+``--keep-going`` (default) / ``--fail-fast`` pick the failure policy
+for multi-program runs.
 * ``suite`` — list the benchmark suite programs.
 """
 
@@ -26,6 +32,23 @@ from .frontend.lower import lower_file
 from .ir.pretty import format_program
 from .report.experiments import EXPERIMENT_IDS, render_experiment
 from .suite.registry import PROGRAM_NAMES, program_path
+
+
+def _add_run_flags(parser: argparse.ArgumentParser) -> None:
+    """Shared run-layer flags: telemetry output and failure policy."""
+    parser.add_argument("--telemetry", metavar="PATH", default=None,
+                        help="write one JSON-lines telemetry record per "
+                             "(program, flavor) to PATH ('-' for stdout)")
+    policy = parser.add_mutually_exclusive_group()
+    policy.add_argument("--fail-fast", dest="fail_fast",
+                        action="store_true",
+                        help="abort the whole run on the first failing "
+                             "program")
+    policy.add_argument("--keep-going", dest="fail_fast",
+                        action="store_false",
+                        help="report per-program errors but keep "
+                             "analyzing the rest (default)")
+    parser.set_defaults(fail_fast=False)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -53,6 +76,7 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--no-cache", action="store_true",
                          help="skip the persistent lowering cache under "
                               ".repro-cache/ and lower from scratch")
+    _add_run_flags(analyze)
 
     dump = sub.add_parser("dump", help="print the lowered VDG")
     dump.add_argument("file", help="C source file")
@@ -83,6 +107,7 @@ def _build_parser() -> argparse.ArgumentParser:
                                  "processes (default: 1, in-process)")
     experiment.add_argument("--no-cache", action="store_true",
                             help="skip the persistent lowering cache")
+    _add_run_flags(experiment)
 
     explain = sub.add_parser(
         "explain",
@@ -96,6 +121,13 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("suite", help="list benchmark suite programs")
     return parser
+
+
+def _write_telemetry(path, records) -> None:
+    from .telemetry import write_jsonl
+
+    if path is not None:
+        write_jsonl(path, records)
 
 
 def _cmd_analyze(args) -> int:
@@ -118,13 +150,19 @@ def _cmd_analyze(args) -> int:
         from .analysis.flowinsensitive import analyze_flowinsensitive
         result = analyze_flowinsensitive(program)
         _print_result("flow-insensitive", result, args)
+        _write_telemetry(args.telemetry,
+                         _telemetry_for(program.name,
+                                        {"flowinsensitive": result}))
         return 0
 
+    results = {}
     ci = analyze_insensitive(program)
     if args.sensitivity in ("insensitive", "both"):
+        results["insensitive"] = ci
         _print_result("context-insensitive", ci, args)
     if args.sensitivity in ("sensitive", "both"):
         cs = analyze_sensitive(program, ci_result=ci)
+        results["sensitive"] = cs
         _print_result("context-sensitive", cs, args)
         if args.sensitivity == "both":
             report = compare_results(ci, cs)
@@ -132,12 +170,24 @@ def _cmd_analyze(args) -> int:
                   f"({report.percent_spurious:.1f}% of CI total); "
                   f"indirect ops identical: "
                   f"{report.indirect_ops_identical}")
+    _write_telemetry(args.telemetry, _telemetry_for(program.name, results))
     return 0
 
 
+def _telemetry_for(name, results):
+    from .telemetry import result_records
+
+    return result_records(name, results, "batched")
+
+
 def _analyze_parallel(args, cache) -> int:
-    """--jobs > 1: each file is its own program, analyzed in a worker."""
-    from .runner import run_files
+    """--jobs > 1: each file is its own program, analyzed in a worker.
+
+    Failures are isolated per file (unless ``--fail-fast``): a file
+    whose worker raises or dies is reported on stderr — and as a
+    ``kind="error"`` telemetry record — while the rest complete.
+    """
+    from .runner import run_files_report
 
     if args.sensitivity == "flowinsensitive":
         flavors = ("flowinsensitive",)
@@ -148,8 +198,13 @@ def _analyze_parallel(args, cache) -> int:
     labels = {"insensitive": "context-insensitive",
               "sensitive": "context-sensitive",
               "flowinsensitive": "flow-insensitive"}
-    for path, results in run_files(args.file, flavors=flavors,
-                                   jobs=args.jobs, cache=cache):
+    report = run_files_report(args.file, flavors=flavors, jobs=args.jobs,
+                              cache=cache, fail_fast=args.fail_fast)
+    for outcome in report.outcomes:
+        if not outcome.ok:
+            print(f"error: {outcome.error}", file=sys.stderr)
+            continue
+        results = outcome.results
         program = next(iter(results.values())).program
         sizes = program_sizes(program)
         print(f"{program.name}: {sizes.source_lines} lines, "
@@ -158,13 +213,14 @@ def _analyze_parallel(args, cache) -> int:
         for flavor in flavors:
             _print_result(labels[flavor], results[flavor], args)
         if args.sensitivity == "both":
-            report = compare_results(results["insensitive"],
-                                     results["sensitive"])
-            print(f"spurious pairs: {report.spurious_pairs} "
-                  f"({report.percent_spurious:.1f}% of CI total); "
+            report_cmp = compare_results(results["insensitive"],
+                                         results["sensitive"])
+            print(f"spurious pairs: {report_cmp.spurious_pairs} "
+                  f"({report_cmp.percent_spurious:.1f}% of CI total); "
                   f"indirect ops identical: "
-                  f"{report.indirect_ops_identical}")
-    return 0
+                  f"{report_cmp.indirect_ops_identical}")
+    _write_telemetry(args.telemetry, report.records)
+    return 0 if report.ok else 1
 
 
 def _print_result(label: str, result, args) -> None:
@@ -242,14 +298,19 @@ def _cmd_experiment(args) -> int:
     from .report.experiments import SuiteRunner, render_experiment_markdown
 
     wanted = list(EXPERIMENT_IDS) if args.id == "all" else [args.id]
-    runner = SuiteRunner(jobs=args.jobs, cache=not args.no_cache)
+    runner = SuiteRunner(jobs=args.jobs, cache=not args.no_cache,
+                         fail_fast=args.fail_fast)
     for experiment_id in wanted:
         if args.markdown:
             print(render_experiment_markdown(experiment_id, runner))
         else:
             print(render_experiment(experiment_id, runner))
         print()
-    return 0
+    for error in runner.errors:
+        print(f"error: {error}", file=sys.stderr)
+    if args.telemetry is not None:
+        _write_telemetry(args.telemetry, runner.telemetry_records())
+    return 0 if not runner.errors else 1
 
 
 def _cmd_explain(args) -> int:

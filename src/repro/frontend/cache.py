@@ -9,9 +9,12 @@ analyses of unchanged sources skip the whole frontend.
 
 Key properties:
 
-* **Content-hash keys** — sha256 over the lowering version, the
-  interpreter version, every input file's bytes, and the lowering
-  options.  Editing a source file or changing options misses cleanly;
+* **Content-hash keys over the true dependency set** — sha256 over the
+  lowering version, the interpreter version, the bytes of *every file
+  the mini-preprocessor actually opened* (the named inputs plus each
+  transitively ``#include``\\ d header, as reported by
+  ``Preprocessor.dependencies``), and the lowering options.  Editing a
+  source file, any header it pulls in, or the options misses cleanly;
   bumping :data:`LOWERING_VERSION` (do this whenever lowering output
   changes shape) invalidates every prior entry at once.
 * **Identity-safe pickling** — interned objects (access paths, access
@@ -21,30 +24,32 @@ Key properties:
 * **Failure-transparent** — a corrupt, truncated, or version-skewed
   entry is treated as a miss (and deleted best-effort), never an
   error; cache *writes* are atomic (temp file + ``os.replace``) so a
-  killed process cannot leave a half-written entry behind.
-
-Caveat: only the named input files are hashed.  ``#include``\\ d
-headers are not tracked, so after editing a header either pass
-``--no-cache`` or delete the cache directory.  The bundled suite
-programs are single self-contained files, where the key is exact.
+  killed process cannot leave a half-written entry behind.  Temp files
+  orphaned by a process killed between ``mkstemp`` and ``os.replace``
+  are swept opportunistically on later writes and by
+  :func:`clear_cache`.
 """
 
 from __future__ import annotations
 
 import gc
 import hashlib
+import itertools
 import os
 import pickle
 import sys
 import tempfile
+import time
 from pathlib import Path
 from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from ..ir.graph import Program
 
 #: Bump whenever the lowering pipeline's output changes shape —
-#: invalidates every previously cached program.
-LOWERING_VERSION = 1
+#: invalidates every previously cached program.  v2: keys hash the
+#: preprocessor-reported dependency set (headers included), not just
+#: the named input files.
+LOWERING_VERSION = 2
 
 #: Default cache directory (relative to the working directory), and
 #: the environment variables that override/disable it.
@@ -79,7 +84,12 @@ def compute_key(sources: Sequence[Tuple[str, bytes]],
                 include_dirs: Sequence = (),
                 defines: Optional[Dict[str, str]] = None,
                 options: Optional[dict] = None) -> str:
-    """Content-hash key for one lowering invocation."""
+    """Content-hash key for one lowering invocation.
+
+    ``sources`` is the full ``(name, bytes)`` dependency set —
+    callers on the lowering path pass ``Preprocessor.dependencies``
+    so edits to ``#include``\\ d headers change the key.
+    """
     h = hashlib.sha256()
     h.update(f"lowering-v{LOWERING_VERSION}".encode())
     h.update(f"py{sys.version_info[0]}.{sys.version_info[1]}".encode())
@@ -100,7 +110,13 @@ def compute_key(sources: Sequence[Tuple[str, bytes]],
 def key_for_files(paths: Sequence, include_dirs: Sequence = (),
                   defines: Optional[Dict[str, str]] = None,
                   options: Optional[dict] = None) -> str:
-    """Key for lowering the given files (reads each file's bytes)."""
+    """Key over exactly the given files (reads each file's bytes).
+
+    For self-contained sources this equals the key the lowering path
+    computes; sources that ``#include`` other files hash additional
+    dependencies, so prefer :func:`compute_key` over
+    ``Preprocessor.dependencies`` when exactness matters.
+    """
     sources = [(str(p), Path(p).read_bytes()) for p in paths]
     return compute_key(sources, include_dirs, defines, options)
 
@@ -146,6 +162,31 @@ def load_program(cache_dir: Path, key: str) -> Optional[Program]:
     return program
 
 
+#: Orphaned ``*.tmp`` files older than this are reclaimed on cache
+#: writes; young ones may belong to a live concurrent writer.
+_STALE_TMP_AGE_SECONDS = 3600.0
+
+
+def _sweep_stale_tmps(cache_dir: Path,
+                      max_age: float = _STALE_TMP_AGE_SECONDS) -> int:
+    """Best-effort removal of temp files orphaned by killed writers
+    (a process that died between ``mkstemp`` and ``os.replace``).
+    ``max_age <= 0`` removes every temp file regardless of age."""
+    removed = 0
+    try:
+        now = time.time()
+        for tmp in cache_dir.glob("*.tmp"):
+            try:
+                if max_age <= 0 or now - tmp.stat().st_mtime > max_age:
+                    tmp.unlink()
+                    removed += 1
+            except OSError:
+                pass
+    except OSError:
+        pass
+    return removed
+
+
 def store_program(cache_dir: Path, key: str, program: Program) -> bool:
     """Write a program to the cache atomically; returns success.
 
@@ -155,6 +196,7 @@ def store_program(cache_dir: Path, key: str, program: Program) -> bool:
     """
     try:
         cache_dir.mkdir(parents=True, exist_ok=True)
+        _sweep_stale_tmps(cache_dir)
         fd, tmp_name = tempfile.mkstemp(dir=cache_dir, suffix=".tmp")
         try:
             # Port/node graphs are deeply linked; give pickle headroom.
@@ -178,12 +220,14 @@ def store_program(cache_dir: Path, key: str, program: Program) -> bool:
 
 
 def clear_cache(cache: object = True) -> int:
-    """Delete all cache entries; returns the number removed."""
+    """Delete all cache entries (including orphaned temp files);
+    returns the number removed."""
     cache_dir = resolve_cache_dir(cache)
     if cache_dir is None or not cache_dir.is_dir():
         return 0
     removed = 0
-    for entry in cache_dir.glob("*.pkl"):
+    for entry in itertools.chain(cache_dir.glob("*.pkl"),
+                                 cache_dir.glob("*.tmp")):
         try:
             entry.unlink()
             removed += 1

@@ -138,16 +138,22 @@ class Preprocessor:
         for name, body in (defines or {}).items():
             self.macros[name] = Macro(name, body)
         self._expansions = 0
+        #: Every file this run actually opened — the named input plus
+        #: each (transitively) ``#include``\ d file, with the exact
+        #: bytes read, in open order.  The lowering cache hashes this
+        #: set so a header edit invalidates dependent entries.
+        self.dependencies: List[Tuple[str, bytes]] = []
 
     # -- public API --------------------------------------------------------
 
     def process_file(self, path) -> str:
         path = Path(path)
         try:
-            text = path.read_text()
+            data = path.read_bytes()
         except OSError as exc:
             raise PreprocessorError(f"cannot read {path}: {exc}") from exc
-        return self.process_text(text, str(path))
+        self.dependencies.append((str(path), data))
+        return self.process_text(data.decode(), str(path))
 
     def process_text(self, text: str, filename: str = "<text>") -> str:
         out: List[str] = []
@@ -309,7 +315,13 @@ class Preprocessor:
         if path is None:
             raise PreprocessorError(f"cannot find include file {target!r}",
                                     filename, lineno)
-        self._process(path.read_text(), str(path), depth + 1, out)
+        try:
+            data = path.read_bytes()
+        except OSError as exc:
+            raise PreprocessorError(f"cannot read {path}: {exc}",
+                                    filename, lineno) from exc
+        self.dependencies.append((str(path), data))
+        self._process(data.decode(), str(path), depth + 1, out)
         out.append(f'# {lineno + 1} "{filename}"')
 
     def _resolve(self, target: str, includer: str,

@@ -34,26 +34,38 @@ from ..suite.registry import PROGRAM_NAMES, load_program
 from . import paper
 from .tables import render_table
 
-EXPERIMENT_IDS = ("fig2", "fig3", "fig4", "fig6", "fig7", "opt42",
-                  "perf43", "struct51", "gap")
+EXPERIMENT_IDS = ("fig2", "fig3", "fig4", "fig6", "fig7", "cost",
+                  "opt42", "perf43", "struct51", "gap")
 
 
 class SuiteRunner:
     """Loads and analyzes suite programs once, caching everything.
 
     ``jobs`` > 1 makes the first access :meth:`prime` the whole suite
-    through :func:`repro.runner.run_suite`, fanning program analyses
-    across worker processes; later accesses hit the in-memory cache.
-    ``cache`` is the persistent lowering cache switch.
+    through :func:`repro.runner.run_suite_report`, fanning program
+    analyses across worker processes; later accesses hit the in-memory
+    cache.  ``cache`` is the persistent lowering cache switch.
+
+    Failures are isolated: with ``fail_fast=False`` (default) a
+    program whose worker raises or dies is recorded in :attr:`errors`
+    and dropped from :attr:`names`, so the remaining experiments run
+    over the survivors; ``fail_fast=True`` restores raise-on-first-
+    failure.  Telemetry records for everything analyzed (including
+    error records) are available via :meth:`telemetry_records`.
     """
 
     def __init__(self, names: Optional[Sequence[str]] = None,
                  jobs: Optional[int] = 1,
-                 cache: object = True) -> None:
+                 cache: object = True,
+                 fail_fast: bool = False) -> None:
         self.names: List[str] = list(names) if names is not None \
             else list(PROGRAM_NAMES)
         self.jobs = jobs
         self.cache = cache
+        self.fail_fast = fail_fast
+        #: :class:`repro.runner.TaskError` per failed program.
+        self.errors: List = []
+        self._records: List[dict] = []
         self._primed = False
         self._programs: Dict[str, Program] = {}
         self._ci: Dict[str, AnalysisResult] = {}
@@ -64,20 +76,48 @@ class SuiteRunner:
 
         Each worker ships back its program together with the CI and CS
         results in one message, so the graph the results reference is
-        the graph this runner serves from :meth:`program`.
+        the graph this runner serves from :meth:`program`.  Failed
+        programs land in :attr:`errors` and are removed from
+        :attr:`names` so later table passes skip them.
         """
         if self._primed:
             return
         self._primed = True
-        from ..runner import run_suite
+        from ..runner import run_suite_report
 
-        results = run_suite(names=self.names, jobs=self.jobs,
-                            cache=self.cache)
-        for name, by_flavor in results.items():
+        report = run_suite_report(names=self.names, jobs=self.jobs,
+                                  cache=self.cache,
+                                  fail_fast=self.fail_fast)
+        self.errors = report.errors
+        self._records = report.records
+        for name, by_flavor in report.results.items():
             ci = by_flavor["insensitive"]
             self._programs[name] = ci.program
             self._ci[name] = ci
             self._cs[name] = by_flavor["sensitive"]
+        failed = {error.name for error in self.errors}
+        if failed:
+            self.names = [n for n in self.names if n not in failed]
+
+    def telemetry_records(self) -> List[dict]:
+        """Telemetry records for every analyzed program/flavor.
+
+        Parallel runners return the records their workers shipped back
+        (one per flavor, plus error records); inline runners render
+        records from the cached results on demand.
+        """
+        if self._want_parallel():
+            self.prime()
+        if self._primed:
+            return list(self._records)
+        from ..telemetry import result_records
+
+        records: List[dict] = []
+        for name in self.names:
+            results = {"insensitive": self.ci(name),
+                       "sensitive": self.cs(name)}
+            records.extend(result_records(name, results, "batched"))
+        return records
 
     def _want_parallel(self) -> bool:
         return self.jobs is None or self.jobs > 1
@@ -236,6 +276,49 @@ def fig7_rows(runner: SuiteRunner):
 
 
 # ---------------------------------------------------------------------------
+# Run cost accounting (the quantities behind §4.2/§4.3 and Figure 7's
+# cost argument), rendered straight from the telemetry records so the
+# table and ``--telemetry`` output can never disagree.
+# ---------------------------------------------------------------------------
+
+
+def cost_rows(runner: SuiteRunner):
+    headers = ["name", "flavor", "transfers", "meets", "pairs added",
+               "batches", "frontend s", "solve s", "cache"]
+    rows = []
+    totals = {"transfers": 0, "meets": 0, "pairs_added": 0, "batches": 0}
+    total_frontend = total_solve = 0.0
+    for record in runner.telemetry_records():
+        if record.get("kind") != "analysis":
+            # Full message is on stderr and in the telemetry stream.
+            error = record.get("error", {})
+            rows.append([record.get("program"),
+                         f"ERROR: {error.get('kind')}",
+                         None, None, None, None, None, None, None])
+            continue
+        counters = record["counters"]
+        phases = record["phases"]
+        # Frontend phases are program-level (preprocess/parse/lower,
+        # or preprocess/cache_load on a hit); "solve" is this flavor's.
+        frontend = sum(seconds for phase, seconds in phases.items()
+                       if phase != "solve")
+        solve = phases.get("solve", record["elapsed_seconds"])
+        rows.append([record["program"], record["flavor"],
+                     counters["transfers"], counters["meets"],
+                     counters["pairs_added"], counters.get("batches"),
+                     round(frontend, 4), round(solve, 4),
+                     record["cache"]])
+        for key in totals:
+            totals[key] += counters.get(key) or 0
+        total_frontend += frontend
+        total_solve += solve
+    rows.append(["TOTAL", None, totals["transfers"], totals["meets"],
+                 totals["pairs_added"], totals["batches"],
+                 round(total_frontend, 4), round(total_solve, 4), None])
+    return headers, rows
+
+
+# ---------------------------------------------------------------------------
 # §4.2: pruning coverage
 # ---------------------------------------------------------------------------
 
@@ -360,6 +443,8 @@ _TITLES = {
     "fig4": "Figure 4: locations referenced by indirect reads/writes",
     "fig6": "Figure 6: context-sensitive pairs and spurious fraction",
     "fig7": "Figure 7: pairs by path type x referent type (percent)",
+    "cost": "Figure 7 accounting: analysis cost (operation counts and "
+            "phase times, from telemetry records)",
     "opt42": "Section 4.2: CI-based pruning coverage",
     "perf43": "Sections 4.2/4.3: cost of context-sensitivity",
     "struct51": "Section 5.1.2: benchmark structure (call-graph "
@@ -385,6 +470,7 @@ def experiment_rows(experiment_id: str,
         "fig4": fig4_rows,
         "fig6": fig6_rows,
         "fig7": fig7_rows,
+        "cost": cost_rows,
         "opt42": opt42_rows,
         "perf43": perf_rows,
         "struct51": struct51_rows,

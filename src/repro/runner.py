@@ -1,4 +1,4 @@
-"""Parallel analysis driver.
+"""Fault-isolated parallel analysis driver.
 
 The 13 suite programs (and independent user files) are embarrassingly
 parallel: each worker lowers one program — through the persistent
@@ -8,15 +8,45 @@ value is pickled as one message, so a result's ``program``, solution
 ports, and call-graph nodes arrive identity-consistent with each other
 (and interned facts re-unify on load via their ``__reduce__`` hooks).
 
+Fault isolation is the design center.  ``pool.map`` fails the *sweep*
+when one task fails — the first raising worker aborts iteration and
+discards every completed program, and a worker killed outright (OOM
+reaper, segfault in a C extension, ``os._exit``) surfaces as a bare
+``BrokenProcessPool`` with no hint which program died.  This driver
+instead:
+
+* submits one future per task and drains them with ``as_completed``;
+* catches exceptions *inside* the worker, shipping back a structured
+  :class:`TaskOutcome` (name, results-or-error, telemetry records), so
+  an analysis failure on one program is just that task's outcome;
+* on ``BrokenProcessPool`` — a hard worker death poisons every pending
+  future in the pool, not just the culprit's — re-runs each unresolved
+  task in its own fresh single-worker pool, so survivors complete and
+  the task that kills its pool *again* is identified by name.
+
+Every outcome carries telemetry records (see :mod:`repro.telemetry`):
+one ``kind="analysis"`` record per flavor, or one ``kind="error"``
+record naming the failed task, ready for ``--telemetry`` JSON-lines
+output.
+
 ``jobs=1`` (or a single task) runs inline in the calling process with
 no executor, keeping the driver usable where fork is unavailable and
-keeping tracebacks simple.
+keeping tracebacks simple.  Inline runs honor ``fail_fast`` too:
+``fail_fast=False`` (the default) converts per-task exceptions into
+error outcomes; ``fail_fast=True`` lets the first one propagate.
+
+For tests, the hook ``REPRO_FAULT_INJECT="<name>=exit"`` (or
+``<name>=raise``) makes the worker for ``<name>`` die hard / raise —
+an env var survives both fork and spawn, unlike a monkeypatch.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .analysis.common import AnalysisResult
@@ -25,6 +55,12 @@ from .errors import ReproError
 #: Analysis flavors the driver understands, in run order (CI first:
 #: the CS pass reuses its result, the FI baseline is independent).
 FLAVORS = ("insensitive", "sensitive", "flowinsensitive")
+
+#: Test hook: ``"<name>=exit"`` kills the worker processing ``<name>``
+#: via ``os._exit(3)`` (simulating an OOM kill / segfault);
+#: ``"<name>=raise"`` makes it raise.  Multiple directives separated
+#: by commas.
+FAULT_INJECT_ENV = "REPRO_FAULT_INJECT"
 
 
 def default_jobs() -> int:
@@ -38,6 +74,83 @@ def _check_flavors(flavors: Sequence[str]) -> Tuple[str, ...]:
                 f"unknown analysis flavor {flavor!r}; expected one of "
                 f"{', '.join(FLAVORS)}")
     return tuple(flavors)
+
+
+# -- outcome containers ----------------------------------------------------
+
+
+@dataclass
+class TaskError:
+    """A failed task: which program, and how it failed."""
+
+    name: str
+    #: Exception class name, or ``"WorkerDied"`` for a hard kill.
+    kind: str
+    message: str
+    traceback: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.kind}: {self.message}"
+
+
+@dataclass
+class TaskOutcome:
+    """One task's result: analysis results *or* an error, plus the
+    telemetry records describing whichever happened."""
+
+    name: str
+    results: Optional[Dict[str, AnalysisResult]] = None
+    error: Optional[TaskError] = None
+    records: List[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class RunReport:
+    """A whole sweep's outcomes, in task submission order."""
+
+    outcomes: List[TaskOutcome] = field(default_factory=list)
+
+    @property
+    def results(self) -> Dict[str, Dict[str, AnalysisResult]]:
+        """Successful tasks only: ``{name: {flavor: result}}``."""
+        return {o.name: o.results for o in self.outcomes if o.ok}
+
+    @property
+    def errors(self) -> List[TaskError]:
+        return [o.error for o in self.outcomes if not o.ok]
+
+    @property
+    def records(self) -> List[dict]:
+        """All telemetry records, flattened in task order."""
+        return [rec for o in self.outcomes for rec in o.records]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+# -- workers ---------------------------------------------------------------
+
+
+def _maybe_inject_fault(name: str) -> None:
+    spec = os.environ.get(FAULT_INJECT_ENV, "")
+    if not spec:
+        return
+    for directive in spec.split(","):
+        target, _, action = directive.partition("=")
+        if target != name:
+            continue
+        if action == "exit":
+            # Bypasses all exception handling and atexit machinery —
+            # exactly what an OOM kill or segfault looks like from the
+            # parent's side of the pipe.
+            os._exit(3)
+        if action == "raise":
+            raise ReproError(f"injected fault for {name!r}")
 
 
 def _analyze_program(program, flavors: Tuple[str, ...], schedule: str
@@ -60,34 +173,231 @@ def _analyze_program(program, flavors: Tuple[str, ...], schedule: str
     return results
 
 
-def _suite_worker(task) -> Tuple[str, Dict[str, AnalysisResult]]:
+def _suite_worker(task) -> TaskOutcome:
     """Module-level so ProcessPoolExecutor can pickle the callable."""
     name, flavors, schedule, cache = task
     from .suite.registry import load_program
+    from .telemetry import result_records
 
+    _maybe_inject_fault(name)
     program = load_program(name, cache=cache)
-    return name, _analyze_program(program, flavors, schedule)
+    results = _analyze_program(program, flavors, schedule)
+    return TaskOutcome(name=name, results=results,
+                       records=result_records(name, results, schedule))
 
 
-def _file_worker(task) -> Tuple[str, Dict[str, AnalysisResult]]:
+def _file_worker(task) -> TaskOutcome:
     path, flavors, schedule, cache = task
     from .frontend.lower import lower_file
+    from .telemetry import result_records
 
+    name = str(path)
+    _maybe_inject_fault(name)
     program = lower_file(path, cache=cache)
-    return str(path), _analyze_program(program, flavors, schedule)
+    results = _analyze_program(program, flavors, schedule)
+    return TaskOutcome(name=name, results=results,
+                       records=result_records(name, results, schedule))
 
 
-def _run_tasks(worker, tasks: List[tuple], jobs: Optional[int]
-               ) -> List[Tuple[str, Dict[str, AnalysisResult]]]:
+def _error_outcome(name: str, exc: BaseException,
+                   with_traceback: bool = True) -> TaskOutcome:
+    from .telemetry import error_record
+
+    kind = type(exc).__name__
+    message = str(exc) or kind
+    tb = (traceback.format_exc() if with_traceback else None)
+    return TaskOutcome(
+        name=name,
+        error=TaskError(name=name, kind=kind, message=message,
+                        traceback=tb),
+        records=[error_record(name, kind, message, tb)])
+
+
+def _dead_worker_outcome(name: str) -> TaskOutcome:
+    from .telemetry import error_record
+
+    message = (f"worker process died while analyzing {name!r} "
+               "(killed or crashed hard)")
+    return TaskOutcome(
+        name=name,
+        error=TaskError(name=name, kind="WorkerDied", message=message),
+        records=[error_record(name, "WorkerDied", message)])
+
+
+def _guarded(worker, task) -> TaskOutcome:
+    """Run ``worker`` catching its exceptions into an error outcome.
+
+    Runs *in the worker process*, so a raising task ships back one
+    structured outcome instead of poisoning the whole ``pool.map``.
+    ``BaseException`` is deliberate: a ``KeyboardInterrupt`` or
+    ``SystemExit`` inside one task should fail that task, not tear
+    down the sweep (a genuine parent-side Ctrl-C still interrupts the
+    parent's ``wait``).
+    """
+    name = str(task[0])
+    try:
+        return worker(task)
+    except BaseException as exc:
+        return _error_outcome(name, exc)
+
+
+# a top-level partial target: ProcessPoolExecutor needs picklables
+def _guarded_suite_worker(task) -> TaskOutcome:
+    return _guarded(_suite_worker, task)
+
+
+def _guarded_file_worker(task) -> TaskOutcome:
+    return _guarded(_file_worker, task)
+
+
+_GUARDED = {_suite_worker: _guarded_suite_worker,
+            _file_worker: _guarded_file_worker}
+
+
+# -- engine ----------------------------------------------------------------
+
+
+def _run_isolated(worker, task) -> TaskOutcome:
+    """Re-run one task in its own fresh single-worker pool.
+
+    Used after a ``BrokenProcessPool``: every pending future in the
+    broken pool failed, with no record of which task actually killed
+    its worker.  A private pool per survivor means a task that dies
+    *again* breaks only its own pool — identifying the culprit by name
+    — while innocent bystanders just complete.  (Re-running inline
+    would let an ``os._exit`` task kill the driver itself.)
+    """
+    guarded = _GUARDED.get(worker, worker)
+    try:
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            return pool.submit(guarded, task).result()
+    except BrokenProcessPool:
+        return _dead_worker_outcome(str(task[0]))
+
+
+def run_tasks(worker, tasks: List[tuple], jobs: Optional[int] = None,
+              fail_fast: bool = False) -> RunReport:
+    """Run ``worker`` over ``tasks``, isolating per-task failures.
+
+    Returns a :class:`RunReport` with one :class:`TaskOutcome` per
+    task, in submission order.  With ``fail_fast=False`` (default) a
+    failing task becomes an error outcome and the sweep continues;
+    with ``fail_fast=True`` the first failure raises :class:`ReproError`
+    naming the task (completed outcomes are discarded, matching the
+    old ``pool.map`` contract).
+    """
+    # An unspecified job count is capped at the core count (more
+    # workers only adds fork/IPC overhead for this CPU-bound
+    # workload); an *explicit* jobs=N is honored even on fewer cores —
+    # the caller may want process isolation itself, not throughput.
     if jobs is None:
         jobs = default_jobs()
-    # More workers than cores (or tasks) only adds fork/IPC overhead
-    # for this CPU-bound workload, so cap at both.
-    jobs = max(1, min(jobs, len(tasks), default_jobs())) if tasks else 1
+    jobs = max(1, min(jobs, len(tasks))) if tasks else 1
+    guarded = _GUARDED.get(worker, worker)
+
+    outcomes: List[Optional[TaskOutcome]] = [None] * len(tasks)
+
     if jobs == 1:
-        return [worker(task) for task in tasks]
+        # Inline guard catches only Exception: a Ctrl-C in the calling
+        # process must interrupt the sweep, not become an "outcome".
+        for index, task in enumerate(tasks):
+            try:
+                outcome = worker(task)
+            except Exception as exc:
+                outcome = _error_outcome(str(task[0]), exc)
+            if not outcome.ok and fail_fast:
+                raise ReproError(f"task failed: {outcome.error}")
+            outcomes[index] = outcome
+        return RunReport(outcomes=list(outcomes))
+
+    pending_retry: List[int] = []
     with ProcessPoolExecutor(max_workers=jobs) as pool:
-        return list(pool.map(worker, tasks))
+        futures = {pool.submit(guarded, task): index
+                   for index, task in enumerate(tasks)}
+        not_done = set(futures)
+        broken = False
+        while not_done:
+            try:
+                done, not_done = wait(not_done,
+                                      return_when=FIRST_COMPLETED)
+            except BrokenProcessPool:  # pragma: no cover - version-dep
+                broken = True
+                break
+            for future in done:
+                index = futures[future]
+                try:
+                    outcome = future.result()
+                except BrokenProcessPool:
+                    # Poisons every sibling future too; collect them
+                    # all for isolated re-runs below.
+                    broken = True
+                    continue
+                if not outcome.ok and fail_fast:
+                    for other in not_done:
+                        other.cancel()
+                    raise ReproError(f"task failed: {outcome.error}")
+                outcomes[index] = outcome
+            if broken:
+                break
+        if broken:
+            pending_retry = [index for index, outcome
+                             in enumerate(outcomes) if outcome is None]
+
+    # The broken pool told us nothing about *which* task killed it —
+    # every unresolved task gets a clean, isolated second chance.
+    for index in pending_retry:
+        outcome = _run_isolated(worker, tasks[index])
+        if not outcome.ok and fail_fast:
+            raise ReproError(f"task failed: {outcome.error}")
+        outcomes[index] = outcome
+
+    return RunReport(outcomes=[o for o in outcomes if o is not None])
+
+
+# -- public drivers --------------------------------------------------------
+
+
+def run_suite_report(names: Optional[Sequence[str]] = None,
+                     flavors: Sequence[str] = ("insensitive", "sensitive"),
+                     jobs: Optional[int] = None,
+                     schedule: str = "batched",
+                     cache: object = True,
+                     fail_fast: bool = False,
+                     ) -> RunReport:
+    """Analyze suite programs across processes, fault-isolated.
+
+    Returns a :class:`RunReport`; ``report.results`` maps each
+    *successful* program to its ``{flavor: AnalysisResult}`` dict and
+    ``report.errors`` names each failed one.  ``jobs`` defaults to the
+    CPU count; ``jobs=1`` runs inline.  ``cache`` controls the
+    persistent lowering cache (on by default for suite sources).
+    """
+    from .suite.registry import PROGRAM_NAMES
+
+    if names is None:
+        names = PROGRAM_NAMES
+    flavors = _check_flavors(flavors)
+    tasks = [(name, flavors, schedule, cache) for name in names]
+    return run_tasks(_suite_worker, tasks, jobs, fail_fast=fail_fast)
+
+
+def run_files_report(paths: Sequence,
+                     flavors: Sequence[str] = ("insensitive",),
+                     jobs: Optional[int] = None,
+                     schedule: str = "batched",
+                     cache: object = None,
+                     fail_fast: bool = False,
+                     ) -> RunReport:
+    """Analyze several C files as *independent* programs, in parallel.
+
+    Unlike :func:`repro.parse_files`, the files are not linked into
+    one program — each is lowered and analyzed on its own, which is
+    what a multi-file sweep (one program per file) wants.  Outcomes
+    come back in input order.
+    """
+    flavors = _check_flavors(flavors)
+    tasks = [(str(p), flavors, schedule, cache) for p in paths]
+    return run_tasks(_file_worker, tasks, jobs, fail_fast=fail_fast)
 
 
 def run_suite(names: Optional[Sequence[str]] = None,
@@ -96,20 +406,14 @@ def run_suite(names: Optional[Sequence[str]] = None,
               schedule: str = "batched",
               cache: object = True,
               ) -> Dict[str, Dict[str, AnalysisResult]]:
-    """Analyze suite programs across processes.
+    """Back-compat wrapper over :func:`run_suite_report`.
 
-    Returns ``{program name: {flavor: AnalysisResult}}``.  ``jobs``
-    defaults to the CPU count; ``jobs=1`` runs inline.  ``cache``
-    controls the persistent lowering cache (on by default for suite
-    sources).
+    Returns ``{program name: {flavor: AnalysisResult}}`` and raises on
+    the first failure (the pre-fault-isolation contract).
     """
-    from .suite.registry import PROGRAM_NAMES
-
-    if names is None:
-        names = PROGRAM_NAMES
-    flavors = _check_flavors(flavors)
-    tasks = [(name, flavors, schedule, cache) for name in names]
-    return dict(_run_tasks(_suite_worker, tasks, jobs))
+    report = run_suite_report(names, flavors, jobs, schedule, cache,
+                              fail_fast=True)
+    return report.results
 
 
 def run_files(paths: Sequence,
@@ -118,13 +422,11 @@ def run_files(paths: Sequence,
               schedule: str = "batched",
               cache: object = None,
               ) -> List[Tuple[str, Dict[str, AnalysisResult]]]:
-    """Analyze several C files as *independent* programs, in parallel.
+    """Back-compat wrapper over :func:`run_files_report`.
 
-    Unlike :func:`repro.parse_files`, the files are not linked into
-    one program — each is lowered and analyzed on its own, which is
-    what a multi-file sweep (one program per file) wants.  Returns
-    ``[(path, {flavor: AnalysisResult}), ...]`` in input order.
+    Returns ``[(path, {flavor: AnalysisResult}), ...]`` in input order
+    and raises on the first failure.
     """
-    flavors = _check_flavors(flavors)
-    tasks = [(str(p), flavors, schedule, cache) for p in paths]
-    return _run_tasks(_file_worker, tasks, jobs)
+    report = run_files_report(paths, flavors, jobs, schedule, cache,
+                              fail_fast=True)
+    return [(o.name, o.results) for o in report.outcomes]

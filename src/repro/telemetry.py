@@ -1,0 +1,173 @@
+"""Structured run telemetry: machine-readable cost records.
+
+The paper argues its CI-vs-CS verdict through cost accounting —
+transfer functions executed, meet operations performed, analysis wall
+time (Figure 7) — so the reproduction records exactly those quantities
+as first-class data instead of ad-hoc prints.  Every analysis run
+(inline, parallel worker, or benchmark) can be rendered as one JSON
+record per ``(program, flavor)``; drivers concatenate them into a
+JSON-lines stream (``--telemetry PATH`` on the CLI).
+
+Record schema (``schema`` = :data:`SCHEMA_VERSION`):
+
+``kind="analysis"`` records::
+
+    {
+      "schema": 1, "kind": "analysis", "status": "ok",
+      "program": "anagram", "flavor": "insensitive",
+      "schedule": "batched",
+      "counters": {"transfers": N, "meets": N, "pairs_added": N,
+                   "batches": N},          # Counters.as_dict(extended)
+      "phases":   {"preprocess": s, "parse": s, "lower": s, "solve": s},
+                   # or {"preprocess": s, "cache_load": s, "solve": s}
+                   # frontend phases are program-level (shared by every
+                   # flavor of the same program); "solve" is per-flavor
+      "elapsed_seconds": s,                # solver wall time
+      "cache": "hit" | "miss" | "off",     # lowering-cache outcome
+      "worker_pid": 1234,                  # process that ran the solve
+      "peak_rss_kb": 45678                 # that process's peak RSS
+    }
+
+``kind="error"`` records replace ``flavor``/``counters``/``phases``
+with an ``error`` object ``{"kind", "message", "traceback"}`` naming
+the failing task — a crashed worker still yields one line.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from .analysis.common import AnalysisResult
+
+#: Bump when a record's field layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+def peak_rss_kb() -> Optional[int]:
+    """Peak resident set size of *this* process in KiB, or ``None``
+    where the ``resource`` module is unavailable (non-POSIX)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - POSIX-only container
+        return None
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - reported in bytes
+        rss //= 1024
+    return int(rss)
+
+
+def result_record(program: str, result: AnalysisResult,
+                  schedule: Optional[str] = None) -> Dict[str, object]:
+    """One ``kind="analysis"`` record for a finished analysis run.
+
+    Counters come straight from ``result.counters.as_dict``; phases
+    merge the program-level frontend timings (preprocess/parse/lower or
+    cache_load, recorded by :func:`repro.frontend.lower.lower_file`)
+    with the solver's own ``solve`` phase.
+    """
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "analysis",
+        "status": "ok",
+        "program": str(program),
+        "flavor": result.flavor,
+        "schedule": schedule,
+        "counters": result.counters.as_dict(extended=True),
+        "phases": {name: round(seconds, 6)
+                   for name, seconds in result.phases.items()},
+        "elapsed_seconds": round(result.elapsed_seconds, 6),
+        "cache": result.cache_status,
+        "worker_pid": os.getpid(),
+        "peak_rss_kb": peak_rss_kb(),
+    }
+
+
+def result_records(program: str,
+                   results: Mapping[str, AnalysisResult],
+                   schedule: Optional[str] = None
+                   ) -> List[Dict[str, object]]:
+    """Records for every flavor of one program, in mapping order."""
+    return [result_record(program, result, schedule)
+            for result in results.values()]
+
+
+def error_record(program: str, kind: str, message: str,
+                 traceback_text: Optional[str] = None
+                 ) -> Dict[str, object]:
+    """One ``kind="error"`` record naming a failed task."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "error",
+        "status": "error",
+        "program": str(program),
+        "flavor": None,
+        "error": {
+            "kind": kind,
+            "message": message,
+            "traceback": traceback_text,
+        },
+        "worker_pid": os.getpid(),
+        "peak_rss_kb": peak_rss_kb(),
+    }
+
+
+class TelemetryWriter:
+    """Writes records as JSON lines to a path (``"-"`` for stdout).
+
+    Usable as a context manager; ``write`` flushes per record so a
+    crash mid-run still leaves every completed record on disk.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = path
+        if str(path) == "-":
+            self._fh = sys.stdout
+            self._owns_fh = False
+        else:
+            target = Path(path)
+            if target.parent != Path(""):
+                target.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(target, "w")
+            self._owns_fh = True
+        self.written = 0
+
+    def write(self, record: Mapping[str, object]) -> None:
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        self.written += 1
+
+    def write_all(self, records: Iterable[Mapping[str, object]]) -> int:
+        for record in records:
+            self.write(record)
+        return self.written
+
+    def close(self) -> None:
+        if self._owns_fh:
+            self._fh.close()
+
+    def __enter__(self) -> "TelemetryWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def write_jsonl(path, records: Iterable[Mapping[str, object]]) -> int:
+    """Write ``records`` to ``path`` as JSON lines; returns the count."""
+    with TelemetryWriter(path) as writer:
+        return writer.write_all(records)
+
+
+def read_jsonl(path) -> List[Dict[str, object]]:
+    """Load a JSON-lines telemetry stream (skipping blank lines)."""
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -2,6 +2,7 @@
 
 import os
 import pickle
+import time
 
 import pytest
 
@@ -9,6 +10,7 @@ from repro.analysis.insensitive import analyze_insensitive
 from repro.frontend.cache import (
     CACHE_DIR_ENV,
     NO_CACHE_ENV,
+    _sweep_stale_tmps,
     clear_cache,
     key_for_files,
     resolve_cache_dir,
@@ -87,6 +89,78 @@ class TestInvalidation:
         cfile.write_text(SOURCE)
         lower_file(cfile, cache=cache_dir)
         assert len(_entries(cache_dir)) == 2
+
+
+class TestHeaderInvalidation:
+    """The key hashes the preprocessor-reported dependency set, so
+    editing an ``#include``\\ d header misses — the bug fixed with
+    ``LOWERING_VERSION`` 2 (keys previously hashed only the named
+    input files and served stale programs after header edits)."""
+
+    @pytest.fixture
+    def project(self, tmp_path):
+        header = tmp_path / "defs.h"
+        header.write_text("int g;\nint *p;\n")
+        cfile = tmp_path / "prog.c"
+        cfile.write_text('#include "defs.h"\n'
+                         "void set(int **h) { *h = &g; }\n"
+                         "int main(void) { set(&p); return *p; }\n")
+        return cfile, header
+
+    def test_header_edit_misses(self, project, cache_dir):
+        cfile, header = project
+        lower_file(cfile, cache=cache_dir)
+        assert len(_entries(cache_dir)) == 1
+        header.write_text("int g;\nint g2;\nint *p;\n")
+        program = lower_file(cfile, cache=cache_dir)
+        assert len(_entries(cache_dir)) == 2
+        assert "g2" in {loc.describe() for loc in program.locations}
+
+    def test_header_revert_hits_original_entry(self, project, cache_dir):
+        cfile, header = project
+        original = header.read_text()
+        lower_file(cfile, cache=cache_dir)
+        header.write_text(original + "int extra;\n")
+        lower_file(cfile, cache=cache_dir)
+        header.write_text(original)
+        lower_file(cfile, cache=cache_dir)
+        assert len(_entries(cache_dir)) == 2
+
+class TestTmpCleanup:
+    """Orphaned ``*.tmp`` files (writer killed between ``mkstemp`` and
+    ``os.replace``) must not accumulate forever."""
+
+    def test_clear_cache_removes_tmps(self, cfile, cache_dir):
+        lower_file(cfile, cache=cache_dir)
+        orphan = cache_dir / "orphan123.tmp"
+        orphan.write_bytes(b"half-written entry")
+        assert clear_cache(cache_dir) == 2
+        assert not orphan.exists()
+        assert _entries(cache_dir) == []
+
+    def test_store_sweeps_stale_tmps(self, cfile, cache_dir):
+        cache_dir.mkdir()
+        stale = cache_dir / "stale456.tmp"
+        stale.write_bytes(b"orphan")
+        old = time.time() - 7200
+        os.utime(stale, (old, old))
+        lower_file(cfile, cache=cache_dir)
+        assert not stale.exists()
+        assert len(_entries(cache_dir)) == 1
+
+    def test_store_keeps_fresh_tmps(self, cfile, cache_dir):
+        # A young temp file may belong to a live concurrent writer.
+        cache_dir.mkdir()
+        fresh = cache_dir / "fresh789.tmp"
+        fresh.write_bytes(b"in flight")
+        lower_file(cfile, cache=cache_dir)
+        assert fresh.exists()
+
+    def test_sweep_all_ages(self, cache_dir):
+        cache_dir.mkdir()
+        (cache_dir / "a.tmp").write_bytes(b"x")
+        (cache_dir / "b.tmp").write_bytes(b"y")
+        assert _sweep_stale_tmps(cache_dir, max_age=0) == 2
 
 
 class TestCorruption:

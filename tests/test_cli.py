@@ -125,6 +125,85 @@ class TestExplain:
         assert "no matching" in capsys.readouterr().err
 
 
+class TestRunFlags:
+    """--telemetry, --keep-going / --fail-fast on analyze."""
+
+    @pytest.fixture
+    def two_files(self, tmp_path):
+        good = tmp_path / "good.c"
+        good.write_text("int g; int *p = &g; int main(void){return *p;}")
+        bad = tmp_path / "bad.c"
+        bad.write_text("not C ((((")
+        return good, bad
+
+    def test_telemetry_inline(self, tiny_c, tmp_path, capsys):
+        import json
+        out_path = tmp_path / "t.jsonl"
+        assert main(["analyze", tiny_c, "--telemetry",
+                     str(out_path)]) == 0
+        records = [json.loads(line)
+                   for line in out_path.read_text().splitlines()]
+        assert [r["flavor"] for r in records] \
+            == ["insensitive", "sensitive"]
+        assert all(r["kind"] == "analysis" for r in records)
+        assert all(r["counters"]["transfers"] > 0 for r in records)
+
+    def test_keep_going_is_default(self, two_files, tmp_path, capsys):
+        good, bad = two_files
+        out_path = tmp_path / "t.jsonl"
+        code = main(["analyze", str(good), str(bad), "--jobs", "2",
+                     "--sensitivity", "insensitive",
+                     "--telemetry", str(out_path)])
+        captured = capsys.readouterr()
+        assert code == 1  # a failure is still a nonzero exit...
+        assert "[context-insensitive]" in captured.out  # ...but good ran
+        assert "bad.c" in captured.err
+        import json
+        kinds = [json.loads(line)["kind"]
+                 for line in out_path.read_text().splitlines()]
+        assert sorted(kinds) == ["analysis", "error"]
+
+    def test_fail_fast(self, two_files, capsys):
+        good, bad = two_files
+        code = main(["analyze", str(bad), str(good), "--jobs", "2",
+                     "--sensitivity", "insensitive", "--fail-fast"])
+        assert code == 1
+        assert "bad.c" in capsys.readouterr().err
+
+    def test_flags_mutually_exclusive(self, tiny_c, capsys):
+        with pytest.raises(SystemExit):
+            main(["analyze", tiny_c, "--fail-fast", "--keep-going"])
+
+
+class TestExperimentRunFlags:
+    def test_experiment_telemetry_and_keep_going(self, tmp_path,
+                                                 monkeypatch, capsys):
+        import json
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "span=raise")
+        out_path = tmp_path / "t.jsonl"
+        code = main(["experiment", "cost", "--jobs", "2",
+                     "--telemetry", str(out_path)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "span" in captured.err
+        # Survivors still render in the cost table.
+        assert "anagram" in captured.out
+        records = [json.loads(line)
+                   for line in out_path.read_text().splitlines()]
+        assert any(r["kind"] == "error" and r["program"] == "span"
+                   for r in records)
+        assert any(r["kind"] == "analysis" and r["program"] == "anagram"
+                   for r in records)
+
+    def test_experiment_fail_fast(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "anagram=raise")
+        code = main(["experiment", "cost", "--jobs", "2", "--fail-fast"])
+        assert code == 1
+        assert "anagram" in capsys.readouterr().err
+
+
 class TestOther:
     def test_suite_listing(self, capsys):
         assert main(["suite"]) == 0
