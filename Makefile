@@ -2,12 +2,12 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke tables examples verify-suite clean
+.PHONY: install test bench bench-smoke fuzz-smoke tables examples verify-suite clean
 
 install:
 	$(PYTHON) setup.py develop
 
-test: bench-smoke
+test: bench-smoke fuzz-smoke
 	$(PYTHON) -m pytest tests/
 
 bench:
@@ -18,6 +18,11 @@ bench:
 bench-smoke:
 	$(PYTHON) benchmarks/bench_solver_throughput.py --smoke --jobs 2
 	@test -s BENCH_solver.json || (echo "BENCH_solver.json missing" && exit 1)
+
+# Differential-fuzzing gate: every generated program must satisfy
+# concrete ⊆ CS ⊆ CI ⊆ FI plus the determinism and fixpoint oracles.
+fuzz-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro fuzz --seed 0 --count 50 --deep-every 25 --fail-fast
 
 tables:
 	$(PYTHON) examples/regenerate_paper_tables.py

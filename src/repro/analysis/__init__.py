@@ -25,7 +25,14 @@ from .qualified import (
 )
 from .explain import Derivation, Explainer, explain, format_derivation
 from .query import op_locations_at_call, pairs_under, project_at_call
-from .verify import Violation, assert_fixpoint, verify_solution
+from .verify import (
+    QualifiedViolation,
+    Violation,
+    assert_fixpoint,
+    assert_qualified_fixpoint,
+    verify_qualified,
+    verify_solution,
+)
 from .sensitive import PruneInfo, SensitiveAnalysis, analyze_sensitive
 
 __all__ = [
@@ -44,8 +51,11 @@ __all__ = [
     "SensitiveAnalysis",
     "Derivation",
     "Explainer",
+    "QualifiedViolation",
     "Violation",
     "analyze_flowinsensitive",
+    "assert_qualified_fixpoint",
+    "verify_qualified",
     "analyze_insensitive",
     "analyze_sensitive",
     "assert_fixpoint",

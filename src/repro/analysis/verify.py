@@ -227,3 +227,182 @@ def assert_fixpoint(result: AnalysisResult) -> None:
         listing = "\n".join(f"  {v}" for v in violations[:20])
         raise AssertionError(
             f"{len(violations)} fixpoint violations:\n{listing}")
+
+
+# ---------------------------------------------------------------------------
+# Qualified-pair (context-sensitive) fixpoint verification
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class QualifiedViolation:
+    """One missing qualified pair: no stored assumption set is weak
+    enough to justify a derivable consequence."""
+
+    output: OutputPort
+    missing: object                # PointsToPair
+    assumptions: frozenset         # the naive derivation's assumption set
+    reason: str
+
+    def __str__(self) -> str:
+        node = self.output.node
+        return (f"{node.graph.name}:{node!r}.{self.output.name} misses "
+                f"{self.missing!r} under ⊆{len(self.assumptions)} "
+                f"assumptions ({self.reason})")
+
+
+class _QualifiedChecker:
+    """Declarative re-check of Figure 5's intraprocedural transfer
+    functions over the *qualified* solution.
+
+    For every consequence derivable from the stored input facts the
+    solution must hold the same plain pair under **some** assumption
+    set that is a subset of the naive derivation's — subsets arise
+    legitimately from the subsumption rule and both §4.2 pruning
+    optimizations (which only ever *weaken* assumption sets), so the
+    tolerance is exact: a transfer function that drops or mangles
+    facts still gets caught, while a correct optimized run verifies
+    clean.  Interprocedural nodes are skipped for the same reason they
+    are in :func:`verify_solution`'s sensitive branch: call/return
+    flows are where context-sensitivity legitimately filters pairs.
+    """
+
+    def __init__(self, result: AnalysisResult) -> None:
+        from .qualified import QualifiedSolution
+
+        qualified = result.extras.get("qualified")
+        if not isinstance(qualified, QualifiedSolution):
+            raise ValueError(
+                "result has no qualified solution in extras['qualified']; "
+                "verify_qualified applies to sensitive-analysis results")
+        self.qualified = qualified
+        self.program = result.program
+        self.violations: List[QualifiedViolation] = []
+
+    def qpairs(self, port):
+        if port is None or port.source is None:
+            return ()
+        return list(self.qualified.qualified_pairs(port.source))
+
+    def expect(self, output: OutputPort, pair, assumptions,
+               reason: str) -> None:
+        for stored in self.qualified.assumption_sets(output, pair):
+            if stored <= assumptions:
+                return
+        self.violations.append(
+            QualifiedViolation(output, pair, assumptions, reason))
+
+    # -- per-node checks ---------------------------------------------------
+
+    def check(self) -> List[QualifiedViolation]:
+        for graph in self.program.functions.values():
+            for node in graph.nodes:
+                if isinstance(node, LookupNode):
+                    self._check_lookup(node)
+                elif isinstance(node, UpdateNode):
+                    self._check_update(node)
+                elif isinstance(node, MergeNode):
+                    self._check_merge(node)
+                elif isinstance(node, PrimopNode):
+                    self._check_primop(node)
+        return self.violations
+
+    def _check_lookup(self, node: LookupNode) -> None:
+        store_pairs = self.qpairs(node.store)
+        for lq in self.qpairs(node.loc):
+            if lq.pair.path is not EMPTY_OFFSET:
+                continue
+            r_l = lq.pair.referent
+            for sq in store_pairs:
+                if dom(r_l, sq.pair.path):
+                    self.expect(
+                        node.out,
+                        make_pair(sq.pair.path.subtract(r_l),
+                                  sq.pair.referent),
+                        lq.assumptions | sq.assumptions,
+                        "qualified lookup transfer")
+
+    def _check_update(self, node: UpdateNode) -> None:
+        loc_pairs = [lq for lq in self.qpairs(node.loc)
+                     if lq.pair.path is EMPTY_OFFSET]
+        for lq in loc_pairs:
+            for vq in self.qpairs(node.value):
+                self.expect(
+                    node.ostore,
+                    make_pair(lq.pair.referent.append(vq.pair.path),
+                              vq.pair.referent),
+                    lq.assumptions | vq.assumptions,
+                    "qualified update writes value")
+        # §4.1's survive rule: nothing flows until a location pair has
+        # arrived (the CWZ90 delay), then each non-overwriting location
+        # pair contributes one qualified survival.
+        for sq in self.qpairs(node.store):
+            for lq in loc_pairs:
+                if strong_dom(lq.pair.referent, sq.pair.path):
+                    continue
+                self.expect(node.ostore, sq.pair,
+                            lq.assumptions | sq.assumptions,
+                            "qualified update propagates store")
+
+    def _check_merge(self, node: MergeNode) -> None:
+        for branch in node.branches:
+            for qp in self.qpairs(branch):
+                self.expect(node.out, qp.pair, qp.assumptions,
+                            "qualified merge union")
+
+    def _check_primop(self, node: PrimopNode) -> None:
+        semantics = node.semantics
+        if semantics is PrimopSemantics.OPAQUE:
+            return
+        if semantics is PrimopSemantics.COPY:
+            operands = (node.operands if node.copy_operand is None
+                        else [node.operands[node.copy_operand]])
+            for operand in operands:
+                for qp in self.qpairs(operand):
+                    self.expect(node.out, qp.pair, qp.assumptions,
+                                "qualified copy")
+            return
+        (operand,) = node.operands
+        for qp in self.qpairs(operand):
+            path = qp.pair.path
+            if semantics is PrimopSemantics.FIELD:
+                if path is EMPTY_OFFSET:
+                    self.expect(
+                        node.out,
+                        direct(qp.pair.referent.extend(node.field_op)),
+                        qp.assumptions, "qualified field address")
+            elif semantics is PrimopSemantics.INDEX:
+                if path is EMPTY_OFFSET:
+                    self.expect(node.out,
+                                direct(qp.pair.referent.extend(INDEX)),
+                                qp.assumptions, "qualified index address")
+            elif semantics is PrimopSemantics.EXTRACT:
+                if path.base is None and path.ops \
+                        and path.ops[0] is node.field_op:
+                    self.expect(
+                        node.out,
+                        make_pair(AccessPath(None, path.ops[1:]),
+                                  qp.pair.referent),
+                        qp.assumptions, "qualified member extract")
+
+
+def verify_qualified(result: AnalysisResult) -> List[QualifiedViolation]:
+    """Fixpoint violations of a context-sensitive *qualified* solution.
+
+    Complements :func:`verify_solution` (which only sees the stripped
+    pair sets): this walks the assumption-qualified facts in
+    ``result.extras['qualified']`` and re-derives every intraprocedural
+    consequence, so a CS transfer function that strips, drops, or
+    mis-qualifies pairs is caught even when the stripped solution
+    happens to look plausible.
+    """
+    return _QualifiedChecker(result).check()
+
+
+def assert_qualified_fixpoint(result: AnalysisResult) -> None:
+    """Raise ``AssertionError`` listing qualified violations."""
+    violations = verify_qualified(result)
+    if violations:
+        listing = "\n".join(f"  {v}" for v in violations[:20])
+        raise AssertionError(
+            f"{len(violations)} qualified fixpoint violations:\n{listing}")

@@ -14,6 +14,9 @@ flavor) — see :mod:`repro.telemetry` for the schema — and
 ``--keep-going`` (default) / ``--fail-fast`` pick the failure policy
 for multi-program runs.
 * ``suite`` — list the benchmark suite programs.
+* ``fuzz [--seed S] [--count N]`` — differential fuzzing: generate
+  random pointer programs and check concrete ⊆ CS ⊆ CI ⊆ FI at every
+  indirect operation, plus determinism and fixpoint oracles.
 """
 
 from __future__ import annotations
@@ -120,6 +123,33 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="limit to operations at this source line")
 
     sub.add_parser("suite", help="list benchmark suite programs")
+
+    fuzz = sub.add_parser(
+        "fuzz", help="differential fuzzing with a concrete-execution "
+                     "soundness oracle")
+    fuzz.add_argument("--seed", type=int, default=0, metavar="S",
+                      help="first generator seed (default: 0); a "
+                           "campaign covers seeds S..S+count-1")
+    fuzz.add_argument("--count", type=int, default=50, metavar="N",
+                      help="number of programs to generate and check "
+                           "(default: 50)")
+    fuzz.add_argument("--max-nodes", type=int, default=80, metavar="N",
+                      help="approximate size budget per generated "
+                           "program (default: 80)")
+    fuzz.add_argument("--mutate", default=None, metavar="NAME",
+                      help="install a deliberately broken transfer "
+                           "rule for the whole campaign (self-test; "
+                           "see repro.fuzz.mutations)")
+    fuzz.add_argument("--deep-every", type=int, default=0, metavar="N",
+                      help="every N clean programs, also check "
+                           "--jobs/cache digest determinism through "
+                           "the parallel driver (default: off)")
+    fuzz.add_argument("--artifacts", default=None, metavar="DIR",
+                      help="write original.c/shrunk.c/manifest.json "
+                           "for each failure under DIR")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="skip minimizing failing programs")
+    _add_run_flags(fuzz)
     return parser
 
 
@@ -351,6 +381,53 @@ def _cmd_suite(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from .fuzz.driver import run_fuzz
+    from .fuzz.mutations import MUTATIONS
+
+    if args.mutate is not None and args.mutate not in MUTATIONS:
+        print(f"error: unknown mutation {args.mutate!r}; expected one "
+              f"of {', '.join(sorted(MUTATIONS))}", file=sys.stderr)
+        return 2
+
+    def progress(outcome):
+        if outcome.ok:
+            return
+        kinds = ", ".join(sorted({v.kind for v in outcome.violations}))
+        extra = ""
+        if outcome.shrunk_lines is not None:
+            extra += f", shrunk to {outcome.shrunk_lines} lines"
+        if outcome.artifact_dir:
+            extra += f", artifacts in {outcome.artifact_dir}"
+        print(f"FAIL seed {outcome.seed} ({outcome.name}): "
+              f"{len(outcome.violations)} violation(s) [{kinds}]{extra}")
+        for violation in outcome.violations[:5]:
+            print(f"  {violation.kind}: {violation.detail}")
+
+    report = run_fuzz(
+        args.seed, args.count, max_nodes=args.max_nodes,
+        mutate=args.mutate, shrink=not args.no_shrink,
+        deep_every=args.deep_every, artifacts=args.artifacts,
+        fail_fast=args.fail_fast, progress=progress)
+
+    checked = len(report.outcomes)
+    failures = report.failures
+    ops = sum(o.stats.get("memory_ops", 0) for o in report.outcomes)
+    accesses = sum(o.stats.get("concrete_accesses", 0)
+                   for o in report.outcomes)
+    print(f"fuzz: {checked} program(s), seeds {args.seed}.."
+          f"{args.seed + checked - 1}: "
+          f"{checked - len(failures)} ok, {len(failures)} failing; "
+          f"{ops} memory ops, {accesses} concrete accesses checked")
+    for violation in report.deep_violations:
+        print(f"  deep {violation.kind}: {violation.detail}")
+    if report.deep_violations:
+        print(f"fuzz: {len(report.deep_violations)} deep-check "
+              f"violation(s)")
+    _write_telemetry(args.telemetry, report.records)
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -361,6 +438,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "explain": _cmd_explain,
         "export": _cmd_export,
         "suite": _cmd_suite,
+        "fuzz": _cmd_fuzz,
     }
     try:
         return handlers[args.command](args)

@@ -312,8 +312,13 @@ class ModuleLowerer:
             self.linkage.defined_functions[name] = ftype
         self.func_defs[program_name] = funcdef
         self.func_source_names[program_name] = name
-        loc = self.program.register_location(
-            function_location(program_name))
+        # A static initializer earlier in the file may have referenced
+        # this function already (e.g. a global function-pointer table);
+        # reuse its location so both resolve to the same object.
+        loc = self.program.function_locations.get(program_name)
+        if loc is None:
+            loc = self.program.register_location(
+                function_location(program_name))
         graph = FunctionGraph(program_name)
         self.program.add_function(graph, loc)
 
@@ -448,8 +453,7 @@ class ModuleLowerer:
         if isinstance(expr, c_ast.ID):
             symbol = self.symbols.require(expr.name, _line(expr))
             if symbol.kind is SymbolKind.FUNCTION:
-                return location_path(
-                    self.program.function_locations[symbol.name])
+                return location_path(self._function_storage(symbol))
             if isinstance(self._resolved(symbol.ctype), ArrayType):
                 path = self._global_path(symbol, expr)
                 return path.extend(INDEX)
@@ -460,12 +464,26 @@ class ModuleLowerer:
             f"unsupported static initializer {type(expr).__name__}",
             line=_line(expr))
 
+    def _function_storage(self, symbol) -> BaseLocation:
+        """The (unique) location naming a function's code.
+
+        Static initializers are evaluated while declarations are still
+        being collected, so a reference to a function defined further
+        down the file must create the location eagerly —
+        ``_declare_function_def`` finds and reuses it.
+        """
+        name = symbol.link_name or symbol.name
+        loc = self.program.function_locations.get(name)
+        if loc is None:
+            loc = self.program.register_location(function_location(name))
+            self.program.function_locations[name] = loc
+        return loc
+
     def _static_lvalue_path(self, expr) -> AccessPath:
         if isinstance(expr, c_ast.ID):
             symbol = self.symbols.require(expr.name, _line(expr))
             if symbol.kind is SymbolKind.FUNCTION:
-                return location_path(
-                    self.program.function_locations[symbol.name])
+                return location_path(self._function_storage(symbol))
             return self._global_path(symbol, expr)
         if isinstance(expr, c_ast.StructRef) and expr.type == ".":
             base = self._static_lvalue_path(expr.name)

@@ -1,0 +1,501 @@
+"""Concrete-execution oracle: interpret a generated C program.
+
+The interpreter executes the pycparser AST directly — it shares the
+*parser* with the lowering (so source coordinates agree) but none of
+the lowering, IR, or solver code, which is what makes it an
+independent ground truth.  While executing it records, for every
+memory access that goes **through a pointer value**, the abstract
+rendering of the storage it touched:
+
+    ``BaseLocation.describe()``-style label + field/index operators,
+    with concrete array indices collapsed to ``[*]``
+
+keyed by ``(source line, "read" | "write")``.  The oracle then checks
+that each recorded access is covered by the analyses' ``op_locations``
+at the memory operations lowered from the same line.
+
+Label construction mirrors :meth:`repro.memory.base.BaseLocation.describe`:
+globals render as ``name``, locals and parameters as ``proc::name``,
+and heap objects as ``<heap:malloc@function:line>`` (one label per
+static allocation site, freshly instantiated per execution of the
+site).  Recursive activations create distinct instances that share a
+label — exactly the collapse the analyses' single base-location per
+local performs.
+
+The generator promises programs free of undefined behaviour; any
+uninitialized read, out-of-bounds index, or exhausted step budget
+raises :class:`ConcreteTrap`, which the oracle reports as a generator
+bug rather than an analysis unsoundness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from pycparser import c_ast
+
+from ..frontend.parser import parse_source
+
+#: Default interpretation budget, in executed statements/expressions.
+DEFAULT_STEP_BUDGET = 500_000
+
+
+class ConcreteTrap(Exception):
+    """The program did something the generator promised it never would."""
+
+
+class _Return(Exception):
+    """Non-local exit carrying a function's return value."""
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+
+_UNINIT = object()
+
+
+class StructVal(dict):
+    """A struct value: field name → value."""
+
+
+class ArrayVal(dict):
+    """An array value: int index → value."""
+
+
+@dataclass(frozen=True)
+class FuncRef:
+    """A function designator value (the referent of a function name)."""
+
+    name: str
+
+
+class Instance:
+    """One concrete storage object (a base location instance)."""
+
+    __slots__ = ("label", "value")
+
+    def __init__(self, label: str, value=_UNINIT) -> None:
+        self.label = label
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Instance {self.label}>"
+
+
+@dataclass(frozen=True)
+class Address:
+    """A pointer value: an instance plus a field/index operator path."""
+
+    instance: Instance
+    ops: Tuple[Tuple[str, object], ...] = ()
+
+    def extend(self, op: Tuple[str, object]) -> "Address":
+        return Address(self.instance, self.ops + (op,))
+
+    def abstract(self) -> Tuple[str, Tuple[str, ...]]:
+        """(label, op renderings) with indices collapsed to ``[*]`` —
+        the shape :class:`repro.memory.access.AccessPath` renders to."""
+        return (self.instance.label,
+                tuple(f".{key}" if kind == "f" else "[*]"
+                      for kind, key in self.ops))
+
+    def render(self) -> str:
+        label, ops = self.abstract()
+        return label + "".join(ops)
+
+
+def _copy_value(value):
+    if isinstance(value, StructVal):
+        return StructVal({k: _copy_value(v) for k, v in value.items()})
+    if isinstance(value, ArrayVal):
+        return ArrayVal({k: _copy_value(v) for k, v in value.items()})
+    return value
+
+
+@dataclass
+class ConcreteTrace:
+    """Everything one execution recorded."""
+
+    #: (line, "read" | "write") → set of (label, op renderings).
+    accesses: Dict[Tuple[int, str], Set[Tuple[str, Tuple[str, ...]]]] = \
+        field(default_factory=dict)
+    steps: int = 0
+    calls: int = 0
+    allocations: int = 0
+
+    def record(self, line: Optional[int], kind: str, address: Address) -> None:
+        if line is None:  # pragma: no cover - defensive
+            raise ConcreteTrap("pointer access with no source coordinate")
+        self.accesses.setdefault((line, kind), set()).add(address.abstract())
+
+    def total_accesses(self) -> int:
+        return sum(len(s) for s in self.accesses.values())
+
+
+class Interpreter:
+    """Executes one translation unit starting from ``main``."""
+
+    def __init__(self, ast: c_ast.FileAST,
+                 step_budget: int = DEFAULT_STEP_BUDGET) -> None:
+        self.ast = ast
+        self.step_budget = step_budget
+        self.trace = ConcreteTrace()
+        self.functions: Dict[str, c_ast.FuncDef] = {}
+        self.structs: Dict[str, List[Tuple[str, c_ast.Node]]] = {}
+        self.globals: Dict[str, Instance] = {}
+        self._collect()
+
+    # -- setup -----------------------------------------------------------
+
+    def _collect(self) -> None:
+        for ext in self.ast.ext:
+            if isinstance(ext, c_ast.FuncDef):
+                self.functions[ext.decl.name] = ext
+            self._collect_structs(ext)
+
+    def _collect_structs(self, node) -> None:
+        for _, child in node.children():
+            if isinstance(child, c_ast.Struct) and child.decls:
+                self.structs[child.name] = [
+                    (d.name, d.type) for d in child.decls]
+            self._collect_structs(child)
+
+    def _init_globals(self) -> None:
+        for ext in self.ast.ext:
+            if not isinstance(ext, c_ast.Decl):
+                continue
+            if isinstance(ext.type, c_ast.FuncDecl):
+                continue            # prototype
+            if "extern" in (ext.storage or []):
+                continue            # the malloc declaration
+            inst = Instance(ext.name)
+            self.globals[ext.name] = inst
+            if ext.init is not None:
+                inst.value = self._eval_init(ext.init, ext.type,
+                                             self.globals)
+            else:  # zero-initialized, as C guarantees for statics
+                inst.value = self._zero_value(ext.type)
+
+    # -- declarations and initializers -----------------------------------
+
+    def _struct_fields(self, type_node) -> Optional[List[Tuple[str, c_ast.Node]]]:
+        """Field list when ``type_node`` names a struct, else None."""
+        ty = type_node
+        while isinstance(ty, c_ast.TypeDecl):
+            ty = ty.type
+        if isinstance(ty, c_ast.Struct):
+            fields = self.structs.get(ty.name)
+            if fields is None:
+                raise ConcreteTrap(f"unknown struct {ty.name!r}")
+            return fields
+        return None
+
+    def _zero_value(self, type_node):
+        if isinstance(type_node, c_ast.ArrayDecl):
+            length = int(type_node.dim.value)
+            return ArrayVal({i: self._zero_value(type_node.type)
+                             for i in range(length)})
+        fields = self._struct_fields(type_node)
+        if fields is not None:
+            return StructVal({name: self._zero_value(ty)
+                              for name, ty in fields})
+        return 0          # ints and (null) pointers
+
+    def _eval_init(self, init, type_node, env: Dict[str, Instance]):
+        if isinstance(init, c_ast.InitList):
+            if isinstance(type_node, c_ast.ArrayDecl):
+                return ArrayVal({
+                    i: self._eval_init(expr, type_node.type, env)
+                    for i, expr in enumerate(init.exprs)})
+            fields = self._struct_fields(type_node)
+            if fields is None:
+                raise ConcreteTrap("initializer list for a scalar")
+            return StructVal({
+                name: self._eval_init(expr, fty, env)
+                for (name, fty), expr in zip(fields, init.exprs)})
+        return _copy_value(self.eval(init, env))
+
+    # -- storage access --------------------------------------------------
+
+    def read(self, address: Address):
+        value = address.instance.value
+        for kind, key in address.ops:
+            if not isinstance(value, dict) or key not in value:
+                raise ConcreteTrap(
+                    f"bad access path {address.render()!r}")
+            value = value[key]
+        if value is _UNINIT:
+            raise ConcreteTrap(f"uninitialized read of {address.render()!r}")
+        return value
+
+    def write(self, address: Address, value) -> None:
+        if not address.ops:
+            address.instance.value = value
+            return
+        container = address.instance.value
+        for kind, key in address.ops[:-1]:
+            if not isinstance(container, dict) or key not in container:
+                raise ConcreteTrap(
+                    f"bad access path {address.render()!r}")
+            container = container[key]
+        kind, key = address.ops[-1]
+        if not isinstance(container, dict):
+            raise ConcreteTrap(f"bad access path {address.render()!r}")
+        container[key] = value
+
+    # -- expression evaluation -------------------------------------------
+
+    def _tick(self) -> None:
+        self.trace.steps += 1
+        if self.trace.steps > self.step_budget:
+            raise ConcreteTrap("step budget exhausted (non-termination?)")
+
+    def _line(self, node) -> Optional[int]:
+        coord = getattr(node, "coord", None)
+        return getattr(coord, "line", None)
+
+    def lvalue(self, expr, env: Dict[str, Instance]
+               ) -> Tuple[Address, bool]:
+        """Resolve to (address, reached-through-a-pointer?)."""
+        if isinstance(expr, c_ast.ID):
+            inst = env.get(expr.name) or self.globals.get(expr.name)
+            if inst is None:
+                raise ConcreteTrap(f"unknown variable {expr.name!r}")
+            return Address(inst), False
+        if isinstance(expr, c_ast.UnaryOp) and expr.op == "*":
+            target = self.eval(expr.expr, env)
+            if not isinstance(target, Address):
+                raise ConcreteTrap("dereference of a non-pointer")
+            return target, True
+        if isinstance(expr, c_ast.StructRef):
+            if expr.type == "->":
+                target = self.eval(expr.name, env)
+                if not isinstance(target, Address):
+                    raise ConcreteTrap("-> on a non-pointer")
+                return target.extend(("f", expr.field.name)), True
+            base, via = self.lvalue(expr.name, env)
+            return base.extend(("f", expr.field.name)), via
+        if isinstance(expr, c_ast.ArrayRef):
+            index = self.eval(expr.subscript, env)
+            if not isinstance(index, int):
+                raise ConcreteTrap("non-integer array index")
+            base, via = self.lvalue(expr.name, env)
+            container = self._peek(base)
+            if isinstance(container, Address):
+                # Indexing a pointer: reading the pointer itself is a
+                # direct access; the element access goes through it.
+                # p[i] is *(p + i) — offset the element the pointer
+                # already designates instead of nesting a second index.
+                if container.ops and container.ops[-1][0] == "ix":
+                    kind, key = container.ops[-1]
+                    return Address(
+                        container.instance,
+                        container.ops[:-1] + (("ix", key + index),)), True
+                if index == 0:
+                    return container, True
+                raise ConcreteTrap(
+                    "pointer arithmetic past a non-array cell")
+            return base.extend(("ix", index)), via
+        raise ConcreteTrap(f"unsupported lvalue {type(expr).__name__}")
+
+    def _peek(self, address: Address):
+        """Read without the uninitialized check (for decay decisions)."""
+        value = address.instance.value
+        for _, key in address.ops:
+            if not isinstance(value, dict) or key not in value:
+                return None
+            value = value[key]
+        return value
+
+    def eval(self, expr, env: Dict[str, Instance]):
+        self._tick()
+        if isinstance(expr, c_ast.Constant):
+            return int(expr.value, 0)
+        if isinstance(expr, c_ast.ID):
+            inst = env.get(expr.name) or self.globals.get(expr.name)
+            if inst is None:
+                if expr.name in self.functions:
+                    return FuncRef(expr.name)
+                raise ConcreteTrap(f"unknown identifier {expr.name!r}")
+            value = inst.value
+            if isinstance(value, ArrayVal):
+                return Address(inst).extend(("ix", 0))   # array decay
+            if value is _UNINIT:
+                raise ConcreteTrap(f"uninitialized read of {expr.name!r}")
+            return value
+        if isinstance(expr, c_ast.UnaryOp):
+            if expr.op == "&":
+                address, _ = self.lvalue(expr.expr, env)
+                return address
+            if expr.op == "*":
+                target = self.eval(expr.expr, env)
+                if not isinstance(target, Address):
+                    raise ConcreteTrap("dereference of a non-pointer")
+                self.trace.record(self._line(expr), "read", target)
+                value = self.read(target)
+                if isinstance(value, ArrayVal):
+                    return target.extend(("ix", 0))
+                return value
+            if expr.op == "sizeof":
+                return 4
+            if expr.op == "-":
+                return -self.eval(expr.expr, env)
+            if expr.op == "!":
+                return int(not self.eval(expr.expr, env))
+            raise ConcreteTrap(f"unsupported unary op {expr.op!r}")
+        if isinstance(expr, c_ast.BinaryOp):
+            left = self.eval(expr.left, env)
+            right = self.eval(expr.right, env)
+            return self._binop(expr.op, left, right)
+        if isinstance(expr, (c_ast.ArrayRef, c_ast.StructRef)):
+            address, via = self.lvalue(expr, env)
+            if via:
+                self.trace.record(self._line(expr), "read", address)
+            value = self.read(address)
+            if isinstance(value, ArrayVal):
+                return address.extend(("ix", 0))
+            return value
+        if isinstance(expr, c_ast.FuncCall):
+            return self.call(expr, env)
+        if isinstance(expr, c_ast.Cast):
+            return self.eval(expr.expr, env)
+        raise ConcreteTrap(f"unsupported expression {type(expr).__name__}")
+
+    @staticmethod
+    def _binop(op: str, left, right):
+        if op in ("+", "-") and isinstance(left, int) and isinstance(right, int):
+            return left + right if op == "+" else left - right
+        table = {"<": lambda: left < right, ">": lambda: left > right,
+                 "<=": lambda: left <= right, ">=": lambda: left >= right,
+                 "==": lambda: left == right, "!=": lambda: left != right}
+        if op in table:
+            try:
+                return int(table[op]())
+            except TypeError:
+                raise ConcreteTrap(f"unordered comparison {op!r}")
+        raise ConcreteTrap(f"unsupported binary op {op!r}")
+
+    # -- calls -----------------------------------------------------------
+
+    def call(self, expr: c_ast.FuncCall, env: Dict[str, Instance],
+             caller: str = "?"):
+        name_node = expr.name
+        target: Optional[str] = None
+        if isinstance(name_node, c_ast.ID):
+            if name_node.name in env or name_node.name in self.globals:
+                value = self.eval(name_node, env)
+                if not isinstance(value, FuncRef):
+                    raise ConcreteTrap("call through a non-function value")
+                target = value.name
+            else:
+                target = name_node.name
+        else:
+            value = self.eval(name_node, env)
+            if not isinstance(value, FuncRef):
+                raise ConcreteTrap("call through a non-function value")
+            target = value.name
+
+        args = [self.eval(arg, env) for arg in (expr.args.exprs
+                                                if expr.args else [])]
+        if target == "malloc":
+            line = self._line(expr)
+            function = env.get("__function__")
+            fname = function.value if function is not None else "?"
+            self.trace.allocations += 1
+            return Address(Instance(f"<heap:malloc@{fname}:{line}>"))
+        func = self.functions.get(target)
+        if func is None:
+            raise ConcreteTrap(f"call to unknown function {target!r}")
+        return self.run_function(func, args)
+
+    def run_function(self, func: c_ast.FuncDef, args):
+        self.trace.calls += 1
+        name = func.decl.name
+        env: Dict[str, Instance] = {"__function__": Instance("", name)}
+        params = []
+        decl_type = func.decl.type
+        if decl_type.args is not None:
+            params = [p for p in decl_type.args.params
+                      if isinstance(p, c_ast.Decl)]
+        if len(params) != len(args):
+            raise ConcreteTrap(
+                f"arity mismatch calling {name}: "
+                f"{len(args)} args for {len(params)} params")
+        for param, value in zip(params, args):
+            inst = Instance(f"{name}::{param.name}", _copy_value(value))
+            env[param.name] = inst
+        try:
+            self.exec_block(func.body, env, name)
+        except _Return as ret:
+            return ret.value
+        return None
+
+    # -- statements ------------------------------------------------------
+
+    def exec_block(self, block, env: Dict[str, Instance],
+                   function: str) -> None:
+        if block is None:
+            return
+        items = block.block_items or []
+        for stmt in items:
+            self.exec_stmt(stmt, env, function)
+
+    def exec_stmt(self, stmt, env: Dict[str, Instance],
+                  function: str) -> None:
+        self._tick()
+        if isinstance(stmt, c_ast.Decl):
+            inst = Instance(f"{function}::{stmt.name}")
+            env[stmt.name] = inst
+            if stmt.init is not None:
+                inst.value = self._eval_init(stmt.init, stmt.type, env)
+            return
+        if isinstance(stmt, c_ast.Assignment):
+            if stmt.op != "=":
+                raise ConcreteTrap(f"unsupported assignment {stmt.op!r}")
+            value = self.eval(stmt.rvalue, env)
+            address, via = self.lvalue(stmt.lvalue, env)
+            if via:
+                self.trace.record(self._line(stmt.lvalue), "write", address)
+            self.write(address, _copy_value(value))
+            return
+        if isinstance(stmt, c_ast.If):
+            if self.eval(stmt.cond, env):
+                self.exec_stmt(stmt.iftrue, env, function)
+            elif stmt.iffalse is not None:
+                self.exec_stmt(stmt.iffalse, env, function)
+            return
+        if isinstance(stmt, c_ast.While):
+            while self.eval(stmt.cond, env):
+                self.exec_stmt(stmt.stmt, env, function)
+            return
+        if isinstance(stmt, c_ast.Compound):
+            self.exec_block(stmt, env, function)
+            return
+        if isinstance(stmt, c_ast.Return):
+            raise _Return(self.eval(stmt.expr, env)
+                          if stmt.expr is not None else None)
+        if isinstance(stmt, c_ast.FuncCall):
+            self.call(stmt, env)
+            return
+        if isinstance(stmt, c_ast.EmptyStatement):
+            return
+        raise ConcreteTrap(f"unsupported statement {type(stmt).__name__}")
+
+    # -- entry point -----------------------------------------------------
+
+    def run(self) -> ConcreteTrace:
+        self._init_globals()
+        main = self.functions.get("main")
+        if main is None:
+            raise ConcreteTrap("no main function")
+        self.run_function(main, [])
+        return self.trace
+
+
+def interpret_source(source: str, name: str = "<fuzz>",
+                     step_budget: int = DEFAULT_STEP_BUDGET) -> ConcreteTrace:
+    """Parse (with the analysis' own frontend, so source coordinates
+    match the lowering) and concretely execute ``source``."""
+    ast = parse_source(source, filename=name)
+    return Interpreter(ast, step_budget=step_budget).run()

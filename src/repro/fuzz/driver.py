@@ -1,0 +1,169 @@
+"""Fuzz campaign driver: generate → check → shrink → report.
+
+One campaign runs ``count`` seeds starting at ``--seed``.  Every
+program goes through the full differential oracle
+(:func:`repro.fuzz.oracle.check_program`); failures are minimized by
+the shrinker and written out as replayable artifacts::
+
+    <artifacts>/<name>/
+        original.c      the generated program that failed
+        shrunk.c        the minimized reproducer
+        manifest.json   seed, max_nodes, mutation, violations
+
+Replaying is just ``repro fuzz --seed S --count 1`` (determinism is
+part of the generator's contract) or ``repro analyze shrunk.c``.
+
+``--mutate NAME`` installs one of the deliberately broken transfer
+rules from :mod:`repro.fuzz.mutations` for the whole campaign — the
+self-test proving the oracles can actually catch analysis bugs.
+
+``--deep-every N`` additionally batches every N-th window of programs
+through :func:`repro.fuzz.oracle.deep_checks`, which exercises the
+parallel driver (``--jobs``) and the persistent lowering cache for
+digest-level determinism.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .generator import GeneratedProgram, generate_program
+from .mutations import MUTATIONS
+from .oracle import CheckReport, Violation, check_program, deep_checks
+from .shrink import shrink_program
+
+
+@dataclass
+class FuzzOutcome:
+    """Result of checking one generated program."""
+
+    name: str
+    seed: int
+    ok: bool
+    violations: List[Violation] = field(default_factory=list)
+    stats: Dict[str, int] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+    shrunk_lines: Optional[int] = None
+    artifact_dir: Optional[str] = None
+
+
+@dataclass
+class FuzzReport:
+    """A whole campaign: per-seed outcomes plus telemetry records."""
+
+    outcomes: List[FuzzOutcome] = field(default_factory=list)
+    deep_violations: List[Violation] = field(default_factory=list)
+    records: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (not self.deep_violations
+                and all(outcome.ok for outcome in self.outcomes))
+
+    @property
+    def failures(self) -> List[FuzzOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+
+def _non_blank_lines(source: str) -> int:
+    return sum(1 for line in source.splitlines() if line.strip())
+
+
+def _write_artifacts(directory: Path, program: GeneratedProgram,
+                     shrunk: Optional[GeneratedProgram],
+                     outcome: FuzzOutcome,
+                     mutation: Optional[str]) -> str:
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / "original.c").write_text(program.source)
+    if shrunk is not None:
+        (directory / "shrunk.c").write_text(shrunk.source)
+    manifest = dict(program.manifest())
+    manifest["mutation"] = mutation
+    manifest["violations"] = [
+        {"kind": v.kind, "line": v.line, "detail": v.detail}
+        for v in outcome.violations]
+    if shrunk is not None:
+        manifest["shrunk_lines"] = outcome.shrunk_lines
+    (directory / "manifest.json").write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return str(directory)
+
+
+def _shrink_failure(program: GeneratedProgram,
+                    report: CheckReport) -> Optional[GeneratedProgram]:
+    """Minimize, preserving the failure signature (set of violation
+    kinds must stay a subset of the original's)."""
+    signature = report.signature()
+
+    def still_fails(source: str) -> bool:
+        check = check_program(source, name="shrink")
+        return (not check.ok) and check.signature() <= signature
+
+    return shrink_program(program, still_fails)
+
+
+def run_fuzz(start_seed: int = 0, count: int = 50, *,
+             max_nodes: int = 80,
+             mutate: Optional[str] = None,
+             shrink: bool = True,
+             deep_every: int = 0,
+             deep_jobs: int = 2,
+             artifacts: Optional[str] = None,
+             fail_fast: bool = False,
+             progress=None) -> FuzzReport:
+    """Run one fuzz campaign over ``count`` consecutive seeds.
+
+    ``progress`` is an optional callable invoked with each
+    :class:`FuzzOutcome` as it completes (the CLI prints from it).
+    """
+    from ..telemetry import fuzz_record
+
+    if mutate is not None and mutate not in MUTATIONS:
+        raise ValueError(f"unknown mutation {mutate!r}; expected one of "
+                         f"{', '.join(sorted(MUTATIONS))}")
+    context = MUTATIONS[mutate]() if mutate else contextlib.nullcontext()
+    report = FuzzReport()
+    window: List[GeneratedProgram] = []
+
+    with context:
+        for index in range(count):
+            seed = start_seed + index
+            program = generate_program(seed, max_nodes=max_nodes)
+            started = time.perf_counter()
+            check = check_program(program.source, name=program.name)
+            outcome = FuzzOutcome(
+                name=program.name, seed=seed, ok=check.ok,
+                violations=list(check.violations),
+                stats=dict(check.stats),
+                elapsed_seconds=time.perf_counter() - started)
+            if not check.ok:
+                shrunk = _shrink_failure(program, check) if shrink else None
+                if shrunk is not None:
+                    outcome.shrunk_lines = _non_blank_lines(shrunk.source)
+                if artifacts is not None:
+                    outcome.artifact_dir = _write_artifacts(
+                        Path(artifacts) / program.name, program, shrunk,
+                        outcome, mutate)
+            report.outcomes.append(outcome)
+            report.records.append(fuzz_record(outcome, mutation=mutate))
+            if progress is not None:
+                progress(outcome)
+            if not outcome.ok and fail_fast:
+                return report
+
+            if deep_every > 0 and check.ok:
+                window.append(program)
+                if len(window) >= deep_every:
+                    deep = deep_checks(
+                        [(p.name, p.source) for p in window],
+                        jobs=deep_jobs)
+                    report.deep_violations.extend(deep)
+                    window.clear()
+                    if deep and fail_fast:
+                        return report
+    return report

@@ -1,0 +1,872 @@
+"""Seeded random generator of small, well-typed pointer C programs.
+
+Programs are generated constructively so that three invariants hold on
+every execution path — which is what lets the concrete interpreter be
+used as a soundness oracle without ever tripping undefined behaviour:
+
+* **no uninitialized reads** — every variable is initialized at its
+  declaration, every ``malloc`` result is written immediately, and
+  assignments preserve type validity;
+* **no dangling pointers** — the address of a local is taken only in
+  ``main`` (whose frame outlives every other frame), helpers take
+  addresses of globals only, and nothing is ever freed;
+* **termination** — loops count a reserved counter up to a small
+  constant bound and recursive helpers decrement a depth argument.
+
+The generated feature space covers the paper's pointer-usage
+vocabulary: address-of (globals and ``main`` locals), one- and
+two-level dereferences, structs (including a nested struct member),
+arrays and pointer arrays, struct arrays, heap allocation, function
+pointers, direct and recursive calls, branches, and loops.
+
+Each program is emitted as source text plus an *expected-feature
+manifest* (static counts of the constructs the generator placed), and
+a structured :class:`ProgramSpec` that the shrinker edits.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Struct definitions shared by every generated program that uses them.
+STRUCT_LINES = [
+    "struct S0 { int a; int *q; };",
+    "struct S1 { int a; struct S0 in; int *r; };",
+]
+
+MALLOC_EXTERN = "extern void *malloc(unsigned long n);"
+
+#: The one helper signature function pointers may target.
+FPTR_SIG = "int *(*{name})(int *, int)"
+
+
+# ---------------------------------------------------------------------------
+# Structured program representation (what the shrinker edits)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    """One statement; ``if``/``while`` carry nested bodies."""
+
+    kind: str = "simple"            # "simple" | "if" | "while"
+    text: str = ""                  # simple statement line
+    cond: str = ""                  # if/while condition
+    body: List["Stmt"] = field(default_factory=list)
+    orelse: List["Stmt"] = field(default_factory=list)
+    init: str = ""                  # loop counter reset line
+    step: str = ""                  # loop counter increment line
+    removable: bool = True
+
+    def render(self, out: List[str], indent: int) -> None:
+        pad = "    " * indent
+        if self.kind == "simple":
+            out.append(pad + self.text)
+        elif self.kind == "if":
+            out.append(pad + f"if ({self.cond}) {{")
+            for stmt in self.body:
+                stmt.render(out, indent + 1)
+            if self.orelse:
+                out.append(pad + "} else {")
+                for stmt in self.orelse:
+                    stmt.render(out, indent + 1)
+            out.append(pad + "}")
+        elif self.kind == "while":
+            out.append(pad + self.init)
+            out.append(pad + f"while ({self.cond}) {{")
+            for stmt in self.body:
+                stmt.render(out, indent + 1)
+            out.append("    " * (indent + 1) + self.step)
+            out.append(pad + "}")
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown statement kind {self.kind!r}")
+
+
+@dataclass
+class FuncSpec:
+    """One function: header, declarations, body tree, return line."""
+
+    name: str
+    header: str                      # e.g. "int *h0(int *a, int b)"
+    decls: List[Tuple[str, str]] = field(default_factory=list)  # (var, line)
+    body: List[Stmt] = field(default_factory=list)
+    ret: Optional[str] = None        # final return line (None for void)
+
+    def render(self, out: List[str]) -> None:
+        out.append(self.header + " {")
+        for _, line in self.decls:
+            out.append("    " + line)
+        for stmt in self.body:
+            stmt.render(out, 1)
+        if self.ret is not None:
+            out.append("    " + self.ret)
+        out.append("}")
+
+
+@dataclass
+class ProgramSpec:
+    """A whole generated program in re-renderable, shrinkable form."""
+
+    struct_lines: List[str] = field(default_factory=list)
+    extern_lines: List[str] = field(default_factory=list)
+    protos: List[str] = field(default_factory=list)
+    globals_: List[Tuple[str, str]] = field(default_factory=list)
+    funcs: List[FuncSpec] = field(default_factory=list)
+
+    def render(self) -> str:
+        out: List[str] = []
+        out.extend(self.struct_lines)
+        out.extend(self.extern_lines)
+        out.extend(self.protos)
+        for _, line in self.globals_:
+            out.append(line)
+        for func in self.funcs:
+            func.render(out)
+        return "\n".join(out) + "\n"
+
+    def clone(self) -> "ProgramSpec":
+        return copy.deepcopy(self)
+
+
+@dataclass
+class GeneratedProgram:
+    """One generated program: source + manifest + shrinkable spec."""
+
+    name: str
+    seed: int
+    source: str
+    features: Dict[str, int]
+    spec: ProgramSpec
+
+    def manifest(self) -> Dict[str, object]:
+        return {"name": self.name, "seed": self.seed,
+                "features": dict(self.features)}
+
+
+# ---------------------------------------------------------------------------
+# Typed variable pool
+# ---------------------------------------------------------------------------
+
+#: Generator-internal type codes.
+INT, PINT, PPINT, AINT, APINT, S0, S1, AS0, PS0, FPTR = (
+    "int", "pint", "ppint", "aint", "apint", "s0", "s1", "as0", "ps0", "fp")
+
+#: Menu of extra-variable types with generation weights.
+_GLOBAL_MENU = [(INT, 4), (PINT, 4), (PPINT, 2), (AINT, 2), (APINT, 2),
+                (S0, 2), (S1, 1), (AS0, 1), (PS0, 2), (FPTR, 1)]
+_MAIN_MENU = _GLOBAL_MENU
+_HELPER_MENU = [(INT, 4), (PINT, 4), (PPINT, 1), (PS0, 1)]
+
+
+@dataclass
+class Var:
+    name: str
+    ty: str
+    scope: str           # "global" | function name
+    #: Loop counters: readable, but never written or address-taken by
+    #: generated statements (termination depends on it).
+    reserved: bool = False
+
+
+class _Weighted:
+    """Deterministic weighted choice over (item, weight) pairs."""
+
+    def __init__(self, rng: random.Random, items) -> None:
+        self.rng = rng
+        self.items = [it for it, _ in items]
+        self.weights = [w for _, w in items]
+
+    def pick(self):
+        return self.rng.choices(self.items, weights=self.weights, k=1)[0]
+
+
+# ---------------------------------------------------------------------------
+# The generator
+# ---------------------------------------------------------------------------
+
+
+class _Generator:
+    def __init__(self, seed: int, max_nodes: int) -> None:
+        self.rng = random.Random(seed)
+        self.seed = seed
+        self.max_nodes = max(16, max_nodes)
+        self.features: Dict[str, int] = {
+            "helpers": 0, "recursive_helpers": 0, "fptr_helpers": 0,
+            "loops": 0, "conditionals": 0, "mallocs": 0, "calls": 0,
+            "fptr_calls": 0, "indirect_reads": 0, "indirect_writes": 0,
+            "address_of_local": 0, "struct_vars": 0, "array_vars": 0,
+            "statements": 0, "globals": 0, "locals": 0,
+        }
+        self.spec = ProgramSpec()
+        self.globals: List[Var] = []
+        self._counter = 0
+
+    # -- naming ----------------------------------------------------------
+
+    def fresh(self, prefix: str) -> str:
+        name = f"{prefix}{self._counter}"
+        self._counter += 1
+        return name
+
+    # -- variable pools --------------------------------------------------
+
+    def vars_of(self, ty: str, scope: str, pool: List[Var]) -> List[Var]:
+        """Visible variables of one type: globals plus ``scope`` locals."""
+        return [v for v in self.globals + pool
+                if v.ty == ty and v.scope in ("global", scope)]
+
+    # -- declaration rendering -------------------------------------------
+
+    def decl_line(self, var: Var, scope: str, pool: List[Var]) -> str:
+        """Declaration with a guaranteed-valid initializer.
+
+        ``pool`` holds the *earlier* declarations of the same scope, so
+        initializers only ever reference storage that already exists.
+        """
+        rng = self.rng
+        name = var.name
+        if var.ty == INT:
+            return f"int {name} = {rng.randrange(10)};"
+        if var.ty == PINT:
+            return f"int *{name} = {self.int_target(scope, pool)};"
+        if var.ty == PPINT:
+            target = self.pint_var_target(scope, pool)
+            return f"int **{name} = {target};"
+        if var.ty == AINT:
+            vals = ", ".join(str(rng.randrange(10)) for _ in range(3))
+            return f"int {name}[3] = {{{vals}}};"
+        if var.ty == APINT:
+            a = self.int_target(scope, pool)
+            b = self.int_target(scope, pool)
+            return f"int *{name}[2] = {{{a}, {b}}};"
+        if var.ty == S0:
+            return (f"struct S0 {name} = "
+                    f"{{{rng.randrange(10)}, {self.int_target(scope, pool)}}};")
+        if var.ty == S1:
+            return (f"struct S1 {name} = {{{rng.randrange(10)}, "
+                    f"{{{rng.randrange(10)}, {self.int_target(scope, pool)}}}, "
+                    f"{self.int_target(scope, pool)}}};")
+        if var.ty == AS0:
+            one = f"{{{rng.randrange(10)}, {self.int_target(scope, pool)}}}"
+            two = f"{{{rng.randrange(10)}, {self.int_target(scope, pool)}}}"
+            return f"struct S0 {name}[2] = {{{one}, {two}}};"
+        if var.ty == PS0:
+            return f"struct S0 *{name} = {self.s0_target(scope, pool)};"
+        if var.ty == FPTR:
+            callee = rng.choice(self.fptr_helpers).name
+            return FPTR_SIG.format(name=name) + f" = {callee};"
+        raise ValueError(f"unknown type {var.ty!r}")  # pragma: no cover
+
+    # -- address expressions ---------------------------------------------
+
+    def _addressable(self, tys: Tuple[str, ...], scope: str,
+                     pool: List[Var]) -> List[Var]:
+        """Variables whose address may be taken in ``scope``: globals
+        everywhere, locals only inside ``main`` (whose frame outlives
+        all helper activity)."""
+        ok_scopes = ("global", "main") if scope == "main" else ("global",)
+        return [v for v in self.globals + pool
+                if v.ty in tys and v.scope in ok_scopes and not v.reserved]
+
+    def int_target(self, scope: str, pool: List[Var]) -> str:
+        """An ``int *``-valued address expression that is always valid."""
+        rng = self.rng
+        choices = []
+        for v in self._addressable((INT,), scope, pool):
+            choices.append(f"&{v.name}")
+            if v.scope != "global":
+                choices.append(None)  # placeholder: count local-address
+        for v in self._addressable((AINT,), scope, pool):
+            choices.append(f"&{v.name}[{rng.randrange(3)}]")
+            choices.append(v.name)           # array decay
+        for v in self._addressable((S0,), scope, pool):
+            choices.append(f"&{v.name}.a")
+        choices = [c for c in choices if c is not None]
+        text = rng.choice(choices) if choices else "&g0"
+        if text.startswith("&") and "::" not in text:
+            stripped = text[1:].split("[")[0].split(".")[0]
+            if any(v.name == stripped and v.scope == "main"
+                   for v in pool) and scope == "main":
+                self.features["address_of_local"] += 1
+        return text
+
+    def pint_var_target(self, scope: str, pool: List[Var]) -> str:
+        """An ``int **``-valued address expression (``&p``)."""
+        candidates = self._addressable((PINT,), scope, pool)
+        if not candidates:
+            return "&gp"
+        return f"&{self.rng.choice(candidates).name}"
+
+    def s0_target(self, scope: str, pool: List[Var]) -> str:
+        """A ``struct S0 *``-valued address expression."""
+        rng = self.rng
+        choices = []
+        for v in self._addressable((S0,), scope, pool):
+            choices.append(f"&{v.name}")
+        for v in self._addressable((AS0,), scope, pool):
+            choices.append(f"&{v.name}[{rng.randrange(2)}]")
+        for v in self._addressable((S1,), scope, pool):
+            choices.append(f"&{v.name}.in")
+        return rng.choice(choices) if choices else "&gs"
+
+    # -- expressions -----------------------------------------------------
+
+    def int_expr(self, scope: str, pool: List[Var], depth: int = 0) -> str:
+        rng = self.rng
+        atoms = [str(rng.randrange(10))]
+        for v in self.vars_of(INT, scope, pool):
+            atoms.append(v.name)
+        for v in self.vars_of(AINT, scope, pool):
+            atoms.append(f"{v.name}[{rng.randrange(3)}]")
+        for v in self.vars_of(S0, scope, pool):
+            atoms.append(f"{v.name}.a")
+        for v in self.vars_of(S1, scope, pool):
+            atoms.append(rng.choice([f"{v.name}.a", f"{v.name}.in.a"]))
+        for v in self.vars_of(AS0, scope, pool):
+            atoms.append(f"{v.name}[{rng.randrange(2)}].a")
+        derefs = []
+        for v in self.vars_of(PINT, scope, pool):
+            derefs.append(f"*{v.name}")
+        for v in self.vars_of(PS0, scope, pool):
+            derefs.append(f"{v.name}->a")
+        for v in self.vars_of(PPINT, scope, pool):
+            derefs.append(f"**{v.name}")
+        if derefs and rng.random() < 0.55:
+            text = rng.choice(derefs)
+            self.features["indirect_reads"] += 2 if text.startswith("**") else 1
+            atoms = [text]
+        if depth < 1 and rng.random() < 0.3:
+            op = rng.choice(["+", "-"])
+            return (f"({rng.choice(atoms)} {op} "
+                    f"{self.int_expr(scope, pool, depth + 1)})")
+        return rng.choice(atoms)
+
+    def pint_expr(self, scope: str, pool: List[Var]) -> str:
+        rng = self.rng
+        choices = []
+        for v in self.vars_of(PINT, scope, pool):
+            choices.append((v.name, 0))
+        for v in self.vars_of(S0, scope, pool):
+            choices.append((f"{v.name}.q", 0))
+        for v in self.vars_of(S1, scope, pool):
+            choices.append((rng.choice([f"{v.name}.r", f"{v.name}.in.q"]), 0))
+        for v in self.vars_of(AS0, scope, pool):
+            choices.append((f"{v.name}[{rng.randrange(2)}].q", 0))
+        for v in self.vars_of(APINT, scope, pool):
+            choices.append((f"{v.name}[{rng.randrange(2)}]", 0))
+        for v in self.vars_of(PS0, scope, pool):
+            choices.append((f"{v.name}->q", 1))
+        for v in self.vars_of(PPINT, scope, pool):
+            choices.append((f"*{v.name}", 1))
+        choices.append((self.int_target(scope, pool), 0))
+        text, derefs = rng.choice(choices)
+        self.features["indirect_reads"] += derefs
+        return text
+
+    def cond_expr(self, scope: str, pool: List[Var]) -> str:
+        rng = self.rng
+        ints = [v.name for v in self.vars_of(INT, scope, pool)]
+        left = rng.choice(ints) if ints else str(rng.randrange(3))
+        op = rng.choice(["<", ">", "<=", ">=", "==", "!="])
+        right = (rng.choice(ints) if ints and rng.random() < 0.4
+                 else str(rng.randrange(6)))
+        return f"{left} {op} {right}"
+
+    # -- statements ------------------------------------------------------
+
+    def statement(self, scope: str, pool: List[Var]) -> Optional[Stmt]:
+        """One random simple statement valid in ``scope``."""
+        rng = self.rng
+        kinds: List[Tuple[str, int]] = [
+            ("int_write", 5), ("ptr_write", 5), ("ptr_reseat", 3),
+            ("pp_write", 2), ("struct_write", 2), ("struct_copy", 1),
+        ]
+        if scope == "main" or self.vars_of(PINT, scope, pool):
+            kinds.append(("malloc", 1))
+        if self.callable_helpers(scope):
+            kinds.append(("call", 2))
+        # Function-pointer calls only from main: a helper calling
+        # through a global fp could re-enter itself unboundedly.
+        if scope == "main" and self.vars_of(FPTR, scope, pool):
+            kinds.append(("fptr_call", 2))
+        kind = _Weighted(rng, kinds).pick()
+        builder = getattr(self, f"_stmt_{kind}")
+        return builder(scope, pool)
+
+    def _int_lvalue(self, scope: str, pool: List[Var]) -> Tuple[str, int]:
+        rng = self.rng
+        choices: List[Tuple[str, int]] = []
+        for v in self.vars_of(INT, scope, pool):
+            if not v.reserved:
+                choices.append((v.name, 0))
+        for v in self.vars_of(AINT, scope, pool):
+            choices.append((f"{v.name}[{rng.randrange(3)}]", 0))
+        for v in self.vars_of(S0, scope, pool):
+            choices.append((f"{v.name}.a", 0))
+        for v in self.vars_of(S1, scope, pool):
+            choices.append((f"{v.name}.in.a", 0))
+        for v in self.vars_of(PINT, scope, pool):
+            choices.append((f"*{v.name}", 1))
+        for v in self.vars_of(PS0, scope, pool):
+            choices.append((f"{v.name}->a", 1))
+        for v in self.vars_of(PPINT, scope, pool):
+            choices.append((f"**{v.name}", 2))
+        return rng.choice(choices) if choices else ("g0", 0)
+
+    def _stmt_int_write(self, scope, pool) -> Stmt:
+        lval, derefs = self._int_lvalue(scope, pool)
+        self.features["indirect_writes"] += 1 if derefs else 0
+        self.features["indirect_reads"] += max(0, derefs - 1)
+        return Stmt(text=f"{lval} = {self.int_expr(scope, pool)};")
+
+    def _pint_lvalue(self, scope: str, pool: List[Var]) -> Tuple[str, int]:
+        rng = self.rng
+        choices: List[Tuple[str, int]] = []
+        for v in self.vars_of(S0, scope, pool):
+            choices.append((f"{v.name}.q", 0))
+        for v in self.vars_of(S1, scope, pool):
+            choices.append((rng.choice([f"{v.name}.r", f"{v.name}.in.q"]), 0))
+        for v in self.vars_of(APINT, scope, pool):
+            choices.append((f"{v.name}[{rng.randrange(2)}]", 0))
+        for v in self.vars_of(AS0, scope, pool):
+            choices.append((f"{v.name}[{rng.randrange(2)}].q", 0))
+        for v in self.vars_of(PS0, scope, pool):
+            choices.append((f"{v.name}->q", 1))
+        for v in self.vars_of(PPINT, scope, pool):
+            choices.append((f"*{v.name}", 1))
+        return rng.choice(choices) if choices else ("gp", 0)
+
+    def _stmt_ptr_write(self, scope, pool) -> Stmt:
+        lval, derefs = self._pint_lvalue(scope, pool)
+        self.features["indirect_writes"] += 1 if derefs else 0
+        return Stmt(text=f"{lval} = {self.pint_expr(scope, pool)};")
+
+    def _stmt_ptr_reseat(self, scope, pool) -> Optional[Stmt]:
+        candidates = self.vars_of(PINT, scope, pool)
+        if not candidates:
+            return self._stmt_int_write(scope, pool)
+        var = self.rng.choice(candidates)
+        return Stmt(text=f"{var.name} = {self.pint_expr(scope, pool)};")
+
+    def _stmt_pp_write(self, scope, pool) -> Optional[Stmt]:
+        candidates = self.vars_of(PPINT, scope, pool)
+        if not candidates:
+            return self._stmt_ptr_reseat(scope, pool)
+        var = self.rng.choice(candidates)
+        return Stmt(
+            text=f"{var.name} = {self.pint_var_target(scope, pool)};")
+
+    def _stmt_struct_write(self, scope, pool) -> Optional[Stmt]:
+        candidates = self.vars_of(PS0, scope, pool)
+        if not candidates:
+            return self._stmt_ptr_write(scope, pool)
+        var = self.rng.choice(candidates)
+        return Stmt(text=f"{var.name} = {self.s0_target(scope, pool)};")
+
+    def _stmt_struct_copy(self, scope, pool) -> Optional[Stmt]:
+        s0_vars = self.vars_of(S0, scope, pool)
+        ps0_vars = self.vars_of(PS0, scope, pool)
+        rng = self.rng
+        if s0_vars and ps0_vars and rng.random() < 0.6:
+            dst = rng.choice(ps0_vars)
+            src = rng.choice(s0_vars)
+            self.features["indirect_writes"] += 1
+            return Stmt(text=f"*{dst.name} = {src.name};")
+        if len(s0_vars) >= 2:
+            dst, src = rng.sample(s0_vars, 2)
+            return Stmt(text=f"{dst.name} = {src.name};")
+        return self._stmt_ptr_write(scope, pool)
+
+    def _stmt_malloc(self, scope, pool) -> Optional[Stmt]:
+        candidates = self.vars_of(PINT, scope, pool)
+        if not candidates:
+            return self._stmt_int_write(scope, pool)
+        var = self.rng.choice(candidates)
+        self.features["mallocs"] += 1
+        self.features["indirect_writes"] += 1
+        # One line on purpose: the immediate initializing write keeps
+        # every later read through an alias defined, and an atomic
+        # malloc+init survives shrinking as a unit.
+        return Stmt(text=f"{var.name} = malloc(sizeof(int)); "
+                         f"*{var.name} = {self.rng.randrange(10)};")
+
+    def callable_helpers(self, scope: str) -> List["_Helper"]:
+        if scope == "main":
+            return list(self.helpers)
+        # helpers only call earlier helpers (no accidental cycles)
+        index = next((i for i, h in enumerate(self.helpers)
+                      if h.name == scope), 0)
+        return self.helpers[:index]
+
+    def _stmt_call(self, scope, pool) -> Optional[Stmt]:
+        callable_ = self.callable_helpers(scope)
+        if not callable_:
+            return self._stmt_int_write(scope, pool)
+        helper = self.rng.choice(callable_)
+        self.features["calls"] += 1
+        return Stmt(text=self._call_text(helper.name, helper.sig, scope, pool))
+
+    def _call_text(self, name: str, sig: str, scope, pool) -> str:
+        rng = self.rng
+        if sig == "A":      # int *f(int *, int)
+            arg = self.pint_expr(scope, pool)
+            depth = rng.randrange(4)
+            targets = self.vars_of(PINT, scope, pool)
+            if targets:
+                return f"{rng.choice(targets).name} = {name}({arg}, {depth});"
+            return f"{name}({arg}, {depth});"
+        # sig "B": int f(int *, int *)
+        a = self.pint_expr(scope, pool)
+        b = self.pint_expr(scope, pool)
+        targets = [v for v in self.vars_of(INT, scope, pool)
+                   if not v.reserved]
+        if targets:
+            return f"{rng.choice(targets).name} = {name}({a}, {b});"
+        return f"{name}({a}, {b});"
+
+    def _stmt_fptr_call(self, scope, pool) -> Optional[Stmt]:
+        fps = self.vars_of(FPTR, scope, pool)
+        if not fps:
+            return self._stmt_int_write(scope, pool)
+        rng = self.rng
+        fp = rng.choice(fps)
+        if rng.random() < 0.4 and self.fptr_helpers:
+            return Stmt(text=f"{fp.name} = "
+                             f"{rng.choice(self.fptr_helpers).name};")
+        self.features["fptr_calls"] += 1
+        arg = self.pint_expr(scope, pool)
+        targets = self.vars_of(PINT, scope, pool)
+        if targets:
+            return Stmt(text=f"{rng.choice(targets).name} = "
+                             f"{fp.name}({arg}, {rng.randrange(3)});")
+        return Stmt(text=f"{fp.name}({arg}, {rng.randrange(3)});")
+
+    # -- blocks ----------------------------------------------------------
+
+    def block(self, scope: str, pool: List[Var], budget: int,
+              depth: int, loop_vars: List[str]) -> List[Stmt]:
+        stmts: List[Stmt] = []
+        rng = self.rng
+        while budget > 0:
+            roll = rng.random()
+            if depth < 2 and roll < 0.12 and budget >= 3:
+                cond = self.cond_expr(scope, pool)
+                body = self.block(scope, pool, min(budget - 2, 3),
+                                  depth + 1, loop_vars)
+                orelse = []
+                if rng.random() < 0.5:
+                    orelse = self.block(scope, pool, min(budget - 2, 2),
+                                        depth + 1, loop_vars)
+                self.features["conditionals"] += 1
+                stmts.append(Stmt(kind="if", cond=cond, body=body,
+                                  orelse=orelse))
+                budget -= 2 + len(body) + len(orelse)
+            elif depth < 1 and loop_vars and roll < 0.22 and budget >= 4:
+                counter = loop_vars.pop()
+                bound = rng.randrange(1, 4)
+                body = self.block(scope, pool, min(budget - 3, 4),
+                                  depth + 1, [])
+                self.features["loops"] += 1
+                stmts.append(Stmt(
+                    kind="while", cond=f"{counter} < {bound}",
+                    init=f"{counter} = 0;",
+                    step=f"{counter} = {counter} + 1;", body=body))
+                budget -= 3 + len(body)
+            else:
+                stmt = self.statement(scope, pool)
+                if stmt is not None:
+                    stmts.append(stmt)
+                    self.features["statements"] += 1
+                budget -= 1
+        return stmts
+
+    # -- functions -------------------------------------------------------
+
+    def make_helpers(self) -> None:
+        rng = self.rng
+        count = rng.randrange(1, 4)
+        self.helpers: List[_Helper] = []
+        self.fptr_helpers: List[_Helper] = []
+        for i in range(count):
+            name = f"h{i}"
+            if i == 0:
+                sig = "A"       # guaranteed function-pointer target
+            else:
+                sig = rng.choice(["A", "A", "B", "R"])
+            recursive = sig == "R"
+            if recursive:
+                sig = "A"       # same C signature, recursive body
+            helper = _Helper(name, sig, recursive)
+            self.helpers.append(helper)
+            if sig == "A":
+                self.fptr_helpers.append(helper)
+            self.features["helpers"] += 1
+            if recursive:
+                self.features["recursive_helpers"] += 1
+        self.features["fptr_helpers"] = len(self.fptr_helpers)
+
+    def build_helper(self, helper: "_Helper") -> FuncSpec:
+        rng = self.rng
+        scope = helper.name
+        if helper.sig == "A":
+            header = f"int *{helper.name}(int *a, int b)"
+            # In a recursive helper, b is the decreasing depth bound;
+            # generated statements must never overwrite it.
+            params = [Var("a", PINT, scope),
+                      Var("b", INT, scope, reserved=helper.recursive)]
+        else:
+            header = f"int {helper.name}(int *a, int *b)"
+            params = [Var("a", PINT, scope), Var("b", PINT, scope)]
+        pool: List[Var] = list(params)
+        func = FuncSpec(helper.name, header)
+        for _ in range(rng.randrange(0, 3)):
+            ty = _Weighted(rng, _HELPER_MENU).pick()
+            var = Var(self.fresh("v"), ty, scope)
+            func.decls.append((var.name, self.decl_line(var, scope, pool)))
+            pool.append(var)
+            self.features["locals"] += 1
+        budget = rng.randrange(2, 5)
+        if helper.recursive:
+            # Depth-bounded self recursion: base case first, one
+            # recursive tail call; the depth argument strictly decreases.
+            func.body.append(Stmt(kind="if", cond="b <= 0",
+                                  body=[Stmt(text="return a;",
+                                             removable=False)],
+                                  removable=False))
+            # Clamp the depth: call sites pass arbitrary runtime ints,
+            # and the concrete interpreter recurses on the host stack.
+            func.body.append(Stmt(kind="if", cond="b > 8",
+                                  body=[Stmt(text="b = 8;",
+                                             removable=False)],
+                                  removable=False))
+            func.body.extend(self.block(scope, pool, budget, 0, []))
+            self.features["calls"] += 1
+            func.ret = (f"return {helper.name}"
+                        f"({self.pint_expr(scope, pool)}, b - 1);")
+        else:
+            func.body.extend(self.block(scope, pool, budget, 0, []))
+            if helper.sig == "A":
+                ret = rng.choice(["a", self.pint_expr(scope, pool)])
+                func.ret = f"return {ret};"
+            else:
+                func.ret = f"return {self.int_expr(scope, pool)};"
+        return func
+
+    def build_main(self) -> FuncSpec:
+        rng = self.rng
+        scope = "main"
+        pool: List[Var] = []
+        func = FuncSpec("main", "int main(void)")
+        loop_vars = []
+        for i in range(2):
+            counter = f"li{i}"
+            func.decls.append((counter, f"int {counter} = 0;"))
+            pool.append(Var(counter, INT, scope, reserved=True))
+            loop_vars.append(counter)
+        for _ in range(rng.randrange(2, 7)):
+            ty = _Weighted(rng, _MAIN_MENU).pick()
+            var = Var(self.fresh("v"), ty, scope)
+            func.decls.append((var.name, self.decl_line(var, scope, pool)))
+            pool.append(var)
+            self.features["locals"] += 1
+            if ty in (S0, S1, AS0, PS0):
+                self.features["struct_vars"] += 1
+            if ty in (AINT, APINT, AS0):
+                self.features["array_vars"] += 1
+        budget = max(6, self.max_nodes // 2 - len(func.decls))
+        func.body = self.block(scope, pool, budget, 0, loop_vars)
+        func.ret = "return 0;"
+        return func
+
+    # -- assembly --------------------------------------------------------
+
+    def generate(self, name: str) -> GeneratedProgram:
+        rng = self.rng
+        self.make_helpers()
+
+        # Base globals every program can rely on as address targets.
+        base = [
+            (Var("g0", INT, "global"), "int g0 = 1;"),
+            (Var("g1", INT, "global"), "int g1 = 2;"),
+            (Var("ga", AINT, "global"), "int ga[3] = {1, 2, 3};"),
+            (Var("gp", PINT, "global"), "int *gp = &g0;"),
+            (Var("gs", S0, "global"), "struct S0 gs = {3, &g1};"),
+        ]
+        for var, line in base:
+            self.globals.append(var)
+            self.spec.globals_.append((var.name, line))
+        for _ in range(rng.randrange(2, 7)):
+            ty = _Weighted(rng, _GLOBAL_MENU).pick()
+            var = Var(self.fresh("x"), ty, "global")
+            line = self.decl_line(var, "global", [])
+            self.globals.append(var)
+            self.spec.globals_.append((var.name, line))
+            if ty in (S0, S1, AS0, PS0):
+                self.features["struct_vars"] += 1
+            if ty in (AINT, APINT, AS0):
+                self.features["array_vars"] += 1
+        self.features["globals"] = len(self.globals)
+
+        for helper in self.helpers:
+            self.spec.funcs.append(self.build_helper(helper))
+        self.spec.funcs.append(self.build_main())
+
+        self.spec.struct_lines = list(STRUCT_LINES)
+        self.spec.extern_lines = [MALLOC_EXTERN]
+        for helper in self.helpers:
+            if helper.sig == "A":
+                self.spec.protos.append(
+                    f"int *{helper.name}(int *a, int b);")
+            else:
+                self.spec.protos.append(
+                    f"int {helper.name}(int *a, int *b);")
+
+        prune_unused(self.spec)
+        source = self.spec.render()
+        return GeneratedProgram(name=name, seed=self.seed, source=source,
+                                features=dict(self.features), spec=self.spec)
+
+
+@dataclass
+class _Helper:
+    name: str
+    sig: str            # "A": int *(int *, int);  "B": int (int *, int *)
+    recursive: bool
+
+
+# ---------------------------------------------------------------------------
+# Spec pruning (shared with the shrinker)
+# ---------------------------------------------------------------------------
+
+_WORD = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+def _words(text: str) -> set:
+    return set(_WORD.findall(text))
+
+
+def prune_unused(spec: ProgramSpec) -> bool:
+    """Drop unreferenced helpers, globals, prototypes, and headers.
+
+    Operates to a fixpoint; returns True when anything was removed.
+    Keeps the spec closed: a declaration is retained while any other
+    retained line mentions its name.
+    """
+    removed_any = False
+    while True:
+        body_words: set = set()
+        for func in spec.funcs:
+            lines: List[str] = []
+            func.render(lines)
+            for line in lines:
+                body_words |= _words(line)
+        for _, line in spec.globals_:
+            body_words |= _words(line)
+
+        removed = False
+        keep_funcs = []
+        for func in spec.funcs:
+            if func.name == "main":
+                keep_funcs.append(func)
+                continue
+            # referenced anywhere outside its own definition?
+            own: List[str] = []
+            func.render(own)
+            own_words = set()
+            for line in own:
+                own_words |= _words(line)
+            others: set = set()
+            for other in spec.funcs:
+                if other is func:
+                    continue
+                lines = []
+                other.render(lines)
+                for line in lines:
+                    others |= _words(line)
+            for _, line in spec.globals_:
+                others |= _words(line)
+            if func.name in others:
+                keep_funcs.append(func)
+            else:
+                removed = True
+        spec.funcs = keep_funcs
+
+        used: set = set()
+        for func in spec.funcs:
+            lines = []
+            func.render(lines)
+            for line in lines:
+                used |= _words(line)
+        keep_globals = []
+        for name, line in spec.globals_:
+            other_inits = {n: l for n, l in spec.globals_ if n != name}
+            refs = set()
+            for l in other_inits.values():
+                refs |= _words(l)
+            if name in used or name in refs:
+                keep_globals.append((name, line))
+            else:
+                removed = True
+        # re-check: dropping a global may orphan another one's only use
+        spec.globals_ = keep_globals
+
+        all_words: set = set()
+        for func in spec.funcs:
+            lines = []
+            func.render(lines)
+            for line in lines:
+                all_words |= _words(line)
+        for _, line in spec.globals_:
+            all_words |= _words(line)
+
+        new_protos = [p for p in spec.protos
+                      if _WORD.search(p) and
+                      _WORD.search(p).group(0) in ("int",) and
+                      any(f.name in _words(p) for f in spec.funcs)]
+        if len(new_protos) != len(spec.protos):
+            removed = True
+        spec.protos = new_protos
+
+        new_externs = [e for e in spec.extern_lines
+                       if _words(e) & all_words - {"extern", "void",
+                                                   "unsigned", "long", "n"}]
+        if len(new_externs) != len(spec.extern_lines):
+            removed = True
+        spec.extern_lines = new_externs
+
+        new_structs = []
+        for line in spec.struct_lines:
+            tag = line.split()[1]
+            later_struct_use = any(tag in _words(other)
+                                   for other in spec.struct_lines
+                                   if other != line)
+            if tag in all_words or later_struct_use:
+                new_structs.append(line)
+            else:
+                removed = True
+        spec.struct_lines = new_structs
+
+        removed_any |= removed
+        if not removed:
+            return removed_any
+
+
+# ---------------------------------------------------------------------------
+# Public entry point
+# ---------------------------------------------------------------------------
+
+
+def generate_program(seed: int, max_nodes: int = 80,
+                     name: Optional[str] = None) -> GeneratedProgram:
+    """Generate one program deterministically from ``seed``.
+
+    ``max_nodes`` bounds the statement budget (and hence, roughly, the
+    lowered VDG size).  The same ``(seed, max_nodes)`` always produces
+    byte-identical source.
+    """
+    return _Generator(seed, max_nodes).generate(
+        name if name is not None else f"fuzz-{seed}")

@@ -1,0 +1,77 @@
+"""Deliberately broken transfer rules, as named context managers.
+
+These exist to prove the oracles have teeth.  Each mutation is a
+reversible monkey-patch installing one plausible analysis bug:
+
+* ``overeager-strong-updates`` — every based access path reports
+  itself strongly updateable, so updates through array elements, heap
+  summaries, and recursive locals *kill* store pairs that other
+  instances still hold.  Crucially, this patches the
+  :class:`AccessPath` property that the CI/CS/FI solvers **and**
+  :mod:`repro.analysis.verify` all consult — every analysis is wrong
+  the same way, the solution is still a self-consistent fixpoint, and
+  only the concrete-execution oracle can notice (a real execution
+  reads a value the analyses swear was overwritten).  This is exactly
+  the bug class the fixpoint verifier is documented not to catch.
+
+* ``cs-survive-dom`` — the context-sensitive survive rule tests plain
+  ``dom`` instead of ``strong_dom``, so a may-alias location pair is
+  treated as a must-overwrite and qualified store pairs vanish from
+  update outputs.  The CI result is untouched, which makes this the
+  regression target for :func:`repro.analysis.verify.verify_qualified`:
+  the qualified-pair fixpoint check must flag the missing facts.
+
+Interned paths/pairs are process-global, but both patches replace pure
+*behaviour* (a property, a bound method), not cached data, so entering
+and exiting the context is side-effect free.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from ..analysis.sensitive import SensitiveAnalysis
+from ..memory.access import AccessPath
+from ..memory.relations import dom
+from ..analysis.qualified import QualifiedPair
+
+
+@contextmanager
+def overeager_strong_updates():
+    """Every based path claims ``strongly_updateable`` (unsound kills)."""
+    original = AccessPath.strongly_updateable
+    AccessPath.strongly_updateable = property(
+        lambda self: self.base is not None)
+    try:
+        yield
+    finally:
+        AccessPath.strongly_updateable = original
+
+
+@contextmanager
+def cs_survive_dom():
+    """CS survive rule uses may-alias ``dom`` as if it were must-alias."""
+    original = SensitiveAnalysis._update_survive
+
+    def broken(self, node, lp, sp):
+        if self.prune.cannot_modify(node, sp.pair.path):
+            self.flow_out(node.ostore, sp)
+            return
+        if dom(lp.pair.referent, sp.pair.path):   # should be strong_dom
+            return
+        a_l = self._loc_assumptions(node, lp.assumptions)
+        self.flow_out(node.ostore,
+                      QualifiedPair(sp.pair, a_l | sp.assumptions))
+
+    SensitiveAnalysis._update_survive = broken
+    try:
+        yield
+    finally:
+        SensitiveAnalysis._update_survive = original
+
+
+#: Name → context-manager factory, for ``repro fuzz --mutate``.
+MUTATIONS = {
+    "overeager-strong-updates": overeager_strong_updates,
+    "cs-survive-dom": cs_survive_dom,
+}

@@ -1,0 +1,300 @@
+"""Differential soundness checker.
+
+For one program the oracle establishes, memory operation by memory
+operation, the inclusion lattice the paper's claims rest on:
+
+    concrete ⊆ CS ⊆ CI ⊆ flow-insensitive
+
+* **CS ⊆ CI ⊆ FI** is checked per *node*: the three analyses run over
+  the same lowered :class:`~repro.ir.graph.Program`, so their
+  ``op_locations`` sets share interned :class:`AccessPath` identities
+  and plain set inclusion is exact.
+* **concrete ⊆ CS** is checked per *source line*: the interpreter and
+  the lowering parse the same text through the same frontend, so a
+  recorded access at ``(line, kind)`` must be covered by the union of
+  the CS ``op_locations`` of the lookups/updates lowered from that
+  line.  Coverage is segment-wise: same base label, and one operator
+  path a prefix of the other (the lowering may expand an aggregate
+  copy field-wise, or keep it whole — both directions are sound).
+  Note the abstract side includes *direct* operations too: a
+  syntactic dereference whose pointer is register-bound constant-folds
+  to a direct op, and its referent set still must cover the concrete
+  access.
+
+On top of the lattice the oracle asserts determinism — the batched and
+FIFO worklist schedules must reach byte-identical solutions — and
+re-checks each solution with the declarative fixpoint verifier.  The
+separate :func:`deep_checks` entry (used by the CLI every N-th
+program) additionally crosses process and cache boundaries: analyses
+fanned out with ``--jobs 2`` and lowerings replayed through a
+cache miss/hit cycle must digest identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..analysis import (
+    analyze_flowinsensitive,
+    analyze_insensitive,
+    analyze_sensitive,
+    verify_solution,
+)
+from ..analysis.common import AnalysisResult
+from ..frontend.lower import lower_file, lower_source
+from ..ir.nodes import LookupNode, UpdateNode
+from .concrete import ConcreteTrap, interpret_source
+
+#: Abstract access rendering: (base label, operator renderings).
+Rendered = Tuple[str, Tuple[str, ...]]
+
+
+@dataclass
+class Violation:
+    """One failed soundness/determinism obligation."""
+
+    kind: str        # "lattice" | "concrete" | "determinism" | "fixpoint"
+                     # | "trap" | "error"
+    detail: str
+    line: Optional[int] = None
+
+    def __str__(self) -> str:
+        where = f" (line {self.line})" if self.line is not None else ""
+        return f"[{self.kind}]{where} {self.detail}"
+
+
+@dataclass
+class CheckReport:
+    """Everything one program's differential check produced."""
+
+    name: str
+    violations: List[Violation] = field(default_factory=list)
+    stats: Dict[str, int] = field(default_factory=dict)
+    digests: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def signature(self) -> frozenset:
+        """Which obligation kinds failed — the shrinker preserves this."""
+        return frozenset(v.kind for v in self.violations)
+
+
+def solution_digest(result: AnalysisResult) -> str:
+    """Canonical content hash of a solution, stable across processes.
+
+    Node uids are assigned deterministically by the lowering and pair
+    reprs contain no ids, so equal solutions of equal programs digest
+    equally even after pickling across a process pool or a cache
+    round-trip.
+    """
+    lines = []
+    for output, pairs in result.solution.items():
+        node = output.node
+        rendered = ";".join(sorted(repr(p) for p in pairs))
+        lines.append(f"{node.graph.name}|{node.kind}#{node.uid}|"
+                     f"{output.name}|{rendered}")
+    lines.sort()
+    return hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()
+
+
+def _origin_line(node) -> Optional[int]:
+    origin = getattr(node, "origin", None)
+    if not origin:
+        return None
+    tail = origin.rsplit(":", 1)[-1]
+    return int(tail) if tail.isdigit() else None
+
+
+def _render_paths(paths) -> Set[Rendered]:
+    rendered = set()
+    for path in paths:
+        if path.base is None:  # pragma: no cover - referents are based
+            continue
+        rendered.add((path.base.describe(),
+                      tuple(repr(op) for op in path.ops)))
+    return rendered
+
+
+def _covered(concrete: Rendered, abstract: Set[Rendered]) -> bool:
+    c_label, c_ops = concrete
+    for a_label, a_ops in abstract:
+        if a_label != c_label:
+            continue
+        shorter = min(len(a_ops), len(c_ops))
+        if a_ops[:shorter] == c_ops[:shorter]:
+            return True
+    return False
+
+
+def check_program(source: str, name: str = "<fuzz>", *,
+                  schedules: bool = True,
+                  fixpoint: bool = True,
+                  step_budget: Optional[int] = None) -> CheckReport:
+    """Run the full differential check on one C source text."""
+    report = CheckReport(name=name)
+    # simplify=False: the simplifier deletes dead lookups, which would
+    # leave concretely-executed reads with no abstract counterpart.
+    program = lower_source(source, name=name, simplify=False)
+    ci = analyze_insensitive(program)
+    cs = analyze_sensitive(program, ci_result=ci)
+    fi = analyze_flowinsensitive(program)
+    report.stats["nodes"] = program.node_count()
+    report.stats["functions"] = len(program.functions)
+
+    # -- CS ⊆ CI ⊆ FI, per memory operation ------------------------------
+    op_count = 0
+    indirect_count = 0
+    line_map: Dict[Tuple[int, str], Set[Rendered]] = {}
+    line_ops: Dict[Tuple[int, str], int] = {}
+    for graph in program.functions.values():
+        for node in graph.memory_operations():
+            op_count += 1
+            if node.is_indirect:
+                indirect_count += 1
+            cs_locs = cs.op_locations(node)
+            ci_locs = ci.op_locations(node)
+            fi_locs = fi.op_locations(node)
+            if not cs_locs <= ci_locs:
+                extra = ", ".join(sorted(repr(p) for p in cs_locs - ci_locs))
+                report.violations.append(Violation(
+                    "lattice", f"CS ⊄ CI at {graph.name}:{node!r}: "
+                    f"CS-only locations {{{extra}}}", _origin_line(node)))
+            if not ci_locs <= fi_locs:
+                extra = ", ".join(sorted(repr(p) for p in ci_locs - fi_locs))
+                report.violations.append(Violation(
+                    "lattice", f"CI ⊄ FI at {graph.name}:{node!r}: "
+                    f"CI-only locations {{{extra}}}", _origin_line(node)))
+            line = _origin_line(node)
+            if line is not None:
+                kind = "read" if isinstance(node, LookupNode) else "write"
+                key = (line, kind)
+                line_map.setdefault(key, set()).update(
+                    _render_paths(cs_locs))
+                line_ops[key] = line_ops.get(key, 0) + 1
+    report.stats["memory_ops"] = op_count
+    report.stats["indirect_ops"] = indirect_count
+
+    # -- concrete ⊆ CS, per source line ----------------------------------
+    try:
+        kwargs = {} if step_budget is None else {"step_budget": step_budget}
+        trace = interpret_source(source, name=name, **kwargs)
+    except ConcreteTrap as trap:
+        report.violations.append(Violation(
+            "trap", f"concrete execution trapped: {trap}"))
+        trace = None
+    if trace is not None:
+        report.stats["concrete_steps"] = trace.steps
+        report.stats["concrete_accesses"] = trace.total_accesses()
+        report.stats["concrete_calls"] = trace.calls
+        for (line, kind), accesses in sorted(trace.accesses.items()):
+            abstract = line_map.get((line, kind), set())
+            if not line_ops.get((line, kind)):
+                sample = ", ".join(sorted(l + "".join(o)
+                                          for l, o in accesses))
+                report.violations.append(Violation(
+                    "concrete", f"executed a pointer {kind} with no "
+                    f"lowered memory operation (touched {{{sample}}})",
+                    line))
+                continue
+            for access in sorted(accesses):
+                if not _covered(access, abstract):
+                    have = ", ".join(sorted(l + "".join(o)
+                                            for l, o in abstract)) or "∅"
+                    report.violations.append(Violation(
+                        "concrete",
+                        f"concrete {kind} touched "
+                        f"{access[0] + ''.join(access[1])!r} but CS "
+                        f"op_locations only cover {{{have}}}", line))
+
+    # -- schedule determinism --------------------------------------------
+    report.digests["ci"] = solution_digest(ci)
+    report.digests["cs"] = solution_digest(cs)
+    report.digests["fi"] = solution_digest(fi)
+    if schedules:
+        ci_fifo = analyze_insensitive(program, schedule="fifo")
+        cs_fifo = analyze_sensitive(program, ci_result=ci_fifo,
+                                    schedule="fifo")
+        fi_fifo = analyze_flowinsensitive(program, schedule="fifo")
+        for flavor, fifo in (("ci", ci_fifo), ("cs", cs_fifo),
+                             ("fi", fi_fifo)):
+            digest = solution_digest(fifo)
+            if digest != report.digests[flavor]:
+                report.violations.append(Violation(
+                    "determinism",
+                    f"{flavor.upper()} solution differs between batched "
+                    f"({report.digests[flavor][:12]}…) and fifo "
+                    f"({digest[:12]}…) schedules"))
+
+    # -- independent fixpoint re-check -----------------------------------
+    if fixpoint:
+        for flavor, result in (("CI", ci), ("CS", cs)):
+            for violation in verify_solution(result):
+                report.violations.append(Violation(
+                    "fixpoint", f"{flavor}: {violation}"))
+    return report
+
+
+def deep_checks(programs: Sequence[Tuple[str, str]],
+                jobs: int = 2) -> List[Violation]:
+    """Cross-process and cache determinism for a batch of programs.
+
+    ``programs`` is ``[(name, source), ...]``; needs at least two
+    entries for the ``jobs``-fan-out leg to actually cross a process
+    boundary.  Each program's CI/CS solutions must digest identically
+    when analyzed inline (``jobs=1``) and across a process pool, and
+    when its lowering is replayed through a cache miss then a cache
+    hit.
+    """
+    from ..runner import run_files_report
+
+    violations: List[Violation] = []
+    with tempfile.TemporaryDirectory(prefix="repro-fuzz-") as tmp:
+        tmpdir = Path(tmp)
+        paths = []
+        for prog_name, source in programs:
+            path = tmpdir / f"{prog_name}.c"
+            path.write_text(source, encoding="utf-8")
+            paths.append(path)
+
+        flavors = ("insensitive", "sensitive")
+        inline = run_files_report(paths, flavors=flavors, jobs=1)
+        pooled = run_files_report(paths, flavors=flavors, jobs=jobs)
+        for one, two in zip(inline.outcomes, pooled.outcomes):
+            if not one.ok or not two.ok:
+                detail = one.error or two.error
+                violations.append(Violation(
+                    "error", f"analysis failed during jobs check: {detail}"))
+                continue
+            for flavor in flavors:
+                a = solution_digest(one.results[flavor])
+                b = solution_digest(two.results[flavor])
+                if a != b:
+                    violations.append(Violation(
+                        "determinism",
+                        f"{one.name}: {flavor} solution differs between "
+                        f"jobs=1 ({a[:12]}…) and jobs={jobs} ({b[:12]}…)"))
+
+        cache_dir = tmpdir / "cache"
+        for path in paths:
+            cold = lower_file(path, cache=cache_dir)
+            warm = lower_file(path, cache=cache_dir)
+            statuses = (cold.extras.get("cache"), warm.extras.get("cache"))
+            if statuses != ("miss", "hit"):
+                violations.append(Violation(
+                    "determinism",
+                    f"{path.name}: expected cache miss then hit, got "
+                    f"{statuses}"))
+            a = solution_digest(analyze_insensitive(cold))
+            b = solution_digest(analyze_insensitive(warm))
+            if a != b:
+                violations.append(Violation(
+                    "determinism",
+                    f"{path.name}: CI solution differs between cache miss "
+                    f"({a[:12]}…) and cache hit ({b[:12]}…)"))
+    return violations

@@ -1,0 +1,152 @@
+"""Greedy minimizer for failing generated programs.
+
+Works on the generator's structured :class:`ProgramSpec`, not on raw
+text, so every candidate is still a syntactically valid program built
+from the same UB-free statement vocabulary.  Reduction moves, tried
+last statement first:
+
+* delete one removable statement (an ``if``/``while`` goes with its
+  whole body; the generator's atomic ``malloc``+init line goes as a
+  unit);
+* unwrap a conditional or loop, splicing its body in its place;
+* delete one unreferenced local declaration.
+
+After every successful move :func:`~repro.fuzz.generator.prune_unused`
+sweeps now-unreferenced helpers, globals, prototypes, struct
+definitions, and the ``malloc`` extern, which is what collapses a
+50-line program into a handful of lines once the failing core is
+isolated.
+
+A candidate is kept only when the caller's ``still_fails`` predicate
+accepts the re-rendered source — the CLI and tests pass a predicate
+that re-runs the differential check and compares the violation
+*signature*, so shrinking preserves the original failure kind rather
+than trading it for a different bug.  Predicates that raise (the
+candidate no longer parses, lowers, or executes) reject the candidate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Tuple
+
+from .generator import GeneratedProgram, ProgramSpec, Stmt, prune_unused
+
+#: A reduction candidate: ("stmt"|"unwrap", func index, trail) or
+#: ("decl", func index, decl index).  A trail walks nested bodies:
+#: each element is ("body"|"orelse", index).
+Candidate = Tuple[str, int, tuple]
+
+
+def _walk(stmts: List[Stmt], prefix: tuple,
+          list_name: str = "body") -> Iterator[Tuple[tuple, Stmt]]:
+    for index, stmt in enumerate(stmts):
+        here = prefix + ((list_name, index),)
+        yield here, stmt
+        if stmt.kind in ("if", "while"):
+            yield from _walk(stmt.body, here, "body")
+            yield from _walk(stmt.orelse, here, "orelse")
+
+
+def _resolve(spec: ProgramSpec, func_index: int,
+             trail: tuple) -> Tuple[List[Stmt], int]:
+    """The (statement list, index) a trail addresses inside ``spec``.
+
+    Each hop is ``(list-name, index)``; a hop's list lives on the
+    statement the *previous* hop selected, and the list-name is
+    recorded on the *next* hop (the first hop is always in the
+    function body).
+    """
+    stmts = spec.funcs[func_index].body
+    for hop, (which, index) in enumerate(trail):
+        if hop == len(trail) - 1:
+            return stmts, index
+        nxt = trail[hop + 1][0]
+        stmt = stmts[index]
+        stmts = stmt.orelse if nxt == "orelse" else stmt.body
+    raise IndexError("empty trail")  # pragma: no cover
+
+
+def _candidates(spec: ProgramSpec) -> List[Candidate]:
+    found: List[Candidate] = []
+    for func_index, func in enumerate(spec.funcs):
+        for trail, stmt in _walk(func.body, ()):
+            if stmt.removable:
+                found.append(("stmt", func_index, trail))
+            if stmt.kind in ("if", "while") and stmt.removable \
+                    and (stmt.body or stmt.orelse):
+                found.append(("unwrap", func_index, trail))
+        for decl_index in range(len(func.decls)):
+            found.append(("decl", func_index, decl_index))
+    return found
+
+
+def _apply(spec: ProgramSpec, candidate: Candidate) -> bool:
+    kind, func_index, where = candidate[0], candidate[1], candidate[2]
+    func = spec.funcs[func_index]
+    if kind == "decl":
+        if where >= len(func.decls):
+            return False
+        del func.decls[where]
+        return True
+    try:
+        stmts, index = _resolve(spec, func_index, where)
+    except (IndexError, AttributeError):
+        return False
+    if index >= len(stmts):
+        return False
+    stmt = stmts[index]
+    if kind == "stmt":
+        del stmts[index]
+        return True
+    if kind == "unwrap":
+        stmts[index:index + 1] = list(stmt.body) + list(stmt.orelse)
+        return True
+    return False  # pragma: no cover
+
+
+def _line_count(source: str) -> int:
+    return sum(1 for line in source.splitlines() if line.strip())
+
+
+def shrink_program(program: GeneratedProgram,
+                   still_fails: Callable[[str], bool],
+                   max_attempts: int = 2000) -> GeneratedProgram:
+    """Greedily minimize ``program`` while ``still_fails`` holds.
+
+    Returns a new :class:`GeneratedProgram` whose source is the
+    smallest found; the input is never mutated.  ``still_fails`` is
+    called with candidate source text and must return True when the
+    original failure reproduces; exceptions count as False.
+    """
+
+    def safe(text: str) -> bool:
+        try:
+            return bool(still_fails(text))
+        except Exception:
+            return False
+
+    spec = program.spec.clone()
+    prune_unused(spec)
+    best = spec.render()
+    attempts = 0
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        for candidate in reversed(_candidates(spec)):
+            if attempts >= max_attempts:
+                break
+            trial = spec.clone()
+            if not _apply(trial, candidate):
+                continue
+            prune_unused(trial)
+            text = trial.render()
+            if _line_count(text) >= _line_count(best):
+                continue
+            attempts += 1
+            if safe(text):
+                spec, best = trial, text
+                progress = True
+                break
+    return GeneratedProgram(name=f"{program.name}-shrunk",
+                            seed=program.seed, source=best,
+                            features=dict(program.features), spec=spec)

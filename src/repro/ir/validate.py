@@ -1,9 +1,10 @@
 """Structural well-formedness checks for function graphs and programs.
 
 The lowering pass and hand-built test graphs both run through here
-before analysis; a malformed graph (dangling input, open loop header,
-type-confused store wiring) raises :class:`~repro.errors.IRError`
-instead of producing silently wrong points-to sets.
+before analysis; a malformed graph (dangling input, dangling store
+output, open loop header, type-confused store wiring) raises
+:class:`~repro.errors.IRError` instead of producing silently wrong
+points-to sets.
 """
 
 from __future__ import annotations
@@ -71,6 +72,15 @@ def validate_function(graph: FunctionGraph) -> None:
                     errors.append(
                         f"{graph.name}: stale consumer {consumer!r} "
                         f"recorded on {out!r}")
+            # A store output nobody consumes is a dropped effect: the
+            # store thread must be linear and terminate at the return
+            # node.  (Unconsumed *value* outputs are legal — discarded
+            # call results, dead lookups before simplification.)
+            if (out.tag is ValueTag.STORE and not out.consumers
+                    and not isinstance(node, ReturnNode)):
+                errors.append(
+                    f"{graph.name}: dangling store output at node "
+                    f"{node.kind}#{node.uid} ({out.name})")
 
         # Store-typing discipline.
         if isinstance(node, LookupNode):

@@ -17,7 +17,9 @@ operators are interned and union members collapse to one slot.
 
 from __future__ import annotations
 
-from .access import AccessPath
+from typing import Optional
+
+from .access import AccessPath, make_path
 
 
 def is_prefix(a: AccessPath, b: AccessPath) -> bool:
@@ -41,3 +43,21 @@ def strong_dom(a: AccessPath, b: AccessPath) -> bool:
 def may_alias(a: AccessPath, b: AccessPath) -> bool:
     """Symmetric may-alias: either path dominates the other."""
     return is_prefix(a, b) or is_prefix(b, a)
+
+
+def meet(a: AccessPath, b: AccessPath) -> Optional[AccessPath]:
+    """Greatest lower bound in the ``dom`` prefix order.
+
+    With ``x ⊑ y`` defined as ``is_prefix(x, y)``, two paths over the
+    same base always meet at their longest common prefix; paths over
+    different bases share no lower bound at all (the order has no
+    bottom), so the meet is ``None``.
+    """
+    if a.base is not b.base:
+        return None
+    n = 0
+    for x, y in zip(a.ops, b.ops):
+        if x != y:
+            break
+        n += 1
+    return make_path(a.base, a.ops[:n])

@@ -68,3 +68,17 @@ def load_all(cache: object = True, **options) -> Dict[str, Program]:
     """Lower the entire suite, keyed by program name."""
     return {name: load_program(name, cache=cache, **options)
             for name in PROGRAM_NAMES}
+
+
+def fuzz_corpus(seed: int = 0, count: int = 20, max_nodes: int = 80):
+    """A deterministic corpus of generated pointer programs.
+
+    Thin wrapper over :func:`repro.fuzz.generator.generate_program`
+    so tests and benchmarks can ask the suite layer for synthetic
+    inputs the same way they ask for the Figure 2 stand-ins.  The
+    corpus is a pure function of ``(seed, count, max_nodes)``.
+    """
+    from ..fuzz.generator import generate_program
+
+    return [generate_program(seed + i, max_nodes=max_nodes)
+            for i in range(count)]

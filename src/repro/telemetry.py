@@ -31,6 +31,12 @@ Record schema (``schema`` = :data:`SCHEMA_VERSION`):
 ``kind="error"`` records replace ``flavor``/``counters``/``phases``
 with an ``error`` object ``{"kind", "message", "traceback"}`` naming
 the failing task — a crashed worker still yields one line.
+
+``kind="fuzz"`` records (one per generated program checked by
+``repro fuzz``) carry ``seed`` — enough to regenerate the program —
+plus oracle ``stats``, the ``violations`` list (empty when
+``status="ok"``), the active ``mutation`` if any, and
+``shrunk_lines`` for minimized failures.
 """
 
 from __future__ import annotations
@@ -93,6 +99,33 @@ def result_records(program: str,
     """Records for every flavor of one program, in mapping order."""
     return [result_record(program, result, schedule)
             for result in results.values()]
+
+
+def fuzz_record(outcome, mutation: Optional[str] = None
+                ) -> Dict[str, object]:
+    """One ``kind="fuzz"`` record for a checked generated program.
+
+    ``outcome`` is a :class:`repro.fuzz.driver.FuzzOutcome`; the record
+    carries the seed (sufficient to regenerate the program), the
+    oracle's size stats, and — on failure — every violation plus the
+    shrunk reproducer's line count.
+    """
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "fuzz",
+        "status": "ok" if outcome.ok else "violation",
+        "program": outcome.name,
+        "seed": outcome.seed,
+        "mutation": mutation,
+        "stats": dict(outcome.stats),
+        "violations": [{"kind": v.kind, "line": v.line,
+                        "detail": v.detail}
+                       for v in outcome.violations],
+        "shrunk_lines": outcome.shrunk_lines,
+        "elapsed_seconds": round(outcome.elapsed_seconds, 6),
+        "worker_pid": os.getpid(),
+        "peak_rss_kb": peak_rss_kb(),
+    }
 
 
 def error_record(program: str, kind: str, message: str,

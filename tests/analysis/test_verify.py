@@ -5,7 +5,13 @@ import pytest
 from repro.analysis.flowinsensitive import analyze_flowinsensitive
 from repro.analysis.insensitive import analyze_insensitive
 from repro.analysis.sensitive import analyze_sensitive
-from repro.analysis.verify import assert_fixpoint, verify_solution
+from repro.analysis.verify import (
+    assert_fixpoint,
+    assert_qualified_fixpoint,
+    verify_qualified,
+    verify_solution,
+)
+from repro.fuzz.mutations import cs_survive_dom
 from repro.memory import direct, global_location, location_path
 from tests.conftest import analyze_both, lower
 
@@ -83,3 +89,44 @@ class TestVerifier:
         ci.solution._pairs = {k: set() for k in ci.solution._pairs}
         with pytest.raises(AssertionError, match="fixpoint violations"):
             assert_fixpoint(ci)
+
+
+class TestQualifiedVerifier:
+    """The qualified-pair (context-sensitive) fixpoint checker."""
+
+    def test_cs_qualified_solution_is_fixpoint(self):
+        _, _, cs = analyze_both(SRC)
+        assert verify_qualified(cs) == []
+
+    def test_unoptimized_cs_also_passes(self):
+        program = lower(SRC)
+        cs = analyze_sensitive(program, optimize=False)
+        assert verify_qualified(cs) == []
+
+    def test_requires_live_qualified_solution(self):
+        _, ci, _ = analyze_both(SRC)
+        with pytest.raises(ValueError, match="qualified"):
+            verify_qualified(ci)
+
+    def test_catches_broken_survive_rule(self):
+        """A CS transfer function that treats may-alias ``dom`` as
+        must-overwrite drops qualified store pairs; the independent
+        re-derivation must notice the missing facts."""
+        with cs_survive_dom():
+            program = lower(SRC)
+            ci = analyze_insensitive(program)
+            cs = analyze_sensitive(program, ci_result=ci)
+            violations = verify_qualified(cs)
+        assert violations
+        assert any("update" in v.reason for v in violations)
+
+    def test_assert_qualified_fixpoint_raises(self):
+        with cs_survive_dom():
+            program = lower(SRC)
+            cs = analyze_sensitive(program)
+            with pytest.raises(AssertionError,
+                               match="qualified fixpoint violations"):
+                assert_qualified_fixpoint(cs)
+
+    def test_suite_programs_pass(self, suite_cache, suite_name):
+        assert_qualified_fixpoint(suite_cache.cs(suite_name))

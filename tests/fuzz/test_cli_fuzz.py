@@ -1,0 +1,62 @@
+"""The ``repro fuzz`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.telemetry import read_jsonl
+
+
+class TestFuzzCommand:
+    def test_clean_campaign_exits_zero(self, capsys):
+        assert main(["fuzz", "--seed", "0", "--count", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 program(s)" in out
+        assert "0 failing" in out
+
+    def test_telemetry_records_written(self, tmp_path, capsys):
+        path = tmp_path / "fuzz.jsonl"
+        assert main(["fuzz", "--seed", "5", "--count", "2",
+                     "--telemetry", str(path)]) == 0
+        records = read_jsonl(path)
+        assert len(records) == 2
+        assert all(r["kind"] == "fuzz" for r in records)
+        assert all(r["status"] == "ok" for r in records)
+        assert [r["seed"] for r in records] == [5, 6]
+        assert records[0]["stats"]["memory_ops"] > 0
+
+    def test_unknown_mutation_rejected(self, capsys):
+        assert main(["fuzz", "--count", "1",
+                     "--mutate", "no-such-bug"]) == 2
+        assert "unknown mutation" in capsys.readouterr().err
+
+
+@pytest.mark.fuzz
+class TestFailureArtifacts:
+    def test_mutated_campaign_writes_replayable_artifacts(
+            self, tmp_path, capsys):
+        artifacts = tmp_path / "artifacts"
+        telemetry = tmp_path / "fuzz.jsonl"
+        code = main(["fuzz", "--seed", "3", "--count", "1",
+                     "--mutate", "overeager-strong-updates",
+                     "--artifacts", str(artifacts),
+                     "--telemetry", str(telemetry)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL seed 3" in out
+
+        bundle = artifacts / "fuzz-3"
+        assert (bundle / "original.c").is_file()
+        assert (bundle / "shrunk.c").is_file()
+        manifest = json.loads((bundle / "manifest.json").read_text())
+        assert manifest["seed"] == 3
+        assert manifest["mutation"] == "overeager-strong-updates"
+        assert manifest["violations"]
+        assert all(v["kind"] == "concrete"
+                   for v in manifest["violations"])
+
+        record = read_jsonl(telemetry)[0]
+        assert record["status"] == "violation"
+        assert record["mutation"] == "overeager-strong-updates"
+        assert record["shrunk_lines"] == manifest["shrunk_lines"]

@@ -1,0 +1,105 @@
+"""The seeded random program generator."""
+
+import re
+import shutil
+import subprocess
+
+import pytest
+
+from repro.fuzz.generator import generate_program
+
+
+class TestDeterminism:
+    def test_same_seed_same_program(self):
+        a = generate_program(7)
+        b = generate_program(7)
+        assert a.source == b.source
+        assert a.manifest() == b.manifest()
+
+    def test_seeds_produce_distinct_programs(self):
+        sources = {generate_program(seed).source for seed in range(8)}
+        assert len(sources) == 8
+
+    def test_max_nodes_changes_output(self):
+        assert (generate_program(0, max_nodes=40).source
+                != generate_program(0, max_nodes=160).source)
+
+
+class TestShape:
+    def test_manifest_records_features(self):
+        program = generate_program(0)
+        manifest = program.manifest()
+        assert manifest["seed"] == 0
+        features = manifest["features"]
+        assert features["helpers"] >= 1
+        assert features["globals"] >= 5
+        assert features["indirect_reads"] + features.get(
+            "indirect_writes", 0) >= 0
+
+    def test_base_globals_always_present(self):
+        for seed in range(5):
+            source = generate_program(seed).source
+            for name in ("g0", "g1", "ga", "gp"):
+                assert re.search(rf"\b{name}\b", source), (seed, name)
+
+    def test_loop_counters_only_self_increment(self):
+        """Termination hinges on the reserved ``liN`` counters: nothing
+        may write or address-take them except their own declaration and
+        loop step."""
+        for seed in range(30):
+            source = generate_program(seed).source
+            for line in source.splitlines():
+                stripped = line.strip()
+                match = re.match(r"(?:int )?(li\d+)\s*=", stripped)
+                if match:
+                    counter = match.group(1)
+                    assert stripped in (f"int {counter} = 0;",
+                                        f"{counter} = 0;",
+                                        f"{counter} = {counter} + 1;"
+                                        ), (seed, stripped)
+                assert not re.search(r"&\s*li\d+", stripped), (seed,
+                                                               stripped)
+
+    def test_recursive_depth_param_never_reassigned(self):
+        """In a *recursive* helper ``b`` is the decreasing depth bound;
+        only the generated clamp may write it.  (Non-recursive helpers
+        may reassign their parameters freely.)"""
+        for seed in range(30):
+            source = generate_program(seed).source
+            # Split into function bodies on definition headers.
+            chunks = re.split(r"\n(?=int )", source)
+            for chunk in chunks:
+                if not re.match(r"int \*h\d+\(int \*a, int b\) \{",
+                                chunk):
+                    continue
+                if "b - 1" not in chunk:  # not the recursive helper
+                    continue
+                for line in chunk.splitlines():
+                    stripped = line.strip()
+                    if re.match(r"b\s*=", stripped):
+                        assert stripped == "b = 8;", (seed, stripped)
+
+
+@pytest.mark.skipif(shutil.which("gcc") is None, reason="needs gcc")
+class TestRealC:
+    def test_generated_programs_compile_and_run(self, tmp_path):
+        for seed in range(3):
+            program = generate_program(seed)
+            src = tmp_path / f"{program.name}.c"
+            src.write_text(program.source)
+            exe = tmp_path / program.name
+            compile_run = subprocess.run(
+                ["gcc", "-std=c99", "-Wall", "-Werror=implicit",
+                 "-o", str(exe), str(src)],
+                capture_output=True, text=True)
+            assert compile_run.returncode == 0, compile_run.stderr
+            run = subprocess.run([str(exe)], capture_output=True,
+                                 timeout=10)
+            assert run.returncode == 0
+
+
+@pytest.mark.fuzz
+def test_many_seeds_generate_cleanly():
+    for seed in range(150):
+        program = generate_program(seed)
+        assert "int main(void)" in program.source

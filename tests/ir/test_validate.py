@@ -66,6 +66,38 @@ class TestFunctionValidation:
         with pytest.raises(IRError, match="no return"):
             validate_function(gb.graph)
 
+    def test_dangling_store_output_caught(self):
+        gb = GraphBuilder("f")
+        entry = gb.entry([])
+        gpath = location_path(global_location("g"))
+        addr = gb.address(gpath)
+        gb.update(addr, entry.store_out, gb.const(1))  # ostore dropped
+        gb.ret(None, entry.store_out)
+        with pytest.raises(IRError, match="dangling store output"):
+            validate_function(gb.graph)
+
+    def test_dangling_store_output_names_node(self):
+        gb = GraphBuilder("f")
+        entry = gb.entry([])
+        gpath = location_path(global_location("g"))
+        addr = gb.address(gpath)
+        dropped = gb.update(addr, entry.store_out, gb.const(1))
+        gb.ret(None, entry.store_out)
+        with pytest.raises(IRError,
+                           match=f"update#{dropped.node.uid}"):
+            validate_function(gb.graph)
+
+    def test_unconsumed_value_output_allowed(self):
+        # Dead lookups (pre-simplification) and discarded call results
+        # are legal; only an unconsumed *store* is a dropped effect.
+        gb = GraphBuilder("f")
+        entry = gb.entry([])
+        gpath = location_path(global_location("g"))
+        addr = gb.address(gpath)
+        gb.lookup(addr, entry.store_out, ValueTag.SCALAR)  # result unused
+        gb.ret(None, entry.store_out)
+        validate_function(gb.graph)
+
 
 class TestProgramValidation:
     def test_valid_program(self):

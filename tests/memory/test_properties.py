@@ -5,7 +5,17 @@ from hypothesis import strategies as st
 
 from repro.memory.access import INDEX, AccessPath, FieldOp, make_path
 from repro.memory.base import global_location, heap_location
-from repro.memory.relations import dom, is_prefix, may_alias, strong_dom
+from repro.memory.relations import (
+    dom,
+    is_prefix,
+    may_alias,
+    meet,
+    strong_dom,
+)
+
+# Seeded and example-bounded so the whole module stays inside the
+# tier-1 time budget regardless of the ambient hypothesis profile.
+bounded = settings(derandomize=True, deadline=None, max_examples=150)
 
 # A small universe of interned components keeps the search space dense.
 _BASES = [global_location("g1"), global_location("g2"),
@@ -61,6 +71,72 @@ class TestPrefixAlgebra:
     def test_dom_implies_may_alias(self, a, b):
         if dom(a, b):
             assert may_alias(a, b)
+
+    @bounded
+    @given(paths)
+    def test_strong_dom_reflexive_iff_strong(self, path):
+        """``strong_dom`` is reflexive exactly on the strongly
+        updateable paths (must-overwrite of itself needs a unique
+        storage location)."""
+        assert strong_dom(path, path) == path.strongly_updateable
+
+    @bounded
+    @given(paths, paths, paths)
+    def test_strong_dom_transitive(self, a, b, c):
+        if strong_dom(a, b) and strong_dom(b, c):
+            assert strong_dom(a, c)
+
+
+class TestMeetLattice:
+    """``meet`` is the GLB of the ``dom`` prefix order."""
+
+    @bounded
+    @given(paths)
+    def test_meet_idempotent(self, path):
+        assert meet(path, path) is path
+
+    @bounded
+    @given(paths, paths)
+    def test_meet_commutative(self, a, b):
+        assert meet(a, b) is meet(b, a)
+
+    @bounded
+    @given(paths, paths, paths)
+    def test_meet_associative(self, a, b, c):
+        left = meet(a, b)
+        right = meet(b, c)
+        lhs = meet(left, c) if left is not None else None
+        rhs = meet(a, right) if right is not None else None
+        assert lhs is rhs
+
+    @bounded
+    @given(paths, paths)
+    def test_meet_is_lower_bound(self, a, b):
+        m = meet(a, b)
+        if m is not None:
+            assert dom(m, a) and dom(m, b)
+
+    @bounded
+    @given(paths, paths, paths)
+    def test_meet_is_greatest_lower_bound(self, a, b, c):
+        if dom(c, a) and dom(c, b):
+            m = meet(a, b)
+            assert m is not None and dom(c, m)
+
+    @bounded
+    @given(paths, paths, paths)
+    def test_meet_monotone(self, a, b, c):
+        """Meet is monotone in each argument: b ⊑ c ⇒ a∧b ⊑ a∧c."""
+        if dom(b, c):
+            mb, mc = meet(a, b), meet(a, c)
+            if mb is not None:
+                assert mc is not None and dom(mb, mc)
+
+    @bounded
+    @given(paths, paths)
+    def test_meet_recovers_dom(self, a, b):
+        """a ⊑ b iff a ∧ b = a (the order is definable from the meet)."""
+        assert dom(a, b) == (meet(a, b) is a)
 
 
 class TestAppendSubtract:
