@@ -9,6 +9,7 @@ dynamically discovered call graph.
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from dataclasses import dataclass, field
 from typing import (
@@ -18,6 +19,7 @@ from typing import (
     Iterable,
     Iterator,
     List,
+    Mapping,
     Optional,
     Set,
     Tuple,
@@ -26,6 +28,7 @@ from typing import (
 from ..errors import AnalysisError
 from ..memory.access import EMPTY_OFFSET, AccessPath
 from ..memory.base import LocationKind
+from ..memory.facttable import FactTable, bitset_words
 from ..memory.pairs import PointsToPair
 from ..ir.graph import FunctionGraph, Program
 from ..ir.nodes import CallNode, InputPort, LookupNode, Node, OutputPort, UpdateNode
@@ -44,8 +47,12 @@ _NO_CALLERS: FrozenSet["CallNode"] = frozenset()
 #: algorithms converge to the same solution under any strategy;
 #: ``"fifo"`` is the original one-fact-per-pop queue (kept for the
 #: determinism cross-check), ``"batched"`` drains every pending fact
-#: at a port through a single transfer application.
-SCHEDULES = ("batched", "fifo")
+#: at a port through a single transfer application, ``"scc"`` batches
+#: the same way but pops ports in topological order of the port
+#: dependency graph's strongly connected components (round-robin
+#: inside each SCC), so downstream components see their inputs
+#: saturated before they run.
+SCHEDULES = ("batched", "fifo", "scc")
 
 
 def check_schedule(schedule: str) -> str:
@@ -132,80 +139,83 @@ class CallGraph:
 class PointsToSolution:
     """The analysis output: node output → set of points-to pairs.
 
+    Internally each output's set is a big-int **bitset** over the dense
+    pair ids of a :class:`~repro.memory.facttable.FactTable` — joins
+    are ``|``/``& ~`` over machine words, membership is one shift and
+    AND.  The object-level API (:meth:`pairs`, :meth:`targets`,
+    :meth:`op_locations`, :meth:`items`) is a *lazy decoding view*:
+    bitsets materialize into interned pair objects only when queried,
+    with a per-output cache invalidated by bitset growth, so clients
+    (stats, verify, compare, the fuzz oracle) observe exactly the sets
+    they always did.
+
     Query helpers cover the patterns clients (mod/ref, def/use, the
     statistics module) need: the *targets* of a pointer value and the
     locations an indirect memory operation may reference or modify.
     """
 
-    def __init__(self) -> None:
-        self._pairs: Dict[OutputPort, Set[PointsToPair]] = {}
-        #: Optional per-output grouping of pairs by their path's base
-        #: location, maintained incrementally for outputs registered
-        #: via :meth:`enable_base_index`.  Lets lookup transfer
-        #: functions test only same-base store pairs instead of the
-        #: full cross product (``dom`` fails on base identity first).
-        self._base_index: Dict[OutputPort, Dict[object, List[PointsToPair]]] = {}
+    def __init__(self, table: Optional[FactTable] = None) -> None:
+        #: The id table bitsets are encoded against.  Solutions built
+        #: by one analysis share the program-wide table so CI, CS, and
+        #: repeat runs agree on ids.
+        self.table = table if table is not None else FactTable()
+        self._bits: Dict[OutputPort, int] = {}
+        #: Decode cache: output → (bits snapshot, decoded frozenset).
+        self._decoded: Dict[OutputPort, Tuple[int, FrozenSet[PointsToPair]]] = {}
 
     # -- mutation (analysis-internal) -------------------------------------
 
     def add(self, output: OutputPort, pair: PointsToPair) -> bool:
-        pairs = self._pairs.get(output)
-        if pairs is None:
-            pairs = set()
-            self._pairs[output] = pairs
-        if pair in pairs:
+        bit = 1 << self.table.pair_id(pair)
+        bits = self._bits.get(output, 0)
+        if bits & bit:
             return False
-        pairs.add(pair)
-        index = self._base_index.get(output)
-        if index is not None:
-            index.setdefault(pair.path.base, []).append(pair)
+        self._bits[output] = bits | bit
         return True
 
     def join(self, output: OutputPort,
              pairs: Iterable[PointsToPair]) -> Set[PointsToPair]:
-        """Delta-join: add ``pairs`` to ``output``'s set in one set
-        operation and return only the genuinely new pairs (possibly
-        empty).  The workhorse of the batched schedule — one difference
-        plus one in-place union instead of per-pair membership tests
-        and frozenset copies."""
-        bucket = self._pairs.get(output)
-        if bucket is None:
-            new = set(pairs)
-            self._pairs[output] = set(new)
-        else:
-            new = set(pairs)
-            new -= bucket
-            if new:
-                bucket |= new
-        if new:
-            index = self._base_index.get(output)
-            if index is not None:
-                for pair in new:
-                    index.setdefault(pair.path.base, []).append(pair)
+        """Delta-join: add ``pairs`` to ``output``'s set and return
+        only the genuinely new pairs (possibly empty).  Object-level
+        wrapper over :meth:`join_mask`."""
+        new = self.join_mask(output, self.table.pair_mask(pairs))
+        if not new:
+            return set()
+        return set(self.table.decode_pairs(new))
+
+    def join_mask(self, output: OutputPort, mask: int) -> int:
+        """Bitset delta-join: OR ``mask`` into the output's set and
+        return the sub-bitset of genuinely new facts.  The workhorse of
+        the dense engine — two big-int operations replace per-pair
+        membership tests."""
+        bits = self._bits.get(output, 0)
+        new = mask & ~bits
+        if not new:
+            return 0
+        self._bits[output] = bits | new
         return new
 
-    def enable_base_index(self, output: OutputPort
-                          ) -> Dict[object, List[PointsToPair]]:
-        """Return the live base-location index for ``output``, creating
-        (and back-filling) it on first request.  The returned dict is
-        updated in place by :meth:`add`/:meth:`join`, so callers may
-        capture it once and reread it across fixpoint iterations."""
-        index = self._base_index.get(output)
-        if index is None:
-            index = {}
-            for pair in self._pairs.get(output, ()):
-                index.setdefault(pair.path.base, []).append(pair)
-            self._base_index[output] = index
-        return index
+    def mask(self, output: OutputPort) -> int:
+        """The output's current bitset (0 when empty)."""
+        return self._bits.get(output, 0)
 
-    # -- queries ------------------------------------------------------------
+    # -- queries (lazy decoding view) --------------------------------------
 
     def pairs(self, output: OutputPort) -> FrozenSet[PointsToPair]:
-        return frozenset(self._pairs.get(output, ()))
+        bits = self._bits.get(output, 0)
+        if not bits:
+            return _NO_PAIRS
+        cached = self._decoded.get(output)
+        if cached is not None and cached[0] == bits:
+            return cached[1]
+        decoded = frozenset(self.table.decode_pairs(bits))
+        self._decoded[output] = (bits, decoded)
+        return decoded
 
-    def raw_pairs(self, output: OutputPort) -> Set[PointsToPair]:
-        """Internal: the live set (not copied).  Do not mutate."""
-        return self._pairs.get(output, _NO_PAIRS)
+    def raw_pairs(self, output: OutputPort) -> FrozenSet[PointsToPair]:
+        """Internal: the decoded view (cached, not copied per call).
+        A snapshot of the current set — do not mutate."""
+        return self.pairs(output)
 
     def targets(self, output: OutputPort,
                 offset: Optional[AccessPath] = None) -> Set[AccessPath]:
@@ -213,7 +223,7 @@ class PointsToSolution:
         or of pairs at ``offset`` within an aggregate value)."""
         if offset is None:
             offset = EMPTY_OFFSET
-        return {p.referent for p in self._pairs.get(output, ())
+        return {p.referent for p in self.pairs(output)
                 if p.path is offset}
 
     def op_locations(self, node: Node) -> Set[AccessPath]:
@@ -228,13 +238,18 @@ class PointsToSolution:
         raise AnalysisError(f"{node!r} is not a memory operation")
 
     def outputs(self) -> Iterator[OutputPort]:
-        return iter(self._pairs)
+        return iter(self._bits)
 
     def total_pairs(self) -> int:
-        return sum(len(p) for p in self._pairs.values())
+        return sum(bits.bit_count() for bits in self._bits.values())
 
-    def items(self) -> Iterator[tuple[OutputPort, Set[PointsToPair]]]:
-        return iter(self._pairs.items())
+    def bitset_words(self) -> int:
+        """Total 64-bit words the per-output bitsets span (telemetry)."""
+        return sum(bitset_words(bits) for bits in self._bits.values())
+
+    def items(self) -> Iterator[tuple[OutputPort, FrozenSet[PointsToPair]]]:
+        for output in self._bits:
+            yield output, self.pairs(output)
 
 
 @dataclass
@@ -355,6 +370,167 @@ class BatchedWorklist:
 
     def __bool__(self) -> bool:
         return bool(self._dirty)
+
+    def __len__(self) -> int:
+        return sum(len(b) for b in self.pending.values())
+
+
+class MaskWorklist:
+    """Port-keyed worklist over fact bitsets (the dense engine's
+    counterpart of :class:`BatchedWorklist`).
+
+    Pending facts per port are one big-int; merging a later push is a
+    single OR.  A FIFO of dirty ports decides processing order, and a
+    pop drains the port's whole pending bitset through one handler
+    application.
+    """
+
+    __slots__ = ("pending", "_dirty")
+
+    def __init__(self) -> None:
+        self.pending: Dict[InputPort, int] = {}
+        self._dirty: deque = deque()
+
+    def push_mask(self, input_port: InputPort, mask: int) -> None:
+        if input_port is None:
+            raise AnalysisError(
+                "facts pushed to a None input port (dangling graph edge?)")
+        if not mask:
+            return
+        current = self.pending.get(input_port)
+        if current is None:
+            self.pending[input_port] = mask
+            self._dirty.append(input_port)
+        else:
+            self.pending[input_port] = current | mask
+
+    def pop(self) -> Tuple[InputPort, int]:
+        """Pop the oldest dirty port with its whole pending bitset."""
+        port = self._dirty.popleft()
+        return port, self.pending.pop(port)
+
+    def __bool__(self) -> bool:
+        return bool(self._dirty)
+
+    def __len__(self) -> int:
+        return len(self._dirty)
+
+
+class _SccQueue:
+    """Dirty-port bookkeeping shared by the SCC-priority worklists.
+
+    Ports are grouped by the topological index of their SCC in the
+    port dependency graph (see :mod:`repro.analysis.scheduling`); the
+    next pop always comes from the *lowest* dirty SCC, and within an
+    SCC ports rotate round-robin (a re-dirtied port re-enters at the
+    back of its component's queue).  Facts that flow "backwards" —
+    e.g. through a dynamically discovered call edge the static
+    condensation could not see — simply re-activate an earlier SCC.
+    """
+
+    __slots__ = ("_order", "_queues", "_heap", "_queued")
+
+    def __init__(self, order: Mapping[InputPort, int]) -> None:
+        self._order = order
+        self._queues: Dict[int, deque] = {}
+        self._heap: List[int] = []
+        self._queued: Set[int] = set()
+
+    def enqueue(self, port: InputPort) -> None:
+        index = self._order.get(port, 0)
+        queue = self._queues.get(index)
+        if queue is None:
+            queue = self._queues[index] = deque()
+        queue.append(port)
+        if index not in self._queued:
+            self._queued.add(index)
+            heapq.heappush(self._heap, index)
+
+    def dequeue(self) -> InputPort:
+        while True:
+            index = self._heap[0]
+            queue = self._queues.get(index)
+            if queue:
+                return queue.popleft()
+            heapq.heappop(self._heap)
+            self._queued.discard(index)
+
+
+class SCCMaskWorklist:
+    """:class:`MaskWorklist` with SCC-priority scheduling."""
+
+    __slots__ = ("pending", "_queue")
+
+    def __init__(self, order: Mapping[InputPort, int]) -> None:
+        self.pending: Dict[InputPort, int] = {}
+        self._queue = _SccQueue(order)
+
+    def push_mask(self, input_port: InputPort, mask: int) -> None:
+        if input_port is None:
+            raise AnalysisError(
+                "facts pushed to a None input port (dangling graph edge?)")
+        if not mask:
+            return
+        current = self.pending.get(input_port)
+        if current is None:
+            self.pending[input_port] = mask
+            self._queue.enqueue(input_port)
+        else:
+            self.pending[input_port] = current | mask
+
+    def pop(self) -> Tuple[InputPort, int]:
+        port = self._queue.dequeue()
+        return port, self.pending.pop(port)
+
+    def __bool__(self) -> bool:
+        return bool(self.pending)
+
+    def __len__(self) -> int:
+        return len(self.pending)
+
+
+class SCCWorklist:
+    """:class:`BatchedWorklist` (fact-list buckets) with SCC-priority
+    scheduling — used by the CS and FI solvers, whose facts are not
+    bitset-encodable (qualified pairs / global-store cascades)."""
+
+    __slots__ = ("pending", "_queue")
+
+    def __init__(self, order: Mapping[InputPort, int]) -> None:
+        self.pending: Dict[InputPort, List[object]] = {}
+        self._queue = _SccQueue(order)
+
+    def push(self, input_port: InputPort, fact: object) -> None:
+        if input_port is None:
+            raise AnalysisError(
+                f"fact {fact!r} pushed to a None input port (dangling "
+                "graph edge?)")
+        bucket = self.pending.get(input_port)
+        if bucket is None:
+            self.pending[input_port] = [fact]
+            self._queue.enqueue(input_port)
+        else:
+            bucket.append(fact)
+
+    def push_many(self, input_port: InputPort, facts: Iterable[object]) -> None:
+        if input_port is None:
+            raise AnalysisError(
+                "facts pushed to a None input port (dangling graph edge?)")
+        bucket = self.pending.get(input_port)
+        if bucket is None:
+            bucket = list(facts)
+            if bucket:
+                self.pending[input_port] = bucket
+                self._queue.enqueue(input_port)
+        else:
+            bucket.extend(facts)
+
+    def pop(self) -> Tuple[InputPort, List[object]]:
+        port = self._queue.dequeue()
+        return port, self.pending.pop(port)
+
+    def __bool__(self) -> bool:
+        return bool(self.pending)
 
     def __len__(self) -> int:
         return sum(len(b) for b in self.pending.values())

@@ -46,10 +46,13 @@ from .common import (
     CallGraph,
     Counters,
     PointsToSolution,
+    SCCWorklist,
     Worklist,
     check_schedule,
     resolve_function_value,
 )
+from .scheduling import port_scc_order
+from ..memory.facttable import FactTable
 
 
 class FlowInsensitiveAnalysis:
@@ -64,11 +67,13 @@ class FlowInsensitiveAnalysis:
     def __init__(self, program: Program, schedule: str = "batched") -> None:
         self.program = program
         self.schedule = check_schedule(schedule)
-        self.solution = PointsToSolution()
+        self.solution = PointsToSolution(FactTable.for_program(program))
         self.callgraph = CallGraph()
         self.counters = Counters()
-        if self.schedule == "batched":
-            self.worklist: object = BatchedWorklist()
+        if self.schedule == "scc":
+            self.worklist: object = SCCWorklist(port_scc_order(program)[0])
+        elif self.schedule == "batched":
+            self.worklist = BatchedWorklist()
         else:
             self.worklist = Worklist()
         #: The single global store: set of (location path, referent).
@@ -86,7 +91,7 @@ class FlowInsensitiveAnalysis:
             self._add_store_pair(pair)
         for output, pair in self.program.seeded_values:
             self.flow_out(output, pair)
-        if self.schedule == "batched":
+        if self.schedule != "fifo":
             while self.worklist:
                 input_port, facts = self.worklist.pop()
                 self.counters.batches += 1

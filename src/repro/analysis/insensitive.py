@@ -20,15 +20,21 @@ Termination: outputs and pairs are finite and sets only grow, giving
 the paper's O(n³) worst case (O(n²) average when each pointer has a
 small constant number of referents).
 
-Two schedules drive the same transfer functions (the paper notes
+Three schedules drive the same transfer functions (the paper notes
 convergence is independent of the scheduling strategy):
 
-* ``"batched"`` (default) — a port-keyed worklist drains every fact
-  pending at a port through one application of a pre-bound handler,
-  amortizing dispatch and sibling-input set construction over the
-  whole batch;
-* ``"fifo"`` — the original one-fact-per-pop queue, kept as the
-  reference implementation for the schedule-equivalence gate.
+* ``"batched"`` (default) — the **dense engine**: facts are bitsets
+  over per-program ids (:class:`~repro.memory.facttable.FactTable`), a
+  port-keyed worklist drains each dirty port's whole pending bitset
+  through one pre-bound handler, and the pure-forwarding transfer
+  functions (merges, copies, call/return plumbing, store pass-through)
+  reduce to big-int OR / AND-NOT with no per-fact Python loop;
+* ``"scc"`` — the same dense engine, but ports pop in topological
+  order of the port dependency graph's SCC condensation (round-robin
+  within a component; see :mod:`repro.analysis.scheduling`);
+* ``"fifo"`` — the original one-fact-per-pop queue over interned pair
+  objects, kept as the reference implementation for the
+  schedule-equivalence gate.
 """
 
 from __future__ import annotations
@@ -38,6 +44,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..errors import AnalysisError
 from ..memory.access import EMPTY_OFFSET, INDEX, AccessPath
+from ..memory.facttable import FactTable
 from ..memory.pairs import PointsToPair, direct, pair as make_pair
 from ..memory.relations import dom, strong_dom
 from ..ir.graph import FunctionGraph, Program
@@ -56,19 +63,21 @@ from ..ir.nodes import (
 )
 from .common import (
     AnalysisResult,
-    BatchedWorklist,
     CallGraph,
     Counters,
+    MaskWorklist,
     PointsToSolution,
+    SCCMaskWorklist,
     Worklist,
     check_schedule,
     resolve_function_value,
     seed_addresses,
     seed_roots,
 )
+from .scheduling import port_scc_order
 
-#: A batch handler consumes every fact pending at one input port.
-BatchHandler = Callable[[List[PointsToPair]], None]
+#: A dense batch handler consumes one port's pending fact bitset.
+MaskHandler = Callable[[int], None]
 
 
 class InsensitiveAnalysis:
@@ -77,24 +86,42 @@ class InsensitiveAnalysis:
     def __init__(self, program: Program, schedule: str = "batched") -> None:
         self.program = program
         self.schedule = check_schedule(schedule)
-        self.solution = PointsToSolution()
+        self.table = FactTable.for_program(program)
+        self.solution = PointsToSolution(self.table)
         self.callgraph = CallGraph()
         self.counters = Counters()
-        self._dispatch: Dict[InputPort, BatchHandler] = {}
-        if self.schedule == "batched":
-            self.worklist: object = BatchedWorklist()
+        self._dispatch: Dict[InputPort, MaskHandler] = {}
+        self._dense = self.schedule != "fifo"
+        self._scc_count: Optional[int] = None
+        if self.schedule == "scc":
+            order, self._scc_count = port_scc_order(program)
+            self.worklist: object = SCCMaskWorklist(order)
+        elif self.schedule == "batched":
+            self.worklist = MaskWorklist()
         else:
             self.worklist = Worklist()
 
     # -- driver ------------------------------------------------------------
 
     def run(self) -> AnalysisResult:
+        decode_calls_before = self.table.decode_calls
         started = time.perf_counter()
-        if self.schedule == "batched":
-            self._run_batched()
+        if self._dense:
+            self._run_dense()
         else:
             self._run_fifo()
         elapsed = time.perf_counter() - started
+        extras = {
+            "phases": {"solve": elapsed},
+            "dense": {
+                "fact_ids": self.table.pair_count(),
+                "bitset_words": self.solution.bitset_words(),
+                "decode_calls": self.table.decode_calls
+                - decode_calls_before,
+            },
+        }
+        if self._scc_count is not None:
+            extras["dense"]["scc_count"] = self._scc_count
         return AnalysisResult(
             program=self.program,
             solution=self.solution,
@@ -102,7 +129,7 @@ class InsensitiveAnalysis:
             counters=self.counters,
             elapsed_seconds=elapsed,
             flavor="insensitive",
-            extras={"phases": {"solve": elapsed}},
+            extras=extras,
         )
 
     def _run_fifo(self) -> None:
@@ -116,7 +143,7 @@ class InsensitiveAnalysis:
             counters.batches += 1
             self.flow_in(input_port, fact)
 
-    def _run_batched(self) -> None:
+    def _run_dense(self) -> None:
         dispatch = self._dispatch
         seed_addresses(self.program, self.flow_out)
         seed_roots(self.program, self.flow_out)
@@ -124,50 +151,62 @@ class InsensitiveAnalysis:
         counters = self.counters
         bind_node = self._bind_node
         while worklist:
-            input_port, facts = worklist.pop()
+            input_port, mask = worklist.pop()
             counters.batches += 1
-            counters.transfers += len(facts)
+            counters.transfers += mask.bit_count()
             handler = dispatch.get(input_port)
             if handler is None:
                 handler = bind_node(input_port)
-            handler(facts)
+            handler(mask)
 
     # -- propagation ----------------------------------------------------------
 
     def flow_out(self, output: OutputPort, pair: PointsToPair) -> None:
-        """Join ``pair`` into P(output); notify consumers if it is new."""
+        """Join ``pair`` into P(output); notify consumers if it is new.
+        Object-level entry, used by the seeds and the FIFO schedule."""
         self.counters.meets += 1
         if not self.solution.add(output, pair):
             return
         self.counters.pairs_added += 1
-        for consumer in output.consumers:
-            self.worklist.push(consumer, pair)
+        if self._dense:
+            bit = 1 << self.table.pair_id(pair)
+            for consumer in output.consumers:
+                self.worklist.push_mask(consumer, bit)
+        else:
+            for consumer in output.consumers:
+                self.worklist.push(consumer, pair)
 
-    def flow_out_many(self, output: OutputPort,
-                      pairs: List[PointsToPair]) -> None:
-        """Batched flow-out: one delta-join for a whole list of
-        candidate pairs, counters updated in bulk, and each consumer
+    def flow_out_mask(self, output: OutputPort, mask: int) -> None:
+        """Dense flow-out: one bitset delta-join for a whole batch of
+        candidate facts, counters updated in bulk, and each consumer
         notified once with the full delta."""
-        if not pairs:
+        if not mask:
             return
-        self.counters.meets += len(pairs)
-        new = self.solution.join(output, pairs)
+        self.counters.meets += mask.bit_count()
+        new = self.solution.join_mask(output, mask)
         if not new:
             return
-        self.counters.pairs_added += len(new)
+        self.counters.pairs_added += new.bit_count()
         worklist = self.worklist
         for consumer in output.consumers:
-            worklist.push_many(consumer, new)
+            worklist.push_mask(consumer, new)
 
     def _pairs(self, input_port: Optional[InputPort]):
-        """Current pairs on the output feeding ``input_port``."""
+        """Current pairs on the output feeding ``input_port`` (decoded
+        view; a snapshot, safe to iterate while the solution grows)."""
         if input_port is None or input_port.source is None:
             return ()
         return self.solution.raw_pairs(input_port.source)
 
-    # -- batched dispatch ----------------------------------------------------
+    def _mask(self, input_port: Optional[InputPort]) -> int:
+        """Current fact bitset on the output feeding ``input_port``."""
+        if input_port is None or input_port.source is None:
+            return 0
+        return self.solution.mask(input_port.source)
 
-    def _bind_node(self, input_port: InputPort) -> BatchHandler:
+    # -- dense dispatch ----------------------------------------------------
+
+    def _bind_node(self, input_port: InputPort) -> MaskHandler:
         """Bind handlers for one node, on the first fact to reach it.
 
         The handlers capture their node's sibling ports in closure
@@ -187,53 +226,57 @@ class InsensitiveAnalysis:
                 f"pair arrived at unexpected node {input_port.node!r}")
         return handler
 
-    def _make_handler(self, node: Node, role: str, index: int) -> BatchHandler:
-        flow_out_many = self.flow_out_many
+    def _make_handler(self, node: Node, role: str, index: int) -> MaskHandler:
+        flow_out_mask = self.flow_out_mask
         pairs_at = self._pairs
+        table = self.table
+        decode = table.decode_pairs
+        pair_id = table.pair_id
+        solution = self.solution
+
+        base_mask = table.base_mask
 
         if role == "lookup.loc":
             out, store_in = node.out, node.store
-            # Live base-location grouping of the store input's pairs,
-            # kept fresh by PointsToSolution.add/join: a location (ε,
-            # r_l) can only dereference store pairs rooted at r_l.base,
-            # so the cross-product dom() scan collapses to one bucket.
-            store_index = None
-            if store_in.source is not None:
-                store_index = self.solution.enable_base_index(store_in.source)
+            store_src = store_in.source
 
-            def handler(facts: List[PointsToPair]) -> None:
-                if store_index is None:
+            def handler(mask: int) -> None:
+                if store_src is None:
                     return
-                emit: List[PointsToPair] = []
-                for fact in facts:
+                store_bits = solution.mask(store_src)
+                emit = 0
+                for fact in decode(mask):
                     if fact.path is not EMPTY_OFFSET:
                         continue  # only the pointer itself dereferences
                     r_l = fact.referent
-                    candidates = store_index.get(r_l.base)
+                    # A location (ε, r_l) can only dereference store
+                    # pairs rooted at r_l.base: the table's global base
+                    # index slices the store bitset down to them.
+                    candidates = store_bits & base_mask(r_l.base)
                     if not candidates:
                         continue
                     r_ops = r_l.ops
                     if not r_ops:
-                        for sp in candidates:
-                            emit.append(make_pair(
+                        for sp in decode(candidates):
+                            emit |= 1 << pair_id(make_pair(
                                 AccessPath(None, sp.path.ops), sp.referent))
                     else:
                         n = len(r_ops)
-                        for sp in candidates:
+                        for sp in decode(candidates):
                             sp_ops = sp.path.ops
                             # tuple slice compare == is_prefix (a short
                             # slice never equals a longer r_ops)
                             if sp_ops[:n] == r_ops:
-                                emit.append(make_pair(
+                                emit |= 1 << pair_id(make_pair(
                                     AccessPath(None, sp_ops[n:]),
                                     sp.referent))
-                flow_out_many(out, emit)
+                flow_out_mask(out, emit)
             return handler
 
         if role == "lookup.store":
             out, loc_in = node.out, node.loc
 
-            def handler(facts: List[PointsToPair]) -> None:
+            def handler(mask: int) -> None:
                 locs_by_base: Dict[object, List[AccessPath]] = {}
                 for lp in pairs_at(loc_in):
                     if lp.path is EMPTY_OFFSET:
@@ -241,119 +284,177 @@ class InsensitiveAnalysis:
                             lp.referent.base, []).append(lp.referent)
                 if not locs_by_base:
                     return
-                emit: List[PointsToPair] = []
-                for fact in facts:
-                    candidates = locs_by_base.get(fact.path.base)
-                    if not candidates:
+                emit = 0
+                for base, candidates in locs_by_base.items():
+                    # Decode only the same-base slice of the incoming
+                    # store facts; everything else cannot match.
+                    relevant = mask & base_mask(base)
+                    if not relevant:
                         continue
-                    f_ops = fact.path.ops
-                    for r_l in candidates:
-                        n = len(r_l.ops)
-                        if f_ops[:n] == r_l.ops:
-                            emit.append(make_pair(
-                                AccessPath(None, f_ops[n:]), fact.referent))
-                flow_out_many(out, emit)
+                    for fact in decode(relevant):
+                        f_ops = fact.path.ops
+                        for r_l in candidates:
+                            n = len(r_l.ops)
+                            if f_ops[:n] == r_l.ops:
+                                emit |= 1 << pair_id(make_pair(
+                                    AccessPath(None, f_ops[n:]),
+                                    fact.referent))
+                flow_out_mask(out, emit)
             return handler
 
         if role == "update.loc":
             ostore, store_in, value_in = node.ostore, node.store, node.value
+            store_src = store_in.source
 
-            def handler(facts: List[PointsToPair]) -> None:
+            def handler(mask: int) -> None:
                 value_pairs = pairs_at(value_in)
-                store_pairs = pairs_at(store_in)
-                emit: List[PointsToPair] = []
+                store_bits = (solution.mask(store_src)
+                              if store_src is not None else 0)
+                emit = 0
                 released_all = False
-                for fact in facts:
+                for fact in decode(mask):
                     if fact.path is not EMPTY_OFFSET:
                         continue
                     r_l = fact.referent
                     for vp in value_pairs:
-                        emit.append(make_pair(r_l.append(vp.path),
-                                              vp.referent))
+                        emit |= 1 << pair_id(make_pair(r_l.append(vp.path),
+                                                       vp.referent))
                     if released_all:
                         continue  # store release already maximal
                     if not r_l.strongly_updateable:
                         # A weak location kills nothing: the whole store
                         # passes through, and any further fact's release
                         # is a subset of this one.
-                        emit.extend(store_pairs)
+                        emit |= store_bits
                         released_all = True
                         continue
-                    base, r_ops = r_l.base, r_l.ops
-                    n = len(r_ops)
-                    survivors = [sp for sp in store_pairs
-                                 if sp.path.base is not base
-                                 or sp.path.ops[:n] != r_ops]
-                    if len(survivors) == len(store_pairs):
+                    # Only same-base store pairs can be killed; the
+                    # survivors are one AND-NOT off the full store.  A
+                    # bare location (no access operators) kills exactly
+                    # the same-base slice — no decode needed.
+                    same_base = store_bits & base_mask(r_l.base)
+                    r_ops = r_l.ops
+                    if not r_ops:
+                        killed = same_base
+                    elif same_base:
+                        killed = 0
+                        n = len(r_ops)
+                        for ident, sp in table.decode_items(same_base):
+                            if sp.path.ops[:n] == r_ops:
+                                killed |= 1 << ident
+                    else:
+                        killed = 0
+                    if not killed:
                         released_all = True
-                    emit.extend(survivors)
-                flow_out_many(ostore, emit)
+                    emit |= store_bits & ~killed
+                flow_out_mask(ostore, emit)
             return handler
 
         if role == "update.store":
             ostore, loc_in = node.ostore, node.loc
+            loc_src = loc_in.source
+            # Classification memo: a store fact's fate (killed by every
+            # location vs. surviving some) is a pure function of the
+            # location set, so it is computed once per fact and reused
+            # for every later batch — invalidated wholesale when the
+            # location set grows (the loc-arrival handler separately
+            # releases newly surviving pairs, preserving CWZ90's
+            # blocked-pair discipline).
+            state = {"loc_bits": -1, "locs": [], "classified": 0, "killed": 0}
 
-            def handler(facts: List[PointsToPair]) -> None:
-                locs = [lp.referent for lp in pairs_at(loc_in)
-                        if lp.path is EMPTY_OFFSET]
-                emit = [fact for fact in facts
-                        if any(not strong_dom(r_l, fact.path)
-                               for r_l in locs)]
-                flow_out_many(ostore, emit)
+            def handler(mask: int) -> None:
+                loc_bits = (solution.mask(loc_src)
+                            if loc_src is not None else 0)
+                if loc_bits != state["loc_bits"]:
+                    state["loc_bits"] = loc_bits
+                    state["locs"] = [lp.referent for lp in pairs_at(loc_in)
+                                     if lp.path is EMPTY_OFFSET]
+                    state["classified"] = 0
+                    state["killed"] = 0
+                unknown = mask & ~state["classified"]
+                if unknown:
+                    # A fact is killed iff *every* location strongly
+                    # updates it: intersect per-location strong-dom
+                    # masks.  No locations yet means every fact is
+                    # blocked (CWZ90's delayed release); a bare
+                    # strongly-updateable location's strong-dom mask is
+                    # exactly its same-base slice — pure bit ops.
+                    killed = unknown
+                    for r_l in state["locs"]:
+                        if not killed:
+                            break
+                        if not r_l.strongly_updateable:
+                            killed = 0
+                            break
+                        dominated = killed & base_mask(r_l.base)
+                        r_ops = r_l.ops
+                        if r_ops and dominated:
+                            n = len(r_ops)
+                            refined = 0
+                            for ident, sp in table.decode_items(dominated):
+                                if sp.path.ops[:n] == r_ops:
+                                    refined |= 1 << ident
+                            dominated = refined
+                        killed = dominated
+                    state["classified"] |= unknown
+                    state["killed"] |= killed
+                flow_out_mask(ostore, mask & ~state["killed"])
             return handler
 
         if role == "update.value":
             ostore, loc_in = node.ostore, node.loc
 
-            def handler(facts: List[PointsToPair]) -> None:
+            def handler(mask: int) -> None:
                 locs = [lp.referent for lp in pairs_at(loc_in)
                         if lp.path is EMPTY_OFFSET]
-                emit: List[PointsToPair] = []
-                for fact in facts:
+                if not locs:
+                    return
+                emit = 0
+                for fact in decode(mask):
                     for r_l in locs:
-                        emit.append(make_pair(r_l.append(fact.path),
-                                              fact.referent))
-                flow_out_many(ostore, emit)
+                        emit |= 1 << pair_id(make_pair(r_l.append(fact.path),
+                                                       fact.referent))
+                flow_out_mask(ostore, emit)
             return handler
 
         if role == "call.fcn":
-            def handler(facts: List[PointsToPair]) -> None:
-                for fact in facts:
+            def handler(mask: int) -> None:
+                for fact in decode(mask):
                     self._discover_callee(node, fact)
             return handler
 
         if role == "call.store":
             callees = self.callgraph.callees
 
-            def handler(facts: List[PointsToPair]) -> None:
+            def handler(mask: int) -> None:
                 for callee in callees(node):
-                    flow_out_many(callee.store_formal, facts)
+                    flow_out_mask(callee.store_formal, mask)
             return handler
 
         if role == "call.arg":
             callees = self.callgraph.callees
 
-            def handler(facts: List[PointsToPair]) -> None:
+            def handler(mask: int) -> None:
                 for callee in callees(node):
                     formal = callee.corresponding_formal(index)
                     if formal is not None:
-                        flow_out_many(formal, facts)
+                        flow_out_mask(formal, mask)
             return handler
 
         if role == "return.value":
             graph, callers = node.graph, self.callgraph.callers
 
-            def handler(facts: List[PointsToPair]) -> None:
+            def handler(mask: int) -> None:
                 for call in callers(graph):
-                    flow_out_many(call.out, facts)
+                    flow_out_mask(call.out, mask)
             return handler
 
         if role == "return.store":
             graph, callers = node.graph, self.callgraph.callers
 
-            def handler(facts: List[PointsToPair]) -> None:
+            def handler(mask: int) -> None:
                 for call in callers(graph):
-                    flow_out_many(call.ostore, facts)
+                    flow_out_mask(call.ostore, mask)
             return handler
 
         if role == "merge.pred":
@@ -362,20 +463,23 @@ class InsensitiveAnalysis:
         if role == "merge.branch":
             out = node.out
 
-            def handler(facts: List[PointsToPair]) -> None:
-                flow_out_many(out, facts)
+            def handler(mask: int) -> None:
+                flow_out_mask(out, mask)
             return handler
 
         if role == "primop.operand":
             return self._make_primop_handler(node, index)
 
-        def handler(facts: List[PointsToPair]) -> None:
+        def handler(mask: int) -> None:
             raise AnalysisError(f"pair arrived at unexpected node {node!r}")
         return handler
 
     def _make_primop_handler(self, node: PrimopNode, index: int
-                             ) -> BatchHandler:
-        flow_out_many = self.flow_out_many
+                             ) -> MaskHandler:
+        flow_out_mask = self.flow_out_mask
+        table = self.table
+        decode = table.decode_pairs
+        pair_id = table.pair_id
         semantics = node.semantics
         out = node.out
 
@@ -386,41 +490,47 @@ class InsensitiveAnalysis:
             if node.copy_operand is not None and index != node.copy_operand:
                 return _consume  # consumed, but pairs do not flow (lib calls)
 
-            def handler(facts: List[PointsToPair]) -> None:
-                flow_out_many(out, facts)
+            def handler(mask: int) -> None:
+                flow_out_mask(out, mask)
             return handler
 
         if semantics is PrimopSemantics.EXTRACT:
             field_op = node.field_op
 
-            def handler(facts: List[PointsToPair]) -> None:
-                emit: List[PointsToPair] = []
-                for fact in facts:
+            def handler(mask: int) -> None:
+                emit = 0
+                for fact in decode(mask):
                     path = fact.path
                     if path.base is None and path.ops \
                             and path.ops[0] is field_op:
-                        emit.append(make_pair(AccessPath(None, path.ops[1:]),
-                                              fact.referent))
-                flow_out_many(out, emit)
+                        emit |= 1 << pair_id(make_pair(
+                            AccessPath(None, path.ops[1:]), fact.referent))
+                flow_out_mask(out, emit)
             return handler
 
         if semantics is PrimopSemantics.FIELD:
             field_op = node.field_op
 
-            def handler(facts: List[PointsToPair]) -> None:
-                emit = [direct(fact.referent.extend(field_op))
-                        for fact in facts if fact.path is EMPTY_OFFSET]
-                flow_out_many(out, emit)
+            def handler(mask: int) -> None:
+                emit = 0
+                for fact in decode(mask):
+                    if fact.path is EMPTY_OFFSET:
+                        emit |= 1 << pair_id(
+                            direct(fact.referent.extend(field_op)))
+                flow_out_mask(out, emit)
             return handler
 
         if semantics is PrimopSemantics.INDEX:
-            def handler(facts: List[PointsToPair]) -> None:
-                emit = [direct(fact.referent.extend(INDEX))
-                        for fact in facts if fact.path is EMPTY_OFFSET]
-                flow_out_many(out, emit)
+            def handler(mask: int) -> None:
+                emit = 0
+                for fact in decode(mask):
+                    if fact.path is EMPTY_OFFSET:
+                        emit |= 1 << pair_id(
+                            direct(fact.referent.extend(INDEX)))
+                flow_out_mask(out, emit)
             return handler
 
-        def handler(facts: List[PointsToPair]) -> None:  # pragma: no cover
+        def handler(mask: int) -> None:  # pragma: no cover
             raise AnalysisError(f"unknown primop semantics {semantics!r}")
         return handler
 
@@ -520,10 +630,11 @@ class InsensitiveAnalysis:
         """A new function value updates the call graph and performs the
         appropriate repropagation of already-known actuals and returns.
 
-        The ``list()`` copies are load-bearing under both schedules: in
-        a self-recursive procedure an actual's source can be the
-        callee's own formal output, so the iterated set is the one
-        being grown.
+        Snapshots are load-bearing under every schedule: in a
+        self-recursive procedure an actual's source can be the callee's
+        own formal output, so the iterated set is the one being grown.
+        The dense path snapshots bitsets (immutable ints); the FIFO
+        path copies the decoded views via ``list()``.
         """
         if fact.path is not EMPTY_OFFSET:
             return
@@ -532,6 +643,19 @@ class InsensitiveAnalysis:
             self.callgraph.unresolved.add(node)
             return
         if not self.callgraph.add_edge(node, callee):
+            return
+        if self._dense:
+            flow_out_mask = self.flow_out_mask
+            for index, arg in enumerate(node.args):
+                formal = callee.corresponding_formal(index)
+                if formal is not None:
+                    flow_out_mask(formal, self._mask(arg))
+            flow_out_mask(callee.store_formal, self._mask(node.store))
+            ret = callee.return_node
+            if ret is not None:
+                if ret.value is not None:
+                    flow_out_mask(node.out, self._mask(ret.value))
+                flow_out_mask(node.ostore, self._mask(ret.store))
             return
         for index, arg in enumerate(node.args):
             formal = callee.corresponding_formal(index)
@@ -596,7 +720,7 @@ class InsensitiveAnalysis:
             raise AnalysisError(f"unknown primop semantics {semantics!r}")
 
 
-def _consume(facts: List[PointsToPair]) -> None:
+def _consume(mask: int) -> None:
     """Handler for ports that consume facts without producing pairs."""
 
 

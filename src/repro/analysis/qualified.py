@@ -74,32 +74,64 @@ class AssumptionAntichain:
     hand back the stored facts instead of allocating fresh wrappers —
     the CS solver re-reads qualified pairs far more often than it
     inserts them.  Iteration still yields the assumption sets.
+
+    Subsumption tests run in the bitset domain: each stored set also
+    carries a mask over dense assumption ids (interned per solution,
+    see :meth:`QualifiedSolution.assumption_mask`), and ``A ⊆ B``
+    becomes ``a_mask & b_mask == a_mask`` — one big-int AND per stored
+    set instead of a frozenset subset walk.
     """
 
-    __slots__ = ("quals",)
+    __slots__ = ("quals", "masks", "_ids")
 
     def __init__(self) -> None:
         self.quals: List[QualifiedPair] = []
+        self.masks: List[int] = []
+        #: Local interner, only for standalone chains (``add``); chains
+        #: inside a QualifiedSolution always receive precomputed masks.
+        self._ids: Optional[Dict[Assumption, int]] = None
 
-    def add_qualified(self, qp: QualifiedPair) -> bool:
+    def add_qualified(self, qp: QualifiedPair,
+                      mask: Optional[int] = None) -> bool:
         """Insert applying the subsumption rule.
 
         Returns False (and stores nothing) when an existing set is a
         subset of ``qp.assumptions``; otherwise removes existing
-        supersets, stores ``qp``, and returns True.
+        supersets, stores ``qp``, and returns True.  ``mask`` is the
+        candidate's assumption bitset; omitted, it is computed against
+        the chain's own interner.
         """
-        candidate = qp.assumptions
-        for existing in self.quals:
-            if existing.assumptions <= candidate:
+        if mask is None:
+            mask = self._local_mask(qp.assumptions)
+        masks = self.masks
+        for existing in masks:
+            if existing & mask == existing:
                 return False
-        self.quals = [q for q in self.quals
-                      if not (candidate <= q.assumptions)]
+        keep = [i for i, existing in enumerate(masks)
+                if existing & mask != mask]
+        if len(keep) != len(masks):
+            self.quals = [self.quals[i] for i in keep]
+            self.masks = [masks[i] for i in keep]
         self.quals.append(qp)
+        self.masks.append(mask)
         return True
 
     def add(self, candidate: AssumptionSet) -> bool:
         """Insert a bare assumption set (kept for direct antichain use)."""
         return self.add_qualified(QualifiedPair(None, candidate))
+
+    def _local_mask(self, assumptions: AssumptionSet) -> int:
+        ids = self._ids
+        if ids is None:
+            ids = self._ids = {}
+        mask = 0
+        for assumption in assumptions:
+            ident = ids.get(assumption)
+            if ident is None:
+                ident = len(ids)
+                ids[assumption] = ident
+            mask |= 1 << ident
+        return mask
 
     def __iter__(self) -> Iterator[AssumptionSet]:
         for qp in self.quals:
@@ -110,10 +142,28 @@ class AssumptionAntichain:
 
 
 class QualifiedSolution:
-    """Per-output qualified points-to sets with subsumption."""
+    """Per-output qualified points-to sets with subsumption.
+
+    Assumptions are interned to dense ids solution-wide, so every
+    antichain's subsumption tests share one id space and a qualified
+    pair re-added on a different output re-encodes to the same mask.
+    """
 
     def __init__(self) -> None:
         self._pairs: Dict[OutputPort, Dict[PointsToPair, AssumptionAntichain]] = {}
+        self._assumption_ids: Dict[Assumption, int] = {}
+
+    def assumption_mask(self, assumptions: AssumptionSet) -> int:
+        """Encode an assumption set as a bitset over solution-wide ids."""
+        ids = self._assumption_ids
+        mask = 0
+        for assumption in assumptions:
+            ident = ids.get(assumption)
+            if ident is None:
+                ident = len(ids)
+                ids[assumption] = ident
+            mask |= 1 << ident
+        return mask
 
     def add(self, output: OutputPort, qp: QualifiedPair) -> bool:
         by_pair = self._pairs.get(output)
@@ -124,7 +174,7 @@ class QualifiedSolution:
         if chain is None:
             chain = AssumptionAntichain()
             by_pair[qp.pair] = chain
-        return chain.add_qualified(qp)
+        return chain.add_qualified(qp, self.assumption_mask(qp.assumptions))
 
     # -- queries ------------------------------------------------------------
 
@@ -162,9 +212,14 @@ class QualifiedSolution:
                  for s in chain)
         return max(sizes, default=0)
 
-    def strip(self) -> PointsToSolution:
-        """Section 4.1's final step: drop assumption sets, dedupe."""
-        solution = PointsToSolution()
+    def strip(self, table=None) -> PointsToSolution:
+        """Section 4.1's final step: drop assumption sets, dedupe.
+
+        ``table`` (a :class:`~repro.memory.facttable.FactTable`) lets
+        the caller encode the stripped solution against the program's
+        shared id space; omitted, the solution gets a private table.
+        """
+        solution = PointsToSolution(table)
         for output, by_pair in self._pairs.items():
             for pair in by_pair:
                 solution.add(output, pair)

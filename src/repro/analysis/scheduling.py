@@ -1,0 +1,157 @@
+"""SCC condensation of the port dependency graph.
+
+The ``"scc"`` schedule processes worklist ports in topological order
+of the strongly connected components of the *port dependency graph*:
+facts flow from an input port, through its node's transfer function,
+to the node's outputs, and on to every consumer of those outputs.
+Draining an upstream component to saturation before its downstream
+consumers run means each downstream transfer sees its inputs whole —
+the classic topology-aware scheduling of scalable dataflow solvers —
+while round-robin rotation inside a component keeps cyclic regions
+(loops, recursion) fair.
+
+The graph condensed here is *static*: intraprocedural edges come from
+the value dependence edges themselves, and interprocedural edges are
+added for calls whose function value is a syntactically evident
+function address (the common direct-call case).  Indirect calls
+resolved only at analysis time fall outside the condensation; when
+such an edge pushes facts into an already-drained earlier component,
+the SCC worklists simply re-activate it (see
+:class:`repro.analysis.common._SccQueue`) — priority is a heuristic,
+never a soundness obligation.
+
+The computed order is cached per program (``Program.extras``), so the
+CI and CS passes — and repeated runs — condense once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from ..ir.graph import FunctionGraph, Program
+from ..ir.nodes import AddressNode, CallNode, InputPort, ReturnNode
+from ..memory.base import LocationKind
+
+#: Key under which a program's (order, scc count) lives in
+#: ``Program.extras``.
+EXTRAS_KEY = "scc_order"
+
+
+def _static_callee(program: Program, call: CallNode):
+    """The callee of a syntactically direct call, else ``None``."""
+    source = call.fcn.source
+    if source is None or not isinstance(source.node, AddressNode):
+        return None
+    path = source.node.path
+    if path.ops or path.base is None:
+        return None
+    if path.base.kind is not LocationKind.FUNCTION:
+        return None
+    return program.function_for_location(path.base)
+
+
+def _successors(program: Program, node, callers: Dict[FunctionGraph,
+                                                      List[CallNode]]
+                ) -> Iterator[InputPort]:
+    """Input ports facts at any of ``node``'s inputs can reach next."""
+    for output in node.outputs:
+        yield from output.consumers
+    if isinstance(node, CallNode):
+        callee = _static_callee(program, node)
+        if callee is not None and callee.entry is not None:
+            yield from callee.store_formal.consumers
+            for formal in callee.formals:
+                yield from formal.consumers
+    elif isinstance(node, ReturnNode):
+        for call in callers.get(node.graph, ()):
+            yield from call.out.consumers
+            yield from call.ostore.consumers
+
+
+def compute_port_scc_order(program: Program
+                           ) -> Tuple[Dict[InputPort, int], int]:
+    """Condense the port dependency graph into SCCs.
+
+    Returns ``(order, count)``: ``order`` maps every input port to the
+    topological index of its SCC (0 runs first), ``count`` is the
+    number of SCCs.
+    """
+    callers: Dict[FunctionGraph, List[CallNode]] = {}
+    for node in program.all_nodes():
+        if isinstance(node, CallNode):
+            callee = _static_callee(program, node)
+            if callee is not None:
+                callers.setdefault(callee, []).append(node)
+
+    ports: List[InputPort] = []
+    adjacency: Dict[InputPort, List[InputPort]] = {}
+    for node in program.all_nodes():
+        successors = None
+        for port in node.inputs:
+            if successors is None:
+                successors = list(_successors(program, node, callers))
+            ports.append(port)
+            adjacency[port] = successors
+
+    # Iterative Tarjan.  SCCs pop in reverse topological order, so a
+    # component's topological index is (count - 1 - pop order).
+    indices: Dict[InputPort, int] = {}
+    lowlinks: Dict[InputPort, int] = {}
+    on_stack: Dict[InputPort, bool] = {}
+    stack: List[InputPort] = []
+    pop_order: Dict[InputPort, int] = {}
+    sccs_popped = 0
+    counter = 0
+
+    for root in ports:
+        if root in indices:
+            continue
+        work: List[Tuple[InputPort, int]] = [(root, 0)]
+        while work:
+            vertex, child = work[-1]
+            if child == 0:
+                indices[vertex] = lowlinks[vertex] = counter
+                counter += 1
+                stack.append(vertex)
+                on_stack[vertex] = True
+            advanced = False
+            successors = adjacency[vertex]
+            while child < len(successors):
+                succ = successors[child]
+                child += 1
+                if succ not in indices:
+                    work[-1] = (vertex, child)
+                    work.append((succ, 0))
+                    advanced = True
+                    break
+                if on_stack.get(succ):
+                    if indices[succ] < lowlinks[vertex]:
+                        lowlinks[vertex] = indices[succ]
+            if advanced:
+                continue
+            work.pop()
+            if lowlinks[vertex] == indices[vertex]:
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    pop_order[member] = sccs_popped
+                    if member is vertex:
+                        break
+                sccs_popped += 1
+            if work:
+                parent = work[-1][0]
+                if lowlinks[vertex] < lowlinks[parent]:
+                    lowlinks[parent] = lowlinks[vertex]
+
+    order = {port: sccs_popped - 1 - pop_order[port] for port in ports}
+    return order, sccs_popped
+
+
+def port_scc_order(program: Program) -> Tuple[Dict[InputPort, int], int]:
+    """Cached :func:`compute_port_scc_order` (one condensation per
+    program, shared by the CI and CS passes)."""
+    cached = program.extras.get(EXTRAS_KEY)
+    if cached is None:
+        cached = compute_port_scc_order(program)
+        program.extras[EXTRAS_KEY] = cached
+    return cached

@@ -69,10 +69,12 @@ from .common import (
     CallGraph,
     Counters,
     PointsToSolution,
+    SCCWorklist,
     Worklist,
     check_schedule,
 )
 from .insensitive import analyze_insensitive
+from .scheduling import port_scc_order
 from .qualified import (
     EMPTY_ASSUMPTIONS,
     Assumption,
@@ -150,8 +152,10 @@ class SensitiveAnalysis:
         self.counters = Counters()
         self.schedule = check_schedule(schedule)
         self._dispatch: Dict[InputPort, FactHandler] = {}
-        if self.schedule == "batched":
-            self.worklist: object = BatchedWorklist()
+        if self.schedule == "scc":
+            self.worklist: object = SCCWorklist(port_scc_order(program)[0])
+        elif self.schedule == "batched":
+            self.worklist = BatchedWorklist()
         else:
             self.worklist = Worklist()
         self.max_transfers = max_transfers
@@ -160,12 +164,12 @@ class SensitiveAnalysis:
 
     def run(self) -> AnalysisResult:
         started = time.perf_counter()
-        if self.schedule == "batched":
-            self._run_batched()
-        else:
+        if self.schedule == "fifo":
             self._run_fifo()
+        else:
+            self._run_batched()
         elapsed = time.perf_counter() - started
-        stripped = self.solution.strip()
+        stripped = self.solution.strip(self.ci_result.solution.table)
         return AnalysisResult(
             program=self.program,
             solution=stripped,

@@ -27,6 +27,7 @@ from typing import List, Optional
 
 from .analysis.clients.modref import modref
 from .analysis.compare import compare_results
+from .analysis.common import SCHEDULES
 from .analysis.insensitive import analyze_insensitive
 from .analysis.sensitive import analyze_sensitive
 from .analysis.stats import indirect_op_stats, pair_census, program_sizes
@@ -79,6 +80,12 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--no-cache", action="store_true",
                          help="skip the persistent lowering cache under "
                               ".repro-cache/ and lower from scratch")
+    analyze.add_argument("--schedule", default="batched",
+                         choices=list(SCHEDULES),
+                         help="worklist schedule: batched (dense bitset "
+                              "engine, default), scc (dense engine with "
+                              "SCC-topological port priority), or fifo "
+                              "(reference one-fact queue)")
     _add_run_flags(analyze)
 
     dump = sub.add_parser("dump", help="print the lowered VDG")
@@ -110,6 +117,10 @@ def _build_parser() -> argparse.ArgumentParser:
                                  "processes (default: 1, in-process)")
     experiment.add_argument("--no-cache", action="store_true",
                             help="skip the persistent lowering cache")
+    experiment.add_argument("--schedule", default="batched",
+                            choices=list(SCHEDULES),
+                            help="worklist schedule for the suite "
+                                 "analyses (default: batched)")
     _add_run_flags(experiment)
 
     explain = sub.add_parser(
@@ -178,7 +189,7 @@ def _cmd_analyze(args) -> int:
 
     if args.sensitivity == "flowinsensitive":
         from .analysis.flowinsensitive import analyze_flowinsensitive
-        result = analyze_flowinsensitive(program)
+        result = analyze_flowinsensitive(program, schedule=args.schedule)
         _print_result("flow-insensitive", result, args)
         _write_telemetry(args.telemetry,
                          _telemetry_for(program.name,
@@ -186,12 +197,13 @@ def _cmd_analyze(args) -> int:
         return 0
 
     results = {}
-    ci = analyze_insensitive(program)
+    ci = analyze_insensitive(program, schedule=args.schedule)
     if args.sensitivity in ("insensitive", "both"):
         results["insensitive"] = ci
         _print_result("context-insensitive", ci, args)
     if args.sensitivity in ("sensitive", "both"):
-        cs = analyze_sensitive(program, ci_result=ci)
+        cs = analyze_sensitive(program, ci_result=ci,
+                               schedule=args.schedule)
         results["sensitive"] = cs
         _print_result("context-sensitive", cs, args)
         if args.sensitivity == "both":
@@ -200,14 +212,15 @@ def _cmd_analyze(args) -> int:
                   f"({report.percent_spurious:.1f}% of CI total); "
                   f"indirect ops identical: "
                   f"{report.indirect_ops_identical}")
-    _write_telemetry(args.telemetry, _telemetry_for(program.name, results))
+    _write_telemetry(args.telemetry,
+                     _telemetry_for(program.name, results, args.schedule))
     return 0
 
 
-def _telemetry_for(name, results):
+def _telemetry_for(name, results, schedule="batched"):
     from .telemetry import result_records
 
-    return result_records(name, results, "batched")
+    return result_records(name, results, schedule)
 
 
 def _analyze_parallel(args, cache) -> int:
@@ -229,7 +242,8 @@ def _analyze_parallel(args, cache) -> int:
               "sensitive": "context-sensitive",
               "flowinsensitive": "flow-insensitive"}
     report = run_files_report(args.file, flavors=flavors, jobs=args.jobs,
-                              cache=cache, fail_fast=args.fail_fast)
+                              cache=cache, fail_fast=args.fail_fast,
+                              schedule=args.schedule)
     for outcome in report.outcomes:
         if not outcome.ok:
             print(f"error: {outcome.error}", file=sys.stderr)
@@ -319,7 +333,7 @@ def _cmd_export(args) -> int:
         result = analyze_sensitive(program)
     else:
         from .analysis.flowinsensitive import analyze_flowinsensitive
-        result = analyze_flowinsensitive(program)
+        result = analyze_flowinsensitive(program, schedule=args.schedule)
     print(result_to_json(result, include_pairs=not args.no_pairs))
     return 0
 
@@ -329,7 +343,7 @@ def _cmd_experiment(args) -> int:
 
     wanted = list(EXPERIMENT_IDS) if args.id == "all" else [args.id]
     runner = SuiteRunner(jobs=args.jobs, cache=not args.no_cache,
-                         fail_fast=args.fail_fast)
+                         fail_fast=args.fail_fast, schedule=args.schedule)
     for experiment_id in wanted:
         if args.markdown:
             print(render_experiment_markdown(experiment_id, runner))

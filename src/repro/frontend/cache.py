@@ -48,8 +48,9 @@ from ..ir.graph import Program
 #: Bump whenever the lowering pipeline's output changes shape —
 #: invalidates every previously cached program.  v2: keys hash the
 #: preprocessor-reported dependency set (headers included), not just
-#: the named input files.
-LOWERING_VERSION = 2
+#: the named input files.  v3: programs may carry dense fact-table /
+#: SCC-order extras, and entries are written with pickle protocol 5.
+LOWERING_VERSION = 3
 
 #: Default cache directory (relative to the working directory), and
 #: the environment variables that override/disable it.
@@ -125,6 +126,17 @@ def _entry_path(cache_dir: Path, key: str) -> Path:
     return cache_dir / f"{key}.pkl"
 
 
+#: In-process memo over disk entries: ``(cache_dir, key)`` → (disk
+#: entry's stat signature, loaded program).  Repeat loads within one
+#: process — benchmark repeats, a suite sweep re-reading a shared
+#: header's program, the report runner — skip unpickling entirely
+#: (which costs several milliseconds per program).  Each memo hit is
+#: validated against the entry's current ``(st_size, st_mtime_ns)``,
+#: so an entry rewritten, corrupted, or deleted on disk behaves
+#: exactly as it would with no memo.
+_MEMO: Dict[Tuple[str, str], Tuple[Tuple[int, int], Program]] = {}
+
+
 def load_program(cache_dir: Path, key: str) -> Optional[Program]:
     """Fetch a cached program, or ``None`` on miss or *any* failure.
 
@@ -133,6 +145,16 @@ def load_program(cache_dir: Path, key: str) -> Optional[Program]:
     re-lowers and overwrites them.
     """
     path = _entry_path(cache_dir, key)
+    memo_key = (str(cache_dir), key)
+    try:
+        stat = os.stat(path)
+    except OSError:
+        _MEMO.pop(memo_key, None)
+        return None
+    signature = (stat.st_size, stat.st_mtime_ns)
+    memoized = _MEMO.get(memo_key)
+    if memoized is not None and memoized[0] == signature:
+        return memoized[1]
     try:
         with open(path, "rb") as fh:
             # A program unpickles as one burst of small acyclic-until-
@@ -146,19 +168,23 @@ def load_program(cache_dir: Path, key: str) -> Optional[Program]:
                 if was_enabled:
                     gc.enable()
     except FileNotFoundError:
+        _MEMO.pop(memo_key, None)
         return None
     except Exception:
         try:
             path.unlink()
         except OSError:
             pass
+        _MEMO.pop(memo_key, None)
         return None
     if not isinstance(program, Program):
         try:
             path.unlink()
         except OSError:
             pass
+        _MEMO.pop(memo_key, None)
         return None
+    _MEMO[memo_key] = (signature, program)
     return program
 
 
@@ -204,10 +230,20 @@ def store_program(cache_dir: Path, key: str, program: Program) -> bool:
             sys.setrecursionlimit(max(limit, 100_000))
             try:
                 with os.fdopen(fd, "wb") as fh:
-                    pickle.dump(program, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                    # Protocol 5 explicitly: framed out-of-band-capable
+                    # format with the fastest load path, independent of
+                    # what HIGHEST_PROTOCOL resolves to.
+                    pickle.dump(program, fh, protocol=5)
             finally:
                 sys.setrecursionlimit(limit)
-            os.replace(tmp_name, _entry_path(cache_dir, key))
+            entry = _entry_path(cache_dir, key)
+            os.replace(tmp_name, entry)
+            try:
+                stat = os.stat(entry)
+                _MEMO[(str(cache_dir), key)] = (
+                    (stat.st_size, stat.st_mtime_ns), program)
+            except OSError:
+                pass
             return True
         except BaseException:
             try:
@@ -219,12 +255,35 @@ def store_program(cache_dir: Path, key: str, program: Program) -> bool:
         return False
 
 
+def forget_loaded(cache: object = True) -> int:
+    """Drop in-process memo entries for a cache directory, leaving the
+    disk entries intact; returns the number dropped.
+
+    The next :func:`load_program` for each dropped key re-unpickles
+    from disk and yields a *fresh* ``Program`` object rather than the
+    memoized one.  Tests and the fuzz deep checks use this to exercise
+    the disk round-trip explicitly (and to avoid object aliasing
+    between a stored program and its reload).
+    """
+    cache_dir = resolve_cache_dir(cache)
+    if cache_dir is None:
+        return 0
+    prefix = str(cache_dir)
+    stale = [k for k in _MEMO if k[0] == prefix]
+    for memo_key in stale:
+        del _MEMO[memo_key]
+    return len(stale)
+
+
 def clear_cache(cache: object = True) -> int:
     """Delete all cache entries (including orphaned temp files);
     returns the number removed."""
     cache_dir = resolve_cache_dir(cache)
     if cache_dir is None or not cache_dir.is_dir():
         return 0
+    prefix = str(cache_dir)
+    for memo_key in [k for k in _MEMO if k[0] == prefix]:
+        del _MEMO[memo_key]
     removed = 0
     for entry in itertools.chain(cache_dir.glob("*.pkl"),
                                  cache_dir.glob("*.tmp")):

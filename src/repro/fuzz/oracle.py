@@ -21,8 +21,9 @@ operation, the inclusion lattice the paper's claims rest on:
   to a direct op, and its referent set still must cover the concrete
   access.
 
-On top of the lattice the oracle asserts determinism — the batched and
-FIFO worklist schedules must reach byte-identical solutions — and
+On top of the lattice the oracle asserts determinism — the batched,
+FIFO, and SCC-priority schedules must reach byte-identical solutions
+— and
 re-checks each solution with the declarative fixpoint verifier.  The
 separate :func:`deep_checks` entry (used by the CLI every N-th
 program) additionally crosses process and cache boundaries: analyses
@@ -45,6 +46,7 @@ from ..analysis import (
     verify_solution,
 )
 from ..analysis.common import AnalysisResult
+from ..frontend.cache import forget_loaded
 from ..frontend.lower import lower_file, lower_source
 from ..ir.nodes import LookupNode, UpdateNode
 from .concrete import ConcreteTrap, interpret_source
@@ -217,19 +219,20 @@ def check_program(source: str, name: str = "<fuzz>", *,
     report.digests["cs"] = solution_digest(cs)
     report.digests["fi"] = solution_digest(fi)
     if schedules:
-        ci_fifo = analyze_insensitive(program, schedule="fifo")
-        cs_fifo = analyze_sensitive(program, ci_result=ci_fifo,
-                                    schedule="fifo")
-        fi_fifo = analyze_flowinsensitive(program, schedule="fifo")
-        for flavor, fifo in (("ci", ci_fifo), ("cs", cs_fifo),
-                             ("fi", fi_fifo)):
-            digest = solution_digest(fifo)
-            if digest != report.digests[flavor]:
-                report.violations.append(Violation(
-                    "determinism",
-                    f"{flavor.upper()} solution differs between batched "
-                    f"({report.digests[flavor][:12]}…) and fifo "
-                    f"({digest[:12]}…) schedules"))
+        for other in ("fifo", "scc"):
+            ci_alt = analyze_insensitive(program, schedule=other)
+            cs_alt = analyze_sensitive(program, ci_result=ci_alt,
+                                       schedule=other)
+            fi_alt = analyze_flowinsensitive(program, schedule=other)
+            for flavor, alt in (("ci", ci_alt), ("cs", cs_alt),
+                                ("fi", fi_alt)):
+                digest = solution_digest(alt)
+                if digest != report.digests[flavor]:
+                    report.violations.append(Violation(
+                        "determinism",
+                        f"{flavor.upper()} solution differs between "
+                        f"batched ({report.digests[flavor][:12]}…) and "
+                        f"{other} ({digest[:12]}…) schedules"))
 
     # -- independent fixpoint re-check -----------------------------------
     if fixpoint:
@@ -264,7 +267,12 @@ def deep_checks(programs: Sequence[Tuple[str, str]],
 
         flavors = ("insensitive", "sensitive")
         inline = run_files_report(paths, flavors=flavors, jobs=1)
-        pooled = run_files_report(paths, flavors=flavors, jobs=jobs)
+        # force_pool: the runner folds tiny sweeps back into the
+        # calling process for speed, which would silently turn this
+        # leg into a second inline run — here the process boundary
+        # *is* the thing under test.
+        pooled = run_files_report(paths, flavors=flavors, jobs=jobs,
+                                  force_pool=True)
         for one, two in zip(inline.outcomes, pooled.outcomes):
             if not one.ok or not two.ok:
                 detail = one.error or two.error
@@ -283,8 +291,13 @@ def deep_checks(programs: Sequence[Tuple[str, str]],
         cache_dir = tmpdir / "cache"
         for path in paths:
             cold = lower_file(path, cache=cache_dir)
+            cold_status = cold.extras.get("cache")
+            # Drop the in-process memo so the warm load genuinely
+            # re-unpickles from disk (and is a distinct object whose
+            # extras can't alias cold's).
+            forget_loaded(cache_dir)
             warm = lower_file(path, cache=cache_dir)
-            statuses = (cold.extras.get("cache"), warm.extras.get("cache"))
+            statuses = (cold_status, warm.extras.get("cache"))
             if statuses != ("miss", "hit"):
                 violations.append(Violation(
                     "determinism",
@@ -297,4 +310,26 @@ def deep_checks(programs: Sequence[Tuple[str, str]],
                     "determinism",
                     f"{path.name}: CI solution differs between cache miss "
                     f"({a[:12]}…) and cache hit ({b[:12]}…)"))
+
+        # -- SCC-priority schedule cross-check ------------------------
+        # The per-program oracle already crosses batched vs fifo; here
+        # the third schedule runs on a *fresh* lowering (its own fact
+        # table and SCC order) and must land on the same solutions.
+        for path, (prog_name, source) in zip(paths, programs):
+            program = lower_file(path, cache=False)
+            ci_b = analyze_insensitive(program)
+            cs_b = analyze_sensitive(program, ci_result=ci_b)
+            ci_s = analyze_insensitive(program, schedule="scc")
+            cs_s = analyze_sensitive(program, ci_result=ci_s,
+                                     schedule="scc")
+            for flavor, batched, scc in (("ci", ci_b, ci_s),
+                                         ("cs", cs_b, cs_s)):
+                a = solution_digest(batched)
+                b = solution_digest(scc)
+                if a != b:
+                    violations.append(Violation(
+                        "determinism",
+                        f"{prog_name}: {flavor} solution differs between "
+                        f"batched ({a[:12]}…) and scc ({b[:12]}…) "
+                        f"schedules"))
     return violations

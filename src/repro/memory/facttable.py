@@ -1,0 +1,207 @@
+"""Dense integer ids for interned facts, and the bitset codec.
+
+The solvers' hot path is set union/membership over points-to pairs.
+Interning already made those identity-based; this module goes one step
+further and assigns every :class:`~repro.memory.pairs.PointsToPair`
+(and every :class:`~repro.memory.access.AccessPath`) a *dense* integer
+id, per :class:`FactTable`.  A set of facts then becomes a Python
+big-int **bitset** — bit ``i`` set iff the fact with id ``i`` is in the
+set — and the solver's join/meet operations become single ``|``/``& ~``
+machine loops over 30-bit digits instead of per-object hash probes.
+
+Id assignment order is whatever order the analysis first touches each
+fact; nothing downstream may depend on it.  The decoding helpers map
+bitsets back to the interned objects, which is how the object-level
+query API of ``PointsToSolution`` stays intact on top of the bitset
+representation.
+
+One table is attached per :class:`~repro.ir.graph.Program` (see
+:meth:`FactTable.for_program`), so repeated analyses of the same
+program — CI then CS, or benchmark repeats — reuse the same ids and
+the encode dictionaries stay warm.  Tables pickle with their insertion
+order preserved, so a solution shipped across a process boundary
+decodes to the same facts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .access import AccessPath
+from .pairs import PointsToPair
+
+#: Bit positions set in each byte value, precomputed: the decode loop
+#: walks a bitset bytewise instead of peeling one bit per iteration.
+_BYTE_BITS: Tuple[Tuple[int, ...], ...] = tuple(
+    tuple(bit for bit in range(8) if value >> bit & 1)
+    for value in range(256))
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the set bit positions of ``mask`` in ascending order."""
+    offset = 0
+    for byte in mask.to_bytes((mask.bit_length() + 7) // 8, "little"):
+        if byte:
+            for bit in _BYTE_BITS[byte]:
+                yield offset + bit
+        offset += 8
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits (facts) in a bitset."""
+    return mask.bit_count()
+
+
+def bitset_words(mask: int) -> int:
+    """64-bit words a bitset spans (its highest set bit rounds up)."""
+    return (mask.bit_length() + 63) >> 6
+
+
+class FactTable:
+    """Per-program dense ids for points-to pairs and access paths.
+
+    ``pair_id``/``path_id`` assign ids on first sight (dense, starting
+    at 0); ``pair_of``/``path_of`` invert them.  ``decode_calls``
+    counts bitset→object materializations — the telemetry counter that
+    shows how often the lazy decoding view is actually exercised.
+    """
+
+    __slots__ = ("_pair_ids", "_pair_objects", "_path_ids", "_path_objects",
+                 "_base_masks", "decode_calls")
+
+    #: Key under which a program's table lives in ``Program.extras``.
+    EXTRAS_KEY = "fact_table"
+
+    def __init__(self) -> None:
+        self._pair_ids: Dict[PointsToPair, int] = {}
+        self._pair_objects: List[PointsToPair] = []
+        self._path_ids: Dict[AccessPath, int] = {}
+        self._path_objects: List[AccessPath] = []
+        #: Global index: path base location → bitset of every pair id
+        #: whose path is rooted at that base.  Maintained at id
+        #: assignment (once per distinct fact, ever), it lets transfer
+        #: functions slice any fact bitset down to the pairs a location
+        #: could alias — ``mask & base_mask(base)`` — without decoding.
+        self._base_masks: Dict[object, int] = {}
+        self.decode_calls = 0
+
+    @classmethod
+    def for_program(cls, program) -> "FactTable":
+        """The program's shared table, created on first request."""
+        table = program.extras.get(cls.EXTRAS_KEY)
+        if not isinstance(table, cls):
+            table = cls()
+            program.extras[cls.EXTRAS_KEY] = table
+        return table
+
+    # -- pair ids ----------------------------------------------------------
+
+    def pair_id(self, pair: PointsToPair) -> int:
+        ident = self._pair_ids.get(pair)
+        if ident is None:
+            ident = len(self._pair_objects)
+            self._pair_ids[pair] = ident
+            self._pair_objects.append(pair)
+            base = pair.path.base
+            masks = self._base_masks
+            masks[base] = masks.get(base, 0) | (1 << ident)
+        return ident
+
+    def base_mask(self, base: object) -> int:
+        """Bitset of every known pair whose path is rooted at ``base``."""
+        return self._base_masks.get(base, 0)
+
+    def pair_of(self, ident: int) -> PointsToPair:
+        return self._pair_objects[ident]
+
+    def pair_count(self) -> int:
+        return len(self._pair_objects)
+
+    def pair_mask(self, pairs: Iterable[PointsToPair]) -> int:
+        """Encode an iterable of pairs as a bitset."""
+        mask = 0
+        for pair in pairs:
+            mask |= 1 << self.pair_id(pair)
+        return mask
+
+    def decode_pairs(self, mask: int) -> List[PointsToPair]:
+        """Materialize a bitset back into its pair objects."""
+        self.decode_calls += 1
+        objects = self._pair_objects
+        out: List[PointsToPair] = []
+        append = out.append
+        offset = 0
+        for byte in mask.to_bytes((mask.bit_length() + 7) // 8, "little"):
+            if byte:
+                for bit in _BYTE_BITS[byte]:
+                    append(objects[offset + bit])
+            offset += 8
+        return out
+
+    def decode_items(self, mask: int) -> List[Tuple[int, PointsToPair]]:
+        """Like :meth:`decode_pairs` but keeps each pair's id."""
+        self.decode_calls += 1
+        objects = self._pair_objects
+        out: List[Tuple[int, PointsToPair]] = []
+        append = out.append
+        offset = 0
+        for byte in mask.to_bytes((mask.bit_length() + 7) // 8, "little"):
+            if byte:
+                for bit in _BYTE_BITS[byte]:
+                    ident = offset + bit
+                    append((ident, objects[ident]))
+            offset += 8
+        return out
+
+    # -- path ids ----------------------------------------------------------
+
+    def path_id(self, path: AccessPath) -> int:
+        ident = self._path_ids.get(path)
+        if ident is None:
+            ident = len(self._path_objects)
+            self._path_ids[path] = ident
+            self._path_objects.append(path)
+        return ident
+
+    def path_of(self, ident: int) -> AccessPath:
+        return self._path_objects[ident]
+
+    def path_count(self) -> int:
+        return len(self._path_objects)
+
+    def path_mask(self, paths: Iterable[AccessPath]) -> int:
+        mask = 0
+        for path in paths:
+            mask |= 1 << self.path_id(path)
+        return mask
+
+    def decode_paths(self, mask: int) -> List[AccessPath]:
+        self.decode_calls += 1
+        return [self._path_objects[ident] for ident in iter_bits(mask)]
+
+    # -- pickling ----------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        # The object lists alone determine the table (ids are list
+        # positions); the encode dicts rebuild against the re-interned
+        # objects on load.
+        return {"pairs": self._pair_objects, "paths": self._path_objects,
+                "decode_calls": self.decode_calls}
+
+    def __setstate__(self, state: dict) -> None:
+        self._pair_objects = state["pairs"]
+        self._path_objects = state["paths"]
+        self._pair_ids = {pair: ident
+                          for ident, pair in enumerate(self._pair_objects)}
+        self._path_ids = {path: ident
+                          for ident, path in enumerate(self._path_objects)}
+        self._base_masks = {}
+        for ident, pair in enumerate(self._pair_objects):
+            base = pair.path.base
+            self._base_masks[base] = \
+                self._base_masks.get(base, 0) | (1 << ident)
+        self.decode_calls = state.get("decode_calls", 0)
+
+    def __repr__(self) -> str:
+        return (f"<FactTable {len(self._pair_objects)} pairs, "
+                f"{len(self._path_objects)} paths>")

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Optional
 
 from .access import AccessPath, make_path
+from .facttable import FactTable, iter_bits
 
 
 def is_prefix(a: AccessPath, b: AccessPath) -> bool:
@@ -61,3 +62,37 @@ def meet(a: AccessPath, b: AccessPath) -> Optional[AccessPath]:
             break
         n += 1
     return make_path(a.base, a.ops[:n])
+
+
+# -- bitset-domain equivalents (dense-id fact engine) ----------------------
+#
+# The dense engine (see repro.memory.facttable) manipulates access
+# paths through their table ids.  These mirrors keep the two
+# representations verifiably in lockstep: each is defined by decoding,
+# applying the object-level relation, and re-encoding, and the
+# lattice-law property tests assert the id domain satisfies the same
+# laws the object domain does.
+
+
+def meet_ids(table: FactTable, a_id: int, b_id: int) -> Optional[int]:
+    """GLB of two paths in the id domain: the id of ``meet(a, b)``,
+    or ``None`` when the paths share no lower bound."""
+    glb = meet(table.path_of(a_id), table.path_of(b_id))
+    if glb is None:
+        return None
+    return table.path_id(glb)
+
+
+def meet_mask(table: FactTable, a_mask: int, b_mask: int) -> int:
+    """Pointwise meet of two path *sets* encoded as bitsets: the set
+    of all defined ``meet(a, b)`` with ``a`` drawn from ``a_mask`` and
+    ``b`` from ``b_mask``."""
+    out = 0
+    a_ids = list(iter_bits(a_mask))
+    for b_id in iter_bits(b_mask):
+        b_path = table.path_of(b_id)
+        for a_id in a_ids:
+            glb = meet(table.path_of(a_id), b_path)
+            if glb is not None:
+                out |= 1 << table.path_id(glb)
+    return out

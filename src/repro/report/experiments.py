@@ -57,12 +57,14 @@ class SuiteRunner:
     def __init__(self, names: Optional[Sequence[str]] = None,
                  jobs: Optional[int] = 1,
                  cache: object = True,
-                 fail_fast: bool = False) -> None:
+                 fail_fast: bool = False,
+                 schedule: str = "batched") -> None:
         self.names: List[str] = list(names) if names is not None \
             else list(PROGRAM_NAMES)
         self.jobs = jobs
         self.cache = cache
         self.fail_fast = fail_fast
+        self.schedule = schedule
         #: :class:`repro.runner.TaskError` per failed program.
         self.errors: List = []
         self._records: List[dict] = []
@@ -87,7 +89,8 @@ class SuiteRunner:
 
         report = run_suite_report(names=self.names, jobs=self.jobs,
                                   cache=self.cache,
-                                  fail_fast=self.fail_fast)
+                                  fail_fast=self.fail_fast,
+                                  schedule=self.schedule)
         self.errors = report.errors
         self._records = report.records
         for name, by_flavor in report.results.items():
@@ -116,7 +119,7 @@ class SuiteRunner:
         for name in self.names:
             results = {"insensitive": self.ci(name),
                        "sensitive": self.cs(name)}
-            records.extend(result_records(name, results, "batched"))
+            records.extend(result_records(name, results, self.schedule))
         return records
 
     def _want_parallel(self) -> bool:
@@ -135,7 +138,8 @@ class SuiteRunner:
             if self._want_parallel():
                 self.prime()
             if name not in self._ci:
-                self._ci[name] = analyze_insensitive(self.program(name))
+                self._ci[name] = analyze_insensitive(
+                    self.program(name), schedule=self.schedule)
         return self._ci[name]
 
     def cs(self, name: str) -> AnalysisResult:
@@ -143,8 +147,9 @@ class SuiteRunner:
             if self._want_parallel():
                 self.prime()
             if name not in self._cs:
-                self._cs[name] = analyze_sensitive(self.program(name),
-                                                   ci_result=self.ci(name))
+                self._cs[name] = analyze_sensitive(
+                    self.program(name), ci_result=self.ci(name),
+                    schedule=self.schedule)
         return self._cs[name]
 
 

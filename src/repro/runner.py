@@ -62,6 +62,15 @@ FLAVORS = ("insensitive", "sensitive", "flowinsensitive")
 #: by commas.
 FAULT_INJECT_ENV = "REPRO_FAULT_INJECT"
 
+#: Sweeps at or below this many tasks run inline even when ``jobs > 1``:
+#: forking an executor, importing the package in each worker, and
+#: pickling results back costs more wall-clock than analyzing a handful
+#: of programs does, which made tiny parallel sweeps *slower* than the
+#: serial baseline.  Fault injection (tests) and ``force_pool`` callers
+#: (the fuzz oracle's process-boundary cross-check) still get real
+#: worker processes.
+INLINE_TASK_THRESHOLD = 4
+
 
 def default_jobs() -> int:
     return os.cpu_count() or 1
@@ -276,7 +285,7 @@ def _run_isolated(worker, task) -> TaskOutcome:
 
 
 def run_tasks(worker, tasks: List[tuple], jobs: Optional[int] = None,
-              fail_fast: bool = False) -> RunReport:
+              fail_fast: bool = False, force_pool: bool = False) -> RunReport:
     """Run ``worker`` over ``tasks``, isolating per-task failures.
 
     Returns a :class:`RunReport` with one :class:`TaskOutcome` per
@@ -284,7 +293,8 @@ def run_tasks(worker, tasks: List[tuple], jobs: Optional[int] = None,
     failing task becomes an error outcome and the sweep continues;
     with ``fail_fast=True`` the first failure raises :class:`ReproError`
     naming the task (completed outcomes are discarded, matching the
-    old ``pool.map`` contract).
+    old ``pool.map`` contract).  ``force_pool=True`` guarantees worker
+    processes even for sweeps small enough to run inline.
     """
     # An unspecified job count is capped at the core count (more
     # workers only adds fork/IPC overhead for this CPU-bound
@@ -296,6 +306,13 @@ def run_tasks(worker, tasks: List[tuple], jobs: Optional[int] = None,
     guarded = _GUARDED.get(worker, worker)
 
     outcomes: List[Optional[TaskOutcome]] = [None] * len(tasks)
+
+    if not force_pool and not os.environ.get(FAULT_INJECT_ENV) \
+            and len(tasks) <= INLINE_TASK_THRESHOLD:
+        # Tiny sweep: executor setup would dominate; run it here.
+        # (Fault-injection tests need real processes — an injected
+        # os._exit would take the caller down with it.)
+        jobs = 1
 
     if jobs == 1:
         # Inline guard catches only Exception: a Ctrl-C in the calling
@@ -363,14 +380,17 @@ def run_suite_report(names: Optional[Sequence[str]] = None,
                      schedule: str = "batched",
                      cache: object = True,
                      fail_fast: bool = False,
+                     force_pool: bool = False,
                      ) -> RunReport:
     """Analyze suite programs across processes, fault-isolated.
 
     Returns a :class:`RunReport`; ``report.results`` maps each
     *successful* program to its ``{flavor: AnalysisResult}`` dict and
     ``report.errors`` names each failed one.  ``jobs`` defaults to the
-    CPU count; ``jobs=1`` runs inline.  ``cache`` controls the
-    persistent lowering cache (on by default for suite sources).
+    CPU count; ``jobs=1`` — or a sweep small enough that executor
+    setup would dominate — runs inline (``force_pool=True`` overrides).
+    ``cache`` controls the persistent lowering cache (on by default
+    for suite sources).
     """
     from .suite.registry import PROGRAM_NAMES
 
@@ -378,7 +398,8 @@ def run_suite_report(names: Optional[Sequence[str]] = None,
         names = PROGRAM_NAMES
     flavors = _check_flavors(flavors)
     tasks = [(name, flavors, schedule, cache) for name in names]
-    return run_tasks(_suite_worker, tasks, jobs, fail_fast=fail_fast)
+    return run_tasks(_suite_worker, tasks, jobs, fail_fast=fail_fast,
+                     force_pool=force_pool)
 
 
 def run_files_report(paths: Sequence,
@@ -387,6 +408,7 @@ def run_files_report(paths: Sequence,
                      schedule: str = "batched",
                      cache: object = None,
                      fail_fast: bool = False,
+                     force_pool: bool = False,
                      ) -> RunReport:
     """Analyze several C files as *independent* programs, in parallel.
 
@@ -397,7 +419,8 @@ def run_files_report(paths: Sequence,
     """
     flavors = _check_flavors(flavors)
     tasks = [(str(p), flavors, schedule, cache) for p in paths]
-    return run_tasks(_file_worker, tasks, jobs, fail_fast=fail_fast)
+    return run_tasks(_file_worker, tasks, jobs, fail_fast=fail_fast,
+                     force_pool=force_pool)
 
 
 def run_suite(names: Optional[Sequence[str]] = None,

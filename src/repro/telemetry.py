@@ -73,9 +73,15 @@ def result_record(program: str, result: AnalysisResult,
     Counters come straight from ``result.counters.as_dict``; phases
     merge the program-level frontend timings (preprocess/parse/lower or
     cache_load, recorded by :func:`repro.frontend.lower.lower_file`)
-    with the solver's own ``solve`` phase.
+    with the solver's own ``solve`` phase.  Runs of the dense bitset
+    engine additionally carry a ``"dense"`` object — fact ids
+    allocated, total 64-bit bitset words in the solution, bitset→object
+    decode calls, and (under the SCC schedule) the condensation's
+    component count.  These describe the *representation*, not the
+    analysis: unlike the paper counters they may vary between processes
+    with differently warmed fact tables.
     """
-    return {
+    record = {
         "schema": SCHEMA_VERSION,
         "kind": "analysis",
         "status": "ok",
@@ -90,6 +96,10 @@ def result_record(program: str, result: AnalysisResult,
         "worker_pid": os.getpid(),
         "peak_rss_kb": peak_rss_kb(),
     }
+    dense = result.extras.get("dense")
+    if dense is not None:
+        record["dense"] = dict(dense)
+    return record
 
 
 def result_records(program: str,

@@ -1,10 +1,12 @@
-"""Equivalence gate: batched and FIFO schedules agree everywhere.
+"""Equivalence gate: every worklist schedule agrees everywhere.
 
-Both worklist disciplines must compute the *same fixpoint* — solutions,
-call graphs, and every client-visible answer — on every suite program,
-for both analyses.  Monotone joins over finite lattices guarantee this
-on paper; this gate guarantees nobody's batching shortcut quietly
-weakens a transfer function.
+All three worklist disciplines — ``batched`` and ``scc`` on the dense
+bitset engine, ``fifo`` on the object-at-a-time reference engine —
+must compute the *same fixpoint* — solutions, call graphs, and every
+client-visible answer — on every suite program, for both analyses.
+Monotone joins over finite lattices guarantee this on paper; this
+gate guarantees nobody's batching shortcut (or bitset encoding, or
+SCC priority) quietly weakens a transfer function.
 
 Schedule-dependent quantities (``meets``; all CS counters, because
 subsumption order varies) are deliberately NOT compared — see
@@ -20,6 +22,10 @@ from repro.analysis.insensitive import analyze_insensitive
 from repro.analysis.sensitive import analyze_sensitive
 from repro.ir.nodes import CallNode
 from repro.suite.registry import PROGRAM_NAMES, load_program
+
+#: The reference point is ``batched``; every other schedule is
+#: compared against it (which by transitivity compares them all).
+OTHER_SCHEDULES = ("fifo", "scc")
 
 
 def _solution_snapshot(result):
@@ -58,43 +64,44 @@ def _defuse_snapshot(result):
     return snapshot
 
 
+@pytest.mark.parametrize("other", OTHER_SCHEDULES)
 @pytest.mark.parametrize("name", PROGRAM_NAMES)
 class TestScheduleEquivalence:
-    def test_ci_identical(self, name):
+    def test_ci_identical(self, name, other):
         program = load_program(name)
         batched = analyze_insensitive(program, schedule="batched")
-        fifo = analyze_insensitive(program, schedule="fifo")
-        assert _solution_snapshot(batched) == _solution_snapshot(fifo)
-        assert _callgraph_snapshot(batched) == _callgraph_snapshot(fifo)
+        alt = analyze_insensitive(program, schedule=other)
+        assert _solution_snapshot(batched) == _solution_snapshot(alt)
+        assert _callgraph_snapshot(batched) == _callgraph_snapshot(alt)
         # CI transfers and pairs_added are schedule-invariant (total
         # pushes and final solution size); meets is not.
-        assert batched.counters.transfers == fifo.counters.transfers
-        assert batched.counters.pairs_added == fifo.counters.pairs_added
+        assert batched.counters.transfers == alt.counters.transfers
+        assert batched.counters.pairs_added == alt.counters.pairs_added
 
-    def test_cs_identical(self, name):
+    def test_cs_identical(self, name, other):
         program = load_program(name)
         ci = analyze_insensitive(program)
         batched = analyze_sensitive(program, ci_result=ci,
                                     schedule="batched")
-        fifo = analyze_sensitive(program, ci_result=ci, schedule="fifo")
-        assert _solution_snapshot(batched) == _solution_snapshot(fifo)
+        alt = analyze_sensitive(program, ci_result=ci, schedule=other)
+        assert _solution_snapshot(batched) == _solution_snapshot(alt)
 
-    def test_fi_identical(self, name):
+    def test_fi_identical(self, name, other):
         program = load_program(name)
         batched = analyze_flowinsensitive(program, schedule="batched")
-        fifo = analyze_flowinsensitive(program, schedule="fifo")
-        assert _solution_snapshot(batched) == _solution_snapshot(fifo)
+        alt = analyze_flowinsensitive(program, schedule=other)
+        assert _solution_snapshot(batched) == _solution_snapshot(alt)
 
-    def test_clients_identical(self, name):
+    def test_clients_identical(self, name, other):
         program = load_program(name)
         results = {}
-        for schedule in ("batched", "fifo"):
+        for schedule in ("batched", other):
             ci = analyze_insensitive(program, schedule=schedule)
             cs = analyze_sensitive(program, ci_result=ci,
                                    schedule=schedule)
             results[schedule] = (ci, cs)
         for flavor in (0, 1):
             batched = results["batched"][flavor]
-            fifo = results["fifo"][flavor]
-            assert _modref_snapshot(batched) == _modref_snapshot(fifo)
-            assert _defuse_snapshot(batched) == _defuse_snapshot(fifo)
+            alt = results[other][flavor]
+            assert _modref_snapshot(batched) == _modref_snapshot(alt)
+            assert _defuse_snapshot(batched) == _defuse_snapshot(alt)

@@ -62,9 +62,10 @@ class TestVerifier:
         program, ci, _ = analyze_both(SRC)
         # Remove one pair from some populated output.
         for output in list(ci.solution.outputs()):
-            pairs = ci.solution.raw_pairs(output)
-            if pairs and output.node.kind != "entry":
-                pairs.pop()
+            bits = ci.solution._bits[output]
+            if bits and output.node.kind != "entry":
+                ci.solution._bits[output] = bits & (bits - 1)
+                ci.solution._decoded.pop(output, None)
                 break
         violations = verify_solution(ci)
         assert violations
@@ -86,7 +87,8 @@ class TestVerifier:
     def test_assert_fixpoint_raises_with_listing(self):
         program, ci, _ = analyze_both("int g; int main(void) "
                                       "{ g = 1; return g; }")
-        ci.solution._pairs = {k: set() for k in ci.solution._pairs}
+        ci.solution._bits = {k: 0 for k in ci.solution._bits}
+        ci.solution._decoded.clear()
         with pytest.raises(AssertionError, match="fixpoint violations"):
             assert_fixpoint(ci)
 

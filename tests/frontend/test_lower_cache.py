@@ -12,6 +12,7 @@ from repro.frontend.cache import (
     NO_CACHE_ENV,
     _sweep_stale_tmps,
     clear_cache,
+    forget_loaded,
     key_for_files,
     resolve_cache_dir,
 )
@@ -51,11 +52,17 @@ class TestHitAndMiss:
         assert len(_entries(cache_dir)) == 1
         second = lower_file(cfile, cache=cache_dir)
         assert len(_entries(cache_dir)) == 1
-        # The hit is a distinct object graph with the same analysis.
-        assert second is not first
-        assert isinstance(second, Program)
+        # An in-process hit is memoized: the same object graph comes
+        # back without re-unpickling (interning state stays warm).
+        assert second is first
+        # After dropping the memo, the hit is a *distinct* object
+        # graph off disk, with the same analysis.
+        forget_loaded(cache_dir)
+        third = lower_file(cfile, cache=cache_dir)
+        assert third is not first
+        assert isinstance(third, Program)
         a = analyze_insensitive(first)
-        b = analyze_insensitive(second)
+        b = analyze_insensitive(third)
         assert a.counters.as_dict() == b.counters.as_dict()
 
     def test_cache_off_by_default(self, cfile, tmp_path, monkeypatch):
@@ -204,6 +211,39 @@ class TestEnvironment:
         lower_file(cfile, cache=cache_dir)
         assert clear_cache(cache_dir) == 1
         assert _entries(cache_dir) == []
+
+
+class TestInProcessMemo:
+    """Repeat loads within one process skip unpickling entirely,
+    but never at the cost of disk-state fidelity."""
+
+    def test_disk_rewrite_invalidates_memo(self, cfile, cache_dir):
+        lower_file(cfile, cache=cache_dir)
+        first = lower_file(cfile, cache=cache_dir)
+        (entry,) = _entries(cache_dir)
+        # A rewritten entry (different stat signature) must behave as
+        # if the memo never existed: re-unpickled, fresh object.
+        os.utime(entry, ns=(0, 0))
+        second = lower_file(cfile, cache=cache_dir)
+        assert second is not first
+        assert isinstance(second, Program)
+
+    def test_deleted_entry_misses_despite_memo(self, cfile, cache_dir):
+        lower_file(cfile, cache=cache_dir)
+        lower_file(cfile, cache=cache_dir)  # memo warm
+        (entry,) = _entries(cache_dir)
+        entry.unlink()
+        program = lower_file(cfile, cache=cache_dir)
+        assert program.extras.get("cache") == "miss"
+
+    def test_forget_loaded_counts_and_scopes(self, cfile, tmp_path):
+        cache_a = tmp_path / "cache-a"
+        cache_b = tmp_path / "cache-b"
+        lower_file(cfile, cache=cache_a)
+        lower_file(cfile, cache=cache_b)
+        assert forget_loaded(cache_a) == 1
+        assert forget_loaded(cache_a) == 0  # already dropped
+        assert forget_loaded(cache_b) == 1  # other dir untouched
 
 
 class TestCachedProgramFidelity:

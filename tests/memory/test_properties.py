@@ -5,11 +5,14 @@ from hypothesis import strategies as st
 
 from repro.memory.access import INDEX, AccessPath, FieldOp, make_path
 from repro.memory.base import global_location, heap_location
+from repro.memory.facttable import FactTable
 from repro.memory.relations import (
     dom,
     is_prefix,
     may_alias,
     meet,
+    meet_ids,
+    meet_mask,
     strong_dom,
 )
 
@@ -137,6 +140,95 @@ class TestMeetLattice:
     def test_meet_recovers_dom(self, a, b):
         """a ⊑ b iff a ∧ b = a (the order is definable from the meet)."""
         assert dom(a, b) == (meet(a, b) is a)
+
+
+class TestMeetIdDomain:
+    """The dense-id mirrors of ``meet`` satisfy the same lattice laws.
+
+    One shared :class:`FactTable` interns the whole path universe, so
+    id-domain results can be compared by integer equality and decoded
+    back to the canonical interned objects.
+    """
+
+    table = FactTable()
+
+    def _mid(self, a, b):
+        return meet_ids(self.table,
+                        self.table.path_id(a), self.table.path_id(b))
+
+    @bounded
+    @given(paths, paths)
+    def test_meet_ids_mirrors_meet(self, a, b):
+        got = self._mid(a, b)
+        expected = meet(a, b)
+        if expected is None:
+            assert got is None
+        else:
+            assert self.table.path_of(got) is expected
+
+    @bounded
+    @given(paths)
+    def test_meet_ids_idempotent(self, path):
+        ident = self.table.path_id(path)
+        assert meet_ids(self.table, ident, ident) == ident
+
+    @bounded
+    @given(paths, paths)
+    def test_meet_ids_commutative(self, a, b):
+        assert self._mid(a, b) == self._mid(b, a)
+
+    @bounded
+    @given(paths, paths, paths)
+    def test_meet_ids_associative(self, a, b, c):
+        left = self._mid(a, b)
+        right = self._mid(b, c)
+        lhs = (meet_ids(self.table, left, self.table.path_id(c))
+               if left is not None else None)
+        rhs = (meet_ids(self.table, self.table.path_id(a), right)
+               if right is not None else None)
+        assert lhs == rhs
+
+    @bounded
+    @given(st.lists(paths, max_size=4), st.lists(paths, max_size=4))
+    def test_meet_mask_is_pointwise_meet(self, xs, ys):
+        """Decoding ``meet_mask`` recovers the object-level set
+        ``{meet(x, y) | x ∈ xs, y ∈ ys} − {None}`` exactly."""
+        a_mask = self.table.path_mask(xs)
+        b_mask = self.table.path_mask(ys)
+        got = set(self.table.decode_paths(
+            meet_mask(self.table, a_mask, b_mask)))
+        expected = {meet(x, y) for x in xs for y in ys}
+        expected.discard(None)
+        assert got == expected
+
+    @bounded
+    @given(st.lists(paths, max_size=3), st.lists(paths, max_size=3),
+           st.lists(paths, max_size=3))
+    def test_meet_mask_distributes_over_union(self, xs, ys, zs):
+        """meet_mask(a ∪ b, c) = meet_mask(a, c) ∪ meet_mask(b, c)."""
+        a = self.table.path_mask(xs)
+        b = self.table.path_mask(ys)
+        c = self.table.path_mask(zs)
+        assert meet_mask(self.table, a | b, c) == \
+            (meet_mask(self.table, a, c) | meet_mask(self.table, b, c))
+
+    @bounded
+    @given(st.lists(paths, max_size=4))
+    def test_meet_mask_empty_annihilates(self, xs):
+        mask = self.table.path_mask(xs)
+        assert meet_mask(self.table, mask, 0) == 0
+        assert meet_mask(self.table, 0, mask) == 0
+
+    @bounded
+    @given(st.lists(paths, max_size=4))
+    def test_meet_mask_idempotent_on_prefix_closed_sets(self, xs):
+        """A ∧ A = A exactly when A is meet-closed; one self-meet
+        reaches the closure, so the operation is a closure operator:
+        applying it twice adds nothing new."""
+        mask = self.table.path_mask(xs)
+        once = meet_mask(self.table, mask, mask)
+        assert mask & once == mask  # contains A (meet is idempotent)
+        assert meet_mask(self.table, once, once) == once
 
 
 class TestAppendSubtract:

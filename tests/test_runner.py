@@ -1,9 +1,16 @@
 """The parallel suite driver: worker fan-out and result fidelity."""
 
+import os
+
 import pytest
 
 from repro.errors import ReproError
-from repro.runner import run_files, run_suite
+from repro.runner import (
+    INLINE_TASK_THRESHOLD,
+    run_files,
+    run_suite,
+    run_suite_report,
+)
 
 NAMES = ["anagram", "backprop", "span"]
 
@@ -55,6 +62,39 @@ class TestRunSuite:
         fifo = run_suite(names=["span"], jobs=1, schedule="fifo")
         assert _snapshot(batched["span"]["insensitive"])[1] \
             == _snapshot(fifo["span"]["insensitive"])[1]
+
+
+class TestInlineFallback:
+    """Tiny sweeps skip the process pool (executor setup dominates and
+    a 3-program parallel sweep used to *lose* to the serial one)."""
+
+    def test_tiny_sweep_runs_in_caller(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert len(NAMES) <= INLINE_TASK_THRESHOLD
+        report = run_suite_report(names=NAMES, jobs=2)
+        pids = {record["worker_pid"] for record in report.records}
+        assert pids == {os.getpid()}
+
+    def test_force_pool_crosses_processes(self, tmp_path, monkeypatch):
+        # Two tasks: ``jobs`` clamps to the task count, so a single
+        # task always runs inline no matter what.
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        report = run_suite_report(names=["span", "anagram"], jobs=2,
+                                  force_pool=True)
+        pids = {record["worker_pid"] for record in report.records}
+        assert os.getpid() not in pids
+
+    def test_fault_injection_env_disables_inline(self, tmp_path,
+                                                 monkeypatch):
+        """Fault-injection sweeps must get real worker processes even
+        when tiny — an injected ``os._exit`` would otherwise take the
+        test runner down with it.  An *unknown* injection spec is
+        harmless, so it proves routing without injecting anything."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "noop:never")
+        report = run_suite_report(names=["span", "anagram"], jobs=2)
+        pids = {record["worker_pid"] for record in report.records}
+        assert os.getpid() not in pids
 
 
 class TestRunFiles:
