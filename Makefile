@@ -2,12 +2,12 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke fuzz-smoke tables examples verify-suite clean
+.PHONY: install test bench bench-smoke fuzz-smoke check-smoke tables examples verify-suite clean
 
 install:
 	$(PYTHON) setup.py develop
 
-test: bench-smoke fuzz-smoke
+test: bench-smoke fuzz-smoke check-smoke
 	$(PYTHON) -m pytest tests/
 
 bench:
@@ -23,6 +23,13 @@ bench-smoke:
 # concrete ⊆ CS ⊆ CI ⊆ FI plus the determinism and fixpoint oracles.
 fuzz-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro fuzz --seed 0 --count 50 --deep-every 25 --fail-fast
+
+# Checker gate: run all four bug finders over the suite under every
+# flavor and emit a SARIF log; the golden counts live in
+# tests/analysis/checkers/test_suite_goldens.py.
+check-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro check --flavor all --format sarif > suite-findings.sarif
+	@test -s suite-findings.sarif || (echo "suite-findings.sarif missing" && exit 1)
 
 tables:
 	$(PYTHON) examples/regenerate_paper_tables.py

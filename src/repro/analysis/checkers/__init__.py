@@ -1,0 +1,36 @@
+"""Bug-finding checker clients over analysis results (DESIGN.md §9).
+
+Importing the package registers the four concrete checkers; the
+framework lives in :mod:`.base`.
+"""
+
+from .base import (
+    REGISTRY,
+    SEVERITIES,
+    CheckerRegistry,
+    Finding,
+    RawFinding,
+    count_by_checker,
+    findings_digest,
+    hazard_cells,
+    render_path,
+    run_checkers,
+)
+from . import nullderef, stackref, uninit, wildcall  # noqa: F401 (register)
+
+#: Registered checker ids, alphabetical — the CLI's --checkers choices.
+CHECKER_IDS = REGISTRY.names()
+
+__all__ = [
+    "CHECKER_IDS",
+    "CheckerRegistry",
+    "Finding",
+    "RawFinding",
+    "REGISTRY",
+    "SEVERITIES",
+    "count_by_checker",
+    "findings_digest",
+    "hazard_cells",
+    "render_path",
+    "run_checkers",
+]

@@ -1,0 +1,54 @@
+"""Null-dereference checker.
+
+An *indirect* memory operation (Figure 4's notion: the location input
+is computed, not a constant address) whose location value may be the
+null/invalid pointer.  Under the hazard lowering the null pointer is
+the address of the ``<null>`` summary cell, so "may be null" is simply
+"the target set contains a ``<null>``-based path".  A target set that
+is *empty* is the degenerate case — the operation has nothing legal it
+can touch (a bare null constant under the default lowering, or an
+unmodeled external pointer) — and is reported as a definite error.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ...ir.nodes import LookupNode
+from ..common import AnalysisResult
+from .base import REGISTRY, RawFinding, hazard_cells, is_summary
+
+
+@REGISTRY.register("nullderef")
+def check_null_dereference(result: AnalysisResult) -> Iterator[RawFinding]:
+    null_cell = hazard_cells(result.program).get("null")
+    solution = result.solution
+    for graph in result.program.functions.values():
+        for node in graph.memory_operations():
+            src = node.loc.source
+            if src is None:
+                continue
+            # "Indirect" per Figure 4 — except that a constant address
+            # of a summary cell (a literal null) is still a hazard.
+            if not node.is_indirect and not is_summary(src.node.path.base):
+                continue
+            verb = "read" if isinstance(node, LookupNode) else "write"
+            direct = [p for p in solution.pairs(src) if p.is_direct]
+            if not direct:
+                yield RawFinding(
+                    "nullderef", node, "error",
+                    f"indirect {verb} through a pointer with no valid "
+                    f"targets")
+                continue
+            bad = [p for p in direct if p.referent.base is null_cell]
+            if null_cell is None or not bad:
+                continue
+            # Definite when nothing the pointer may hold is a real cell
+            # (the other summary cell, <uninit>, is no more valid).
+            definite = all(is_summary(p.referent.base) for p in direct)
+            severity = "error" if definite else "warning"
+            qualifier = "is" if definite else "may be"
+            yield RawFinding(
+                "nullderef", node, severity,
+                f"indirect {verb} through a pointer that {qualifier} null",
+                path=bad[0].referent, evidence=(src, bad[0]))

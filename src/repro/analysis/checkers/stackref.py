@@ -1,0 +1,69 @@
+"""Use-after-return / escaping-stack-pointer checker.
+
+When a call returns, every frame of its transitive callees is dead.
+The store threaded through the call's ``ostore`` output records what
+the caller can still reach: a pair whose *referent* is a local or
+parameter cell of a dead frame, held in a cell that survives the
+return (a global, the heap, or a caller-visible cell), is a pointer
+into freed stack storage.  A returned value that points at a dead
+frame's cell is the same bug through the return-value channel.
+
+Both shapes need no hazard lowering — they fall straight out of the
+points-to solution — and they are exactly where CI/CS precision can
+differ: a callee-local that escapes in one calling context only is
+reported unconditionally by CI but context-filtered by CS.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ...memory.base import LocationKind
+from ...ir.nodes import CallNode
+from ..common import AnalysisResult
+from .base import REGISTRY, RawFinding, transitive_callees
+
+_STACK_KINDS = (LocationKind.LOCAL, LocationKind.PARAM)
+
+
+@REGISTRY.register("stackref")
+def check_stack_escapes(result: AnalysisResult) -> Iterator[RawFinding]:
+    solution = result.solution
+    for graph in result.program.functions.values():
+        for node in graph.nodes:
+            if not isinstance(node, CallNode):
+                continue
+            dead = {g.name for g in
+                    transitive_callees(result.callgraph, node)}
+            # A recursive call keeps the enclosing frame live; its
+            # (shared, multi-instance) locals are not dead yet.
+            dead.discard(graph.name)
+            if not dead:
+                continue
+            for pair in sorted(solution.pairs(node.ostore),
+                               key=repr):
+                ref = pair.referent.base
+                if ref is None or ref.kind not in _STACK_KINDS \
+                        or ref.procedure not in dead:
+                    continue
+                holder = pair.path.base
+                if holder is not None and holder.kind in _STACK_KINDS \
+                        and holder.procedure in dead:
+                    continue  # the holding cell dies with the frame too
+                yield RawFinding(
+                    "stackref", node, "warning",
+                    f"{pair.path!r} may hold a pointer into the dead "
+                    f"frame of {ref.procedure} after this call returns",
+                    path=pair.referent, evidence=(node.ostore, pair))
+            for pair in sorted(solution.pairs(node.out), key=repr):
+                if not pair.is_direct:
+                    continue
+                ref = pair.referent.base
+                if ref is None or ref.kind not in _STACK_KINDS \
+                        or ref.procedure not in dead:
+                    continue
+                yield RawFinding(
+                    "stackref", node, "warning",
+                    f"call may return a pointer into the dead frame "
+                    f"of {ref.procedure}",
+                    path=pair.referent, evidence=(node.out, pair))

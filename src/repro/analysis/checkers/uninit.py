@@ -1,0 +1,56 @@
+"""Uninitialized-pointer-read checker.
+
+The hazard lowering seeds every uninitialized pointer-typed cell with
+the ``<uninit>`` summary location — as the SSA value of register-class
+locals, and as a store pair on memory-resident locals (killed by the
+first strong update, so fully-initialized paths report nothing).  Two
+shapes of hazard follow:
+
+* a memory operation whose *location input* may hold ``<uninit>`` —
+  dereferencing a pointer that was never assigned; and
+* a lookup whose *result* may be ``<uninit>`` — reading a pointer cell
+  before its first initialization (the value read is garbage even if
+  it is never dereferenced here).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ...ir.nodes import LookupNode
+from ..common import AnalysisResult
+from .base import REGISTRY, RawFinding, hazard_cells, is_summary
+
+
+@REGISTRY.register("uninit")
+def check_uninitialized_reads(result: AnalysisResult) -> Iterator[RawFinding]:
+    uninit_cell = hazard_cells(result.program).get("uninit")
+    if uninit_cell is None:
+        return
+    solution = result.solution
+    for graph in result.program.functions.values():
+        for node in graph.memory_operations():
+            src = node.loc.source
+            if src is None:
+                continue
+            verb = "read" if isinstance(node, LookupNode) else "write"
+            direct = [p for p in solution.pairs(src) if p.is_direct]
+            bad = [p for p in direct if p.referent.base is uninit_cell]
+            if bad:
+                definite = all(is_summary(p.referent.base) for p in direct)
+                severity = "error" if definite else "warning"
+                qualifier = ("is" if definite else "may be")
+                yield RawFinding(
+                    "uninit", node, severity,
+                    f"indirect {verb} through a pointer that {qualifier} "
+                    f"uninitialized",
+                    path=bad[0].referent, evidence=(src, bad[0]))
+            if not isinstance(node, LookupNode):
+                continue
+            out_bad = [p for p in solution.pairs(node.out)
+                       if p.is_direct and p.referent.base is uninit_cell]
+            for p in out_bad[:1]:
+                yield RawFinding(
+                    "uninit", node, "warning",
+                    "reads a pointer that may be uninitialized",
+                    path=p.referent, evidence=(node.out, p))

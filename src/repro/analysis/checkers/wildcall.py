@@ -1,0 +1,59 @@
+"""Wild-indirect-call checker.
+
+An indirect call's function value should resolve to a set of defined
+functions: bare ``FUNCTION``-kind base-locations.  Anything else is a
+wild call — an empty target set (calling a scalar, a never-assigned
+function pointer under the default lowering), a data cell treated as
+code, or a hazard summary cell (calling a null or uninitialized
+function pointer).  The discovered call graph's ``unresolved`` set
+records the same phenomenon from the solver's side; the checker
+reports it per offending target with evidence pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ...memory.base import LocationKind
+from ...ir.nodes import AddressNode, CallNode
+from ..common import AnalysisResult
+from .base import REGISTRY, RawFinding, render_path
+
+
+def _is_function_target(referent) -> bool:
+    return (not referent.ops and referent.base is not None
+            and referent.base.kind is LocationKind.FUNCTION)
+
+
+@REGISTRY.register("wildcall")
+def check_wild_calls(result: AnalysisResult) -> Iterator[RawFinding]:
+    solution = result.solution
+    for graph in result.program.functions.values():
+        for node in graph.nodes:
+            if not isinstance(node, CallNode):
+                continue
+            src = node.fcn.source
+            if src is None:
+                yield RawFinding(
+                    "wildcall", node, "error",
+                    "call has a dangling function input")
+                continue
+            if isinstance(src.node, AddressNode) \
+                    and _is_function_target(src.node.path):
+                continue  # direct call
+            direct = [p for p in solution.pairs(src) if p.is_direct]
+            if not direct:
+                yield RawFinding(
+                    "wildcall", node, "error",
+                    "indirect call through a value with no callable "
+                    "targets")
+                continue
+            bad = [p for p in direct
+                   if not _is_function_target(p.referent)]
+            severity = "error" if len(bad) == len(direct) else "warning"
+            for p in sorted(bad, key=lambda p: render_path(p.referent)):
+                yield RawFinding(
+                    "wildcall", node, severity,
+                    f"indirect call may target the non-function cell "
+                    f"{render_path(p.referent)}",
+                    path=p.referent, evidence=(src, p))

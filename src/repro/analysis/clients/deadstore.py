@@ -70,12 +70,16 @@ def find_dead_stores(result: AnalysisResult,
                         observed.add(definition)
 
     report = DeadStoreReport()
+    solution = result.solution
     for graph in program.functions.values():
         for node in graph.nodes:
             if not isinstance(node, UpdateNode):
                 continue
             report.total += 1
-            if not result.op_locations(node):
+            # Mask-level emptiness test: no direct pair at the loc
+            # input means no location this write can touch — answered
+            # without decoding a single pair object.
+            if not solution.op_targets_mask(node):
                 report.unreachable.append(node)
             elif node not in observed:
                 report.dead.append(node)

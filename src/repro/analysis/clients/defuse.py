@@ -78,7 +78,9 @@ class DefUseInfo:
         if cached is not None:
             return set(cached)
         definitions: Set[Definition] = set()
-        for location in self.result.op_locations(read):
+        solution = self.result.solution
+        for location in solution.table.decode_paths(
+                solution.op_targets_mask(read)):
             definitions |= self.definitions_for(read, location)
         self._defs_cache[read] = frozenset(definitions)
         return definitions
@@ -109,7 +111,12 @@ class DefUseInfo:
     def _modified(self, update: UpdateNode) -> Set[AccessPath]:
         locations = self._mod_cache.get(update)
         if locations is None:
-            locations = self.result.op_locations(update)
+            # Decode the (small) path-id mask rather than the pair set:
+            # the walk needs path objects for may_alias/strong_dom, but
+            # never the pairs behind them.
+            solution = self.result.solution
+            locations = set(solution.table.decode_paths(
+                solution.op_targets_mask(update)))
             self._mod_cache[update] = locations
         return locations
 

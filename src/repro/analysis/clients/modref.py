@@ -12,19 +12,22 @@ turns a points-to result into:
   callees do);
 * per-call-site summaries (the union over potential callees).
 
-Location sets are sets of access paths.  Locations named by a path are
-also considered touched by accesses to any extension of that path (the
+The summaries are computed entirely over the fact table's path-id
+bitsets — the per-op location masks OR together, and the call-graph
+fixpoint is mask unions — so construction never materializes a pair or
+path object.  Location *sets* (of access paths) decode lazily on first
+query, once per procedure.  Locations named by a path are also
+considered touched by accesses to any extension of that path (the
 ``dom`` relation); queries offer both exact-path and may-alias forms.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Optional, Set
+from typing import Dict, FrozenSet, Set
 
 from ...errors import AnalysisError
 from ...memory.access import AccessPath
 from ...memory.relations import may_alias
-from ...ir.graph import FunctionGraph
 from ...ir.nodes import CallNode, LookupNode, Node, UpdateNode
 from ..common import AnalysisResult
 
@@ -35,32 +38,34 @@ class ModRefInfo:
     def __init__(self, result: AnalysisResult) -> None:
         self.result = result
         self.program = result.program
-        self._direct_ref: Dict[str, Set[AccessPath]] = {}
-        self._direct_mod: Dict[str, Set[AccessPath]] = {}
-        self._ref: Dict[str, FrozenSet[AccessPath]] = {}
-        self._mod: Dict[str, FrozenSet[AccessPath]] = {}
+        self._table = result.solution.table
+        self._ref_masks: Dict[str, int] = {}
+        self._mod_masks: Dict[str, int] = {}
+        self._ref_sets: Dict[str, FrozenSet[AccessPath]] = {}
+        self._mod_sets: Dict[str, FrozenSet[AccessPath]] = {}
         self._compute_direct()
         self._close_over_calls()
 
-    # -- construction ----------------------------------------------------------
+    # -- construction (mask-level, decode-free) ----------------------------
 
     def _compute_direct(self) -> None:
+        solution = self.result.solution
         for name, graph in self.program.functions.items():
-            refs: Set[AccessPath] = set()
-            mods: Set[AccessPath] = set()
+            refs = 0
+            mods = 0
             for node in graph.memory_operations():
-                locations = self.result.op_locations(node)
+                mask = solution.op_targets_mask(node)
                 if isinstance(node, LookupNode):
-                    refs.update(locations)
+                    refs |= mask
                 else:
-                    mods.update(locations)
-            self._direct_ref[name] = refs
-            self._direct_mod[name] = mods
+                    mods |= mask
+            self._ref_masks[name] = refs
+            self._mod_masks[name] = mods
 
     def _close_over_calls(self) -> None:
         """Fixpoint union over the call graph (handles recursion)."""
-        ref = {name: set(paths) for name, paths in self._direct_ref.items()}
-        mod = {name: set(paths) for name, paths in self._direct_mod.items()}
+        ref = self._ref_masks
+        mod = self._mod_masks
         changed = True
         while changed:
             changed = False
@@ -69,14 +74,14 @@ class ModRefInfo:
                     if not isinstance(node, CallNode):
                         continue
                     for callee in self.result.callgraph.callees(node):
-                        if not ref[name] >= ref[callee.name]:
-                            ref[name] |= ref[callee.name]
+                        callee_ref = ref[callee.name]
+                        if callee_ref & ~ref[name]:
+                            ref[name] |= callee_ref
                             changed = True
-                        if not mod[name] >= mod[callee.name]:
-                            mod[name] |= mod[callee.name]
+                        callee_mod = mod[callee.name]
+                        if callee_mod & ~mod[name]:
+                            mod[name] |= callee_mod
                             changed = True
-        self._ref = {name: frozenset(paths) for name, paths in ref.items()}
-        self._mod = {name: frozenset(paths) for name, paths in mod.items()}
 
     # -- per-operation queries ----------------------------------------------------
 
@@ -94,33 +99,50 @@ class ModRefInfo:
 
     # -- per-procedure queries -------------------------------------------------------
 
+    def ref_mask(self, function: str) -> int:
+        """Path-id bitset of :meth:`ref_set` (decode-free)."""
+        return self._require(self._ref_masks, function)
+
+    def mod_mask(self, function: str) -> int:
+        """Path-id bitset of :meth:`mod_set` (decode-free)."""
+        return self._require(self._mod_masks, function)
+
     def ref_set(self, function: str) -> FrozenSet[AccessPath]:
         """Locations ``function`` (or anything it calls) may read."""
-        return self._require(self._ref, function)
+        return self._decoded(self._ref_sets, self._ref_masks, function)
 
     def mod_set(self, function: str) -> FrozenSet[AccessPath]:
         """Locations ``function`` (or anything it calls) may write."""
-        return self._require(self._mod, function)
+        return self._decoded(self._mod_sets, self._mod_masks, function)
 
-    def _require(self, table: Dict[str, FrozenSet[AccessPath]],
-                 function: str) -> FrozenSet[AccessPath]:
+    def _require(self, table: Dict[str, int], function: str) -> int:
         if function not in table:
             raise AnalysisError(f"unknown function {function!r}")
         return table[function]
 
+    def _decoded(self, cache: Dict[str, FrozenSet[AccessPath]],
+                 masks: Dict[str, int],
+                 function: str) -> FrozenSet[AccessPath]:
+        cached = cache.get(function)
+        if cached is None:
+            cached = frozenset(
+                self._table.decode_paths(self._require(masks, function)))
+            cache[function] = cached
+        return cached
+
     # -- per-call-site queries ----------------------------------------------------------
 
     def call_ref(self, call: CallNode) -> Set[AccessPath]:
-        refs: Set[AccessPath] = set()
+        mask = 0
         for callee in self.result.callgraph.callees(call):
-            refs |= self._ref[callee.name]
-        return refs
+            mask |= self._ref_masks[callee.name]
+        return set(self._table.decode_paths(mask)) if mask else set()
 
     def call_mod(self, call: CallNode) -> Set[AccessPath]:
-        mods: Set[AccessPath] = set()
+        mask = 0
         for callee in self.result.callgraph.callees(call):
-            mods |= self._mod[callee.name]
-        return mods
+            mask |= self._mod_masks[callee.name]
+        return set(self._table.decode_paths(mask)) if mask else set()
 
     # -- alias-aware membership -------------------------------------------------------------
 

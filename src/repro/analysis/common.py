@@ -199,6 +199,22 @@ class PointsToSolution:
         """The output's current bitset (0 when empty)."""
         return self._bits.get(output, 0)
 
+    def targets_mask(self, output: OutputPort) -> int:
+        """Path-id bitset of :meth:`targets` (the direct referents of
+        the output's pairs) — no objects materialized."""
+        return self.table.targets_mask(self._bits.get(output, 0))
+
+    def op_targets_mask(self, node: Node) -> int:
+        """Mask-level :meth:`op_locations`: the path-id bitset a
+        lookup may reference / an update may modify.  The decode-free
+        clients (mod/ref, dead stores) are built on this."""
+        if isinstance(node, (LookupNode, UpdateNode)):
+            src = node.loc.source
+            if src is None:
+                raise AnalysisError(f"{node!r} has a dangling loc input")
+            return self.targets_mask(src)
+        raise AnalysisError(f"{node!r} is not a memory operation")
+
     # -- queries (lazy decoding view) --------------------------------------
 
     def pairs(self, output: OutputPort) -> FrozenSet[PointsToPair]:

@@ -275,6 +275,34 @@ def explain(result: AnalysisResult, output: OutputPort,
     return Explainer(result).explain(output, pair)
 
 
+def witness_explainer(result: AnalysisResult) -> Optional[Explainer]:
+    """An explainer suitable for witnessing findings from ``result``.
+
+    The context-sensitive result strips its assumption sets, so its
+    facts cannot be inverted directly; they are all a subset of the
+    embedded context-insensitive result's facts (the lattice guarantees
+    stripped ⊆ CI), so derivations route through ``extras["ci_result"]``.
+    Returns ``None`` when no explainable result is reachable.
+    """
+    if result.flavor == "sensitive":
+        ci = result.extras.get("ci_result")
+        return Explainer(ci) if ci is not None else None
+    return Explainer(result)
+
+
+def derivation_facts(derivation: Derivation) -> List[Tuple[OutputPort, PointsToPair]]:
+    """Every (output, pair) fact a derivation tree cites, leaves
+    included — each must hold in the solution it was built against
+    (the witness-vs-verify tests assert exactly this)."""
+    facts: List[Tuple[OutputPort, PointsToPair]] = []
+    stack = [derivation]
+    while stack:
+        step = stack.pop()
+        facts.append((step.output, step.pair))
+        stack.extend(step.premises)
+    return facts
+
+
 def format_derivation(derivation: Derivation, indent: int = 0) -> str:
     """Render a derivation tree as indented text."""
     node = derivation.output.node

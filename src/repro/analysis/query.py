@@ -124,3 +124,25 @@ def op_locations_at_call(result: AnalysisResult, node: Node,
         raise AnalysisError(f"{node!r} has a dangling loc input")
     return {pair.referent for pair in project_at_call(result, src, call)
             if pair.is_direct}
+
+
+def witnessing_calls(result: AnalysisResult, output: OutputPort,
+                     pair: PointsToPair) -> Set[CallNode]:
+    """Call sites from which a pair on a callee output actually holds.
+
+    The checker follow-up question: given a context-insensitive (or
+    stripped) finding inside a shared procedure, *which callers* can
+    realize the hazardous fact?  Returns the calls into the output's
+    procedure under which ``pair`` survives :func:`project_at_call`;
+    an empty set for a pair the stripped view reports means every
+    context the sensitive analysis distinguished refutes it.  Root
+    procedures (no callers) have no per-call view — the pair is
+    attributed to the entry context, so this returns the empty set
+    there too.
+    """
+    graph = output.node.graph
+    witnesses: Set[CallNode] = set()
+    for call in result.callgraph.callers(graph):
+        if pair in project_at_call(result, output, call):
+            witnesses.add(call)
+    return witnesses

@@ -14,6 +14,10 @@ flavor) — see :mod:`repro.telemetry` for the schema — and
 ``--keep-going`` (default) / ``--fail-fast`` pick the failure policy
 for multi-program runs.
 * ``suite`` — list the benchmark suite programs.
+* ``check [FILE ...] [--checkers IDS] [--flavor X] [--format F]`` —
+  run the bug-finding checkers (null dereference, use-after-return,
+  uninitialized read, wild indirect call) over the suite or given
+  files; ``--format sarif`` emits a SARIF 2.1.0 log.
 * ``fuzz [--seed S] [--count N]`` — differential fuzzing: generate
   random pointer programs and check concrete ⊆ CS ⊆ CI ⊆ FI at every
   indirect operation, plus determinism and fixpoint oracles.
@@ -134,6 +138,39 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="limit to operations at this source line")
 
     sub.add_parser("suite", help="list benchmark suite programs")
+
+    check = sub.add_parser(
+        "check", help="run the bug-finding checkers (hazard-model "
+                      "lowering) over the suite or given C files")
+    check.add_argument("targets", nargs="*", metavar="TARGET",
+                       help="suite program names and/or C source files "
+                            "(default: the whole benchmark suite)")
+    check.add_argument("--checkers", default=None, metavar="IDS",
+                       help="comma-separated checker ids (default: all "
+                            "registered checkers)")
+    check.add_argument("--flavor", default="insensitive",
+                       choices=["insensitive", "sensitive",
+                                "flowinsensitive", "all"],
+                       help="analysis flavor the checkers consume "
+                            "(default: insensitive; 'all' runs every "
+                            "flavor for side-by-side counts)")
+    check.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="fan programs across N worker processes "
+                            "(default: 1, in-process)")
+    check.add_argument("--schedule", default="batched",
+                       choices=list(SCHEDULES),
+                       help="worklist schedule for the underlying "
+                            "analyses (default: batched)")
+    check.add_argument("--no-cache", action="store_true",
+                       help="skip the persistent lowering cache")
+    check.add_argument("--witness", action="store_true",
+                       help="attach a derivation witness to each "
+                            "finding with evidence (text/json formats)")
+    check.add_argument("--format", default="text", dest="fmt",
+                       choices=["text", "json", "sarif"],
+                       help="output format (default: text; sarif emits "
+                            "a SARIF 2.1.0 log)")
+    _add_run_flags(check)
 
     fuzz = sub.add_parser(
         "fuzz", help="differential fuzzing with a concrete-execution "
@@ -395,13 +432,89 @@ def _cmd_suite(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    import json as _json
+
+    from .analysis.checkers import findings_digest
+    from .report.export import findings_to_sarif
+    from .runner import run_check_report
+
+    if args.flavor == "all":
+        flavors = ("insensitive", "sensitive", "flowinsensitive")
+    else:
+        flavors = (args.flavor,)
+    checkers = None
+    if args.checkers is not None:
+        checkers = [c.strip() for c in args.checkers.split(",")
+                    if c.strip()]
+    names: List[str] = []
+    paths: List[str] = []
+    for target in args.targets:
+        (names if target in PROGRAM_NAMES else paths).append(target)
+    report = run_check_report(
+        names=names or (None if not paths else []),
+        paths=paths or None, flavors=flavors, checkers=checkers,
+        jobs=args.jobs, schedule=args.schedule, cache=not args.no_cache,
+        witness=args.witness, fail_fast=args.fail_fast)
+
+    ordered = []  # (program, finding) in task/flavor/finding order
+    for outcome in report.outcomes:
+        if not outcome.ok:
+            print(f"error: {outcome.error}", file=sys.stderr)
+            continue
+        for flavor in flavors:
+            for finding in outcome.findings.get(flavor, ()):
+                ordered.append((outcome.name, finding))
+
+    if args.fmt == "sarif":
+        findings = [f for _, f in ordered]
+        print(_json.dumps(findings_to_sarif(findings), indent=2,
+                          sort_keys=True))
+    elif args.fmt == "json":
+        payload = {
+            "programs": [{
+                "program": o.name,
+                "flavors": {
+                    flavor: {
+                        "findings": [f.as_dict() for f in found],
+                        "digest": findings_digest(found),
+                    }
+                    for flavor, found in o.findings.items()}
+            } for o in report.outcomes if o.ok],
+            "errors": [str(e) for e in report.errors],
+        }
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for program, f in ordered:
+            where = f.origin or f"{f.function}:{f.node}"
+            line = (f"{program}: {where}: {f.severity}: "
+                    f"[{f.checker}/{f.flavor}] {f.message}")
+            if f.path:
+                line += f" ({f.path})"
+            print(line)
+            if f.witness:
+                for witness_line in f.witness.splitlines():
+                    print(f"    {witness_line}")
+        by_severity: dict = {}
+        for _, f in ordered:
+            by_severity[f.severity] = by_severity.get(f.severity, 0) + 1
+        summary = ", ".join(f"{n} {sev}(s)"
+                            for sev, n in sorted(by_severity.items()))
+        print(f"check: {len(ordered)} finding(s) across "
+              f"{sum(1 for o in report.outcomes if o.ok)} program(s)"
+              + (f": {summary}" if summary else ""))
+    _write_telemetry(args.telemetry, report.records)
+    return 0 if report.ok else 1
+
+
 def _cmd_fuzz(args) -> int:
     from .fuzz.driver import run_fuzz
-    from .fuzz.mutations import MUTATIONS
+    from .fuzz.mutations import MUTATIONS, SOURCE_MUTATIONS
 
-    if args.mutate is not None and args.mutate not in MUTATIONS:
+    known = set(MUTATIONS) | set(SOURCE_MUTATIONS)
+    if args.mutate is not None and args.mutate not in known:
         print(f"error: unknown mutation {args.mutate!r}; expected one "
-              f"of {', '.join(sorted(MUTATIONS))}", file=sys.stderr)
+              f"of {', '.join(sorted(known))}", file=sys.stderr)
         return 2
 
     def progress(outcome):
@@ -452,6 +565,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "explain": _cmd_explain,
         "export": _cmd_export,
         "suite": _cmd_suite,
+        "check": _cmd_check,
         "fuzz": _cmd_fuzz,
     }
     try:

@@ -48,8 +48,10 @@ from ..memory.base import (
     global_location,
     heap_location,
     local_location,
+    null_location,
     param_location,
     string_location,
+    uninit_location,
 )
 from ..memory.pairs import PointsToPair, direct, pair as make_pair
 from ..ir.builder import GraphBuilder, unify_tags
@@ -195,6 +197,7 @@ class ModuleLowerer:
                  synthesize_root_environment: bool = True,
                  simplify: bool = True,
                  sparse: bool = True,
+                 hazard_model: bool = False,
                  linkage: Optional[Linkage] = None,
                  tu_name: Optional[str] = None) -> None:
         if extern_policy not in ("warn", "error"):
@@ -217,6 +220,23 @@ class ModuleLowerer:
         #: "apply equally well to control-flow graph representations;
         #: they merely run faster on the VDG because it is more sparse".
         self.sparse = sparse
+        #: hazard_model=True (the checker clients' lowering mode) adds
+        #: two SUMMARY base-locations — ``<null>`` becomes the referent
+        #: of the null pointer, and every uninitialized pointer-valued
+        #: local starts out pointing at ``<uninit>`` (strong updates
+        #: kill the marker on initialization).  Off by default: it
+        #: perturbs every pair count, so the paper tables never see it.
+        self.hazard: Optional[Dict[str, BaseLocation]] = None
+        if hazard_model:
+            hazard = self.program.extras.get("hazard")
+            if hazard is None:
+                hazard = {
+                    "null": self.program.register_location(null_location()),
+                    "uninit":
+                        self.program.register_location(uninit_location()),
+                }
+                self.program.extras["hazard"] = hazard
+            self.hazard = hazard
 
         self.bindings: Dict[Symbol, Binding] = {}
         #: Function bodies keyed by *program* name (== source name,
@@ -654,6 +674,9 @@ class FunctionLowerer:
         self.program = module.program
         self.graph = module.program.functions[name]
         self.builder = GraphBuilder(self.graph)
+        if module.hazard is not None:
+            self.builder.null_path = \
+                location_path(module.hazard["null"])
         self.graph.recursive = (
             self.source_name in module.prepass.recursive
             or name in module.linked_recursive)
@@ -951,6 +974,8 @@ class FunctionLowerer:
             if decl.init is not None:
                 self._lower_initializer(
                     MemoryLValue(self._location_addr(loc), ctype), decl.init)
+            elif self.module.hazard is not None:
+                self._seed_uninit_cells(location_path(loc), ctype)
         else:
             self.module.bindings[symbol] = RegisterBinding(symbol)
             if decl.init is not None:
@@ -961,7 +986,37 @@ class FunctionLowerer:
                 # Every in-scope register variable keeps an environment
                 # entry, so loop headers cover it even when the first
                 # assignment happens inside the loop body.
-                self.env[symbol] = self.builder.undef(ctype.value_tag())
+                tag = ctype.value_tag()
+                if self.module.hazard is not None \
+                        and tag in (ValueTag.POINTER, ValueTag.FUNCTION):
+                    # Hazard model: an uninitialized pointer-valued
+                    # register variable points at <uninit> until the
+                    # first assignment rebinds it.
+                    self.env[symbol] = self.builder.address(
+                        location_path(self.module.hazard["uninit"]), tag)
+                else:
+                    self.env[symbol] = self.builder.undef(tag)
+
+    def _seed_uninit_cells(self, path: AccessPath, ctype: CType) -> None:
+        """Hazard model: seed ``cell → <uninit>`` on the entry store for
+        every pointer-valued leaf of an uninitialized local.
+
+        The seed is unconditional per activation (each frame starts
+        with undefined locals); a later strong update of the cell kills
+        the marker, so only maybe-uninitialized reads still see it.
+        """
+        if isinstance(ctype, PointerType) or isinstance(ctype, FunctionType):
+            uninit = location_path(self.module.hazard["uninit"])
+            self.program.seed_value(self.graph.store_formal,
+                                    make_pair(path, uninit))
+            return
+        if isinstance(ctype, ArrayType):
+            self._seed_uninit_cells(path.extend(INDEX), ctype.element)
+            return
+        if isinstance(ctype, RecordType) and ctype.is_complete:
+            for member, mtype in ctype.members:
+                self._seed_uninit_cells(path.extend(ctype.field_op(member)),
+                                        mtype)
 
     def _lower_initializer(self, lvalue: MemoryLValue, init) -> None:
         """Runtime initialization of a store-resident local."""
@@ -1347,6 +1402,8 @@ class FunctionLowerer:
         if isinstance(target, PointerType) and \
                 value.tag is ValueTag.SCALAR:
             tag = target.value_tag()
+            if self.builder.null_path is not None:
+                return self.builder.address(self.builder.null_path, tag)
             return self.builder.const(0, tag)
         return value
 
@@ -1358,6 +1415,10 @@ class FunctionLowerer:
                                                          lvalue.ctype)
             return
         assert isinstance(lvalue, MemoryLValue)
+        if self.builder.null_path is not None:
+            # Hazard model: a null constant written to memory must carry
+            # the <null> pair, or the cell looks merely empty.
+            value = self._coerce_value(value, lvalue.ctype)
         self.store = self.builder.update(lvalue.addr, self.store, value)
 
     def _check_pointer_assignment(self, target: CType, source: CType,

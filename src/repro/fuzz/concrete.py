@@ -42,7 +42,17 @@ DEFAULT_STEP_BUDGET = 500_000
 
 
 class ConcreteTrap(Exception):
-    """The program did something the generator promised it never would."""
+    """The program did something the generator promised it never would.
+
+    ``line`` is the source line of the innermost statement that was
+    executing when the trap fired (attached as the trap unwinds), so
+    the checker oracle can match a concrete hazard against the
+    findings reported at that line.
+    """
+
+    def __init__(self, message: str, line: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.line = line
 
 
 class _Return(Exception):
@@ -443,6 +453,15 @@ class Interpreter:
 
     def exec_stmt(self, stmt, env: Dict[str, Instance],
                   function: str) -> None:
+        try:
+            self._exec_stmt(stmt, env, function)
+        except ConcreteTrap as trap:
+            if trap.line is None:
+                trap.line = self._line(stmt)
+            raise
+
+    def _exec_stmt(self, stmt, env: Dict[str, Instance],
+                   function: str) -> None:
         self._tick()
         if isinstance(stmt, c_ast.Decl):
             inst = Instance(f"{function}::{stmt.name}")

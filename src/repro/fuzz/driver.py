@@ -33,7 +33,7 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 from .generator import GeneratedProgram, generate_program
-from .mutations import MUTATIONS
+from .mutations import MUTATIONS, SOURCE_MUTATIONS
 from .oracle import CheckReport, Violation, check_program, deep_checks
 from .shrink import shrink_program
 
@@ -123,10 +123,13 @@ def run_fuzz(start_seed: int = 0, count: int = 50, *,
     """
     from ..telemetry import fuzz_record
 
-    if mutate is not None and mutate not in MUTATIONS:
+    known = set(MUTATIONS) | set(SOURCE_MUTATIONS)
+    if mutate is not None and mutate not in known:
         raise ValueError(f"unknown mutation {mutate!r}; expected one of "
-                         f"{', '.join(sorted(MUTATIONS))}")
-    context = MUTATIONS[mutate]() if mutate else contextlib.nullcontext()
+                         f"{', '.join(sorted(known))}")
+    source_mutation = SOURCE_MUTATIONS.get(mutate) if mutate else None
+    context = MUTATIONS[mutate]() if mutate in MUTATIONS \
+        else contextlib.nullcontext()
     report = FuzzReport()
     window: List[GeneratedProgram] = []
 
@@ -135,14 +138,40 @@ def run_fuzz(start_seed: int = 0, count: int = 50, *,
             seed = start_seed + index
             program = generate_program(seed, max_nodes=max_nodes)
             started = time.perf_counter()
-            check = check_program(program.source, name=program.name)
+            if source_mutation is not None:
+                mutated = source_mutation(program.source)
+                if mutated is None:
+                    # No init whose removal yields an observed deref of
+                    # an uninitialized pointer: nothing to assert here.
+                    outcome = FuzzOutcome(
+                        name=program.name, seed=seed, ok=True,
+                        stats={"mutation_skipped": 1},
+                        elapsed_seconds=time.perf_counter() - started)
+                    report.outcomes.append(outcome)
+                    report.records.append(
+                        fuzz_record(outcome, mutation=mutate))
+                    if progress is not None:
+                        progress(outcome)
+                    continue
+                program = GeneratedProgram(
+                    name=program.name, seed=program.seed, source=mutated,
+                    features=dict(program.features), spec=program.spec)
+                check = check_program(program.source, name=program.name,
+                                      expect_trap="uninit")
+            else:
+                check = check_program(program.source, name=program.name)
             outcome = FuzzOutcome(
                 name=program.name, seed=seed, ok=check.ok,
                 violations=list(check.violations),
                 stats=dict(check.stats),
                 elapsed_seconds=time.perf_counter() - started)
             if not check.ok:
-                shrunk = _shrink_failure(program, check) if shrink else None
+                # Source mutants are not shrunk: the shrinker's
+                # signature check would chase the (expected) trap, not
+                # the checker miss under investigation.
+                shrink_this = shrink and source_mutation is None
+                shrunk = _shrink_failure(program, check) \
+                    if shrink_this else None
                 if shrunk is not None:
                     outcome.shrunk_lines = _non_blank_lines(shrunk.source)
                 if artifacts is not None:
@@ -156,7 +185,7 @@ def run_fuzz(start_seed: int = 0, count: int = 50, *,
             if not outcome.ok and fail_fast:
                 return report
 
-            if deep_every > 0 and check.ok:
+            if deep_every > 0 and check.ok and source_mutation is None:
                 window.append(program)
                 if len(window) >= deep_every:
                     deep = deep_checks(

@@ -24,11 +24,20 @@ reversible monkey-patch installing one plausible analysis bug:
 Interned paths/pairs are process-global, but both patches replace pure
 *behaviour* (a property, a bound method), not cached data, so entering
 and exiting the context is side-effect free.
+
+A second registry, :data:`SOURCE_MUTATIONS`, mutates the *program*
+instead of the analysis: ``drop-null-init`` removes a pointer
+initializer so the concrete interpreter hits a genuine uninitialized
+pointer read — the self-test for the checker oracle, which must see
+the ``uninit`` checker cover that concrete hazard on every mutated
+seed.
 """
 
 from __future__ import annotations
 
+import re
 from contextlib import contextmanager
+from typing import Iterator, Optional, Tuple
 
 from ..analysis.sensitive import SensitiveAnalysis
 from ..memory.access import AccessPath
@@ -74,4 +83,75 @@ def cs_survive_dom():
 MUTATIONS = {
     "overeager-strong-updates": overeager_strong_updates,
     "cs-survive-dom": cs_survive_dom,
+}
+
+
+# -- source mutations -------------------------------------------------------
+
+#: A scalar pointer declaration with an initializer, as the generator
+#: emits them (``int *v3 = &g0;``, ``int **v7 = &v3;``,
+#: ``struct S0 *v4 = &v1;``) — pointer arrays (``int *v5[2] = ...``)
+#: deliberately do not match.
+_PTR_INIT = re.compile(
+    r"^(?P<indent>\s*)(?P<type>int\s*\*{1,2}|struct\s+\w+\s*\*)\s*"
+    r"(?P<name>\w+)\s*=\s*[^;]+;\s*$")
+
+
+def drop_null_init_candidates(source: str
+                              ) -> Iterator[Tuple[str, str]]:
+    """Every single-init-removal mutant of ``source``.
+
+    Yields ``(dropped variable, mutated source)`` with exactly one
+    pointer declaration's initializer removed, leaving the variable
+    genuinely uninitialized; line numbering is preserved so source
+    coordinates in the original and the mutant agree.
+    """
+    lines = source.splitlines()
+    for index, line in enumerate(lines):
+        match = _PTR_INIT.match(line)
+        if match is None:
+            continue
+        indent, ctype, name = match.group("indent", "type", "name")
+        mutated = list(lines)
+        mutated[index] = f"{indent}{ctype}{name};"
+        yield name, "\n".join(mutated) + "\n"
+
+
+def apply_drop_null_init(source: str) -> Optional[str]:
+    """Pick a mutant whose execution provably reads the dropped
+    pointer through a dereference.
+
+    Runs each candidate concretely and keeps the first whose trap is
+    an uninitialized read *of the dropped variable* at a line that
+    dereferences it (``*v``, ``v->``, ``v[``) — i.e. a line the
+    lowering gives a memory operation, so the ``uninit`` checker has a
+    node to report.  A read that is a plain pointer copy traps
+    concretely but has no memory operation (copies are sparse SSA
+    edges), so those candidates are skipped.  Returns ``None`` when no
+    candidate qualifies; the driver skips such seeds.
+    """
+    from .concrete import ConcreteTrap, interpret_source
+
+    for name, mutated in drop_null_init_candidates(source):
+        try:
+            interpret_source(mutated, name="<mutant>")
+        except ConcreteTrap as trap:
+            message = str(trap)
+            if not message.startswith(f"uninitialized read of '{name}"):
+                continue
+            if trap.line is None:
+                continue
+            text = mutated.splitlines()[trap.line - 1]
+            if (f"*{name}" in text or f"{name}->" in text
+                    or f"{name}[" in text):
+                return mutated
+    return None
+
+
+#: Name → ``source -> mutated source | None``, for ``repro fuzz
+#: --mutate``.  Unlike :data:`MUTATIONS` these break the *program*,
+#: not the analysis: the oracle is expected to observe the injected
+#: hazard (``expect_trap``), and a checker that misses it is the bug.
+SOURCE_MUTATIONS = {
+    "drop-null-init": apply_drop_null_init,
 }

@@ -24,7 +24,11 @@ operation, the inclusion lattice the paper's claims rest on:
 On top of the lattice the oracle asserts determinism — the batched,
 FIFO, and SCC-priority schedules must reach byte-identical solutions
 — and
-re-checks each solution with the declarative fixpoint verifier.  The
+re-checks each solution with the declarative fixpoint verifier.  A
+checker leg re-lowers the program under the hazard model and holds the
+bug checkers to the same standard: schedule-stable finding digests,
+and a same-line finding for every concrete null-dereference or
+uninitialized-read trap, under CI and CS alike.  The
 separate :func:`deep_checks` entry (used by the CLI every N-th
 program) additionally crosses process and cache boundaries: analyses
 fanned out with ``--jobs 2`` and lowerings replayed through a
@@ -60,7 +64,7 @@ class Violation:
     """One failed soundness/determinism obligation."""
 
     kind: str        # "lattice" | "concrete" | "determinism" | "fixpoint"
-                     # | "trap" | "error"
+                     # | "trap" | "error" | "checker"
     detail: str
     line: Optional[int] = None
 
@@ -134,11 +138,37 @@ def _covered(concrete: Rendered, abstract: Set[Rendered]) -> bool:
     return False
 
 
+#: Trap classification → the checker that must have predicted it.
+def _trap_hazard(trap: ConcreteTrap) -> Optional[str]:
+    message = str(trap)
+    if message.startswith("uninitialized read"):
+        return "uninit"
+    if "non-pointer" in message:   # *p / p-> where p is null (or junk)
+        return "nullderef"
+    return None
+
+
 def check_program(source: str, name: str = "<fuzz>", *,
                   schedules: bool = True,
                   fixpoint: bool = True,
+                  checkers: bool = True,
+                  expect_trap: Optional[str] = None,
                   step_budget: Optional[int] = None) -> CheckReport:
-    """Run the full differential check on one C source text."""
+    """Run the full differential check on one C source text.
+
+    ``expect_trap`` flips the concrete leg's contract for mutated
+    programs: instead of treating a :class:`ConcreteTrap` as a
+    generator bug, the named hazard (``"uninit"``/``"nullderef"``)
+    *must* occur — and the checker leg must cover it (see below).
+
+    ``checkers=True`` adds the checker-client oracle: the program is
+    re-lowered under the hazard model, the bug checkers sweep the CI
+    and CS results, finding digests must agree across the batched,
+    FIFO, and SCC schedules, and any concrete null-dereference or
+    uninitialized-read trap must be covered by a same-line finding of
+    the matching checker under *both* flavors — a missed concrete
+    hazard is a hard soundness failure (kind ``"checker"``).
+    """
     report = CheckReport(name=name)
     # simplify=False: the simplifier deletes dead lookups, which would
     # leave concretely-executed reads with no abstract counterpart.
@@ -183,13 +213,26 @@ def check_program(source: str, name: str = "<fuzz>", *,
     report.stats["indirect_ops"] = indirect_count
 
     # -- concrete ⊆ CS, per source line ----------------------------------
+    trap: Optional[ConcreteTrap] = None
     try:
         kwargs = {} if step_budget is None else {"step_budget": step_budget}
         trace = interpret_source(source, name=name, **kwargs)
-    except ConcreteTrap as trap:
-        report.violations.append(Violation(
-            "trap", f"concrete execution trapped: {trap}"))
+    except ConcreteTrap as caught:
+        trap = caught
         trace = None
+        if expect_trap is None:
+            report.violations.append(Violation(
+                "trap", f"concrete execution trapped: {trap}",
+                trap.line))
+    if expect_trap is not None:
+        if trap is None:
+            report.violations.append(Violation(
+                "trap", f"expected a concrete {expect_trap} trap but "
+                "execution completed cleanly"))
+        elif _trap_hazard(trap) != expect_trap:
+            report.violations.append(Violation(
+                "trap", f"expected a concrete {expect_trap} trap but "
+                f"got: {trap}", trap.line))
     if trace is not None:
         report.stats["concrete_steps"] = trace.steps
         report.stats["concrete_accesses"] = trace.total_accesses()
@@ -240,7 +283,74 @@ def check_program(source: str, name: str = "<fuzz>", *,
             for violation in verify_solution(result):
                 report.violations.append(Violation(
                     "fixpoint", f"{flavor}: {violation}"))
+
+    # -- checker clients over the hazard-model lowering ------------------
+    if checkers:
+        _check_checkers(source, name, report, trap, trace,
+                        schedules=schedules)
     return report
+
+
+def _covers_trap(findings, hazard: str, line: Optional[int]) -> bool:
+    return any(f.checker == hazard
+               and (line is None or f.line == line)
+               for f in findings)
+
+
+def _check_checkers(source: str, name: str, report: CheckReport,
+                    trap: Optional[ConcreteTrap], trace,
+                    schedules: bool = True) -> None:
+    """The checker-client oracle leg (see :func:`check_program`)."""
+    from ..analysis.checkers import findings_digest, run_checkers
+
+    program = lower_source(source, name=name, simplify=False,
+                           hazard_model=True)
+    ci = analyze_insensitive(program)
+    cs = analyze_sensitive(program, ci_result=ci)
+    findings = {"ci": run_checkers(ci), "cs": run_checkers(cs)}
+    digests = {flavor: findings_digest(found)
+               for flavor, found in findings.items()}
+    report.digests["check_ci"] = digests["ci"]
+    report.digests["check_cs"] = digests["cs"]
+    report.stats["checker_findings_ci"] = len(findings["ci"])
+    report.stats["checker_findings_cs"] = len(findings["cs"])
+
+    if schedules:
+        for other in ("fifo", "scc"):
+            ci_alt = analyze_insensitive(program, schedule=other)
+            cs_alt = analyze_sensitive(program, ci_result=ci_alt,
+                                       schedule=other)
+            for flavor, alt in (("ci", ci_alt), ("cs", cs_alt)):
+                digest = findings_digest(run_checkers(alt))
+                if digest != digests[flavor]:
+                    report.violations.append(Violation(
+                        "checker",
+                        f"{flavor.upper()} findings differ between "
+                        f"batched ({digests[flavor][:12]}…) and {other} "
+                        f"({digest[:12]}…) schedules"))
+
+    # A concrete hazard the analysis-side checkers did not predict is
+    # unsoundness, under the stripped CS result just as under CI.
+    hazard = _trap_hazard(trap) if trap is not None else None
+    if hazard is not None:
+        for flavor in ("ci", "cs"):
+            if not _covers_trap(findings[flavor], hazard, trap.line):
+                report.violations.append(Violation(
+                    "checker",
+                    f"concrete {hazard} trap ({trap}) has no covering "
+                    f"{hazard} finding under {flavor.upper()}",
+                    trap.line))
+
+    # Label CI findings against the one concrete path we have: a
+    # finding matching the observed trap is a confirmed true positive;
+    # on a clean run every finding is (for this input) a false alarm.
+    observed = {(hazard, trap.line)} if hazard is not None else set()
+    true_pos = sum(1 for f in findings["ci"]
+                   if (f.checker, f.line) in observed)
+    report.stats["checker_true_positives"] = true_pos
+    if trace is not None or hazard is not None:
+        report.stats["checker_false_positives"] = \
+            len(findings["ci"]) - true_pos
 
 
 def deep_checks(programs: Sequence[Tuple[str, str]],

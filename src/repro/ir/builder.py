@@ -60,6 +60,11 @@ class GraphBuilder:
             self.graph = FunctionGraph(name_or_graph)
         self.program = program
         self._origin: Optional[str] = None
+        #: Hazard model (opt-in lowering option): when set, the null
+        #: pointer is an address of the ``<null>`` summary location, so
+        #: dereferences of maybe-null values carry it in their
+        #: location sets instead of silently pointing at nothing.
+        self.null_path: Optional[AccessPath] = None
 
     # -- source positions ---------------------------------------------------
 
@@ -90,7 +95,10 @@ class GraphBuilder:
         return ConstNode(self.graph, value, tag, origin=self._origin).out
 
     def null_pointer(self) -> OutputPort:
-        """The null pointer: a pointer-tagged constant with no pairs."""
+        """The null pointer: a pointer-tagged constant with no pairs —
+        or, under the hazard model, the address of ``<null>``."""
+        if self.null_path is not None:
+            return self.address(self.null_path)
         return ConstNode(self.graph, 0, ValueTag.POINTER,
                          origin=self._origin).out
 

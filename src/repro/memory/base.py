@@ -29,9 +29,13 @@ class LocationKind(enum.Enum):
     HEAP = "heap"          # one per static malloc/calloc/realloc site
     STRING = "string"      # string-literal storage (Fig. 7 counts as global)
     FUNCTION = "function"  # code addresses, for function pointers
+    SUMMARY = "summary"    # synthetic hazard cells (<null>, <uninit>);
+                           # only exist under the opt-in hazard model
 
 
 #: Figure 7 collapses our six kinds into four reporting categories.
+#: SUMMARY locations never appear in default lowerings; the figure
+#: loops iterate fixed category lists, so "invalid" rows are skipped.
 _REPORT_CATEGORY = {
     LocationKind.GLOBAL: "global",
     LocationKind.STRING: "global",
@@ -39,6 +43,7 @@ _REPORT_CATEGORY = {
     LocationKind.PARAM: "local",
     LocationKind.HEAP: "heap",
     LocationKind.FUNCTION: "function",
+    LocationKind.SUMMARY: "invalid",
 }
 
 _uid_counter = itertools.count(1)
@@ -127,3 +132,18 @@ def string_location(label: str) -> BaseLocation:
 def function_location(name: str) -> BaseLocation:
     """Location naming a function's code, the referent of ``&f``."""
     return BaseLocation(LocationKind.FUNCTION, name, multi_instance=False)
+
+
+def null_location() -> BaseLocation:
+    """Summary cell for the null/invalid pointer (hazard model).
+
+    Multi-instance: a write whose only target may be null must not
+    kill anything, and nothing legitimately lives at null.
+    """
+    return BaseLocation(LocationKind.SUMMARY, "<null>", multi_instance=True)
+
+
+def uninit_location() -> BaseLocation:
+    """Summary cell an uninitialized pointer points at (hazard model)."""
+    return BaseLocation(LocationKind.SUMMARY, "<uninit>",
+                        multi_instance=True)

@@ -67,7 +67,8 @@ class FactTable:
     """
 
     __slots__ = ("_pair_ids", "_pair_objects", "_path_ids", "_path_objects",
-                 "_base_masks", "decode_calls")
+                 "_base_masks", "_direct_mask", "_target_path_ids",
+                 "decode_calls")
 
     #: Key under which a program's table lives in ``Program.extras``.
     EXTRAS_KEY = "fact_table"
@@ -83,6 +84,13 @@ class FactTable:
         #: functions slice any fact bitset down to the pairs a location
         #: could alias — ``mask & base_mask(base)`` — without decoding.
         self._base_masks: Dict[object, int] = {}
+        #: Bitset of the *direct* pair ids (empty-offset path: the
+        #: value itself points at the referent), and per pair id the
+        #: path id of its referent (-1 for non-direct pairs).  Together
+        #: they make ``targets``/``op_locations`` answerable as pure
+        #: bitset arithmetic — see :meth:`targets_mask`.
+        self._direct_mask = 0
+        self._target_path_ids: List[int] = []
         self.decode_calls = 0
 
     @classmethod
@@ -105,11 +113,32 @@ class FactTable:
             base = pair.path.base
             masks = self._base_masks
             masks[base] = masks.get(base, 0) | (1 << ident)
+            if pair.is_direct:
+                self._direct_mask |= 1 << ident
+                self._target_path_ids.append(self.path_id(pair.referent))
+            else:
+                self._target_path_ids.append(-1)
         return ident
 
     def base_mask(self, base: object) -> int:
         """Bitset of every known pair whose path is rooted at ``base``."""
         return self._base_masks.get(base, 0)
+
+    @property
+    def direct_mask(self) -> int:
+        """Bitset of every known direct (empty-offset) pair id."""
+        return self._direct_mask
+
+    def targets_mask(self, mask: int) -> int:
+        """Path-id bitset of the direct referents among ``mask``'s
+        pairs: ``targets``/``op_locations`` without materializing a
+        single pair or path object.  Decode the result with
+        :meth:`decode_paths` only when objects are actually needed."""
+        out = 0
+        ids = self._target_path_ids
+        for ident in iter_bits(mask & self._direct_mask):
+            out |= 1 << ids[ident]
+        return out
 
     def pair_of(self, ident: int) -> PointsToPair:
         return self._pair_objects[ident]
@@ -196,10 +225,17 @@ class FactTable:
         self._path_ids = {path: ident
                           for ident, path in enumerate(self._path_objects)}
         self._base_masks = {}
+        self._direct_mask = 0
+        self._target_path_ids = []
         for ident, pair in enumerate(self._pair_objects):
             base = pair.path.base
             self._base_masks[base] = \
                 self._base_masks.get(base, 0) | (1 << ident)
+            if pair.is_direct:
+                self._direct_mask |= 1 << ident
+                self._target_path_ids.append(self.path_id(pair.referent))
+            else:
+                self._target_path_ids.append(-1)
         self.decode_calls = state.get("decode_calls", 0)
 
     def __repr__(self) -> str:

@@ -35,7 +35,7 @@ from . import paper
 from .tables import render_table
 
 EXPERIMENT_IDS = ("fig2", "fig3", "fig4", "fig6", "fig7", "cost",
-                  "opt42", "perf43", "struct51", "gap")
+                  "opt42", "perf43", "struct51", "gap", "checkers")
 
 
 class SuiteRunner:
@@ -439,6 +439,57 @@ def gap_rows(site_counts: Sequence[int] = (2, 4, 8, 16, 32)):
 
 
 # ---------------------------------------------------------------------------
+# Checker clients: per-benchmark finding counts, CI vs CS vs FI
+# ---------------------------------------------------------------------------
+
+
+def checkers_rows(runner: SuiteRunner):
+    """Bug-report counts per benchmark under each analysis flavor.
+
+    This is Ruf's question asked of concrete bug reports instead of
+    pair counts: a CI column equal to the CS column means context
+    sensitivity changed *nothing a checker user would see*; the FI
+    column shows what flow-insensitivity would cost.  The programs are
+    re-lowered under the hazard model (``<null>``/``<uninit>`` cells),
+    so this experiment drives :func:`repro.runner.run_check_report`
+    directly rather than reusing the runner's cached (hazard-free)
+    results.
+    """
+    from ..analysis.checkers import CHECKER_IDS, count_by_checker
+    from ..runner import run_check_report
+
+    flavors = ("insensitive", "sensitive", "flowinsensitive")
+    report = run_check_report(
+        names=runner.names, flavors=flavors, jobs=runner.jobs,
+        schedule=runner.schedule, cache=runner.cache,
+        fail_fast=runner.fail_fast)
+    runner.errors.extend(report.errors)
+
+    headers = (["name"] + [f"CI {c}" for c in CHECKER_IDS]
+               + ["CI total", "CS total", "FI total",
+                  "CI extra vs CS", "FI extra vs CI"])
+    rows = []
+    width = len(CHECKER_IDS) + 5
+    totals = [0] * width
+    for outcome in report.outcomes:
+        if not outcome.ok:
+            rows.append([outcome.name, f"ERROR: {outcome.error.kind}"]
+                        + [None] * (width - 1))
+            continue
+        ci_counts = count_by_checker(outcome.findings["insensitive"])
+        ci = sum(ci_counts.values())
+        cs = len(outcome.findings["sensitive"])
+        fi = len(outcome.findings["flowinsensitive"])
+        row = ([outcome.name] + [ci_counts[c] for c in CHECKER_IDS]
+               + [ci, cs, fi, ci - cs, fi - ci])
+        for i in range(width):
+            totals[i] += row[i + 1]
+        rows.append(row)
+    rows.append(["TOTAL"] + totals)
+    return headers, rows
+
+
+# ---------------------------------------------------------------------------
 # rendering
 # ---------------------------------------------------------------------------
 
@@ -455,6 +506,8 @@ _TITLES = {
     "struct51": "Section 5.1.2: benchmark structure (call-graph "
                 "sparsity, pointer nesting)",
     "gap": "Section 5 ablation: constructed programs where CS wins",
+    "checkers": "Section 6 extension: checker-client bug-report counts "
+                "per benchmark, CI vs CS vs FI (hazard-model lowering)",
 }
 
 
@@ -479,6 +532,7 @@ def experiment_rows(experiment_id: str,
         "opt42": opt42_rows,
         "perf43": perf_rows,
         "struct51": struct51_rows,
+        "checkers": checkers_rows,
     }[experiment_id](runner)
 
 

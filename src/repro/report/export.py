@@ -129,3 +129,102 @@ def result_to_json(result: AnalysisResult, include_pairs: bool = True,
     json_kwargs.setdefault("sort_keys", False)
     return json.dumps(result_to_dict(result, include_pairs),
                       **json_kwargs)
+
+
+#: SARIF 2.1.0 constants (the schema-shape regression test pins these).
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+#: Checker severity → SARIF reporting level.
+_SARIF_LEVELS = {"error": "error", "warning": "warning"}
+
+_RULE_DESCRIPTIONS = {
+    "nullderef": "Indirect memory operation whose location input may "
+                 "be the null/invalid pointer.",
+    "stackref": "Pointer into a callee's stack frame reachable after "
+                "the frame's exit (use-after-return).",
+    "uninit": "Read through, or of, a pointer that may be "
+              "uninitialized.",
+    "wildcall": "Indirect call whose resolved target set is empty or "
+                "includes non-function cells.",
+}
+
+
+def findings_to_sarif(findings, tool_name: str = "repro-check",
+                      flavor: str = None) -> Dict[str, Any]:
+    """Render checker findings as a SARIF 2.1.0 log (one run).
+
+    Physical locations come from the IR nodes' source spans (the
+    ``origin`` each finding carries); findings without an origin emit
+    only the logical location (function + node key).  Results are
+    emitted in the findings' deterministic order, so two runs that
+    agree on findings produce byte-identical SARIF.
+    """
+    rule_ids = sorted({f.checker for f in findings})
+    rules = [{
+        "id": rule_id,
+        "name": rule_id,
+        "shortDescription": {
+            "text": _RULE_DESCRIPTIONS.get(rule_id, rule_id)},
+    } for rule_id in rule_ids]
+    rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+
+    results: List[Dict[str, Any]] = []
+    for f in findings:
+        entry: Dict[str, Any] = {
+            "ruleId": f.checker,
+            "ruleIndex": rule_index[f.checker],
+            "level": _SARIF_LEVELS.get(f.severity, "warning"),
+            "message": {"text": f.message},
+            "locations": [_sarif_location(f)],
+            "partialFingerprints": {
+                # Line-independent identity: survives unrelated edits.
+                "reproFindingKey/v1": "|".join(f.key()),
+            },
+            "properties": {"flavor": f.flavor, "path": f.path},
+        }
+        if f.witness:
+            entry["properties"]["witness"] = f.witness
+        results.append(entry)
+
+    run: Dict[str, Any] = {
+        "tool": {"driver": {
+            "name": tool_name,
+            "informationUri": "https://example.invalid/repro",
+            "rules": rules,
+        }},
+        "results": results,
+    }
+    if flavor is not None:
+        run["properties"] = {"flavor": flavor}
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [run],
+    }
+
+
+def _sarif_location(finding) -> Dict[str, Any]:
+    location: Dict[str, Any] = {
+        "logicalLocations": [{
+            "name": finding.function,
+            "fullyQualifiedName": f"{finding.function}:{finding.node}",
+            "kind": "function",
+        }],
+    }
+    if finding.file:
+        physical: Dict[str, Any] = {
+            "artifactLocation": {"uri": finding.file},
+        }
+        if finding.line is not None:
+            physical["region"] = {"startLine": finding.line}
+        location["physicalLocation"] = physical
+    return location
+
+
+def findings_to_sarif_json(findings, **json_kwargs) -> str:
+    """SARIF log as a JSON string (stable key order)."""
+    json_kwargs.setdefault("indent", 2)
+    json_kwargs.setdefault("sort_keys", True)
+    return json.dumps(findings_to_sarif(findings), **json_kwargs)

@@ -111,6 +111,10 @@ class TaskOutcome:
     results: Optional[Dict[str, AnalysisResult]] = None
     error: Optional[TaskError] = None
     records: List[dict] = field(default_factory=list)
+    #: Checker output (``repro check`` tasks only): flavor → findings.
+    #: Findings are plain-string records, so a check outcome ships
+    #: without pickling programs or solutions back to the parent.
+    findings: Optional[Dict[str, list]] = None
 
     @property
     def ok(self) -> bool:
@@ -208,6 +212,44 @@ def _file_worker(task) -> TaskOutcome:
                        records=result_records(name, results, schedule))
 
 
+def _check_worker(task) -> TaskOutcome:
+    """Lower (hazard model on), analyze, and run checkers.
+
+    The outcome ships only findings and telemetry — never the program
+    or solutions — so a suite-wide check sweep's IPC cost is a few KB
+    per task.  The hazard lowering is a distinct cache key, so check
+    runs and plain analysis runs never poison each other's cache.
+    """
+    name, is_suite, flavors, schedule, cache, checkers, witness = task
+    from time import perf_counter
+
+    from .analysis.checkers import run_checkers
+    from .telemetry import check_record
+
+    _maybe_inject_fault(name)
+    if is_suite:
+        from .suite.registry import load_program
+        program = load_program(name, cache=cache, hazard_model=True)
+    else:
+        from .frontend.lower import lower_file
+        program = lower_file(name, cache=cache, hazard_model=True)
+    results = _analyze_program(program, flavors, schedule)
+    findings: Dict[str, list] = {}
+    records: List[dict] = []
+    for flavor, result in results.items():
+        table = result.solution.table
+        before = table.decode_calls
+        start = perf_counter()
+        found = run_checkers(result, checkers, witness=witness)
+        elapsed = perf_counter() - start
+        findings[flavor] = found
+        records.append(check_record(
+            name, flavor, found, elapsed, schedule,
+            dense={"decode_calls_before": before,
+                   "decode_calls_after": table.decode_calls}))
+    return TaskOutcome(name=name, records=records, findings=findings)
+
+
 def _error_outcome(name: str, exc: BaseException,
                    with_traceback: bool = True) -> TaskOutcome:
     from .telemetry import error_record
@@ -259,8 +301,13 @@ def _guarded_file_worker(task) -> TaskOutcome:
     return _guarded(_file_worker, task)
 
 
+def _guarded_check_worker(task) -> TaskOutcome:
+    return _guarded(_check_worker, task)
+
+
 _GUARDED = {_suite_worker: _guarded_suite_worker,
-            _file_worker: _guarded_file_worker}
+            _file_worker: _guarded_file_worker,
+            _check_worker: _guarded_check_worker}
 
 
 # -- engine ----------------------------------------------------------------
@@ -420,6 +467,46 @@ def run_files_report(paths: Sequence,
     flavors = _check_flavors(flavors)
     tasks = [(str(p), flavors, schedule, cache) for p in paths]
     return run_tasks(_file_worker, tasks, jobs, fail_fast=fail_fast,
+                     force_pool=force_pool)
+
+
+def run_check_report(names: Optional[Sequence[str]] = None,
+                     paths: Optional[Sequence] = None,
+                     flavors: Sequence[str] = ("insensitive",),
+                     checkers: Optional[Sequence[str]] = None,
+                     jobs: Optional[int] = None,
+                     schedule: str = "batched",
+                     cache: object = True,
+                     witness: bool = False,
+                     fail_fast: bool = False,
+                     force_pool: bool = False,
+                     ) -> RunReport:
+    """Run the bug checkers over suite programs and/or C files.
+
+    Each task lowers its program under the hazard model (``<null>`` /
+    ``<uninit>`` summary cells), runs the requested analysis flavors,
+    and sweeps the selected checkers over each.  Outcomes carry
+    ``findings`` (flavor → finding list) and one ``kind="check"``
+    telemetry record per flavor; programs and solutions stay in the
+    workers.  ``checkers=None`` runs every registered checker;
+    checker names are validated here, before any worker forks.
+    """
+    from .analysis.checkers import REGISTRY
+    from .suite.registry import PROGRAM_NAMES
+
+    REGISTRY.get(checkers)
+    flavors = _check_flavors(flavors)
+    checkers = tuple(checkers) if checkers is not None else None
+    tasks = []
+    if paths is None and names is None:
+        names = PROGRAM_NAMES
+    for name in names or ():
+        tasks.append((name, True, flavors, schedule, cache, checkers,
+                      witness))
+    for path in paths or ():
+        tasks.append((str(path), False, flavors, schedule, cache,
+                      checkers, witness))
+    return run_tasks(_check_worker, tasks, jobs, fail_fast=fail_fast,
                      force_pool=force_pool)
 
 

@@ -37,6 +37,12 @@ the failing task — a crashed worker still yields one line.
 plus oracle ``stats``, the ``violations`` list (empty when
 ``status="ok"``), the active ``mutation`` if any, and
 ``shrunk_lines`` for minimized failures.
+
+``kind="check"`` records (one per (program, flavor) pass of ``repro
+check``) carry the finding count, per-checker and per-severity
+breakdowns, the deterministic finding ``digest``, checker wall time,
+and a ``dense`` object with ``decode_calls_before``/``_after`` around
+the checker sweep.
 """
 
 from __future__ import annotations
@@ -136,6 +142,46 @@ def fuzz_record(outcome, mutation: Optional[str] = None
         "worker_pid": os.getpid(),
         "peak_rss_kb": peak_rss_kb(),
     }
+
+
+def check_record(program: str, flavor: str, findings,
+                 elapsed_seconds: float,
+                 schedule: Optional[str] = None,
+                 dense: Optional[Mapping[str, object]] = None
+                 ) -> Dict[str, object]:
+    """One ``kind="check"`` record per (program, flavor) checker run.
+
+    Carries the per-checker and per-severity finding counts, the
+    witness-free finding digest (the cross-schedule / cross-jobs
+    comparison handle), checker wall time, and — when supplied — a
+    ``"dense"`` object with the fact table's ``decode_calls`` counter
+    before and after the checker sweep, showing how much of the run
+    stayed on the bitset representation.
+    """
+    from .analysis.checkers import count_by_checker, findings_digest
+
+    by_severity: Dict[str, int] = {}
+    for finding in findings:
+        by_severity[finding.severity] = \
+            by_severity.get(finding.severity, 0) + 1
+    record = {
+        "schema": SCHEMA_VERSION,
+        "kind": "check",
+        "status": "ok",
+        "program": str(program),
+        "flavor": flavor,
+        "schedule": schedule,
+        "findings": len(findings),
+        "by_checker": count_by_checker(findings),
+        "by_severity": by_severity,
+        "digest": findings_digest(findings),
+        "elapsed_seconds": round(elapsed_seconds, 6),
+        "worker_pid": os.getpid(),
+        "peak_rss_kb": peak_rss_kb(),
+    }
+    if dense is not None:
+        record["dense"] = dict(dense)
+    return record
 
 
 def error_record(program: str, kind: str, message: str,

@@ -1,0 +1,152 @@
+"""Checker framework: registry, finding identity, digests, witnesses."""
+
+import pytest
+
+import repro
+from repro.analysis.checkers import (
+    REGISTRY,
+    CHECKER_IDS,
+    Finding,
+    count_by_checker,
+    findings_digest,
+    render_path,
+    run_checkers,
+)
+from repro.analysis.explain import (
+    Explainer,
+    derivation_facts,
+    witness_explainer,
+)
+from repro.analysis.verify import verify_solution
+from repro.errors import AnalysisError
+
+from ...conftest import lower
+
+HAZARDS = """
+int g;
+int *gp;
+void leak(void) { int x; gp = &x; }
+int main(void) {
+    int *p = 0;
+    if (g) p = &g;
+    *p = 1;
+    int *u;
+    *u = 2;
+    leak();
+    return 0;
+}
+"""
+
+
+def analyze(source=HAZARDS, flavor="insensitive"):
+    program = lower(source, hazard_model=True)
+    ci = repro.analyze_insensitive(program)
+    if flavor == "sensitive":
+        return repro.analyze_sensitive(program, ci_result=ci)
+    return ci
+
+
+class TestRegistry:
+    def test_all_four_registered(self):
+        assert CHECKER_IDS == ("nullderef", "stackref", "uninit",
+                               "wildcall")
+        assert REGISTRY.names() == CHECKER_IDS
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(AnalysisError, match="unknown checker"):
+            REGISTRY.get(["nosuch"])
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(AnalysisError, match="already registered"):
+            REGISTRY.register("nullderef")(lambda result: iter(()))
+
+    def test_subset_selection_order(self):
+        selected = REGISTRY.get(["uninit", "nullderef"])
+        assert [name for name, _ in selected] == ["uninit", "nullderef"]
+
+
+class TestFinding:
+    def test_key_excludes_witness(self):
+        a = Finding("nullderef", "insensitive", "main", "lookup#3",
+                    "f.c:7", "<null>", "error", "boom", witness="w1")
+        b = Finding("nullderef", "insensitive", "main", "lookup#3",
+                    "f.c:7", "<null>", "error", "boom", witness="w2")
+        assert a.key() == b.key()
+        assert findings_digest([a]) == findings_digest([b])
+
+    def test_file_and_line_parse(self):
+        f = Finding("uninit", "insensitive", "main", "lookup#1",
+                    "dir/x.c:42", "", "warning", "m")
+        assert f.file == "dir/x.c"
+        assert f.line == 42
+        bare = Finding("uninit", "insensitive", "main", "lookup#1",
+                       "", "", "warning", "m")
+        assert bare.file == ""
+        assert bare.line is None
+
+    def test_digest_order_insensitive(self):
+        a = Finding("a", "ci", "f", "n#1", "x:1", "p", "error", "m1")
+        b = Finding("b", "ci", "f", "n#2", "x:2", "q", "warning", "m2")
+        assert findings_digest([a, b]) == findings_digest([b, a])
+        assert findings_digest([a]) != findings_digest([a, b])
+
+    def test_count_by_checker_zero_filled(self):
+        counts = count_by_checker([])
+        assert set(counts) == set(CHECKER_IDS)
+        assert all(v == 0 for v in counts.values())
+
+
+class TestRunCheckers:
+    def test_findings_sorted_and_deduped(self):
+        result = analyze()
+        findings = run_checkers(result)
+        keys = [f.key() for f in findings]
+        assert len(keys) == len(set(keys))
+        assert findings == sorted(
+            findings, key=lambda f: (f.checker, f.function, f.node,
+                                     f.path, f.message))
+        assert count_by_checker(findings)["nullderef"] >= 1
+        assert count_by_checker(findings)["uninit"] >= 1
+        assert count_by_checker(findings)["stackref"] >= 1
+
+    def test_same_digest_with_and_without_witness(self):
+        result = analyze()
+        bare = run_checkers(result)
+        witnessed = run_checkers(result, witness=True)
+        assert findings_digest(bare) == findings_digest(witnessed)
+        assert any(f.witness for f in witnessed)
+
+    def test_render_path_empty(self):
+        assert render_path(None) == ""
+
+
+class TestWitnesses:
+    def test_witness_cites_verified_facts(self):
+        """Every fact a witness derivation cites must be in the
+        solution, and the solution itself must pass the declarative
+        fixpoint verifier — a witness can never cite an invented pair."""
+        result = analyze()
+        assert verify_solution(result) == []
+        explainer = witness_explainer(result)
+        assert isinstance(explainer, Explainer)
+        checked = 0
+        for graph in result.program.functions.values():
+            for node in graph.memory_operations():
+                src = node.loc.source
+                for pair in sorted(result.solution.raw_pairs(src),
+                                   key=repr):
+                    derivation = explainer.explain(src, pair)
+                    for out, fact in derivation_facts(derivation):
+                        assert fact in result.solution.raw_pairs(out)
+                        checked += 1
+        assert checked > 0
+
+    def test_sensitive_witness_routes_through_ci(self):
+        cs = analyze(flavor="sensitive")
+        explainer = witness_explainer(cs)
+        # The Explainer itself refuses stripped CS results, so the
+        # router must hand back the underlying CI explainer.
+        assert explainer is not None
+        assert explainer.result.flavor == "insensitive"
+        findings = run_checkers(cs, witness=True)
+        assert any(f.witness for f in findings)

@@ -1,0 +1,86 @@
+"""SARIF 2.1.0 export: schema-shape regression for checker findings."""
+
+import json
+
+import repro
+from repro.analysis.checkers import run_checkers
+from repro.report.export import (
+    SARIF_SCHEMA,
+    SARIF_VERSION,
+    findings_to_sarif,
+    findings_to_sarif_json,
+)
+
+from ..conftest import lower
+
+SRC = """
+int g;
+int main(void) {
+    int *p = 0;
+    if (g) p = &g;
+    *p = 1;
+    int *u;
+    *u = 2;
+    return 0;
+}
+"""
+
+
+def make_findings():
+    program = lower(SRC, name="hazards.c", hazard_model=True)
+    result = repro.analyze_insensitive(program)
+    return run_checkers(result)
+
+
+class TestSarifShape:
+    def test_top_level_shape(self):
+        log = findings_to_sarif(make_findings())
+        assert log["$schema"] == SARIF_SCHEMA
+        assert log["version"] == SARIF_VERSION == "2.1.0"
+        assert len(log["runs"]) == 1
+        driver = log["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-check"
+        assert {r["id"] for r in driver["rules"]} \
+            == {"nullderef", "uninit"}
+
+    def test_results_reference_rules(self):
+        log = findings_to_sarif(make_findings())
+        run = log["runs"][0]
+        rules = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert run["results"], "expected findings"
+        for result in run["results"]:
+            assert result["level"] in ("error", "warning")
+            assert rules[result["ruleIndex"]] == result["ruleId"]
+            assert result["message"]["text"]
+            assert result["partialFingerprints"]["reproFindingKey/v1"]
+
+    def test_physical_locations_from_origins(self):
+        log = findings_to_sarif(make_findings())
+        for result in log["runs"][0]["results"]:
+            (location,) = result["locations"]
+            logical = location["logicalLocations"][0]
+            assert logical["name"] == "main"
+            physical = location["physicalLocation"]
+            assert physical["artifactLocation"]["uri"] == "hazards.c"
+            assert physical["region"]["startLine"] > 0
+
+    def test_no_origin_omits_physical_location(self):
+        from repro.analysis.checkers import Finding
+        f = Finding("uninit", "insensitive", "main", "lookup#1",
+                    "", "", "warning", "m")
+        log = findings_to_sarif([f])
+        (location,) = log["runs"][0]["results"][0]["locations"]
+        assert "physicalLocation" not in location
+        assert location["logicalLocations"][0]["fullyQualifiedName"] \
+            == "main:lookup#1"
+
+    def test_json_rendering_deterministic(self):
+        findings = make_findings()
+        assert findings_to_sarif_json(findings) \
+            == findings_to_sarif_json(list(findings))
+        json.loads(findings_to_sarif_json(findings))  # valid JSON
+
+    def test_empty_findings(self):
+        log = findings_to_sarif([])
+        assert log["runs"][0]["results"] == []
+        assert log["runs"][0]["tool"]["driver"]["rules"] == []
