@@ -5,12 +5,15 @@ Measures, and records in ``BENCH_solver.json`` at the repo root
 
 * **Solver throughput** — the CI fixpoint over the adversarial
   copy-chain workload (solver-bound: quadratic pair sets flowing
-  through a linear store chain), under all three worklist schedules:
-  ``batched`` and ``scc`` run the dense bitset fact engine, ``fifo``
-  the object-at-a-time reference engine.  Reported per schedule as
+  through a linear store chain), under every solver variant:
+  ``batched`` and ``scc`` run the word-packed dense fact engine,
+  ``scc-parallel`` additionally shards each topological level's
+  independent SCCs across worker threads, and ``fifo`` is the
+  object-at-a-time reference engine.  Reported per variant as
   wall-clock, facts/sec (transfers per second), a solution digest,
-  and — for the dense schedules — the representation counters
-  (fact ids interned, bitset words, decode calls, SCC count).
+  and — for the dense variants — the representation counters
+  (fact ids interned, packed words, kernel calls, decode calls, SCC
+  count/levels/parallelism).
 * **Suite sweep** — the full CI+CS analysis of the suite programs,
   comparing the pre-batching configuration (cold lowering, FIFO
   schedule, one process) against the optimized path (persistent
@@ -25,9 +28,10 @@ Run directly::
 The ``--smoke`` mode runs a reduced workload (seconds, not minutes)
 and is wired into ``make bench-smoke`` / ``make test`` as a regression
 gate.  Both modes *fail* (nonzero exit) when the dense engine's
-solution digest differs from any other schedule's, or when the warm
-optimized sweep fails to beat the cold baseline
-(``end_to_end_speedup < 1.0``).
+solution digest differs from any other variant's (including the
+packed scc-parallel path), when a dense entry is missing the schema-2
+representation counters, or when the warm optimized sweep fails to
+beat the cold baseline (``end_to_end_speedup < 1.0``).
 """
 
 from __future__ import annotations
@@ -43,6 +47,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.analysis.insensitive import analyze_insensitive  # noqa: E402
+from repro.cpus import available_cpus  # noqa: E402
 from repro.frontend.cache import resolve_cache_dir  # noqa: E402
 from repro.fuzz.oracle import solution_digest  # noqa: E402
 from repro.perf import PhaseTimer, best_of  # noqa: E402
@@ -54,9 +59,19 @@ from repro.suite.registry import PROGRAM_NAMES  # noqa: E402
 
 OUTPUT = REPO_ROOT / "BENCH_solver.json"
 
-#: Measurement order: dense schedules first (batched is the reference
+#: Measurement order: dense variants first (batched is the reference
 #: everything else is gated against), FIFO last as the slow baseline.
-SCHEDULES = ("batched", "scc", "fifo")
+#: Each variant is (report key, schedule, parallel_scc).
+VARIANTS = (
+    ("batched", "batched", False),
+    ("scc", "scc", False),
+    ("scc-parallel", "scc", True),
+    ("fifo", "fifo", False),
+)
+
+#: Representation counters every dense entry must carry (schema 2).
+DENSE_COUNTERS = ("fact_ids", "bitset_words", "packed_words",
+                  "kernel_calls", "decode_calls")
 
 
 def bench_solver(width: int, length: int, repeats: int) -> dict:
@@ -69,25 +84,31 @@ def bench_solver(width: int, length: int, repeats: int) -> dict:
     analyze_insensitive(program, schedule="scc")
     report = {"workload": f"copy_chain({width}, {length})"}
     digests = {}
-    for schedule in SCHEDULES:
-        def run(schedule=schedule):
-            return analyze_insensitive(program, schedule=schedule)
-        seconds, result = best_of(run, repeats)
-        digests[schedule] = solution_digest(result)
+    for key, schedule, parallel_scc in VARIANTS:
+        def run(schedule=schedule, parallel_scc=parallel_scc):
+            return analyze_insensitive(program, schedule=schedule,
+                                       parallel_scc=parallel_scc)
+        # The FIFO reference is ~2 orders of magnitude slower per
+        # repeat; a handful of runs pins it down, and spending the
+        # full repeat budget there would dominate the bench's
+        # wall-clock for no extra precision.
+        runs = repeats if schedule != "fifo" else min(repeats, 5)
+        seconds, result = best_of(run, runs)
+        digests[key] = solution_digest(result)
         entry = {
             "seconds": round(seconds, 6),
             "transfers": result.counters.transfers,
             "facts_per_sec": round(result.counters.transfers / seconds),
-            "digest": digests[schedule][:16],
+            "digest": digests[key][:16],
         }
         dense = result.extras.get("dense")
         if dense is not None:
             entry["dense"] = dict(dense)
-        report[schedule] = entry
+        report[key] = entry
     report["digests_identical"] = len(set(digests.values())) == 1
-    for schedule in ("batched", "scc"):
-        report[f"{schedule}_speedup_vs_fifo"] = round(
-            report["fifo"]["seconds"] / report[schedule]["seconds"], 3)
+    for key in ("batched", "scc", "scc-parallel"):
+        report[f"{key}_speedup_vs_fifo"] = round(
+            report["fifo"]["seconds"] / report[key]["seconds"], 3)
     return report
 
 
@@ -99,7 +120,9 @@ def bench_sweep(names, jobs: int, repeats: int) -> dict:
     # workers beyond the cores are pure fork/IPC overhead — on a
     # single-CPU container a forced 2-worker pool *loses* to serial.
     jobs_requested = jobs
-    jobs = max(1, min(jobs, os.cpu_count() or 1))
+    # available_cpus, not os.cpu_count: the machine count oversubscribes
+    # inside affinity/cgroup-restricted containers.
+    jobs = max(1, min(jobs, available_cpus()))
 
     def baseline():
         # The seed's behavior: lower every program from source, FIFO
@@ -167,7 +190,11 @@ def main(argv=None) -> int:
     with timer.phase("solver"):
         solver = bench_solver(width, length, repeats)
     with timer.phase("sweep"):
-        sweep = bench_sweep(names, args.jobs, repeats)
+        # The sweep times second-scale end-to-end runs against a
+        # coarse >= 1x gate; the solver's high repeat counts (hunting
+        # best-case millisecond slices) would multiply its wall-clock
+        # for no extra signal.
+        sweep = bench_sweep(names, args.jobs, min(repeats, 10))
 
     report = {
         "schema": 2,
@@ -175,6 +202,7 @@ def main(argv=None) -> int:
         "smoke": args.smoke,
         "machine": {
             "cpus": os.cpu_count(),
+            "cpus_available": available_cpus(),
             "python": ".".join(map(str, sys.version_info[:3])),
         },
         "bench_seconds": {k: round(v, 3)
@@ -184,12 +212,13 @@ def main(argv=None) -> int:
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
 
-    for schedule in SCHEDULES:
-        entry = solver[schedule]
-        print(f"solver[{schedule}]: {entry['seconds']:.6f}s, "
+    for key, _, _ in VARIANTS:
+        entry = solver[key]
+        print(f"solver[{key}]: {entry['seconds']:.6f}s, "
               f"{entry['facts_per_sec']:,} facts/s")
     print(f"solver: batched {solver['batched_speedup_vs_fifo']}x, "
-          f"scc {solver['scc_speedup_vs_fifo']}x vs fifo")
+          f"scc {solver['scc_speedup_vs_fifo']}x, scc-parallel "
+          f"{solver['scc-parallel_speedup_vs_fifo']}x vs fifo")
     print(f"sweep: {sweep['baseline_cold_fifo_serial_seconds']:.3f}s "
           f"cold/fifo/serial -> "
           f"{sweep['optimized_warm_batched_parallel_seconds']:.3f}s "
@@ -200,9 +229,23 @@ def main(argv=None) -> int:
 
     failures = []
     if not solver["digests_identical"]:
-        short = {s: solver[s]["digest"] for s in SCHEDULES}
+        short = {key: solver[key]["digest"] for key, _, _ in VARIANTS}
         failures.append(
-            f"dense solution digest differs across schedules: {short}")
+            f"dense solution digest differs across variants: {short}")
+    for key in ("batched", "scc", "scc-parallel"):
+        dense = solver[key].get("dense", {})
+        missing = [c for c in DENSE_COUNTERS if c not in dense]
+        if missing:
+            failures.append(
+                f"solver[{key}] is missing schema-2 dense counters: "
+                f"{missing}")
+    for key in ("scc", "scc-parallel"):
+        dense = solver[key].get("dense", {})
+        missing = [c for c in ("scc_levels", "scc_parallelism")
+                   if c not in dense]
+        if missing:
+            failures.append(
+                f"solver[{key}] is missing SCC-level counters: {missing}")
     if sweep["end_to_end_speedup"] < 1.0:
         failures.append(
             "optimized warm sweep is slower than the cold baseline "

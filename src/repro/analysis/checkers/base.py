@@ -59,6 +59,19 @@ def is_summary(base: Optional[BaseLocation]) -> bool:
     return base is not None and base.kind is LocationKind.SUMMARY
 
 
+def representative(pairs: Iterable[PointsToPair]) -> PointsToPair:
+    """The canonical pair of a non-empty hazard set, for reporting.
+
+    Checkers report one pair per finding; solution sets iterate in
+    hash/decode order, which varies with the process's interning
+    history — picking ``pairs[0]`` made the *rendered path* (and so
+    ``findings_digest``) depend on which programs were analyzed
+    earlier in the process.  The minimum rendered path is a pure
+    content function of the set.
+    """
+    return min(pairs, key=lambda p: render_path(p.referent))
+
+
 def hazard_cells(program: Program) -> Dict[str, BaseLocation]:
     """The program's ``<null>``/``<uninit>`` cells ({} when lowered
     without the hazard model)."""

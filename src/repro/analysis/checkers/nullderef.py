@@ -16,7 +16,9 @@ from typing import Iterator
 
 from ...ir.nodes import LookupNode
 from ..common import AnalysisResult
-from .base import REGISTRY, RawFinding, hazard_cells, is_summary
+from .base import (
+    REGISTRY, RawFinding, hazard_cells, is_summary, representative,
+)
 
 
 @REGISTRY.register("nullderef")
@@ -48,7 +50,8 @@ def check_null_dereference(result: AnalysisResult) -> Iterator[RawFinding]:
             definite = all(is_summary(p.referent.base) for p in direct)
             severity = "error" if definite else "warning"
             qualifier = "is" if definite else "may be"
+            witness = representative(bad)
             yield RawFinding(
                 "nullderef", node, severity,
                 f"indirect {verb} through a pointer that {qualifier} null",
-                path=bad[0].referent, evidence=(src, bad[0]))
+                path=witness.referent, evidence=(src, witness))

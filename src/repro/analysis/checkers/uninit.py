@@ -19,7 +19,9 @@ from typing import Iterator
 
 from ...ir.nodes import LookupNode
 from ..common import AnalysisResult
-from .base import REGISTRY, RawFinding, hazard_cells, is_summary
+from .base import (
+    REGISTRY, RawFinding, hazard_cells, is_summary, representative,
+)
 
 
 @REGISTRY.register("uninit")
@@ -40,16 +42,18 @@ def check_uninitialized_reads(result: AnalysisResult) -> Iterator[RawFinding]:
                 definite = all(is_summary(p.referent.base) for p in direct)
                 severity = "error" if definite else "warning"
                 qualifier = ("is" if definite else "may be")
+                witness = representative(bad)
                 yield RawFinding(
                     "uninit", node, severity,
                     f"indirect {verb} through a pointer that {qualifier} "
                     f"uninitialized",
-                    path=bad[0].referent, evidence=(src, bad[0]))
+                    path=witness.referent, evidence=(src, witness))
             if not isinstance(node, LookupNode):
                 continue
             out_bad = [p for p in solution.pairs(node.out)
                        if p.is_direct and p.referent.base is uninit_cell]
-            for p in out_bad[:1]:
+            if out_bad:
+                p = representative(out_bad)
                 yield RawFinding(
                     "uninit", node, "warning",
                     "reads a pointer that may be uninitialized",

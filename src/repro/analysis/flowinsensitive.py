@@ -258,6 +258,12 @@ class FlowInsensitiveAnalysis:
 
 
 def analyze_flowinsensitive(program: Program,
-                            schedule: str = "batched") -> AnalysisResult:
-    """Run the Weihl-style program-wide baseline."""
+                            schedule: str = "batched",
+                            parallel_scc: bool = False) -> AnalysisResult:
+    """Run the Weihl-style program-wide baseline.
+
+    ``parallel_scc`` is accepted for driver uniformity but ignored: the
+    flow-insensitive solver collapses the program to a single merged
+    store, so there is no SCC level structure to shard across workers.
+    """
     return FlowInsensitiveAnalysis(program, schedule=schedule).run()

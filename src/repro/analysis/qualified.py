@@ -218,9 +218,17 @@ class QualifiedSolution:
         ``table`` (a :class:`~repro.memory.facttable.FactTable`) lets
         the caller encode the stripped solution against the program's
         shared id space; omitted, the solution gets a private table.
+
+        Each output's plain pairs are encoded into one bitset and
+        joined with a single word-packed :meth:`~repro.analysis.common.
+        PointsToSolution.join_mask` call, rather than one big-int
+        reallocation per pair.
         """
         solution = PointsToSolution(table)
+        pair_id = solution.table.pair_id
         for output, by_pair in self._pairs.items():
+            mask = 0
             for pair in by_pair:
-                solution.add(output, pair)
+                mask |= 1 << pair_id(pair)
+            solution.join_mask(output, mask)
         return solution

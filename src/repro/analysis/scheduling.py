@@ -36,6 +36,10 @@ from ..memory.base import LocationKind
 #: ``Program.extras``.
 EXTRAS_KEY = "scc_order"
 
+#: Key under which a program's (port → (level, scc), level count,
+#: scc count) lives in ``Program.extras``.
+LEVELS_KEY = "scc_levels"
+
 
 def _static_callee(program: Program, call: CallNode):
     """The callee of a syntactically direct call, else ``None``."""
@@ -154,4 +158,65 @@ def port_scc_order(program: Program) -> Tuple[Dict[InputPort, int], int]:
     if cached is None:
         cached = compute_port_scc_order(program)
         program.extras[EXTRAS_KEY] = cached
+    return cached
+
+
+def compute_port_scc_levels(program: Program
+                            ) -> Tuple[Dict[InputPort, Tuple[int, int]],
+                                       int, int]:
+    """Topological *levels* of the SCC condensation.
+
+    A level is the longest condensation path from any root to the SCC
+    (roots sit at level 0), so two SCCs on the same level share no
+    dependency path in the static port graph and can be solved
+    concurrently — the shard boundary of ``--parallel-scc``.
+
+    Returns ``(info, level_count, scc_count)`` where ``info`` maps
+    every input port to ``(level, scc index)``.
+    """
+    order, count = port_scc_order(program)
+    # Rebuild the port adjacency (cheap, linear) and sweep the
+    # cross-SCC edges in topological order: because Tarjan's pop order
+    # is reverse-topological, every edge goes from a lower to a higher
+    # SCC index, so a single pass over ports sorted by SCC index sees
+    # each component's predecessors finalized before its successors.
+    callers: Dict[FunctionGraph, List[CallNode]] = {}
+    for node in program.all_nodes():
+        if isinstance(node, CallNode):
+            callee = _static_callee(program, node)
+            if callee is not None:
+                callers.setdefault(callee, []).append(node)
+
+    edges = set()
+    ports: List[InputPort] = []
+    for node in program.all_nodes():
+        successors = None
+        for port in node.inputs:
+            ports.append(port)
+            if successors is None:
+                successors = list(_successors(program, node, callers))
+            scc = order[port]
+            for succ in successors:
+                succ_scc = order[succ]
+                if succ_scc != scc:
+                    edges.add((scc, succ_scc))
+
+    levels = [0] * count
+    for scc, succ_scc in sorted(edges):
+        depth = levels[scc] + 1
+        if depth > levels[succ_scc]:
+            levels[succ_scc] = depth
+
+    level_count = max(levels) + 1 if levels else 0
+    info = {port: (levels[order[port]], order[port]) for port in ports}
+    return info, level_count, count
+
+
+def port_scc_levels(program: Program
+                    ) -> Tuple[Dict[InputPort, Tuple[int, int]], int, int]:
+    """Cached :func:`compute_port_scc_levels`."""
+    cached = program.extras.get(LEVELS_KEY)
+    if cached is None:
+        cached = compute_port_scc_levels(program)
+        program.extras[LEVELS_KEY] = cached
     return cached

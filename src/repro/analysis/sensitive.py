@@ -598,13 +598,18 @@ def analyze_sensitive(program: Program,
                       ci_result: Optional[AnalysisResult] = None,
                       optimize: bool = True,
                       max_transfers: Optional[int] = None,
-                      schedule: str = "batched") -> AnalysisResult:
+                      schedule: str = "batched",
+                      parallel_scc: bool = False) -> AnalysisResult:
     """Run the maximally context-sensitive analysis (paper Section 4).
 
     ``ci_result`` may supply a previously computed context-insensitive
     result (it is computed on demand otherwise); ``optimize=False``
     disables the §4.2 CI-based pruning, which must not change the
     stripped solution — a property the test suite checks.
+
+    ``parallel_scc`` is accepted for driver uniformity but ignored: the
+    qualified-pair solver's assumption-set subsumption makes transfer
+    order observable in its intermediate counters, so it stays serial.
     """
     return SensitiveAnalysis(program, ci_result, optimize, max_transfers,
                              schedule=schedule).run()

@@ -90,6 +90,12 @@ def _build_parser() -> argparse.ArgumentParser:
                               "engine, default), scc (dense engine with "
                               "SCC-topological port priority), or fifo "
                               "(reference one-fact queue)")
+    analyze.add_argument("--parallel-scc", action="store_true",
+                         dest="parallel_scc",
+                         help="under --schedule scc, shard each "
+                              "topological level's independent SCCs "
+                              "across worker threads (CI flavor only; "
+                              "identical solutions and digests)")
     _add_run_flags(analyze)
 
     dump = sub.add_parser("dump", help="print the lowered VDG")
@@ -125,6 +131,10 @@ def _build_parser() -> argparse.ArgumentParser:
                             choices=list(SCHEDULES),
                             help="worklist schedule for the suite "
                                  "analyses (default: batched)")
+    experiment.add_argument("--parallel-scc", action="store_true",
+                            dest="parallel_scc",
+                            help="shard independent SCCs across worker "
+                                 "threads in the CI solver")
     _add_run_flags(experiment)
 
     explain = sub.add_parser(
@@ -163,6 +173,10 @@ def _build_parser() -> argparse.ArgumentParser:
                             "analyses (default: batched)")
     check.add_argument("--no-cache", action="store_true",
                        help="skip the persistent lowering cache")
+    check.add_argument("--parallel-scc", action="store_true",
+                       dest="parallel_scc",
+                       help="shard independent SCCs across worker "
+                            "threads in the CI solver")
     check.add_argument("--witness", action="store_true",
                        help="attach a derivation witness to each "
                             "finding with evidence (text/json formats)")
@@ -212,6 +226,8 @@ def _cmd_analyze(args) -> int:
     cache = not args.no_cache
     if args.jobs > 1 and len(args.file) > 1:
         return _analyze_parallel(args, cache)
+    from .telemetry import peak_rss_kb
+    rss_baseline = peak_rss_kb()
     if len(args.file) == 1:
         program = lower_file(args.file[0], cache=cache)
     else:
@@ -226,15 +242,18 @@ def _cmd_analyze(args) -> int:
 
     if args.sensitivity == "flowinsensitive":
         from .analysis.flowinsensitive import analyze_flowinsensitive
-        result = analyze_flowinsensitive(program, schedule=args.schedule)
+        result = analyze_flowinsensitive(program, schedule=args.schedule,
+                                         parallel_scc=args.parallel_scc)
         _print_result("flow-insensitive", result, args)
         _write_telemetry(args.telemetry,
                          _telemetry_for(program.name,
-                                        {"flowinsensitive": result}))
+                                        {"flowinsensitive": result},
+                                        rss_baseline=rss_baseline))
         return 0
 
     results = {}
-    ci = analyze_insensitive(program, schedule=args.schedule)
+    ci = analyze_insensitive(program, schedule=args.schedule,
+                             parallel_scc=args.parallel_scc)
     if args.sensitivity in ("insensitive", "both"):
         results["insensitive"] = ci
         _print_result("context-insensitive", ci, args)
@@ -250,14 +269,29 @@ def _cmd_analyze(args) -> int:
                   f"indirect ops identical: "
                   f"{report.indirect_ops_identical}")
     _write_telemetry(args.telemetry,
-                     _telemetry_for(program.name, results, args.schedule))
+                     _telemetry_for(program.name, results, args.schedule,
+                                    rss_baseline=rss_baseline))
     return 0
 
 
-def _telemetry_for(name, results, schedule="batched"):
+def _telemetry_for(name, results, schedule="batched", rss_baseline=None):
+    """Records for an in-process (single file, no pool) analyze run.
+
+    These measure the CLI process itself, so they carry the same
+    ``rss_scope="process"`` / ``rss_delta_kb`` annotation the runner's
+    inline path attaches — raw ``peak_rss_kb`` here includes the
+    whole CLI startup, not just the analysis.
+    """
     from .telemetry import result_records
 
-    return result_records(name, results, schedule)
+    records = result_records(name, results, schedule)
+    for record in records:
+        peak = record.get("peak_rss_kb")
+        record["rss_scope"] = "process"
+        record["rss_delta_kb"] = (None if peak is None
+                                  or rss_baseline is None
+                                  else max(0, peak - rss_baseline))
+    return records
 
 
 def _analyze_parallel(args, cache) -> int:
@@ -280,7 +314,8 @@ def _analyze_parallel(args, cache) -> int:
               "flowinsensitive": "flow-insensitive"}
     report = run_files_report(args.file, flavors=flavors, jobs=args.jobs,
                               cache=cache, fail_fast=args.fail_fast,
-                              schedule=args.schedule)
+                              schedule=args.schedule,
+                              parallel_scc=args.parallel_scc)
     for outcome in report.outcomes:
         if not outcome.ok:
             print(f"error: {outcome.error}", file=sys.stderr)
@@ -380,7 +415,8 @@ def _cmd_experiment(args) -> int:
 
     wanted = list(EXPERIMENT_IDS) if args.id == "all" else [args.id]
     runner = SuiteRunner(jobs=args.jobs, cache=not args.no_cache,
-                         fail_fast=args.fail_fast, schedule=args.schedule)
+                         fail_fast=args.fail_fast, schedule=args.schedule,
+                         parallel_scc=args.parallel_scc)
     for experiment_id in wanted:
         if args.markdown:
             print(render_experiment_markdown(experiment_id, runner))
@@ -455,7 +491,8 @@ def _cmd_check(args) -> int:
         names=names or (None if not paths else []),
         paths=paths or None, flavors=flavors, checkers=checkers,
         jobs=args.jobs, schedule=args.schedule, cache=not args.no_cache,
-        witness=args.witness, fail_fast=args.fail_fast)
+        witness=args.witness, fail_fast=args.fail_fast,
+        parallel_scc=args.parallel_scc)
 
     ordered = []  # (program, finding) in task/flavor/finding order
     for outcome in report.outcomes:

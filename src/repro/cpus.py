@@ -1,0 +1,40 @@
+"""CPU availability, as the *scheduler* sees it.
+
+``os.cpu_count()`` reports the machine's logical CPUs, which
+overcounts badly inside cgroup- or affinity-restricted containers (a
+2-core CI slot on a 64-core host reports 64) and makes pool sizing
+oversubscribe.  :func:`available_cpus` asks progressively less precise
+sources:
+
+1. ``os.process_cpu_count()`` (Python 3.13+) — respects both CPU
+   affinity and, from 3.13, ``-X cpu_count``/``PYTHON_CPU_COUNT``;
+2. ``len(os.sched_getaffinity(0))`` — the scheduler's affinity mask
+   (Linux; absent on macOS/Windows);
+3. ``os.cpu_count()`` — the machine-wide count, last resort.
+
+Both the process-pool sizing in :mod:`repro.runner` and the SCC-level
+thread sharding in :mod:`repro.analysis.insensitive` size themselves
+from this.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually run on (always ≥ 1)."""
+    probe = getattr(os, "process_cpu_count", None)
+    if probe is not None:
+        count = probe()
+        if count:
+            return count
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            count = len(getaffinity(0))
+        except OSError:  # pragma: no cover - exotic platforms
+            count = 0
+        if count:
+            return count
+    return os.cpu_count() or 1

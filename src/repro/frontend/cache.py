@@ -26,8 +26,10 @@ Key properties:
   error; cache *writes* are atomic (temp file + ``os.replace``) so a
   killed process cannot leave a half-written entry behind.  Temp files
   orphaned by a process killed between ``mkstemp`` and ``os.replace``
-  are swept opportunistically on later writes and by
-  :func:`clear_cache`.
+  are swept opportunistically on later writes — rate-limited to one
+  directory glob per minute — and by :func:`clear_cache`; writers
+  retry once if a concurrent sweeper reclaims their live temp file
+  mid-write.
 """
 
 from __future__ import annotations
@@ -50,7 +52,9 @@ from ..ir.graph import Program
 #: preprocessor-reported dependency set (headers included), not just
 #: the named input files.  v3: programs may carry dense fact-table /
 #: SCC-order extras, and entries are written with pickle protocol 5.
-LOWERING_VERSION = 3
+#: v4: word-packed fact sets (PackedBits) and SCC-level / seed-plan /
+#: dispatch extras in cached programs.
+LOWERING_VERSION = 4
 
 #: Default cache directory (relative to the working directory), and
 #: the environment variables that override/disable it.
@@ -192,6 +196,15 @@ def load_program(cache_dir: Path, key: str) -> Optional[Program]:
 #: writes; young ones may belong to a live concurrent writer.
 _STALE_TMP_AGE_SECONDS = 3600.0
 
+#: Minimum seconds between stale-tmp sweeps of one cache directory.
+#: The sweep is a full directory glob; paying it on *every* store made
+#: write-heavy sweeps O(entries) per write for a cleanup whose point
+#: is reclaiming hour-old leftovers.
+_SWEEP_INTERVAL_SECONDS = 60.0
+
+#: Cache directory → monotonic time of its last sweep (process-local).
+_last_sweep: Dict[str, float] = {}
+
 
 def _sweep_stale_tmps(cache_dir: Path,
                       max_age: float = _STALE_TMP_AGE_SECONDS) -> int:
@@ -213,6 +226,19 @@ def _sweep_stale_tmps(cache_dir: Path,
     return removed
 
 
+def _maybe_sweep_stale_tmps(cache_dir: Path) -> int:
+    """Rate-limited :func:`_sweep_stale_tmps`: at most one sweep per
+    directory per :data:`_SWEEP_INTERVAL_SECONDS`, so back-to-back
+    stores don't re-glob the directory for nothing."""
+    marker = str(cache_dir)
+    now = time.monotonic()
+    last = _last_sweep.get(marker)
+    if last is not None and now - last < _SWEEP_INTERVAL_SECONDS:
+        return 0
+    _last_sweep[marker] = now
+    return _sweep_stale_tmps(cache_dir)
+
+
 def store_program(cache_dir: Path, key: str, program: Program) -> bool:
     """Write a program to the cache atomically; returns success.
 
@@ -222,35 +248,50 @@ def store_program(cache_dir: Path, key: str, program: Program) -> bool:
     """
     try:
         cache_dir.mkdir(parents=True, exist_ok=True)
-        _sweep_stale_tmps(cache_dir)
-        fd, tmp_name = tempfile.mkstemp(dir=cache_dir, suffix=".tmp")
-        try:
-            # Port/node graphs are deeply linked; give pickle headroom.
-            limit = sys.getrecursionlimit()
-            sys.setrecursionlimit(max(limit, 100_000))
+        _maybe_sweep_stale_tmps(cache_dir)
+        # One retry: a concurrent process's stale-tmp sweep can (with
+        # a skewed clock, or a writer stalled past the age cutoff)
+        # reclaim *this* writer's live temp file between mkstemp and
+        # os.replace — the publish then raises FileNotFoundError.  The
+        # write is idempotent, so a second attempt with a fresh temp
+        # file recovers instead of silently dropping the store.
+        for attempt in (0, 1):
+            fd, tmp_name = tempfile.mkstemp(dir=cache_dir, suffix=".tmp")
             try:
-                with os.fdopen(fd, "wb") as fh:
-                    # Protocol 5 explicitly: framed out-of-band-capable
-                    # format with the fastest load path, independent of
-                    # what HIGHEST_PROTOCOL resolves to.
-                    pickle.dump(program, fh, protocol=5)
-            finally:
-                sys.setrecursionlimit(limit)
-            entry = _entry_path(cache_dir, key)
-            os.replace(tmp_name, entry)
-            try:
-                stat = os.stat(entry)
-                _MEMO[(str(cache_dir), key)] = (
-                    (stat.st_size, stat.st_mtime_ns), program)
-            except OSError:
-                pass
-            return True
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+                # Port/node graphs are deeply linked; give pickle
+                # headroom.
+                limit = sys.getrecursionlimit()
+                sys.setrecursionlimit(max(limit, 100_000))
+                try:
+                    with os.fdopen(fd, "wb") as fh:
+                        # Protocol 5 explicitly: framed out-of-band-
+                        # capable format with the fastest load path,
+                        # independent of what HIGHEST_PROTOCOL
+                        # resolves to.
+                        pickle.dump(program, fh, protocol=5)
+                finally:
+                    sys.setrecursionlimit(limit)
+                entry = _entry_path(cache_dir, key)
+                try:
+                    os.replace(tmp_name, entry)
+                except FileNotFoundError:
+                    if attempt == 0:
+                        continue
+                    return False
+                try:
+                    stat = os.stat(entry)
+                    _MEMO[(str(cache_dir), key)] = (
+                        (stat.st_size, stat.st_mtime_ns), program)
+                except OSError:
+                    pass
+                return True
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        return False
     except Exception:
         return False
 

@@ -22,8 +22,8 @@ operation, the inclusion lattice the paper's claims rest on:
   access.
 
 On top of the lattice the oracle asserts determinism — the batched,
-FIFO, and SCC-priority schedules must reach byte-identical solutions
-— and
+FIFO, SCC-priority, and thread-sharded SCC-parallel solvers must
+reach byte-identical solutions — and
 re-checks each solution with the declarative fixpoint verifier.  A
 checker leg re-lowers the program under the hazard model and holds the
 bug checkers to the same standard: schedule-stable finding digests,
@@ -276,6 +276,17 @@ def check_program(source: str, name: str = "<fuzz>", *,
                         f"{flavor.upper()} solution differs between "
                         f"batched ({report.digests[flavor][:12]}…) and "
                         f"{other} ({digest[:12]}…) schedules"))
+        # The thread-sharded SCC solver must land on the same CI
+        # fixpoint regardless of worker interleaving.
+        ci_par = analyze_insensitive(program, schedule="scc",
+                                     parallel_scc=True)
+        digest = solution_digest(ci_par)
+        if digest != report.digests["ci"]:
+            report.violations.append(Violation(
+                "determinism",
+                f"CI solution differs between batched "
+                f"({report.digests['ci'][:12]}…) and scc-parallel "
+                f"({digest[:12]}…) solving"))
 
     # -- independent fixpoint re-check -----------------------------------
     if fixpoint:
@@ -442,4 +453,13 @@ def deep_checks(programs: Sequence[Tuple[str, str]],
                         f"{prog_name}: {flavor} solution differs between "
                         f"batched ({a[:12]}…) and scc ({b[:12]}…) "
                         f"schedules"))
+            ci_p = analyze_insensitive(program, schedule="scc",
+                                       parallel_scc=True)
+            a = solution_digest(ci_b)
+            b = solution_digest(ci_p)
+            if a != b:
+                violations.append(Violation(
+                    "determinism",
+                    f"{prog_name}: ci solution differs between batched "
+                    f"({a[:12]}…) and scc-parallel ({b[:12]}…) solving"))
     return violations

@@ -58,13 +58,15 @@ class SuiteRunner:
                  jobs: Optional[int] = 1,
                  cache: object = True,
                  fail_fast: bool = False,
-                 schedule: str = "batched") -> None:
+                 schedule: str = "batched",
+                 parallel_scc: bool = False) -> None:
         self.names: List[str] = list(names) if names is not None \
             else list(PROGRAM_NAMES)
         self.jobs = jobs
         self.cache = cache
         self.fail_fast = fail_fast
         self.schedule = schedule
+        self.parallel_scc = parallel_scc
         #: :class:`repro.runner.TaskError` per failed program.
         self.errors: List = []
         self._records: List[dict] = []
@@ -90,7 +92,8 @@ class SuiteRunner:
         report = run_suite_report(names=self.names, jobs=self.jobs,
                                   cache=self.cache,
                                   fail_fast=self.fail_fast,
-                                  schedule=self.schedule)
+                                  schedule=self.schedule,
+                                  parallel_scc=self.parallel_scc)
         self.errors = report.errors
         self._records = report.records
         for name, by_flavor in report.results.items():
@@ -139,7 +142,8 @@ class SuiteRunner:
                 self.prime()
             if name not in self._ci:
                 self._ci[name] = analyze_insensitive(
-                    self.program(name), schedule=self.schedule)
+                    self.program(name), schedule=self.schedule,
+                    parallel_scc=self.parallel_scc)
         return self._ci[name]
 
     def cs(self, name: str) -> AnalysisResult:

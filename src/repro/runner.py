@@ -50,6 +50,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .analysis.common import AnalysisResult
+from .cpus import available_cpus
 from .errors import ReproError
 
 #: Analysis flavors the driver understands, in run order (CI first:
@@ -73,7 +74,11 @@ INLINE_TASK_THRESHOLD = 4
 
 
 def default_jobs() -> int:
-    return os.cpu_count() or 1
+    """Worker count when ``--jobs`` is not given: the CPUs this
+    process can *actually* run on.  ``os.cpu_count()`` reports the
+    whole machine and oversubscribes the pool inside cgroup- or
+    affinity-restricted containers (see :mod:`repro.cpus`)."""
+    return available_cpus()
 
 
 def _check_flavors(flavors: Sequence[str]) -> Tuple[str, ...]:
@@ -166,7 +171,8 @@ def _maybe_inject_fault(name: str) -> None:
             raise ReproError(f"injected fault for {name!r}")
 
 
-def _analyze_program(program, flavors: Tuple[str, ...], schedule: str
+def _analyze_program(program, flavors: Tuple[str, ...], schedule: str,
+                     parallel_scc: bool = False
                      ) -> Dict[str, AnalysisResult]:
     from .analysis.flowinsensitive import analyze_flowinsensitive
     from .analysis.insensitive import analyze_insensitive
@@ -174,40 +180,42 @@ def _analyze_program(program, flavors: Tuple[str, ...], schedule: str
 
     results: Dict[str, AnalysisResult] = {}
     if "insensitive" in flavors or "sensitive" in flavors:
-        ci = analyze_insensitive(program, schedule=schedule)
+        ci = analyze_insensitive(program, schedule=schedule,
+                                 parallel_scc=parallel_scc)
         if "insensitive" in flavors:
             results["insensitive"] = ci
         if "sensitive" in flavors:
             results["sensitive"] = analyze_sensitive(
-                program, ci_result=ci, schedule=schedule)
+                program, ci_result=ci, schedule=schedule,
+                parallel_scc=parallel_scc)
     if "flowinsensitive" in flavors:
         results["flowinsensitive"] = analyze_flowinsensitive(
-            program, schedule=schedule)
+            program, schedule=schedule, parallel_scc=parallel_scc)
     return results
 
 
 def _suite_worker(task) -> TaskOutcome:
     """Module-level so ProcessPoolExecutor can pickle the callable."""
-    name, flavors, schedule, cache = task
+    name, flavors, schedule, cache, parallel_scc = task
     from .suite.registry import load_program
     from .telemetry import result_records
 
     _maybe_inject_fault(name)
     program = load_program(name, cache=cache)
-    results = _analyze_program(program, flavors, schedule)
+    results = _analyze_program(program, flavors, schedule, parallel_scc)
     return TaskOutcome(name=name, results=results,
                        records=result_records(name, results, schedule))
 
 
 def _file_worker(task) -> TaskOutcome:
-    path, flavors, schedule, cache = task
+    path, flavors, schedule, cache, parallel_scc = task
     from .frontend.lower import lower_file
     from .telemetry import result_records
 
     name = str(path)
     _maybe_inject_fault(name)
     program = lower_file(path, cache=cache)
-    results = _analyze_program(program, flavors, schedule)
+    results = _analyze_program(program, flavors, schedule, parallel_scc)
     return TaskOutcome(name=name, results=results,
                        records=result_records(name, results, schedule))
 
@@ -220,7 +228,8 @@ def _check_worker(task) -> TaskOutcome:
     per task.  The hazard lowering is a distinct cache key, so check
     runs and plain analysis runs never poison each other's cache.
     """
-    name, is_suite, flavors, schedule, cache, checkers, witness = task
+    (name, is_suite, flavors, schedule, cache, checkers, witness,
+     parallel_scc) = task
     from time import perf_counter
 
     from .analysis.checkers import run_checkers
@@ -233,7 +242,7 @@ def _check_worker(task) -> TaskOutcome:
     else:
         from .frontend.lower import lower_file
         program = lower_file(name, cache=cache, hazard_model=True)
-    results = _analyze_program(program, flavors, schedule)
+    results = _analyze_program(program, flavors, schedule, parallel_scc)
     findings: Dict[str, list] = {}
     records: List[dict] = []
     for flavor, result in results.items():
@@ -331,6 +340,33 @@ def _run_isolated(worker, task) -> TaskOutcome:
         return _dead_worker_outcome(str(task[0]))
 
 
+def _tag_rss_scope(outcome: TaskOutcome, scope: str,
+                   baseline_kb: Optional[int] = None) -> None:
+    """Annotate an outcome's telemetry records with whose memory
+    ``peak_rss_kb`` actually describes.
+
+    Worker-pool records measure a process that ran (approximately)
+    just that task, so ``rss_scope="worker"`` and the number stands on
+    its own.  Inline records measure the *parent* — its cumulative
+    peak includes every earlier task and the driver itself, so raw
+    ``peak_rss_kb`` grows monotonically along a sweep and was easy to
+    misread as per-task cost.  Those records get
+    ``rss_scope="process"`` plus ``rss_delta_kb``, the growth of the
+    process peak over the pre-task baseline (0 when the task fit
+    under the existing high-water mark — peak RSS never goes down).
+    """
+    for record in outcome.records:
+        if "peak_rss_kb" not in record:
+            continue
+        record["rss_scope"] = scope
+        if scope == "process":
+            peak = record["peak_rss_kb"]
+            if peak is None or baseline_kb is None:
+                record["rss_delta_kb"] = None
+            else:
+                record["rss_delta_kb"] = max(0, peak - baseline_kb)
+
+
 def run_tasks(worker, tasks: List[tuple], jobs: Optional[int] = None,
               fail_fast: bool = False, force_pool: bool = False) -> RunReport:
     """Run ``worker`` over ``tasks``, isolating per-task failures.
@@ -364,13 +400,17 @@ def run_tasks(worker, tasks: List[tuple], jobs: Optional[int] = None,
     if jobs == 1:
         # Inline guard catches only Exception: a Ctrl-C in the calling
         # process must interrupt the sweep, not become an "outcome".
+        from .telemetry import peak_rss_kb
+
         for index, task in enumerate(tasks):
+            baseline = peak_rss_kb()
             try:
                 outcome = worker(task)
             except Exception as exc:
                 outcome = _error_outcome(str(task[0]), exc)
             if not outcome.ok and fail_fast:
                 raise ReproError(f"task failed: {outcome.error}")
+            _tag_rss_scope(outcome, "process", baseline)
             outcomes[index] = outcome
         return RunReport(outcomes=list(outcomes))
 
@@ -400,6 +440,7 @@ def run_tasks(worker, tasks: List[tuple], jobs: Optional[int] = None,
                     for other in not_done:
                         other.cancel()
                     raise ReproError(f"task failed: {outcome.error}")
+                _tag_rss_scope(outcome, "worker")
                 outcomes[index] = outcome
             if broken:
                 break
@@ -413,6 +454,7 @@ def run_tasks(worker, tasks: List[tuple], jobs: Optional[int] = None,
         outcome = _run_isolated(worker, tasks[index])
         if not outcome.ok and fail_fast:
             raise ReproError(f"task failed: {outcome.error}")
+        _tag_rss_scope(outcome, "worker")
         outcomes[index] = outcome
 
     return RunReport(outcomes=[o for o in outcomes if o is not None])
@@ -428,6 +470,7 @@ def run_suite_report(names: Optional[Sequence[str]] = None,
                      cache: object = True,
                      fail_fast: bool = False,
                      force_pool: bool = False,
+                     parallel_scc: bool = False,
                      ) -> RunReport:
     """Analyze suite programs across processes, fault-isolated.
 
@@ -444,7 +487,8 @@ def run_suite_report(names: Optional[Sequence[str]] = None,
     if names is None:
         names = PROGRAM_NAMES
     flavors = _check_flavors(flavors)
-    tasks = [(name, flavors, schedule, cache) for name in names]
+    tasks = [(name, flavors, schedule, cache, parallel_scc)
+             for name in names]
     return run_tasks(_suite_worker, tasks, jobs, fail_fast=fail_fast,
                      force_pool=force_pool)
 
@@ -456,6 +500,7 @@ def run_files_report(paths: Sequence,
                      cache: object = None,
                      fail_fast: bool = False,
                      force_pool: bool = False,
+                     parallel_scc: bool = False,
                      ) -> RunReport:
     """Analyze several C files as *independent* programs, in parallel.
 
@@ -465,7 +510,8 @@ def run_files_report(paths: Sequence,
     come back in input order.
     """
     flavors = _check_flavors(flavors)
-    tasks = [(str(p), flavors, schedule, cache) for p in paths]
+    tasks = [(str(p), flavors, schedule, cache, parallel_scc)
+             for p in paths]
     return run_tasks(_file_worker, tasks, jobs, fail_fast=fail_fast,
                      force_pool=force_pool)
 
@@ -480,6 +526,7 @@ def run_check_report(names: Optional[Sequence[str]] = None,
                      witness: bool = False,
                      fail_fast: bool = False,
                      force_pool: bool = False,
+                     parallel_scc: bool = False,
                      ) -> RunReport:
     """Run the bug checkers over suite programs and/or C files.
 
@@ -502,10 +549,10 @@ def run_check_report(names: Optional[Sequence[str]] = None,
         names = PROGRAM_NAMES
     for name in names or ():
         tasks.append((name, True, flavors, schedule, cache, checkers,
-                      witness))
+                      witness, parallel_scc))
     for path in paths or ():
         tasks.append((str(path), False, flavors, schedule, cache,
-                      checkers, witness))
+                      checkers, witness, parallel_scc))
     return run_tasks(_check_worker, tasks, jobs, fail_fast=fail_fast,
                      force_pool=force_pool)
 
@@ -515,6 +562,7 @@ def run_suite(names: Optional[Sequence[str]] = None,
               jobs: Optional[int] = None,
               schedule: str = "batched",
               cache: object = True,
+              parallel_scc: bool = False,
               ) -> Dict[str, Dict[str, AnalysisResult]]:
     """Back-compat wrapper over :func:`run_suite_report`.
 
@@ -522,7 +570,7 @@ def run_suite(names: Optional[Sequence[str]] = None,
     the first failure (the pre-fault-isolation contract).
     """
     report = run_suite_report(names, flavors, jobs, schedule, cache,
-                              fail_fast=True)
+                              fail_fast=True, parallel_scc=parallel_scc)
     return report.results
 
 

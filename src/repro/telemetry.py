@@ -25,8 +25,18 @@ Record schema (``schema`` = :data:`SCHEMA_VERSION`):
       "elapsed_seconds": s,                # solver wall time
       "cache": "hit" | "miss" | "off",     # lowering-cache outcome
       "worker_pid": 1234,                  # process that ran the solve
-      "peak_rss_kb": 45678                 # that process's peak RSS
+      "peak_rss_kb": 45678,                # that process's peak RSS
+      "rss_scope": "worker" | "process",   # whose memory that is
+      "rss_delta_kb": 123                  # process-scope records only
     }
+
+Records produced through :func:`repro.runner.run_tasks` carry
+``rss_scope``: ``"worker"`` means ``peak_rss_kb`` measured a pool
+process that ran (approximately) only that task; ``"process"`` means
+the task ran inline in the driver, whose cumulative peak covers every
+earlier task too — read ``rss_delta_kb`` (growth of the process peak
+over the pre-task baseline, 0 when the task fit under the existing
+high-water mark) for the per-task attribution.
 
 ``kind="error"`` records replace ``flavor``/``counters``/``phases``
 with an ``error`` object ``{"kind", "message", "traceback"}`` naming

@@ -119,6 +119,27 @@ class TestRunCheckers:
     def test_render_path_empty(self):
         assert render_path(None) == ""
 
+    def test_representative_is_order_insensitive(self):
+        """Regression: the reported pair of a multi-pair hazard set was
+        ``pairs[0]`` in set-iteration order, which varies with the
+        process's allocation history — the same program's digest
+        changed depending on what was analyzed before it."""
+        from repro.analysis.checkers.base import representative
+
+        result = analyze()
+        picked = {}
+        for output in result.solution.outputs():
+            pairs = [p for p in result.solution.pairs(output)
+                     if p.is_direct]
+            if len(pairs) < 2:
+                continue
+            picked[output] = representative(pairs)
+            assert representative(list(reversed(pairs))) \
+                == picked[output]
+            assert render_path(picked[output].referent) \
+                == min(render_path(p.referent) for p in pairs)
+        assert picked, "HAZARDS must produce a multi-pair output"
+
 
 class TestWitnesses:
     def test_witness_cites_verified_facts(self):

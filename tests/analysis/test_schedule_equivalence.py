@@ -64,6 +64,29 @@ def _defuse_snapshot(result):
     return snapshot
 
 
+@pytest.mark.parametrize("name", PROGRAM_NAMES)
+class TestParallelSccEquivalence:
+    """The thread-sharded SCC solver is the fourth discipline: same
+    fixpoint, same schedule-invariant counters, any interleaving."""
+
+    def test_ci_identical_and_digest_stable(self, name):
+        from repro.fuzz.oracle import solution_digest
+
+        program = load_program(name)
+        serial = analyze_insensitive(program, schedule="scc")
+        parallel = analyze_insensitive(program, schedule="scc",
+                                       parallel_scc=True)
+        assert _solution_snapshot(serial) == _solution_snapshot(parallel)
+        assert _callgraph_snapshot(serial) == _callgraph_snapshot(parallel)
+        assert solution_digest(serial) == solution_digest(parallel)
+        assert serial.counters.transfers == parallel.counters.transfers
+        assert serial.counters.pairs_added == parallel.counters.pairs_added
+        dense = parallel.extras["dense"]
+        assert dense["scc_parallelism"] >= 1
+        assert dense["scc_levels"] >= 1
+        assert dense["packed_words"] >= 0
+
+
 @pytest.mark.parametrize("other", OTHER_SCHEDULES)
 @pytest.mark.parametrize("name", PROGRAM_NAMES)
 class TestScheduleEquivalence:

@@ -170,6 +170,104 @@ class TestTmpCleanup:
         assert _sweep_stale_tmps(cache_dir, max_age=0) == 2
 
 
+class TestSweepRateLimit:
+    """The sweep is a full directory glob; paying it on *every* store
+    made write-heavy sweeps O(entries) per write (regression)."""
+
+    def _stale(self, cache_dir, name):
+        tmp = cache_dir / name
+        tmp.write_bytes(b"orphan")
+        old = time.time() - 7200
+        os.utime(tmp, (old, old))
+        return tmp
+
+    def test_back_to_back_stores_sweep_once(self, cache_dir):
+        from repro.frontend import cache as cache_mod
+
+        cache_dir.mkdir()
+        first = self._stale(cache_dir, "first.tmp")
+        assert cache_mod._maybe_sweep_stale_tmps(cache_dir) == 1
+        assert not first.exists()
+        # A stale tmp appearing within the interval survives until the
+        # next window — the limiter skips the glob entirely.
+        second = self._stale(cache_dir, "second.tmp")
+        assert cache_mod._maybe_sweep_stale_tmps(cache_dir) == 0
+        assert second.exists()
+
+    def test_interval_expiry_sweeps_again(self, cache_dir, monkeypatch):
+        from repro.frontend import cache as cache_mod
+
+        cache_dir.mkdir()
+        assert cache_mod._maybe_sweep_stale_tmps(cache_dir) == 0
+        stale = self._stale(cache_dir, "later.tmp")
+        # Age the limiter's timestamp past the interval.
+        marker = str(cache_dir)
+        cache_mod._last_sweep[marker] -= \
+            cache_mod._SWEEP_INTERVAL_SECONDS + 1
+        assert cache_mod._maybe_sweep_stale_tmps(cache_dir) == 1
+        assert not stale.exists()
+
+    def test_limit_is_per_directory(self, tmp_path):
+        from repro.frontend import cache as cache_mod
+
+        one, two = tmp_path / "one", tmp_path / "two"
+        one.mkdir(), two.mkdir()
+        self._stale(one, "a.tmp")
+        self._stale(two, "b.tmp")
+        assert cache_mod._maybe_sweep_stale_tmps(one) == 1
+        # A sweep of ``one`` must not consume ``two``'s budget.
+        assert cache_mod._maybe_sweep_stale_tmps(two) == 1
+
+
+class TestSweptTmpRace:
+    """A concurrent process's sweep can reclaim *this* writer's live
+    temp file between ``mkstemp`` and ``os.replace`` (skewed clock, or
+    a writer stalled past the age cutoff); the publish then raises
+    FileNotFoundError.  ``store_program`` must retry with a fresh temp
+    file instead of silently dropping the entry (regression)."""
+
+    def _lowered(self, tmp_path):
+        path = tmp_path / "prog.c"
+        path.write_text(SOURCE)
+        return lower_file(path, cache=False)
+
+    def test_store_survives_one_swept_tmp(self, tmp_path, monkeypatch):
+        from repro.frontend import cache as cache_mod
+
+        cache_dir = tmp_path / "cache"
+        program = self._lowered(tmp_path)
+        real_replace = os.replace
+        raced = []
+
+        def racing_replace(src, dst):
+            if not raced:
+                raced.append(src)
+                os.unlink(src)  # the concurrent sweeper wins the race
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(cache_mod.os, "replace", racing_replace)
+        assert cache_mod.store_program(cache_dir, "key", program)
+        assert raced  # the race really happened
+        cache_mod.forget_loaded(cache_dir)
+        assert cache_mod.load_program(cache_dir, "key") is not None
+        assert not list(cache_dir.glob("*.tmp"))  # no leaked temps
+
+    def test_store_gives_up_after_second_sweep(self, tmp_path,
+                                               monkeypatch):
+        from repro.frontend import cache as cache_mod
+
+        cache_dir = tmp_path / "cache"
+        program = self._lowered(tmp_path)
+
+        def always_raced(src, dst):
+            os.unlink(src)
+            raise FileNotFoundError(src)
+
+        monkeypatch.setattr(cache_mod.os, "replace", always_raced)
+        assert not cache_mod.store_program(cache_dir, "key", program)
+        assert not list(cache_dir.glob("*.tmp"))
+
+
 class TestCorruption:
     def test_truncated_entry_relowers_silently(self, cfile, cache_dir):
         lower_file(cfile, cache=cache_dir)

@@ -1,0 +1,232 @@
+"""Word-packed bitset kernels: bit-identical to the big-int engine.
+
+Every test drives :class:`PackedBits` (and the module-level
+``decode_ids``/``scatter_ids`` kernels) against a plain big-int
+reference over randomized masks, including the edge widths the packed
+representation cares about: zero, exact 64-bit word boundaries, and
+the ``SWITCH_WORDS`` threshold where storage flips from big int to
+the u64 buffer.
+"""
+
+import os
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro.memory.packedbits import (
+    HAVE_NUMPY,
+    NO_NUMPY_ENV,
+    PackedBits,
+    SWITCH_WORDS,
+    WORD_BITS,
+    decode_ids,
+    scatter_ids,
+    words_for,
+)
+
+
+def random_mask(rng: random.Random, nbits: int, density: float) -> int:
+    """A random bitset over ``nbits`` positions at roughly ``density``."""
+    if nbits <= 0:
+        return 0
+    count = max(0, int(nbits * density))
+    mask = 0
+    for _ in range(count):
+        mask |= 1 << rng.randrange(nbits)
+    return mask
+
+
+#: Bit widths exercising zero, sub-word, exact-word-boundary, and
+#: beyond-SWITCH_WORDS (packed storage) regimes.
+WIDTHS = [0, 1, 63, 64, 65, 128, 1000,
+          SWITCH_WORDS * WORD_BITS - 1,
+          SWITCH_WORDS * WORD_BITS,
+          SWITCH_WORDS * WORD_BITS + 1,
+          (SWITCH_WORDS + 7) * WORD_BITS]
+
+
+class TestOrMask:
+    @pytest.mark.parametrize("nbits", WIDTHS)
+    def test_join_matches_bigint_reference(self, nbits):
+        rng = random.Random(nbits)
+        packed = PackedBits()
+        reference = 0
+        for round_no in range(12):
+            mask = random_mask(rng, nbits, density=0.2)
+            expected_delta = mask & ~reference
+            reference |= mask
+            assert packed.or_mask(mask) == expected_delta
+            assert packed.to_mask() == reference
+            assert packed.popcount() == reference.bit_count()
+            assert packed.bit_length() == reference.bit_length()
+
+    def test_empty_join_is_zero_delta(self):
+        packed = PackedBits(0b1010)
+        assert packed.or_mask(0) == 0
+        assert packed.to_mask() == 0b1010
+
+    def test_rejoining_same_mask_is_empty_delta(self):
+        mask = random_mask(random.Random(7), 5000, 0.3)
+        packed = PackedBits(mask)
+        assert packed.or_mask(mask) == 0
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="big-int mode never packs")
+    def test_widens_at_switch_threshold_and_stays_identical(self):
+        boundary_bit = SWITCH_WORDS * WORD_BITS
+        packed = PackedBits(1)
+        assert not packed.is_packed
+        delta = packed.or_mask(1 << boundary_bit)
+        assert packed.is_packed
+        assert delta == 1 << boundary_bit
+        assert packed.to_mask() == (1 << boundary_bit) | 1
+        # Joins keep working (and growing the buffer) once packed.
+        wide = random_mask(random.Random(1), boundary_bit * 3, 0.05)
+        expected = wide & ~packed.to_mask()
+        assert packed.or_mask(wide) == expected
+
+    def test_constructor_seeds_the_set(self):
+        mask = random_mask(random.Random(3), 300, 0.5)
+        assert PackedBits(mask).to_mask() == mask
+
+
+class TestPureKernels:
+    @pytest.mark.parametrize("nbits", WIDTHS)
+    def test_intersect_and_subtract_match_reference(self, nbits):
+        rng = random.Random(1000 + nbits)
+        stored = random_mask(rng, nbits, 0.3)
+        packed = PackedBits(stored)
+        # Push wide sets into packed storage before the pure kernels.
+        packed.or_mask(stored)
+        for _ in range(8):
+            probe = random_mask(rng, nbits + rng.randrange(200), 0.3)
+            assert packed.intersect_mask(probe) == stored & probe
+            assert packed.and_not_mask(probe) == stored & ~probe
+
+    @pytest.mark.parametrize("nbits", WIDTHS)
+    def test_contains_bit(self, nbits):
+        rng = random.Random(2000 + nbits)
+        stored = random_mask(rng, nbits, 0.2)
+        packed = PackedBits(stored)
+        for bit in range(0, max(nbits, 1) + 130, 37):
+            assert packed.contains_bit(bit) == bool(stored >> bit & 1)
+
+
+class TestDecodeScatter:
+    @pytest.mark.parametrize("nbits", WIDTHS)
+    @pytest.mark.parametrize("density", [0.0, 0.02, 0.5, 1.0])
+    def test_decode_ids_matches_reference(self, nbits, density):
+        """Both the sparse (lsb-peel) and vectorized paths: densities
+        straddle ``_DECODE_VECTOR_MIN`` on the wider widths."""
+        rng = random.Random(int(nbits * 100 + density * 10))
+        mask = random_mask(rng, nbits, density)
+        expected = [i for i in range(mask.bit_length()) if mask >> i & 1]
+        ids = decode_ids(mask)
+        assert ids == expected
+        assert all(type(i) is int for i in ids)  # no numpy scalars leak
+
+    @pytest.mark.parametrize("count", [0, 1, 10, 31, 32, 33, 500])
+    def test_scatter_ids_roundtrips(self, count):
+        """Both the loop (< _SCATTER_VECTOR_MIN) and packbits paths."""
+        rng = random.Random(count)
+        ids = sorted({rng.randrange(20000) for _ in range(count)})
+        mask = scatter_ids(ids)
+        assert decode_ids(mask) == ids
+
+    def test_iter_ids_view(self):
+        mask = random_mask(random.Random(9), 9000, 0.4)
+        packed = PackedBits(mask)
+        packed.or_mask(mask)
+        assert packed.iter_ids() == decode_ids(mask)
+
+
+class TestStorageAndPickle:
+    def test_storage_words_accounting(self):
+        packed = PackedBits(1 << 130)
+        assert packed.storage_words() == words_for(131)
+        if HAVE_NUMPY:
+            packed.or_mask(1 << (SWITCH_WORDS * WORD_BITS + 5))
+            assert packed.is_packed
+            assert packed.storage_words() == packed.allocated_words()
+            assert packed.storage_words() >= SWITCH_WORDS
+
+    def test_pickle_roundtrip_ships_int_rendering(self):
+        import pickle
+
+        mask = random_mask(random.Random(11), 12000, 0.3)
+        packed = PackedBits()
+        packed.or_mask(mask)
+        clone = pickle.loads(pickle.dumps(packed))
+        assert clone.to_mask() == mask
+        assert not clone.is_packed  # re-widens lazily on next wide join
+
+    def test_equality_against_ints_and_peers(self):
+        mask = random_mask(random.Random(13), 700, 0.5)
+        assert PackedBits(mask) == mask
+        assert PackedBits(mask) == PackedBits(mask)
+        assert PackedBits(mask) != mask | 1 << 100000
+
+
+class TestNumpyFallback:
+    def test_no_numpy_env_forces_bigint_engine(self):
+        """With REPRO_NO_NUMPY=1 the module must import with
+        HAVE_NUMPY=False and keep every kernel bit-identical — the
+        whole-module reload runs in a subprocess so this process's
+        numpy-backed module object is untouched."""
+        script = (
+            "import random\n"
+            "from repro.memory.packedbits import (HAVE_NUMPY, PackedBits,"
+            " decode_ids, scatter_ids)\n"
+            "assert not HAVE_NUMPY\n"
+            "rng = random.Random(42)\n"
+            "reference = 0\n"
+            "packed = PackedBits()\n"
+            "for _ in range(6):\n"
+            "    mask = 0\n"
+            "    for _ in range(400):\n"
+            "        mask |= 1 << rng.randrange(20000)\n"
+            "    assert packed.or_mask(mask) == mask & ~reference\n"
+            "    reference |= mask\n"
+            "assert not packed.is_packed\n"
+            "assert packed.to_mask() == reference\n"
+            "ids = decode_ids(reference)\n"
+            "assert ids == [i for i in range(reference.bit_length())"
+            " if reference >> i & 1]\n"
+            "assert scatter_ids(ids) == reference\n"
+            "print('fallback-ok')\n"
+        )
+        env = dict(os.environ, **{NO_NUMPY_ENV: "1"})
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH", "")) if p)
+        proc = subprocess.run([sys.executable, "-c", script], env=env,
+                              capture_output=True, text=True, timeout=120)
+        assert proc.returncode == 0, proc.stderr
+        assert "fallback-ok" in proc.stdout
+
+    def test_engine_digest_identical_without_numpy(self):
+        """The full dense engine produces the same solution digest with
+        the big-int fallback as with the numpy kernels."""
+        script = (
+            "from repro.suite.adversarial import load_copy_chain\n"
+            "from repro.analysis.insensitive import analyze_insensitive\n"
+            "from repro.fuzz.oracle import solution_digest\n"
+            "import repro.memory.packedbits as pb\n"
+            "assert not pb.HAVE_NUMPY\n"
+            "res = analyze_insensitive(load_copy_chain(24, 16),"
+            " schedule='scc')\n"
+            "print(solution_digest(res)[:12], res.counters.transfers)\n"
+        )
+        env = dict(os.environ, **{NO_NUMPY_ENV: "1"})
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH", "")) if p)
+        proc = subprocess.run([sys.executable, "-c", script], env=env,
+                              capture_output=True, text=True, timeout=300)
+        assert proc.returncode == 0, proc.stderr
+        from repro.analysis.insensitive import analyze_insensitive
+        from repro.fuzz.oracle import solution_digest
+        from repro.suite.adversarial import load_copy_chain
+
+        res = analyze_insensitive(load_copy_chain(24, 16), schedule="scc")
+        expected = f"{solution_digest(res)[:12]} {res.counters.transfers}"
+        assert proc.stdout.strip() == expected

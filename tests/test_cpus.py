@@ -1,0 +1,66 @@
+"""CPU-availability probing and pool sizing under restricted affinity.
+
+Regression tests for the oversubscription bug: ``default_jobs()`` used
+``os.cpu_count()``, which reports the whole machine even when cgroups
+or ``taskset`` confine the process to a couple of cores, so the pool
+forked far more workers than could run.
+"""
+
+import os
+
+from repro.cpus import available_cpus
+from repro.runner import default_jobs
+
+
+class TestAvailableCpus:
+    def test_prefers_process_cpu_count(self, monkeypatch):
+        monkeypatch.setattr(os, "process_cpu_count", lambda: 3,
+                            raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        assert available_cpus() == 3
+
+    def test_affinity_mask_beats_machine_count(self, monkeypatch):
+        """The taskset/cgroup case: 2-core affinity on a '64-core'
+        machine must size to 2, not 64."""
+        monkeypatch.delattr(os, "process_cpu_count", raising=False)
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 1},
+                            raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        assert available_cpus() == 2
+
+    def test_machine_count_is_last_resort(self, monkeypatch):
+        monkeypatch.delattr(os, "process_cpu_count", raising=False)
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        assert available_cpus() == 8
+
+    def test_never_below_one(self, monkeypatch):
+        monkeypatch.delattr(os, "process_cpu_count", raising=False)
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert available_cpus() == 1
+
+    def test_empty_probe_falls_through(self, monkeypatch):
+        """A probe returning 0/None must not win over a later source."""
+        monkeypatch.setattr(os, "process_cpu_count", lambda: None,
+                            raising=False)
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0},
+                            raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 16)
+        assert available_cpus() == 1
+
+    def test_matches_real_affinity_here(self):
+        """On this (Linux) host the probe agrees with the scheduler."""
+        if hasattr(os, "sched_getaffinity"):
+            assert available_cpus() <= (os.cpu_count() or 1)
+            if not hasattr(os, "process_cpu_count"):
+                assert available_cpus() == len(os.sched_getaffinity(0))
+
+
+class TestDefaultJobs:
+    def test_uses_available_cpus_not_machine_count(self, monkeypatch):
+        monkeypatch.delattr(os, "process_cpu_count", raising=False)
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 1},
+                            raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 128)
+        assert default_jobs() == 2

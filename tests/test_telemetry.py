@@ -112,6 +112,55 @@ class TestParallelMatchesInline:
             ("span", "insensitive"), ("span", "sensitive")]
 
 
+class TestRssScope:
+    """Regression: inline records used to report the *parent's*
+    cumulative ``peak_rss_kb`` with nothing marking them as such, so
+    later programs in a sweep inherited earlier programs' peaks and
+    BENCH consumers compared them against worker-scoped numbers."""
+
+    def test_inline_records_are_process_scoped(self, tmp_path,
+                                               monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        report = run_suite_report(names=["anagram", "span"], jobs=1)
+        for record in report.records:
+            assert record["rss_scope"] == "process"
+            # The delta attributes growth to *this* task; peak RSS
+            # never decreases, so it is a non-negative int (or None
+            # where the resource module is missing).
+            delta = record["rss_delta_kb"]
+            if record["peak_rss_kb"] is not None:
+                assert isinstance(delta, int) and delta >= 0
+                assert delta <= record["peak_rss_kb"]
+            else:
+                assert delta is None
+
+    def test_worker_records_are_worker_scoped(self, tmp_path,
+                                              monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        report = run_suite_report(names=["anagram", "span"], jobs=2,
+                                  force_pool=True)
+        for record in report.records:
+            assert record["rss_scope"] == "worker"
+            # Worker peaks stand on their own; no delta is attached.
+            assert "rss_delta_kb" not in record
+
+    def test_inline_deltas_do_not_accumulate(self, tmp_path,
+                                             monkeypatch):
+        """Each inline record's delta is measured from its own pre-task
+        baseline, not from process start: the per-record deltas must
+        sum to (at most) the total peak growth, whereas the raw peaks
+        are cumulative and monotone."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        report = run_suite_report(names=["anagram", "span", "cdecl"],
+                                  jobs=1)
+        peaks = [r["peak_rss_kb"] for r in report.records]
+        if any(p is None for p in peaks):
+            pytest.skip("no resource module on this platform")
+        assert peaks == sorted(peaks)  # the misattribution trap
+        deltas = [r["rss_delta_kb"] for r in report.records]
+        assert sum(deltas) <= peaks[-1]
+
+
 class TestJsonLinesIO:
     def test_writer_roundtrip(self, tmp_path):
         path = tmp_path / "telemetry.jsonl"
