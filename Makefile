@@ -2,12 +2,12 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke fuzz-smoke check-smoke tables examples verify-suite clean
+.PHONY: install test bench bench-smoke fuzz-smoke check-smoke incremental-smoke tables examples verify-suite clean
 
 install:
 	$(PYTHON) setup.py develop
 
-test: bench-smoke fuzz-smoke check-smoke
+test: bench-smoke fuzz-smoke check-smoke incremental-smoke
 	$(PYTHON) -m pytest tests/
 
 bench:
@@ -23,6 +23,13 @@ bench-smoke:
 # concrete ⊆ CS ⊆ CI ⊆ FI plus the determinism and fixpoint oracles.
 fuzz-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro fuzz --seed 0 --count 50 --deep-every 25 --fail-fast
+
+# Incremental-summary gate: cold → replay → edit-one-function on three
+# suite programs; fails unless replays are digest-identical with zero
+# SCCs re-solved and an edit re-solves strictly fewer SCCs than total.
+incremental-smoke:
+	$(PYTHON) benchmarks/incremental_smoke.py
+	@test -s BENCH_incremental.json || (echo "BENCH_incremental.json missing" && exit 1)
 
 # Checker gate: run all four bug finders over the suite under every
 # flavor and emit a SARIF log; the golden counts live in

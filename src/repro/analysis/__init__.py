@@ -11,6 +11,9 @@
 * :mod:`~repro.analysis.stats` — every metric in Figures 2/3/4/6/7 and
   the §4.2/§4.3 text claims.
 * :mod:`~repro.analysis.clients` — mod/ref and def/use consumers.
+* :mod:`~repro.analysis.summaries` /
+  :mod:`~repro.analysis.incremental` — per-SCC escape summaries and
+  the content-keyed incremental re-analysis driver built on them.
 """
 
 from .common import AnalysisResult, CallGraph, Counters, PointsToSolution
@@ -34,6 +37,14 @@ from .verify import (
     verify_solution,
 )
 from .sensitive import PruneInfo, SensitiveAnalysis, analyze_sensitive
+from .incremental import SummaryReplayError, analyze_incremental
+from .summaries import (
+    Summary,
+    extract_summary,
+    join_summaries,
+    summary_digest,
+    summary_leq,
+)
 
 __all__ = [
     "AnalysisResult",
@@ -49,11 +60,14 @@ __all__ = [
     "QualifiedPair",
     "QualifiedSolution",
     "SensitiveAnalysis",
+    "Summary",
+    "SummaryReplayError",
     "Derivation",
     "Explainer",
     "QualifiedViolation",
     "Violation",
     "analyze_flowinsensitive",
+    "analyze_incremental",
     "assert_qualified_fixpoint",
     "verify_qualified",
     "analyze_insensitive",
@@ -61,6 +75,10 @@ __all__ = [
     "assert_fixpoint",
     "compare_results",
     "explain",
+    "extract_summary",
+    "join_summaries",
+    "summary_digest",
+    "summary_leq",
     "format_derivation",
     "op_locations_at_call",
     "pairs_under",

@@ -96,6 +96,12 @@ def _build_parser() -> argparse.ArgumentParser:
                               "topological level's independent SCCs "
                               "across worker threads (CI flavor only; "
                               "identical solutions and digests)")
+    analyze.add_argument("--incremental", action="store_true",
+                         help="persist per-SCC summaries in the "
+                              "lowering cache and re-solve only "
+                              "call-graph SCCs whose bodies or "
+                              "transitive callees changed (identical "
+                              "solutions and digests)")
     _add_run_flags(analyze)
 
     dump = sub.add_parser("dump", help="print the lowered VDG")
@@ -177,6 +183,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        dest="parallel_scc",
                        help="shard independent SCCs across worker "
                             "threads in the CI solver")
+    check.add_argument("--incremental", action="store_true",
+                       help="reuse persisted per-SCC summaries from "
+                            "the lowering cache (same findings and "
+                            "digests; summary counters in telemetry)")
     check.add_argument("--witness", action="store_true",
                        help="attach a derivation witness to each "
                             "finding with evidence (text/json formats)")
@@ -211,6 +221,12 @@ def _build_parser() -> argparse.ArgumentParser:
                            "for each failure under DIR")
     fuzz.add_argument("--no-shrink", action="store_true",
                       help="skip minimizing failing programs")
+    fuzz.add_argument("--summaries", action="store_true",
+                      help="per seed, also assert summary-based "
+                           "(incremental) solutions are digest-"
+                           "identical to whole-program solving for "
+                           "CI/CS/FI, including after evicting a "
+                           "persisted entry")
     _add_run_flags(fuzz)
     return parser
 
@@ -241,9 +257,16 @@ def _cmd_analyze(args) -> int:
           f"{sizes.alias_related_outputs} alias-related outputs")
 
     if args.sensitivity == "flowinsensitive":
-        from .analysis.flowinsensitive import analyze_flowinsensitive
-        result = analyze_flowinsensitive(program, schedule=args.schedule,
-                                         parallel_scc=args.parallel_scc)
+        if args.incremental:
+            from .analysis.incremental import analyze_incremental
+            result = analyze_incremental(
+                program, ("flowinsensitive",), cache=cache,
+                schedule=args.schedule)["flowinsensitive"]
+        else:
+            from .analysis.flowinsensitive import analyze_flowinsensitive
+            result = analyze_flowinsensitive(
+                program, schedule=args.schedule,
+                parallel_scc=args.parallel_scc)
         _print_result("flow-insensitive", result, args)
         _write_telemetry(args.telemetry,
                          _telemetry_for(program.name,
@@ -252,14 +275,26 @@ def _cmd_analyze(args) -> int:
         return 0
 
     results = {}
-    ci = analyze_insensitive(program, schedule=args.schedule,
-                             parallel_scc=args.parallel_scc)
+    cs = None
+    if args.incremental:
+        from .analysis.incremental import analyze_incremental
+        want = (("insensitive",) if args.sensitivity == "insensitive"
+                else ("insensitive", "sensitive"))
+        solved = analyze_incremental(program, want, cache=cache,
+                                     schedule=args.schedule,
+                                     parallel_scc=args.parallel_scc)
+        ci = solved["insensitive"]
+        cs = solved.get("sensitive")
+    else:
+        ci = analyze_insensitive(program, schedule=args.schedule,
+                                 parallel_scc=args.parallel_scc)
     if args.sensitivity in ("insensitive", "both"):
         results["insensitive"] = ci
         _print_result("context-insensitive", ci, args)
     if args.sensitivity in ("sensitive", "both"):
-        cs = analyze_sensitive(program, ci_result=ci,
-                               schedule=args.schedule)
+        if cs is None:
+            cs = analyze_sensitive(program, ci_result=ci,
+                                   schedule=args.schedule)
         results["sensitive"] = cs
         _print_result("context-sensitive", cs, args)
         if args.sensitivity == "both":
@@ -315,7 +350,8 @@ def _analyze_parallel(args, cache) -> int:
     report = run_files_report(args.file, flavors=flavors, jobs=args.jobs,
                               cache=cache, fail_fast=args.fail_fast,
                               schedule=args.schedule,
-                              parallel_scc=args.parallel_scc)
+                              parallel_scc=args.parallel_scc,
+                              incremental=args.incremental)
     for outcome in report.outcomes:
         if not outcome.ok:
             print(f"error: {outcome.error}", file=sys.stderr)
@@ -492,7 +528,7 @@ def _cmd_check(args) -> int:
         paths=paths or None, flavors=flavors, checkers=checkers,
         jobs=args.jobs, schedule=args.schedule, cache=not args.no_cache,
         witness=args.witness, fail_fast=args.fail_fast,
-        parallel_scc=args.parallel_scc)
+        parallel_scc=args.parallel_scc, incremental=args.incremental)
 
     ordered = []  # (program, finding) in task/flavor/finding order
     for outcome in report.outcomes:
@@ -572,7 +608,8 @@ def _cmd_fuzz(args) -> int:
         args.seed, args.count, max_nodes=args.max_nodes,
         mutate=args.mutate, shrink=not args.no_shrink,
         deep_every=args.deep_every, artifacts=args.artifacts,
-        fail_fast=args.fail_fast, progress=progress)
+        fail_fast=args.fail_fast, progress=progress,
+        summaries=args.summaries)
 
     checked = len(report.outcomes)
     failures = report.failures

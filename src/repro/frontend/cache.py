@@ -53,8 +53,11 @@ from ..ir.graph import Program
 #: the named input files.  v3: programs may carry dense fact-table /
 #: SCC-order extras, and entries are written with pickle protocol 5.
 #: v4: word-packed fact sets (PackedBits) and SCC-level / seed-plan /
-#: dispatch extras in cached programs.
-LOWERING_VERSION = 4
+#: dispatch extras in cached programs.  v5: the summary layer
+#: (``analysis/incremental.py``) persists per-SCC analysis summaries
+#: next to cached programs — bumped so lowered programs and the
+#: summary store they anchor start from one coherent generation.
+LOWERING_VERSION = 5
 
 #: Default cache directory (relative to the working directory), and
 #: the environment variables that override/disable it.

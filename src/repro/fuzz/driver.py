@@ -115,11 +115,15 @@ def run_fuzz(start_seed: int = 0, count: int = 50, *,
              deep_jobs: int = 2,
              artifacts: Optional[str] = None,
              fail_fast: bool = False,
-             progress=None) -> FuzzReport:
+             progress=None,
+             summaries: bool = False) -> FuzzReport:
     """Run one fuzz campaign over ``count`` consecutive seeds.
 
     ``progress`` is an optional callable invoked with each
     :class:`FuzzOutcome` as it completes (the CLI prints from it).
+    ``summaries=True`` adds the per-seed summary-equivalence leg
+    (incremental solving must reproduce whole-program digests; see
+    :func:`repro.fuzz.oracle.check_program`).
     """
     from ..telemetry import fuzz_record
 
@@ -157,9 +161,11 @@ def run_fuzz(start_seed: int = 0, count: int = 50, *,
                     name=program.name, seed=program.seed, source=mutated,
                     features=dict(program.features), spec=program.spec)
                 check = check_program(program.source, name=program.name,
-                                      expect_trap="uninit")
+                                      expect_trap="uninit",
+                                      summaries=summaries)
             else:
-                check = check_program(program.source, name=program.name)
+                check = check_program(program.source, name=program.name,
+                                      summaries=summaries)
             outcome = FuzzOutcome(
                 name=program.name, seed=seed, ok=check.ok,
                 violations=list(check.violations),

@@ -152,6 +152,7 @@ def check_program(source: str, name: str = "<fuzz>", *,
                   schedules: bool = True,
                   fixpoint: bool = True,
                   checkers: bool = True,
+                  summaries: bool = False,
                   expect_trap: Optional[str] = None,
                   step_budget: Optional[int] = None) -> CheckReport:
     """Run the full differential check on one C source text.
@@ -168,6 +169,13 @@ def check_program(source: str, name: str = "<fuzz>", *,
     uninitialized-read trap must be covered by a same-line finding of
     the matching checker under *both* flavors — a missed concrete
     hazard is a hard soundness failure (kind ``"checker"``).
+
+    ``summaries=True`` adds the summary-equivalence leg: against a
+    private cache directory, a cold incremental run must populate the
+    summary store, a second run over a fresh lowering must fully
+    replay (``sccs_resolved == 0``), and a third run after evicting
+    one persisted CI entry must recover — all three digest-identical
+    to the whole-program CI/CS/FI solutions (kind ``"summary"``).
     """
     report = CheckReport(name=name)
     # simplify=False: the simplifier deletes dead lookups, which would
@@ -295,11 +303,67 @@ def check_program(source: str, name: str = "<fuzz>", *,
                 report.violations.append(Violation(
                     "fixpoint", f"{flavor}: {violation}"))
 
+    # -- summary-based solving must reproduce whole-program solving ------
+    if summaries:
+        _check_summaries(source, name, report)
+
     # -- checker clients over the hazard-model lowering ------------------
     if checkers:
         _check_checkers(source, name, report, trap, trace,
                         schedules=schedules)
     return report
+
+
+#: (incremental flavor name, report digest key) for the summary leg.
+_SUMMARY_FLAVORS = (("insensitive", "ci"), ("sensitive", "cs"),
+                    ("flowinsensitive", "fi"))
+
+
+def _check_summaries(source: str, name: str, report: CheckReport) -> None:
+    """The summary-equivalence oracle leg (see :func:`check_program`).
+
+    Exercises all three store regimes against a throwaway cache:
+    cold populate, full replay from a *fresh* lowering (proving the
+    structural serialization round-trips across program objects), and
+    recovery after evicting one persisted CI entry (the partial /
+    fallback path).  Every run must be digest-identical to the
+    whole-program baseline already recorded in ``report.digests``.
+    """
+    import glob
+    import os
+    import tempfile
+
+    from ..analysis.incremental import analyze_incremental
+
+    def run_and_compare(cache_dir: str, leg: str,
+                        expect_replay: bool = False) -> None:
+        program = lower_source(source, name=name, simplify=False)
+        results = analyze_incremental(program, cache=cache_dir)
+        for flavor, short in _SUMMARY_FLAVORS:
+            digest = solution_digest(results[flavor])
+            if digest != report.digests[short]:
+                report.violations.append(Violation(
+                    "summary",
+                    f"{short.upper()} summary-composed solution "
+                    f"({leg}) differs from whole-program solving "
+                    f"({digest[:12]}… vs "
+                    f"{report.digests[short][:12]}…)"))
+            dense = results[flavor].extras.get("dense", {})
+            if expect_replay and dense.get("sccs_resolved") != 0:
+                report.violations.append(Violation(
+                    "summary",
+                    f"{short.upper()} re-run over an unchanged program "
+                    f"re-solved {dense.get('sccs_resolved')} SCC(s) "
+                    f"instead of replaying"))
+
+    with tempfile.TemporaryDirectory(prefix="repro-fuzz-sum-") as tmp:
+        run_and_compare(tmp, "cold")
+        run_and_compare(tmp, "replay", expect_replay=True)
+        entries = sorted(glob.glob(
+            os.path.join(tmp, "summaries", "insensitive-*.pkl")))
+        if entries:
+            os.unlink(entries[len(entries) // 2])
+        run_and_compare(tmp, "after eviction")
 
 
 def _covers_trap(findings, hazard: str, line: Optional[int]) -> bool:

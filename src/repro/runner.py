@@ -172,12 +172,19 @@ def _maybe_inject_fault(name: str) -> None:
 
 
 def _analyze_program(program, flavors: Tuple[str, ...], schedule: str,
-                     parallel_scc: bool = False
+                     parallel_scc: bool = False,
+                     incremental: bool = False,
+                     cache: object = True
                      ) -> Dict[str, AnalysisResult]:
     from .analysis.flowinsensitive import analyze_flowinsensitive
     from .analysis.insensitive import analyze_insensitive
     from .analysis.sensitive import analyze_sensitive
 
+    if incremental:
+        from .analysis.incremental import analyze_incremental
+        return analyze_incremental(program, flavors=flavors,
+                                   cache=cache, schedule=schedule,
+                                   parallel_scc=parallel_scc)
     results: Dict[str, AnalysisResult] = {}
     if "insensitive" in flavors or "sensitive" in flavors:
         ci = analyze_insensitive(program, schedule=schedule,
@@ -196,26 +203,28 @@ def _analyze_program(program, flavors: Tuple[str, ...], schedule: str,
 
 def _suite_worker(task) -> TaskOutcome:
     """Module-level so ProcessPoolExecutor can pickle the callable."""
-    name, flavors, schedule, cache, parallel_scc = task
+    name, flavors, schedule, cache, parallel_scc, incremental = task
     from .suite.registry import load_program
     from .telemetry import result_records
 
     _maybe_inject_fault(name)
     program = load_program(name, cache=cache)
-    results = _analyze_program(program, flavors, schedule, parallel_scc)
+    results = _analyze_program(program, flavors, schedule, parallel_scc,
+                               incremental, cache)
     return TaskOutcome(name=name, results=results,
                        records=result_records(name, results, schedule))
 
 
 def _file_worker(task) -> TaskOutcome:
-    path, flavors, schedule, cache, parallel_scc = task
+    path, flavors, schedule, cache, parallel_scc, incremental = task
     from .frontend.lower import lower_file
     from .telemetry import result_records
 
     name = str(path)
     _maybe_inject_fault(name)
     program = lower_file(path, cache=cache)
-    results = _analyze_program(program, flavors, schedule, parallel_scc)
+    results = _analyze_program(program, flavors, schedule, parallel_scc,
+                               incremental, cache)
     return TaskOutcome(name=name, results=results,
                        records=result_records(name, results, schedule))
 
@@ -229,7 +238,7 @@ def _check_worker(task) -> TaskOutcome:
     runs and plain analysis runs never poison each other's cache.
     """
     (name, is_suite, flavors, schedule, cache, checkers, witness,
-     parallel_scc) = task
+     parallel_scc, incremental) = task
     from time import perf_counter
 
     from .analysis.checkers import run_checkers
@@ -242,9 +251,13 @@ def _check_worker(task) -> TaskOutcome:
     else:
         from .frontend.lower import lower_file
         program = lower_file(name, cache=cache, hazard_model=True)
-    results = _analyze_program(program, flavors, schedule, parallel_scc)
+    results = _analyze_program(program, flavors, schedule, parallel_scc,
+                               incremental, cache)
     findings: Dict[str, list] = {}
     records: List[dict] = []
+    # One lowering serves every flavor below — each record carries the
+    # same lowering-cache status on purpose (see check_record).
+    lowering_status = program.extras.get("cache", "off")
     for flavor, result in results.items():
         table = result.solution.table
         before = table.decode_calls
@@ -252,10 +265,16 @@ def _check_worker(task) -> TaskOutcome:
         found = run_checkers(result, checkers, witness=witness)
         elapsed = perf_counter() - start
         findings[flavor] = found
+        dense = {"decode_calls_before": before,
+                 "decode_calls_after": table.decode_calls}
+        for counter in ("sccs_resolved", "summaries_reused",
+                        "summary_cache_hits", "summary_scc_total"):
+            value = result.extras.get("dense", {}).get(counter)
+            if value is not None:
+                dense[counter] = value
         records.append(check_record(
             name, flavor, found, elapsed, schedule,
-            dense={"decode_calls_before": before,
-                   "decode_calls_after": table.decode_calls}))
+            dense=dense, cache=lowering_status))
     return TaskOutcome(name=name, records=records, findings=findings)
 
 
@@ -471,6 +490,7 @@ def run_suite_report(names: Optional[Sequence[str]] = None,
                      fail_fast: bool = False,
                      force_pool: bool = False,
                      parallel_scc: bool = False,
+                     incremental: bool = False,
                      ) -> RunReport:
     """Analyze suite programs across processes, fault-isolated.
 
@@ -487,7 +507,7 @@ def run_suite_report(names: Optional[Sequence[str]] = None,
     if names is None:
         names = PROGRAM_NAMES
     flavors = _check_flavors(flavors)
-    tasks = [(name, flavors, schedule, cache, parallel_scc)
+    tasks = [(name, flavors, schedule, cache, parallel_scc, incremental)
              for name in names]
     return run_tasks(_suite_worker, tasks, jobs, fail_fast=fail_fast,
                      force_pool=force_pool)
@@ -501,6 +521,7 @@ def run_files_report(paths: Sequence,
                      fail_fast: bool = False,
                      force_pool: bool = False,
                      parallel_scc: bool = False,
+                     incremental: bool = False,
                      ) -> RunReport:
     """Analyze several C files as *independent* programs, in parallel.
 
@@ -510,7 +531,7 @@ def run_files_report(paths: Sequence,
     come back in input order.
     """
     flavors = _check_flavors(flavors)
-    tasks = [(str(p), flavors, schedule, cache, parallel_scc)
+    tasks = [(str(p), flavors, schedule, cache, parallel_scc, incremental)
              for p in paths]
     return run_tasks(_file_worker, tasks, jobs, fail_fast=fail_fast,
                      force_pool=force_pool)
@@ -527,6 +548,7 @@ def run_check_report(names: Optional[Sequence[str]] = None,
                      fail_fast: bool = False,
                      force_pool: bool = False,
                      parallel_scc: bool = False,
+                     incremental: bool = False,
                      ) -> RunReport:
     """Run the bug checkers over suite programs and/or C files.
 
@@ -549,10 +571,10 @@ def run_check_report(names: Optional[Sequence[str]] = None,
         names = PROGRAM_NAMES
     for name in names or ():
         tasks.append((name, True, flavors, schedule, cache, checkers,
-                      witness, parallel_scc))
+                      witness, parallel_scc, incremental))
     for path in paths or ():
         tasks.append((str(path), False, flavors, schedule, cache,
-                      checkers, witness, parallel_scc))
+                      checkers, witness, parallel_scc, incremental))
     return run_tasks(_check_worker, tasks, jobs, fail_fast=fail_fast,
                      force_pool=force_pool)
 

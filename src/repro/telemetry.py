@@ -157,7 +157,8 @@ def fuzz_record(outcome, mutation: Optional[str] = None
 def check_record(program: str, flavor: str, findings,
                  elapsed_seconds: float,
                  schedule: Optional[str] = None,
-                 dense: Optional[Mapping[str, object]] = None
+                 dense: Optional[Mapping[str, object]] = None,
+                 cache: Optional[str] = None
                  ) -> Dict[str, object]:
     """One ``kind="check"`` record per (program, flavor) checker run.
 
@@ -166,7 +167,11 @@ def check_record(program: str, flavor: str, findings,
     comparison handle), checker wall time, and — when supplied — a
     ``"dense"`` object with the fact table's ``decode_calls`` counter
     before and after the checker sweep, showing how much of the run
-    stayed on the bitset representation.
+    stayed on the bitset representation.  ``cache`` is the *lowering*
+    cache status of the checked program; a ``check --flavor all``
+    invocation lowers the hazard model once per task, so each flavor's
+    record carries the same status — the explicit evidence that
+    flavors share one lowering rather than re-lowering per flavor.
     """
     from .analysis.checkers import count_by_checker, findings_digest
 
@@ -189,6 +194,8 @@ def check_record(program: str, flavor: str, findings,
         "worker_pid": os.getpid(),
         "peak_rss_kb": peak_rss_kb(),
     }
+    if cache is not None:
+        record["cache"] = cache
     if dense is not None:
         record["dense"] = dict(dense)
     return record

@@ -31,6 +31,14 @@ class TestFuzzCommand:
                      "--mutate", "no-such-bug"]) == 2
         assert "unknown mutation" in capsys.readouterr().err
 
+    def test_summaries_leg_passes(self, capsys):
+        """Every seed must survive the incremental-equivalence leg:
+        cold, replay, and after-eviction summary solves all
+        digest-identical to the whole-program solutions."""
+        assert main(["fuzz", "--seed", "0", "--count", "2",
+                     "--summaries"]) == 0
+        assert "0 failing" in capsys.readouterr().out
+
 
 @pytest.mark.fuzz
 class TestFailureArtifacts:
