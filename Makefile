@@ -2,12 +2,12 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke fuzz-smoke check-smoke incremental-smoke tables examples verify-suite clean
+.PHONY: install test bench bench-smoke fuzz-smoke check-smoke incremental-smoke serve-smoke tables examples verify-suite clean
 
 install:
 	$(PYTHON) setup.py develop
 
-test: bench-smoke fuzz-smoke check-smoke incremental-smoke
+test: bench-smoke fuzz-smoke check-smoke incremental-smoke serve-smoke
 	$(PYTHON) -m pytest tests/
 
 bench:
@@ -30,6 +30,15 @@ fuzz-smoke:
 incremental-smoke:
 	$(PYTHON) benchmarks/incremental_smoke.py
 	@test -s BENCH_incremental.json || (echo "BENCH_incremental.json missing" && exit 1)
+
+# Analysis-daemon gate: start a real `repro serve` on an ephemeral
+# port, fire 50+ mixed warm/cold analyze/check/query requests, and
+# fail unless warm p50 beats cold p50 by ≥5x AND every served digest
+# is byte-identical to a fresh CLI run (all three flavors).  Writes
+# BENCH_serve.json at the repo root.
+serve-smoke:
+	$(PYTHON) benchmarks/bench_serve.py
+	@test -s BENCH_serve.json || (echo "BENCH_serve.json missing" && exit 1)
 
 # Checker gate: run all four bug finders over the suite under every
 # flavor and emit a SARIF log; the golden counts live in

@@ -14,10 +14,12 @@ throwaway summary store and *fails* (nonzero exit) unless:
   (``0 < sccs_resolved < summary_scc_total``) and every flavor's
   digest equals a cold solve of the edited source.
 
-The edits are same-line on purpose: node origins carry source
-positions, so inserting a line re-keys (conservatively but correctly)
-every function below the edit, which would defeat the
-strictly-fewer-SCCs gate this smoke exists to hold.
+The edits are same-line for historical reasons: summary keys v1
+folded absolute source positions into body hashes, so a line-shifting
+edit re-keyed every function below it.  Keys v2 hash modulo source
+coordinates (see ``tests/analysis/test_incremental_insert.py`` for
+the insert-one-line proof), so same-line is no longer load-bearing —
+the strictly-fewer-SCCs gate below holds for shifting edits too.
 
 Run directly (wired into ``make incremental-smoke``)::
 

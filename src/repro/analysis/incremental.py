@@ -62,6 +62,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 from ..errors import AnalysisError
 from ..ir.graph import FunctionGraph, Program
 from ..ir.nodes import CallNode, OutputPort
+from ..lru import evict_lru_files, touch
 from ..memory.facttable import FactTable
 from ..frontend.cache import caching_disabled, resolve_cache_dir
 from .common import AnalysisResult, CallGraph, Counters, PointsToSolution
@@ -93,6 +94,20 @@ class SummaryReplayError(AnalysisError):
 # -- the on-disk store ------------------------------------------------------
 
 
+#: Disk budget for ``<cache_dir>/summaries/`` in MiB; unset or
+#: non-positive leaves the store unbounded (the pre-GC behavior).
+SUMMARY_CACHE_MB_ENV = "REPRO_SUMMARY_CACHE_MB"
+
+
+def _default_store_budget() -> Optional[int]:
+    raw = os.environ.get(SUMMARY_CACHE_MB_ENV, "")
+    try:
+        budget_mb = int(raw)
+    except ValueError:
+        return None
+    return budget_mb * 1024 * 1024 if budget_mb > 0 else None
+
+
 class SummaryStore:
     """``<cache_dir>/summaries/``: one pickle per (flavor, SCC key),
     plus a per-program manifest of observed dynamic call edges.
@@ -103,10 +118,23 @@ class SummaryStore:
     Entries are immutable — the key *is* the content hash — so a store
     whose target file already exists is skipped, which also makes
     concurrent writers race-free.
+
+    ``max_bytes`` (default: ``$REPRO_SUMMARY_CACHE_MB``, unbounded
+    when unset) caps the directory under the same LRU rule the serve
+    daemon applies to its in-memory tiers (:mod:`repro.lru`): loads
+    bump entry recency, writes trigger :meth:`gc`, and the oldest
+    entries go first.  Evicting an entry can only turn a future load
+    into a re-solve — the exact degradation path corruption already
+    exercises — so a bounded store is always safe, never wrong.
     """
 
-    def __init__(self, cache_dir: Path) -> None:
+    def __init__(self, cache_dir: Path,
+                 max_bytes: Optional[int] = None) -> None:
         self.root = Path(cache_dir) / "summaries"
+        self.max_bytes = (max_bytes if max_bytes is not None
+                          else _default_store_budget())
+        #: Entries deleted by :meth:`gc` over this store's lifetime.
+        self.evictions = 0
 
     # -- paths -------------------------------------------------------------
 
@@ -135,6 +163,7 @@ class SummaryStore:
         if not isinstance(payload, dict) or \
                 payload.get("version") != SUMMARY_VERSION:
             return None
+        touch(path)  # LRU recency: hot entries outlive the GC
         return payload
 
     def load_entry(self, flavor: str, key: str) -> Optional[Summary]:
@@ -174,6 +203,21 @@ class SummaryStore:
 
     def store_manifest(self, key: str, payload: dict) -> None:
         self._write_payload(self.manifest_path(key), payload)
+        self.gc()
+
+    # -- eviction ----------------------------------------------------------
+
+    def gc(self) -> int:
+        """Evict least-recently-used entries until the store fits its
+        byte budget; returns (and counts) the number evicted.  Called
+        after each manifest publish — the write that ends every
+        store-refreshing run — so growth is reclaimed promptly without
+        paying a directory walk per entry."""
+        if self.max_bytes is None:
+            return 0
+        removed = evict_lru_files(self.root, self.max_bytes)
+        self.evictions += removed
+        return removed
 
 
 def manifest_key(program: Program) -> str:
@@ -538,7 +582,8 @@ def analyze_incremental(program: Program,
                         cache: object = True,
                         schedule: str = "batched",
                         parallel_scc: bool = False,
-                        jobs: Optional[int] = None
+                        jobs: Optional[int] = None,
+                        store_max_bytes: Optional[int] = None
                         ) -> Dict[str, AnalysisResult]:
     """Analyze ``program`` for ``flavors``, reusing and refreshing the
     persisted summary store under the lowering cache directory.
@@ -548,14 +593,17 @@ def analyze_incremental(program: Program,
     validation failure — the summaries can change how much work a run
     does, never what it computes.  Results carry the incremental
     counters in ``extras["dense"]``: ``sccs_resolved``,
-    ``summaries_reused``, ``summary_cache_hits``, and
-    ``summary_scc_total``.
+    ``summaries_reused``, ``summary_cache_hits``,
+    ``summary_scc_total``, and — when the store is byte-capped via
+    ``store_max_bytes`` or ``REPRO_SUMMARY_CACHE_MB`` — the number of
+    entries its GC evicted this run (``summary_evictions``).
     """
     unknown = [f for f in flavors if f not in FLAVORS]
     if unknown:
         raise AnalysisError(f"unknown flavors {unknown!r}")
     cache_dir = None if caching_disabled() else resolve_cache_dir(cache)
-    store = SummaryStore(cache_dir) if cache_dir is not None else None
+    store = (SummaryStore(cache_dir, max_bytes=store_max_bytes)
+             if cache_dir is not None else None)
 
     codec = LocationCodec(program)
     ctx = context_hash(program, codec)
@@ -593,4 +641,7 @@ def analyze_incremental(program: Program,
             _store_results(program, store, codec, ctx, bodies, to_store)
         except OSError:
             pass  # a read-only or full cache never fails the analysis
+        for result in results.values():
+            dense = result.extras.setdefault("dense", {})
+            dense["summary_evictions"] = store.evictions
     return {flavor: results[flavor] for flavor in want}

@@ -12,8 +12,11 @@ persists and replays:
   graph (``scheduling._static_callee`` edges) unioned with previously
   observed *dynamic* edges, in callees-first topological order;
 * **content hashes** — a structural :func:`body_hash` per procedure
-  (uid/occurrence-indexed, independent of interning history and of any
-  other procedure's body) and a :func:`context_hash` for the
+  (uid/occurrence-indexed, independent of interning history, of any
+  other procedure's body, and of absolute source coordinates — origins
+  and heap-site line labels are normalized away, so inserting a line
+  above a function re-keys nothing below it) and a
+  :func:`context_hash` for the
   program-wide seeds; per-SCC :func:`scc_keys` combine the member body
   hashes with the *callee SCC keys*, so editing any procedure
   transitively re-keys every SCC that can reach it — the invalidation
@@ -41,6 +44,7 @@ stable for unchanged sources.
 from __future__ import annotations
 
 import hashlib
+import re
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -65,22 +69,45 @@ from .scheduling import _static_callee
 
 #: Bump whenever the summary wire format or the hash inputs change —
 #: every persisted entry and manifest is invalidated at once.
-SUMMARY_VERSION = 1
+#: v2: origin-independent content — location keys normalize away the
+#: absolute source line baked into heap-site labels, and body hashes
+#: no longer cover node origins, so inserting a line above a function
+#: shifts every origin below it without re-keying a single SCC.
+SUMMARY_VERSION = 2
 
 
 # -- structural location / path / pair codec -------------------------------
+
+
+#: Heap-site labels embed the allocation's absolute source line
+#: (``<heap:malloc@f:42>``) — the one piece of location identity that
+#: shifts when a line is inserted above it.  Keys strip the trailing
+#: coordinate; the codec's occurrence index (registration order, a
+#: line-shift-invariant pure function of the statement order) keeps
+#: same-function same-callee sites distinct.
+_HEAP_COORD = re.compile(r"^(<heap:.+):\d+>$")
+
+
+def normalize_location_name(name: str) -> str:
+    """A location name with absolute source coordinates removed."""
+    match = _HEAP_COORD.match(name)
+    if match is not None:
+        return match.group(1) + ">"
+    return name
 
 
 class LocationCodec:
     """Bidirectional structural keys for one program's base-locations.
 
     A location's key is ``(kind, name, procedure, occurrence)`` where
-    ``occurrence`` counts same-triple locations in registration order
-    (``program.locations`` first, then function code addresses and
-    hazard cells not already registered).  The deterministic lowering
-    makes registration order — hence the key — a pure function of the
-    source text, which is what lets two independent lowerings of the
-    same source exchange summaries.
+    ``name`` is :func:`normalize_location_name`'d (source-coordinate
+    free) and ``occurrence`` counts same-triple locations in
+    registration order (``program.locations`` first, then function
+    code addresses and hazard cells not already registered).  The
+    deterministic lowering makes registration order — hence the key —
+    a pure function of the source text *modulo line position*, which
+    is what lets two independent lowerings of the same source (or of
+    a line-shifted variant of it) exchange summaries.
     """
 
     def __init__(self, program: Program) -> None:
@@ -99,7 +126,8 @@ class LocationCodec:
                 ordered.append(loc)
                 seen.add(id(loc))
         for loc in ordered:
-            triple = (loc.kind.value, loc.name, loc.procedure or "")
+            triple = (loc.kind.value, normalize_location_name(loc.name),
+                      loc.procedure or "")
             occurrence = counts.get(triple, 0)
             counts[triple] = occurrence + 1
             key = triple + (occurrence,)
@@ -167,11 +195,18 @@ def body_hash(graph: FunctionGraph, codec: LocationCodec) -> str:
     merge shape), output tags, and the graph's recursion flag (which
     selects footnote-4 location modeling).  Pure function of this one
     graph — editing a different procedure leaves it unchanged.
+
+    Node *origins* (``file:line``) are deliberately excluded, and the
+    address paths hash through the codec's coordinate-free keys: the
+    transfer functions cannot observe source positions, so two bodies
+    that differ only by where they sit in the file must hash equally —
+    that is what keeps an inserted line above a function from re-keying
+    every function below the edit.
     """
     h = hashlib.sha256()
     _hash_update(h, "body", graph.name, graph.recursive)
     for node in sorted(graph.nodes, key=lambda n: n.uid):
-        _hash_update(h, node.kind, node.uid, node.origin or "")
+        _hash_update(h, node.kind, node.uid)
         for port in node.inputs:
             source = port.source
             if source is None:

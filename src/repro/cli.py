@@ -21,6 +21,11 @@ for multi-program runs.
 * ``fuzz [--seed S] [--count N]`` — differential fuzzing: generate
   random pointer programs and check concrete ⊆ CS ⊆ CI ⊆ FI at every
   indirect operation, plus determinism and fixpoint oracles.
+* ``serve [--port P] [--workers N] [--max-memory-mb MB]`` — run the
+  analysis daemon: HTTP/JSON endpoints ``analyze``/``check``/
+  ``query``/``metrics`` over in-memory LRU cache tiers, request
+  coalescing, and the fault-isolated process pool (see
+  :mod:`repro.serve`).
 """
 
 from __future__ import annotations
@@ -195,6 +200,51 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="output format (default: text; sarif emits "
                             "a SARIF 2.1.0 log)")
     _add_run_flags(check)
+
+    serve = sub.add_parser(
+        "serve", help="run the analysis daemon (HTTP/JSON endpoints "
+                      "analyze, check, query, metrics)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8377,
+                       help="TCP port (default: 8377; 0 picks a free "
+                            "port and prints it)")
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="process-pool width for cold solves "
+                            "(default: CPU-derived)")
+    serve.add_argument("--max-memory-mb", type=int, default=512,
+                       dest="max_memory_mb", metavar="MB",
+                       help="combined budget for the in-memory LRU "
+                            "cache tiers (default: 512)")
+    serve.add_argument("--queue-limit", type=int, default=32,
+                       dest="queue_limit", metavar="N",
+                       help="max in-flight requests before shedding "
+                            "with 429 (default: 32)")
+    serve.add_argument("--timeout-seconds", type=float, default=300.0,
+                       dest="timeout_seconds", metavar="S",
+                       help="per-request wall-clock budget "
+                            "(default: 300; 0 disables)")
+    serve.add_argument("--request-memory-mb", type=int, default=0,
+                       dest="request_memory_mb", metavar="MB",
+                       help="per-request worker address-space budget "
+                            "(default: 0 = off)")
+    serve.add_argument("--schedule", default="batched",
+                       choices=list(SCHEDULES),
+                       help="default worklist schedule (default: "
+                            "batched; requests may override)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="skip the persistent lowering/summary "
+                            "caches (every request solves cold)")
+    serve.add_argument("--no-incremental", action="store_true",
+                       help="disable SCC-summary replay for warm "
+                            "requests (always re-solve)")
+    serve.add_argument("--parallel-scc", action="store_true",
+                       dest="parallel_scc",
+                       help="shard independent SCCs across worker "
+                            "threads in the CI solver")
+    serve.add_argument("--telemetry", metavar="PATH", default=None,
+                       help="append kind=\"serve\" JSON-lines metric "
+                            "snapshots to PATH")
 
     fuzz = sub.add_parser(
         "fuzz", help="differential fuzzing with a concrete-execution "
@@ -629,6 +679,22 @@ def _cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args) -> int:
+    from .serve import ServeConfig
+    from .serve.http import run_server
+
+    config = ServeConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        max_memory_mb=args.max_memory_mb,
+        queue_limit=args.queue_limit,
+        timeout_seconds=args.timeout_seconds,
+        request_memory_mb=args.request_memory_mb,
+        schedule=args.schedule, cache=not args.no_cache,
+        incremental=not args.no_incremental,
+        parallel_scc=args.parallel_scc, telemetry=args.telemetry)
+    return run_server(config)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -641,6 +707,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "suite": _cmd_suite,
         "check": _cmd_check,
         "fuzz": _cmd_fuzz,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)

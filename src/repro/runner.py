@@ -120,6 +120,13 @@ class TaskOutcome:
     #: Findings are plain-string records, so a check outcome ships
     #: without pickling programs or solutions back to the parent.
     findings: Optional[Dict[str, list]] = None
+    #: Digest-only check tasks: flavor → findings digest.  The full
+    #: finding lists never cross the process boundary — a digest plus
+    #: the per-record counts is all the parent asked for.
+    digests: Optional[Dict[str, str]] = None
+    #: Serve tasks: the JSON-safe response payload built in the worker
+    #: (digests, pair census, counters) — solutions stay worker-side.
+    payload: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -236,9 +243,15 @@ def _check_worker(task) -> TaskOutcome:
     or solutions — so a suite-wide check sweep's IPC cost is a few KB
     per task.  The hazard lowering is a distinct cache key, so check
     runs and plain analysis runs never poison each other's cache.
+
+    With ``digest_only`` set the finding lists stay worker-side too:
+    the outcome carries one digest per flavor (computed here, from the
+    same rendered findings the full path would ship) plus the usual
+    count-carrying records — for callers like the serve daemon that
+    compare or report digests and never look at a finding.
     """
     (name, is_suite, flavors, schedule, cache, checkers, witness,
-     parallel_scc, incremental) = task
+     parallel_scc, incremental, digest_only) = task
     from time import perf_counter
 
     from .analysis.checkers import run_checkers
@@ -275,7 +288,42 @@ def _check_worker(task) -> TaskOutcome:
         records.append(check_record(
             name, flavor, found, elapsed, schedule,
             dense=dense, cache=lowering_status))
+    if digest_only:
+        from .analysis.checkers import findings_digest
+        digests = {flavor: findings_digest(found)
+                   for flavor, found in findings.items()}
+        return TaskOutcome(name=name, records=records, digests=digests)
     return TaskOutcome(name=name, records=records, findings=findings)
+
+
+def _serve_analyze_worker(task) -> TaskOutcome:
+    """Analyze one serve request, shipping back a JSON-safe payload.
+
+    Same lowering and analysis path as :func:`_suite_worker` /
+    :func:`_file_worker` — that shared path is what makes served
+    digests byte-equal to CLI runs — but the outcome carries only the
+    response payload (per-flavor solution digests, pair census,
+    counters) plus telemetry records.  Programs and solutions never
+    cross the pipe: a serve worker's IPC cost is a few KB per request
+    regardless of program size.
+    """
+    (name, is_suite, flavors, schedule, cache, parallel_scc,
+     incremental) = task
+    from .serve.payload import analysis_payload
+    from .telemetry import result_records
+
+    _maybe_inject_fault(name)
+    if is_suite:
+        from .suite.registry import load_program
+        program = load_program(name, cache=cache)
+    else:
+        from .frontend.lower import lower_file
+        program = lower_file(name, cache=cache)
+    results = _analyze_program(program, flavors, schedule, parallel_scc,
+                               incremental, cache)
+    return TaskOutcome(name=name,
+                       records=result_records(name, results, schedule),
+                       payload=analysis_payload(name, results, schedule))
 
 
 def _error_outcome(name: str, exc: BaseException,
@@ -303,6 +351,50 @@ def _dead_worker_outcome(name: str) -> TaskOutcome:
         records=[error_record(name, "WorkerDied", message)])
 
 
+#: Per-task address-space budget in MiB, applied (and restored) around
+#: every guarded worker invocation.  Set by the serve daemon's
+#: ``--request-memory-mb`` so one pathological request hits a clean
+#: ``MemoryError`` (→ structured error outcome) instead of dragging
+#: the host into swap; unset for CLI sweeps.
+RLIMIT_ENV = "REPRO_RLIMIT_MB"
+
+
+def _apply_request_rlimit():
+    """Install the ``RLIMIT_ENV`` soft address-space cap, returning the
+    previous limits for :func:`_restore_request_rlimit` (or ``None``
+    when no cap is configured / the platform refuses)."""
+    spec = os.environ.get(RLIMIT_ENV, "")
+    try:
+        mem_mb = int(spec)
+    except ValueError:
+        return None
+    if mem_mb <= 0:
+        return None
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - POSIX-only container
+        return None
+    soft, hard = resource.getrlimit(resource.RLIMIT_AS)
+    limit = mem_mb * 1024 * 1024
+    if hard != resource.RLIM_INFINITY:
+        limit = min(limit, hard)
+    try:
+        resource.setrlimit(resource.RLIMIT_AS, (limit, hard))
+    except (ValueError, OSError):  # pragma: no cover - platform refusal
+        return None
+    return (soft, hard)
+
+
+def _restore_request_rlimit(saved) -> None:
+    if saved is None:
+        return
+    try:
+        import resource
+        resource.setrlimit(resource.RLIMIT_AS, saved)
+    except (ValueError, OSError):  # pragma: no cover - platform refusal
+        pass
+
+
 def _guarded(worker, task) -> TaskOutcome:
     """Run ``worker`` catching its exceptions into an error outcome.
 
@@ -311,13 +403,18 @@ def _guarded(worker, task) -> TaskOutcome:
     ``BaseException`` is deliberate: a ``KeyboardInterrupt`` or
     ``SystemExit`` inside one task should fail that task, not tear
     down the sweep (a genuine parent-side Ctrl-C still interrupts the
-    parent's ``wait``).
+    parent's ``wait``).  The optional per-task memory cap (see
+    :data:`RLIMIT_ENV`) surfaces as a caught ``MemoryError`` here —
+    a budget-blown task fails structurally, its pool survives.
     """
     name = str(task[0])
+    saved = _apply_request_rlimit()
     try:
         return worker(task)
     except BaseException as exc:
         return _error_outcome(name, exc)
+    finally:
+        _restore_request_rlimit(saved)
 
 
 # a top-level partial target: ProcessPoolExecutor needs picklables
@@ -333,9 +430,14 @@ def _guarded_check_worker(task) -> TaskOutcome:
     return _guarded(_check_worker, task)
 
 
+def _guarded_serve_analyze_worker(task) -> TaskOutcome:
+    return _guarded(_serve_analyze_worker, task)
+
+
 _GUARDED = {_suite_worker: _guarded_suite_worker,
             _file_worker: _guarded_file_worker,
-            _check_worker: _guarded_check_worker}
+            _check_worker: _guarded_check_worker,
+            _serve_analyze_worker: _guarded_serve_analyze_worker}
 
 
 # -- engine ----------------------------------------------------------------
@@ -479,6 +581,72 @@ def run_tasks(worker, tasks: List[tuple], jobs: Optional[int] = None,
     return RunReport(outcomes=[o for o in outcomes if o is not None])
 
 
+# -- persistent pool (the serve daemon's cold path) ------------------------
+
+
+class WorkerPool:
+    """A long-lived fault-isolated process pool for one-task-at-a-time
+    submission.
+
+    :func:`run_tasks` builds (and tears down) a pool per sweep, which
+    is right for batch CLI runs and wrong for a daemon: serve requests
+    arrive one at a time over hours, and paying executor setup per
+    request would swamp the work.  This pool persists across requests
+    and applies the same fault contract as the sweep driver — worker
+    exceptions come back as structured error outcomes, and a worker
+    death (``BrokenProcessPool``) is contained by rebuilding the pool
+    and retrying the task once in isolation, so one poisonous request
+    can neither kill the daemon nor fail its innocent neighbors.
+
+    Thread-safe: :meth:`run` may be called concurrently from the
+    daemon's executor threads (``ProcessPoolExecutor`` submission is
+    itself thread-safe; the lock only guards pool replacement).
+    """
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        import threading
+
+        self.max_workers = max_workers or default_jobs()
+        self._lock = threading.Lock()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        #: Hard worker deaths observed (for /metrics).
+        self.worker_deaths = 0
+
+    def _executor(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.max_workers)
+            return self._pool
+
+    def _discard_broken(self, broken: ProcessPoolExecutor) -> None:
+        with self._lock:
+            if self._pool is broken:
+                self._pool = None
+        broken.shutdown(wait=False, cancel_futures=True)
+
+    def run(self, worker, task) -> TaskOutcome:
+        """Run one task to an outcome, blocking the calling thread."""
+        guarded = _GUARDED.get(worker, worker)
+        pool = self._executor()
+        try:
+            outcome = pool.submit(guarded, task).result()
+        except BrokenProcessPool:
+            # The death may have been this task's doing or a sibling's
+            # — give it one isolated retry, exactly like run_tasks.
+            self.worker_deaths += 1
+            self._discard_broken(pool)
+            outcome = _run_isolated(worker, task)
+        _tag_rss_scope(outcome, "worker")
+        return outcome
+
+    def shutdown(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+
 # -- public drivers --------------------------------------------------------
 
 
@@ -549,6 +717,7 @@ def run_check_report(names: Optional[Sequence[str]] = None,
                      force_pool: bool = False,
                      parallel_scc: bool = False,
                      incremental: bool = False,
+                     digest_only: bool = False,
                      ) -> RunReport:
     """Run the bug checkers over suite programs and/or C files.
 
@@ -559,6 +728,14 @@ def run_check_report(names: Optional[Sequence[str]] = None,
     telemetry record per flavor; programs and solutions stay in the
     workers.  ``checkers=None`` runs every registered checker;
     checker names are validated here, before any worker forks.
+
+    ``digest_only=True`` is the fast path for callers that only
+    compare digests (the serve daemon, determinism cross-checks):
+    outcomes carry ``digests`` (flavor → findings digest) instead of
+    ``findings``, so finding lists are never pickled across the pool.
+    Per-flavor counts still arrive in the telemetry records, and the
+    checker sweep itself is identical — same decode-call footprint,
+    same digests.
     """
     from .analysis.checkers import REGISTRY
     from .suite.registry import PROGRAM_NAMES
@@ -571,10 +748,11 @@ def run_check_report(names: Optional[Sequence[str]] = None,
         names = PROGRAM_NAMES
     for name in names or ():
         tasks.append((name, True, flavors, schedule, cache, checkers,
-                      witness, parallel_scc, incremental))
+                      witness, parallel_scc, incremental, digest_only))
     for path in paths or ():
         tasks.append((str(path), False, flavors, schedule, cache,
-                      checkers, witness, parallel_scc, incremental))
+                      checkers, witness, parallel_scc, incremental,
+                      digest_only))
     return run_tasks(_check_worker, tasks, jobs, fail_fast=fail_fast,
                      force_pool=force_pool)
 

@@ -53,6 +53,12 @@ check``) carry the finding count, per-checker and per-severity
 breakdowns, the deterministic finding ``digest``, checker wall time,
 and a ``dense`` object with ``decode_calls_before``/``_after`` around
 the checker sweep.
+
+``kind="serve"`` records (periodic snapshots from ``repro serve``)
+carry the daemon's request counters — queue depth, cache hits by tier
+(``solution``/``summary``/``lowering`` vs ``cold``), coalesced and
+shed request counts, per-tier evictions, and nearest-rank p50/p95
+request latencies.
 """
 
 from __future__ import annotations
@@ -198,6 +204,42 @@ def check_record(program: str, flavor: str, findings,
         record["cache"] = cache
     if dense is not None:
         record["dense"] = dict(dense)
+    return record
+
+
+def percentile(values, fraction: float) -> Optional[float]:
+    """Nearest-rank percentile of ``values`` (``fraction`` in [0, 1]),
+    or ``None`` for an empty sample.  Nearest-rank (not interpolated)
+    so the reported latency is always one a real request paid."""
+    ordered = sorted(values)
+    if not ordered:
+        return None
+    rank = max(0, min(len(ordered) - 1,
+                      int(round(fraction * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def serve_record(stats: Mapping[str, object]) -> Dict[str, object]:
+    """One ``kind="serve"`` record: a daemon metrics snapshot.
+
+    Written by ``repro serve`` on each request completion batch (and on
+    shutdown), carrying the service counters that matter for capacity
+    planning — queue depth, per-tier cache hits (``solution`` /
+    ``summary`` / ``lowering`` vs ``cold``), coalesced duplicate
+    requests, shed (429) requests, eviction counts per LRU tier, and
+    nearest-rank p50/p95 request latency.  ``stats`` is
+    ``repro.serve.core.Metrics.snapshot()``; the record embeds it
+    verbatim under the standard envelope so the JSON-lines stream stays
+    self-describing.
+    """
+    record: Dict[str, object] = {
+        "schema": SCHEMA_VERSION,
+        "kind": "serve",
+        "status": "ok",
+        "worker_pid": os.getpid(),
+        "peak_rss_kb": peak_rss_kb(),
+    }
+    record.update(stats)
     return record
 
 

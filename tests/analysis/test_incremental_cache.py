@@ -137,6 +137,36 @@ def test_corrupt_manifest_only_costs_convergence(warm_store):
     assert _digests(results) == digests
 
 
+def test_store_gc_evicts_to_budget_and_counts(warm_store):
+    """A byte-capped store sheds oldest entries after each publish,
+    reports the count in ``dense["summary_evictions"]``, and the
+    evicted entries degrade to re-solves — never wrong answers."""
+    root, digests, total = warm_store
+    before = len(list((root / "summaries").glob("*.pkl")))
+    # A budget below one entry's size forces eviction down to ~nothing.
+    program = lower(TWO_LEAF, name="two")
+    results = analyze_incremental(program, cache=str(root),
+                                  store_max_bytes=64)
+    assert _digests(results) == digests
+    dense = results["insensitive"].extras["dense"]
+    assert dense["summary_evictions"] > 0
+    after = len(list((root / "summaries").glob("*.pkl")))
+    assert after < before
+    # The gutted store still converges correctly on the next run.
+    again = analyze_incremental(program, cache=str(root))
+    assert _digests(again) == digests
+
+
+def test_store_budget_env_is_honored(warm_store, monkeypatch):
+    root, digests, _ = warm_store
+    monkeypatch.setenv("REPRO_SUMMARY_CACHE_MB", "0")  # ≤0 → unbounded
+    results = analyze_incremental(lower(TWO_LEAF, name="two"),
+                                  cache=str(root))
+    assert _digests(results) == digests
+    assert results["insensitive"].extras["dense"].get(
+        "summary_evictions", 0) == 0
+
+
 def test_empty_store_directory_is_cold(tmp_path):
     (tmp_path / "summaries").mkdir()
     program = lower(TWO_LEAF, name="two")

@@ -1,0 +1,145 @@
+"""The asyncio HTTP adapter: routing, status codes, keep-alive.
+
+One real daemon (random port, background thread) per module; requests
+go through ``http.client`` so the bytes on the wire are exactly what
+curl would send.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.serve import AnalysisService, ServeConfig
+from repro.serve.http import run_server
+
+SOURCE = """
+int g;
+int *leaf(void) { return &g; }
+int main(void) { int *p = leaf(); *p = 1; return 0; }
+"""
+
+
+@pytest.fixture(scope="module")
+def daemon(tmp_path_factory):
+    """(host, port) of a live daemon bound to an ephemeral port."""
+    cache = tmp_path_factory.mktemp("serve-http-cache")
+    config = ServeConfig(port=0, workers=2, cache=str(cache),
+                         queue_limit=8)
+    addr = {}
+    ready = threading.Event()
+
+    def on_ready(hp):
+        addr["hp"] = hp
+        ready.set()
+
+    thread = threading.Thread(target=run_server, args=(config,),
+                              kwargs={"ready": on_ready}, daemon=True)
+    thread.start()
+    assert ready.wait(30), "daemon failed to start"
+    yield addr["hp"]
+    # Daemon thread dies with the test process; the sandboxed caches
+    # are under tmp_path_factory and cleaned by pytest.
+
+
+def _request(daemon, method, path, body=None, headers=None):
+    host, port = daemon
+    conn = http.client.HTTPConnection(host, port, timeout=120)
+    try:
+        payload = json.dumps(body).encode() if body is not None else None
+        conn.request(method, path, body=payload, headers=headers or {})
+        resp = conn.getresponse()
+        return resp.status, json.loads(resp.read())
+    finally:
+        conn.close()
+
+
+def test_analyze_roundtrip_and_warm_hit(daemon):
+    status, payload = _request(daemon, "POST", "/analyze",
+                               {"source": SOURCE})
+    assert status == 200
+    assert set(payload["flavors"]) == {"insensitive", "sensitive",
+                                       "flowinsensitive"}
+    digest = payload["flavors"]["insensitive"]["digest"]
+    status, warm = _request(daemon, "POST", "/analyze",
+                            {"source": SOURCE})
+    assert status == 200
+    assert warm["tier"] == "solution"
+    assert warm["flavors"]["insensitive"]["digest"] == digest
+
+
+def test_metrics_endpoint(daemon):
+    _request(daemon, "POST", "/analyze", {"source": SOURCE})
+    status, payload = _request(daemon, "GET", "/metrics")
+    assert status == 200
+    assert payload["requests"]["analyze"] >= 1
+    assert "tier_hits" in payload and "caches" in payload
+
+
+def test_keep_alive_serves_multiple_requests(daemon):
+    host, port = daemon
+    conn = http.client.HTTPConnection(host, port, timeout=120)
+    try:
+        for _ in range(3):
+            conn.request("POST", "/analyze",
+                         body=json.dumps({"source": SOURCE}).encode())
+            resp = conn.getresponse()
+            assert resp.status == 200
+            json.loads(resp.read())  # must drain to reuse the socket
+    finally:
+        conn.close()
+
+
+def test_http_error_codes(daemon):
+    status, _ = _request(daemon, "POST", "/no-such-route", {})
+    assert status == 404
+    status, _ = _request(daemon, "GET", "/analyze")
+    assert status == 405
+    status, _ = _request(daemon, "POST", "/metrics", {})
+    assert status == 405
+    status, payload = _request(daemon, "POST", "/analyze", None,
+                               headers={"Content-Length": "0"})
+    assert status == 400  # empty body: no target given
+    host, port = daemon
+    conn = http.client.HTTPConnection(host, port, timeout=120)
+    try:
+        conn.request("POST", "/analyze", body=b"{not json",
+                     headers={"Content-Type": "application/json"})
+        resp = conn.getresponse()
+        assert resp.status == 400
+        assert "JSON" in json.loads(resp.read())["error"]
+    finally:
+        conn.close()
+
+
+def test_oversized_body_is_413(daemon):
+    host, port = daemon
+    conn = http.client.HTTPConnection(host, port, timeout=120)
+    try:
+        conn.putrequest("POST", "/analyze")
+        conn.putheader("Content-Length", str(64 * 1024 * 1024))
+        conn.endheaders()
+        resp = conn.getresponse()
+        assert resp.status == 413
+    finally:
+        conn.close()
+
+
+def test_bad_suite_program_is_400_over_http(daemon):
+    status, payload = _request(daemon, "POST", "/analyze",
+                               {"program": "definitely-not-a-program"})
+    assert status == 400
+    assert "unknown suite program" in payload["error"]
+
+
+def test_query_over_http(daemon):
+    status, payload = _request(daemon, "POST", "/query",
+                               {"source": SOURCE, "function": "main"})
+    assert status == 200
+    assert payload["operations"]
+    for op in payload["operations"]:
+        assert op["function"] == "main"
+        assert op["locations"]

@@ -1,0 +1,212 @@
+"""The transport-free service core: endpoints, tiers, parity.
+
+Everything here drives :class:`repro.serve.core.AnalysisService`
+directly (no sockets) — the HTTP adapter has its own tests.  The
+load-bearing property throughout is *parity*: a served digest must be
+byte-identical to what the CLI code path computes for the same
+program, whatever cache tier answered.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.flowinsensitive import analyze_flowinsensitive
+from repro.fuzz.oracle import solution_digest
+from repro.serve import AnalysisService, ServeConfig
+
+import repro
+
+SOURCE = """
+int g;
+int *leaf(void) { return &g; }
+int main(void) { int *p = leaf(); *p = 1; return 0; }
+"""
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = AnalysisService(ServeConfig(workers=2, cache=str(tmp_path)))
+    yield svc
+    svc.shutdown()
+
+
+def _cli_digests(source):
+    program = repro.parse_source(source, name="<serve-test>")
+    ci = repro.analyze_insensitive(program)
+    cs = repro.analyze_sensitive(program, ci_result=ci)
+    fi = analyze_flowinsensitive(program)
+    return {"insensitive": solution_digest(ci),
+            "sensitive": solution_digest(cs),
+            "flowinsensitive": solution_digest(fi)}
+
+
+def _served_digests(payload):
+    return {flavor: entry["digest"]
+            for flavor, entry in payload["flavors"].items()}
+
+
+def test_analyze_source_matches_cli(service):
+    status, payload = service.handle("analyze", {"source": SOURCE})
+    assert status == 200
+    assert payload["tier"] == "cold"
+    assert _served_digests(payload) == _cli_digests(SOURCE)
+    assert payload["flavors"]["insensitive"]["pairs"]["total"] > 0
+
+
+def test_repeat_hits_the_solution_tier(service):
+    _, first = service.handle("analyze", {"source": SOURCE})
+    status, second = service.handle("analyze", {"source": SOURCE})
+    assert status == 200
+    assert second["tier"] == "solution"
+    assert _served_digests(second) == _served_digests(first)
+    assert service.metrics.tier_hits["solution"] == 1
+
+
+def test_summary_tier_across_service_restarts(tmp_path):
+    """A fresh daemon against a warm cache directory answers from the
+    persisted SCC summaries: zero SCCs re-solved, same digests."""
+    first = AnalysisService(ServeConfig(workers=2, cache=str(tmp_path)))
+    try:
+        _, cold = first.handle("analyze", {"source": SOURCE})
+    finally:
+        first.shutdown()
+    assert cold["tier"] == "cold"
+
+    second = AnalysisService(ServeConfig(workers=2, cache=str(tmp_path)))
+    try:
+        status, warm = second.handle("analyze", {"source": SOURCE})
+    finally:
+        second.shutdown()
+    assert status == 200
+    assert warm["tier"] == "summary"
+    assert _served_digests(warm) == _served_digests(cold)
+    dense = warm["flavors"]["insensitive"]["dense"]
+    assert dense["sccs_resolved"] == 0
+    assert dense["summary_scc_total"] > 0
+
+
+def test_check_digests_match_cli_path(service, tmp_path):
+    from repro.runner import run_check_report
+
+    status, payload = service.handle(
+        "check", {"program": "anagram", "flavors": ["insensitive"]})
+    assert status == 200
+    report = run_check_report(names=("anagram",),
+                              flavors=("insensitive",),
+                              cache=str(tmp_path), digest_only=True)
+    want = report.outcomes[0].digests["insensitive"]
+    entry = payload["flavors"]["insensitive"]
+    assert entry["digest"] == want
+    assert entry["findings"] > 0
+    assert "witness" not in entry  # findings never reach the parent
+
+
+def test_query_matches_object_level_answer(service):
+    status, payload = service.handle(
+        "query", {"source": SOURCE, "function": "main"})
+    assert status == 200
+    ops = payload["operations"]
+    assert ops, "main dereferences p"
+    program = repro.parse_source(SOURCE, name="<serve-test>")
+    result = repro.analyze_insensitive(program)
+    graph = program.functions["main"]
+    want = {tuple(sorted(repr(p) for p in result.op_locations(node)))
+            for node in graph.memory_operations() if node.is_indirect}
+    got = {tuple(op["locations"]) for op in ops}
+    assert got == want
+    # Warm repeat answers from the result tier.
+    _, again = service.handle("query", {"source": SOURCE,
+                                        "function": "main"})
+    assert again["tier"] == "solution"
+    assert again["operations"] == ops
+
+
+def test_flavor_subset_and_ordering(service):
+    status, payload = service.handle(
+        "analyze", {"source": SOURCE,
+                    "flavors": ["flowinsensitive", "insensitive"]})
+    assert status == 200
+    assert list(payload["flavors"]) == ["insensitive", "flowinsensitive"]
+
+
+@pytest.mark.parametrize("body,fragment", [
+    ({}, "exactly one of"),
+    ({"program": "anagram", "source": "int x;"}, "exactly one of"),
+    ({"program": "no-such-program"}, "unknown suite program"),
+    ({"file": "/no/such/file.c"}, "no such file"),
+    ({"source": SOURCE, "flavors": ["bogus"]}, "subset"),
+    ({"source": SOURCE, "flavors": []}, "subset"),
+    ({"program": 42}, "non-empty string"),
+])
+def test_bad_requests_are_400(service, body, fragment):
+    status, payload = service.handle("analyze", body)
+    assert status == 400
+    assert fragment in payload["error"]
+
+
+def test_unknown_endpoint_is_404(service):
+    status, _ = service.handle("frobnicate", {})
+    assert status == 404
+
+
+def test_query_rejects_unknown_flavor(service):
+    status, payload = service.handle(
+        "query", {"source": SOURCE, "flavor": "bogus"})
+    assert status == 400
+    assert "flavor" in payload["error"]
+
+
+def test_worker_error_is_500_and_daemon_survives(service):
+    bad = "int main(void) { this is not C at all"
+    status, payload = service.handle("analyze", {"source": bad})
+    assert status == 500
+    assert "error" in payload
+    # The pool is intact: a good request still works.
+    status, payload = service.handle("analyze", {"source": SOURCE})
+    assert status == 200
+    assert _served_digests(payload) == _cli_digests(SOURCE)
+
+
+def test_metrics_shape_and_eviction_counters(service):
+    service.handle("analyze", {"source": SOURCE})
+    service.handle("analyze", {"source": SOURCE})
+    service.payloads.clear()  # forced eviction shows up in stats
+    snap = service.metrics_payload()
+    assert snap["requests"]["analyze"] == 2
+    assert snap["tier_hits"]["cold"] == 1
+    assert snap["tier_hits"]["solution"] == 1
+    assert snap["queue_depth"] == 0
+    assert snap["latency_p50_seconds"] is not None
+    assert snap["latency_p95_seconds"] >= snap["latency_p50_seconds"]
+    caches = snap["caches"]
+    assert set(caches) == {"solution", "program", "result"}
+    assert caches["solution"]["evictions"] >= 1
+    for stats in caches.values():
+        assert set(stats) == {"entries", "bytes", "hits", "misses",
+                              "evictions"}
+
+
+def test_serve_telemetry_records(tmp_path):
+    """Completion snapshots land as kind="serve" JSON lines."""
+    from repro.telemetry import read_jsonl
+
+    path = tmp_path / "serve.jsonl"
+    svc = AnalysisService(ServeConfig(
+        workers=2, cache=str(tmp_path / "cache"),
+        telemetry=str(path), telemetry_every=1))
+    try:
+        svc.handle("analyze", {"source": SOURCE})
+        svc.handle("analyze", {"source": SOURCE})
+    finally:
+        svc.shutdown()
+    records = read_jsonl(path)
+    assert len(records) >= 2
+    for record in records:
+        assert record["kind"] == "serve"
+        assert record["schema"] == 1
+        assert "tier_hits" in record and "queue_depth" in record
+        assert "latency_p50_seconds" in record
+    final = records[-1]
+    assert final["requests"]["analyze"] == 2
+    assert final["tier_hits"]["solution"] == 1

@@ -1,0 +1,90 @@
+"""The digest-only fast path of ``run_check_report``.
+
+The serve daemon and determinism cross-checks compare finding digests
+and never read a finding — shipping fully-pickled finding lists (one
+per flavor per program) across the pool for that is pure IPC waste.
+``digest_only=True`` computes the digests worker-side and drops the
+findings; these tests pin the contract: identical digests, identical
+telemetry (including the dense decode-call footprint — the fast path
+must not sneak in extra bitset decodes), and no findings on the wire.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.analysis.checkers import findings_digest
+from repro.runner import run_check_report
+
+NAMES = ("anagram", "part")
+FLAVORS = ("insensitive", "flowinsensitive")
+
+
+def _by_name(report):
+    return {outcome.name: outcome for outcome in report.outcomes}
+
+
+def test_digest_only_matches_full_findings(tmp_path):
+    cache = str(tmp_path)
+    full = _by_name(run_check_report(names=NAMES, flavors=FLAVORS,
+                                     cache=cache))
+    fast = _by_name(run_check_report(names=NAMES, flavors=FLAVORS,
+                                     cache=cache, digest_only=True))
+    assert set(full) == set(fast) == set(NAMES)
+    for name in NAMES:
+        want = {flavor: findings_digest(found)
+                for flavor, found in full[name].findings.items()}
+        assert fast[name].digests == want
+        assert fast[name].findings is None  # nothing crossed the pipe
+
+
+def test_digest_only_records_are_equivalent(tmp_path):
+    """Same counts, same digests, same decode-call footprint: the fast
+    path changes what is *shipped*, not what is *done*."""
+    cache = str(tmp_path)
+    full = run_check_report(names=NAMES, flavors=FLAVORS, cache=cache)
+    fast = run_check_report(names=NAMES, flavors=FLAVORS, cache=cache,
+                            digest_only=True)
+
+    def comparable(report):
+        rows = {}
+        for rec in report.records:
+            assert rec["kind"] == "check"
+            dense = rec["dense"]
+            # The digest must come for free: computing it worker-side
+            # may not add a single bitset→object decode beyond the
+            # checker sweep itself.
+            rows[(rec["program"], rec["flavor"])] = (
+                rec["findings"], rec["by_checker"], rec["by_severity"],
+                rec["digest"],
+                dense["decode_calls_after"] - dense["decode_calls_before"])
+        return rows
+
+    assert comparable(fast) == comparable(full)
+
+
+def test_digest_only_shrinks_the_wire_format(tmp_path):
+    """The outcome object itself must be materially smaller — that is
+    the point of the fast path (pool workers return pickled outcomes)."""
+    cache = str(tmp_path)
+    full = _by_name(run_check_report(names=("anagram",),
+                                     flavors=FLAVORS, cache=cache))
+    fast = _by_name(run_check_report(names=("anagram",),
+                                     flavors=FLAVORS, cache=cache,
+                                     digest_only=True))
+    full_size = len(pickle.dumps(full["anagram"]))
+    fast_size = len(pickle.dumps(fast["anagram"]))
+    assert fast_size < full_size
+
+
+def test_digest_only_through_the_pool(tmp_path):
+    """Same digests whether outcomes come back inline or pickled
+    through worker processes."""
+    cache = str(tmp_path)
+    inline = _by_name(run_check_report(names=NAMES, flavors=FLAVORS,
+                                       cache=cache, digest_only=True))
+    pooled = _by_name(run_check_report(names=NAMES, flavors=FLAVORS,
+                                       cache=cache, digest_only=True,
+                                       jobs=2, force_pool=True))
+    assert {n: o.digests for n, o in inline.items()} == \
+        {n: o.digests for n, o in pooled.items()}

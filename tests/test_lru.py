@@ -1,0 +1,107 @@
+"""The shared LRU eviction policy (in-memory tiers + on-disk store)."""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.lru import LRUCache, evict_lru_files, touch
+
+
+def test_entry_cap_evicts_least_recent():
+    cache = LRUCache(max_entries=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1          # refresh: b is now the victim
+    cache.put("c", 3)
+    assert cache.get("b") is None
+    assert cache.get("a") == 1
+    assert cache.get("c") == 3
+    assert cache.evictions == 1
+    assert cache.stats()["entries"] == 2
+
+
+def test_byte_budget_with_sizeof():
+    cache = LRUCache(max_bytes=100, sizeof=len)
+    cache.put("a", b"x" * 60)
+    cache.put("b", b"x" * 60)           # 120 > 100: a evicted
+    assert cache.get("a") is None
+    assert cache.get("b") is not None
+    assert cache.bytes_used == 60
+    assert cache.evictions == 1
+
+
+def test_oversized_entry_is_still_admitted():
+    cache = LRUCache(max_bytes=10, sizeof=len)
+    cache.put("big", b"x" * 1000)
+    assert cache.get("big") is not None  # never evicted below 1 entry
+    cache.put("big2", b"y" * 2000)       # displaces the first
+    assert cache.get("big") is None
+    assert cache.get("big2") is not None
+
+
+def test_replacement_updates_accounting():
+    cache = LRUCache(max_bytes=100, sizeof=len)
+    cache.put("a", b"x" * 40)
+    cache.put("a", b"x" * 10)
+    assert cache.bytes_used == 10
+    assert len(cache) == 1
+
+
+def test_pop_is_not_an_eviction_but_clear_is():
+    cache = LRUCache(max_entries=8)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.pop("a")
+    assert cache.evictions == 0
+    assert cache.clear() == 1
+    assert cache.evictions == 1
+    assert len(cache) == 0
+
+
+def test_hit_miss_counters():
+    cache = LRUCache()
+    cache.put("a", 1)
+    cache.get("a")
+    cache.get("nope")
+    stats = cache.stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1
+
+
+def _mk(root, name, size, age):
+    path = root / name
+    path.write_bytes(b"x" * size)
+    stamp = time.time() - age
+    os.utime(path, (stamp, stamp))
+    return path
+
+
+def test_evict_lru_files_removes_oldest_first(tmp_path):
+    old = _mk(tmp_path, "old.pkl", 40, age=300)
+    mid = _mk(tmp_path, "mid.pkl", 40, age=200)
+    new = _mk(tmp_path, "new.pkl", 40, age=100)
+    removed = evict_lru_files(tmp_path, max_bytes=100)
+    assert removed == 1
+    assert not old.exists() and mid.exists() and new.exists()
+
+
+def test_touch_protects_a_hot_entry(tmp_path):
+    hot = _mk(tmp_path, "hot.pkl", 40, age=300)   # oldest by mtime...
+    cold = _mk(tmp_path, "cold.pkl", 40, age=200)
+    _mk(tmp_path, "new.pkl", 40, age=100)
+    touch(hot)                                    # ...but just served
+    removed = evict_lru_files(tmp_path, max_bytes=100)
+    assert removed == 1
+    assert hot.exists() and not cold.exists()
+
+
+def test_evict_under_budget_is_a_noop(tmp_path):
+    _mk(tmp_path, "a.pkl", 10, age=100)
+    assert evict_lru_files(tmp_path, max_bytes=1000) == 0
+
+
+def test_evict_ignores_unmatched_files(tmp_path):
+    keep = _mk(tmp_path, "manifest.json", 500, age=500)
+    _mk(tmp_path, "a.pkl", 40, age=100)
+    assert evict_lru_files(tmp_path, max_bytes=10) == 1
+    assert keep.exists()
