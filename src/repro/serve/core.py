@@ -84,6 +84,10 @@ class Metrics:
         self.coalesced = 0
         self.shed = 0
         self.timeouts = 0
+        #: Executor threads still busy on work whose request already
+        #: timed out (504).  They hold real capacity, so admission
+        #: counts them until the computation finishes.
+        self.zombies = 0
         self.errors = 0
         self.summary_evictions = 0
         self.active = 0
@@ -125,6 +129,7 @@ class Metrics:
                 "coalesced": self.coalesced,
                 "shed": self.shed,
                 "timeouts": self.timeouts,
+                "zombie_threads": self.zombies,
                 "errors": self.errors,
                 "summary_evictions": self.summary_evictions,
                 "worker_deaths": worker_deaths,
@@ -223,9 +228,14 @@ class AnalysisService:
 
         Called by the transport *before* dispatching to the executor,
         so shedding is immediate — an overloaded daemon answers 429 in
-        microseconds rather than parking the request on a thread."""
+        microseconds rather than parking the request on a thread.
+        Zombie threads (still computing for requests that already got
+        their 504) count against the limit: they occupy executor
+        threads, and admitting past them would queue the new request
+        behind work nobody is waiting for."""
         with self.metrics._lock:
-            if self.metrics.active >= self.config.queue_limit:
+            occupied = self.metrics.active + self.metrics.zombies
+            if occupied >= self.config.queue_limit:
                 self.metrics.shed += 1
                 return False
             self.metrics.active += 1
@@ -235,6 +245,19 @@ class AnalysisService:
 
     def end(self) -> None:
         self.metrics.end()
+
+    def note_timeout(self, future) -> None:
+        """Record a 504 whose computation is still on a thread.
+
+        The admission slot is about to be released (the transport's
+        ``finally`` calls :meth:`end`), but the executor thread stays
+        busy until ``future`` resolves — so it is re-counted as a
+        zombie until then, keeping ``try_begin``'s invariant that an
+        admitted request never queues behind a missing thread."""
+        self.metrics.count("timeouts")
+        self.metrics.count("zombies")
+        future.add_done_callback(
+            lambda _f: self.metrics.count("zombies", -1))
 
     # -- request handling (blocking; runs on executor threads) --------
 
@@ -308,8 +331,19 @@ class AnalysisService:
         flavors = self._flavors(body)
         schedule = body.get("schedule", self.config.schedule)
         checkers = body.get("checkers")
-        if checkers is not None and not isinstance(checkers, list):
-            raise ServeRequestError("'checkers' must be a list of ids")
+        if checkers is not None:
+            if (not isinstance(checkers, list)
+                    or not all(isinstance(c, str) for c in checkers)):
+                raise ServeRequestError(
+                    "'checkers' must be a list of checker-id strings")
+            # Validate ids here so a typo is a 400, not a worker-side
+            # 500 — mirrors run_check_report's parent-side validation.
+            from ..analysis.checkers import REGISTRY
+            from ..errors import AnalysisError
+            try:
+                REGISTRY.get(checkers)
+            except AnalysisError as exc:
+                raise ServeRequestError(str(exc)) from None
         checker_key = tuple(checkers) if checkers else None
         key = ("check", target.content_key, flavors, schedule,
                checker_key, self.config.incremental)
@@ -352,11 +386,17 @@ class AnalysisService:
         schedule = body.get("schedule", self.config.schedule)
         function = body.get("function")
         line = body.get("line")
-        key = ("query", target.content_key, flavor, schedule)
+        # The solved result is filter-independent, so the LRU tiers key
+        # on (program, flavor, schedule) alone — but the *response* is
+        # shaped by the function/line filters, so coalescing must key
+        # on them too or a follower would inherit the leader's filtered
+        # operations verbatim.
+        result_key = ("query", target.content_key, flavor, schedule)
+        key = result_key + (function, line)
 
         def compute() -> Tuple[int, dict]:
             tier = "solution"
-            result = self.results.get(key)
+            result = self.results.get(result_key)
             if result is None:
                 from ..runner import _analyze_program
                 program_key = ("program", target.content_key)
@@ -379,7 +419,7 @@ class AnalysisService:
                     program, (flavor,), schedule,
                     self.config.parallel_scc, self.config.incremental,
                     self.config.cache)[flavor]
-                self.results.put(key, result)
+                self.results.put(result_key, result)
             operations: List[dict] = []
             for name, graph in sorted(result.program.functions.items()):
                 if function is not None and name != function:

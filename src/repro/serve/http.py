@@ -110,7 +110,10 @@ async def _handle_connection(service: AnalysisService,
             await writer.drain()
             if not keep_alive:
                 break
-    except (ConnectionError, asyncio.CancelledError):
+    except (ConnectionError, asyncio.CancelledError,
+            asyncio.IncompleteReadError):
+        # IncompleteReadError: client hung up mid-body — nothing left
+        # to answer; treat like any other peer-initiated disconnect.
         pass
     finally:
         writer.close()
@@ -136,6 +139,8 @@ async def _route(service: AnalysisService, loop,
         length = int(headers.get("content-length", "0"))
     except ValueError:
         return 400, {"error": "bad Content-Length"}
+    if length < 0:
+        return 400, {"error": "bad Content-Length"}
     if length > MAX_BODY_BYTES:
         return 413, {"error": "request body too large"}
     body_bytes = await reader.readexactly(length) if length else b""
@@ -158,8 +163,10 @@ async def _route(service: AnalysisService, loop,
         except asyncio.TimeoutError:
             # The computation keeps running on its thread and will
             # still populate the caches — a retry after the budget
-            # expires is typically a solution-tier hit.
-            service.metrics.count("timeouts")
+            # expires is typically a solution-tier hit.  note_timeout
+            # keeps the busy thread counted against admission (as a
+            # zombie) until the future actually resolves.
+            service.note_timeout(future)
             return 504, {"error": "request exceeded the time budget",
                          "timeout_seconds": timeout}
     finally:

@@ -152,6 +152,45 @@ def test_killed_worker_fails_one_request_not_the_daemon(tmp_path,
         svc.shutdown()
 
 
+def test_concurrent_queries_with_different_filters(tmp_path):
+    """Queries for the same program but different function/line
+    filters may share the solved result, never each other's filtered
+    responses — a follower coalescing onto a leader with a different
+    filter must not inherit the leader's operations."""
+    source = """
+int g; int h;
+int *from_g(void) { return &g; }
+int *from_h(void) { return &h; }
+int main(void) {
+    int *p = from_g(); int *q = from_h();
+    *p = 1; *q = 2; return 0;
+}
+"""
+    svc = AnalysisService(ServeConfig(workers=2, cache=str(tmp_path)))
+    try:
+        bodies = [{"source": source, "function": "main"},
+                  {"source": source},
+                  {"source": source, "function": "no_such_function"}] * 3
+        replies = _fire(svc, bodies, endpoint="query")
+        assert all(status == 200 for status, _ in replies)
+        unfiltered = None
+        for body, (_, payload) in zip(bodies, replies):
+            wanted = body.get("function")
+            ops = payload["operations"]
+            if wanted == "no_such_function":
+                assert ops == []
+            elif wanted is None:
+                assert ops, "unfiltered query sees main's derefs"
+                if unfiltered is None:
+                    unfiltered = ops
+                assert ops == unfiltered
+            else:
+                assert ops, "main dereferences p and q"
+                assert all(op["function"] == wanted for op in ops)
+    finally:
+        svc.shutdown()
+
+
 def test_concurrent_checks_match_serial(tmp_path):
     from repro.runner import run_check_report
 

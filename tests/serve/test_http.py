@@ -128,6 +128,40 @@ def test_oversized_body_is_413(daemon):
         conn.close()
 
 
+def test_negative_content_length_is_400(daemon):
+    host, port = daemon
+    conn = http.client.HTTPConnection(host, port, timeout=120)
+    try:
+        conn.putrequest("POST", "/analyze", skip_host=False)
+        conn.putheader("Content-Length", "-5")
+        conn.endheaders()
+        resp = conn.getresponse()
+        assert resp.status == 400
+        assert "Content-Length" in json.loads(resp.read())["error"]
+    finally:
+        conn.close()
+
+
+def test_disconnect_mid_body_leaves_daemon_healthy(daemon):
+    """A client that promises a body and hangs up mid-read must not
+    kill the connection task with an unhandled exception; the daemon
+    keeps serving."""
+    import socket
+
+    host, port = daemon
+    sock = socket.create_connection((host, port), timeout=30)
+    try:
+        sock.sendall(b"POST /analyze HTTP/1.1\r\n"
+                     b"Content-Length: 4096\r\n\r\n"
+                     b"{\"truncated")
+    finally:
+        sock.close()  # mid-body EOF → IncompleteReadError server-side
+    status, payload = _request(daemon, "POST", "/analyze",
+                               {"source": SOURCE})
+    assert status == 200
+    assert payload["flavors"]["insensitive"]["digest"]
+
+
 def test_bad_suite_program_is_400_over_http(daemon):
     status, payload = _request(daemon, "POST", "/analyze",
                                {"program": "definitely-not-a-program"})

@@ -145,6 +145,53 @@ def test_bad_requests_are_400(service, body, fragment):
     assert fragment in payload["error"]
 
 
+def test_unknown_checker_id_is_400(service):
+    """A typo'd checker id is a client error, validated parent-side —
+    not a worker-side crash surfacing as a 500."""
+    status, payload = service.handle(
+        "check", {"program": "anagram", "checkers": ["nulldref"]})
+    assert status == 400
+    assert "unknown checker" in payload["error"]
+    assert "nullderef" in payload["error"]  # the suggestion list
+    status, payload = service.handle(
+        "check", {"program": "anagram", "checkers": [42]})
+    assert status == 400
+    assert "checker-id strings" in payload["error"]
+
+
+def test_timed_out_work_holds_admission_as_zombie(tmp_path):
+    """After a 504 releases its admission slot, the thread still
+    grinding on the abandoned computation counts against admission
+    (as a zombie) until it finishes — so newly admitted requests never
+    queue behind work nobody is waiting for."""
+    import threading
+    import time
+
+    svc = AnalysisService(ServeConfig(workers=2, cache=str(tmp_path),
+                                      queue_limit=1))
+    try:
+        release = threading.Event()
+        assert svc.try_begin()
+        future = svc.executor.submit(release.wait)  # the stuck work
+        svc.note_timeout(future)  # transport answered 504 ...
+        svc.end()                 # ... and freed the admission slot
+        # The busy thread still occupies capacity: shed, don't queue.
+        assert not svc.try_begin()
+        snap = svc.metrics_payload()
+        assert snap["zombie_threads"] == 1
+        assert snap["timeouts"] == 1
+        release.set()
+        future.result(timeout=10)
+        deadline = time.monotonic() + 5
+        while svc.metrics.zombies and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert svc.metrics.zombies == 0
+        assert svc.try_begin()  # capacity is back
+        svc.end()
+    finally:
+        svc.shutdown()
+
+
 def test_unknown_endpoint_is_404(service):
     status, _ = service.handle("frobnicate", {})
     assert status == 404
