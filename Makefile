@@ -2,12 +2,12 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke fuzz-smoke check-smoke incremental-smoke serve-smoke tables examples verify-suite clean
+.PHONY: install test bench bench-smoke fuzz-smoke check-smoke incremental-smoke serve-smoke slice-smoke tables examples verify-suite clean
 
 install:
 	$(PYTHON) setup.py develop
 
-test: bench-smoke fuzz-smoke check-smoke incremental-smoke serve-smoke
+test: bench-smoke fuzz-smoke check-smoke incremental-smoke serve-smoke slice-smoke
 	$(PYTHON) -m pytest tests/
 
 bench:
@@ -40,7 +40,15 @@ serve-smoke:
 	$(PYTHON) benchmarks/bench_serve.py
 	@test -s BENCH_serve.json || (echo "BENCH_serve.json missing" && exit 1)
 
-# Checker gate: run all four bug finders over the suite under every
+# Slicing gate: backward slices on three suite programs must be
+# digest-identical across schedules, process pools, and cache states,
+# and one generated fuzz program must pass the slice-soundness oracle
+# (concrete def→use flows ⊆ dependence mem edges).
+slice-smoke:
+	$(PYTHON) benchmarks/slice_smoke.py
+	@test -s BENCH_slice.json || (echo "BENCH_slice.json missing" && exit 1)
+
+# Checker gate: run all five bug finders over the suite under every
 # flavor and emit a SARIF log; the golden counts live in
 # tests/analysis/checkers/test_suite_goldens.py.
 check-smoke:

@@ -1,6 +1,6 @@
 """Bug-finding checker clients over analysis results (DESIGN.md §9).
 
-Importing the package registers the four concrete checkers; the
+Importing the package registers the five concrete checkers; the
 framework lives in :mod:`.base`.
 """
 
@@ -16,7 +16,7 @@ from .base import (
     render_path,
     run_checkers,
 )
-from . import nullderef, stackref, uninit, wildcall  # noqa: F401 (register)
+from . import deadstore, nullderef, stackref, uninit, wildcall  # noqa: F401 (register)
 
 #: Registered checker ids, alphabetical — the CLI's --checkers choices.
 CHECKER_IDS = REGISTRY.names()

@@ -1,0 +1,54 @@
+"""Dead-store checker: writes no read can ever observe.
+
+Promotes :func:`repro.analysis.clients.deadstore.find_dead_stores`
+into a registered checker — the client-level payoff of strong
+updates, surfaced beside the hazard checkers in ``repro check``,
+SARIF export, and the "checkers" experiment table.
+
+Only ``dead`` stores are reported (severity ``warning``: the code is
+legal, just wasted).  ``unreachable`` stores — an empty target set,
+i.e. a write through a null-only pointer — are the nullderef
+checker's territory and would be double-reported here.
+
+The verdict inherits the may-analysis caveats spelled out in the
+client module: a write is reported only when *no* modeled read can
+observe it under the points-to result this checker runs over, and
+writes to weakly-updated (heap/array/recursive) locations are never
+reported because some instance may still be read.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..common import AnalysisResult
+from ..clients.deadstore import find_dead_stores
+from .base import REGISTRY, RawFinding, is_summary, render_path
+
+
+@REGISTRY.register("deadstore")
+def check_dead_stores(result: AnalysisResult) -> Iterator[RawFinding]:
+    report = find_dead_stores(result)
+    solution = result.solution
+    for node in report.dead:
+        locations = sorted(result.op_locations(node), key=render_path)
+        # Writes that can only hit hazard summary cells (<null>,
+        # <uninit>) are the nullderef/uninit checkers' findings, not
+        # dead stores.
+        if locations and all(is_summary(p.base) for p in locations):
+            continue
+        target = locations[0] if locations else None
+        where = f" to {render_path(target)}" if target is not None \
+            else ""
+        evidence = None
+        src = node.loc.source
+        if src is not None:
+            direct = [p for p in solution.pairs(src)
+                      if p.is_direct and p.referent == target]
+            if direct:
+                evidence = (src, min(
+                    direct, key=lambda p: render_path(p.referent)))
+        yield RawFinding(
+            "deadstore", node, "warning",
+            f"stored value is never read (dead store{where})",
+            path=target, evidence=evidence)

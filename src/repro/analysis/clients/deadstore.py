@@ -27,7 +27,8 @@ from typing import Dict, List, Set
 from ...ir.graph import Program
 from ...ir.nodes import LookupNode, UpdateNode
 from ..common import AnalysisResult
-from .defuse import DefUseInfo, defuse
+from ..depgraph import ReachingDefs
+from .defuse import DefUseInfo
 
 
 @dataclass
@@ -47,7 +48,8 @@ class DeadStoreReport:
 
 
 def find_dead_stores(result: AnalysisResult,
-                     du: DefUseInfo = None) -> DeadStoreReport:
+                     du: "DefUseInfo | ReachingDefs" = None
+                     ) -> DeadStoreReport:
     """Classify every update in the program.
 
     Cost note: this inverts the def/use relation by computing reaching
@@ -57,8 +59,11 @@ def find_dead_stores(result: AnalysisResult,
     if du is None:
         # Whole-program sweep: the context-insensitive walk keeps the
         # state space linear (still sound — it only widens the set of
-        # observed writes, so nothing live is reported dead).
-        du = defuse(result, call_site_sensitive=False)
+        # observed writes, so nothing live is reported dead).  The
+        # shared mask-level engine is used directly; a caller with an
+        # existing DefUseInfo can pass it (both answer
+        # ``reaching_definitions``).
+        du = ReachingDefs(result, call_site_sensitive=False)
     program = result.program
 
     observed: Set[UpdateNode] = set()

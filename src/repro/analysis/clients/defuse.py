@@ -17,33 +17,24 @@ the store dependence chain backwards from the lookup:
 * reaching a root procedure's entry store yields the synthetic
   :data:`INITIAL` definition (globals' static initializers / the
   outside world).
+
+The walk itself lives in :class:`repro.analysis.depgraph.ReachingDefs`
+— one mask-level traversal per read carrying the read's whole location
+footprint — shared with the dead-store client and the dependence-graph
+pass.  This module keeps the historical query surface on top of it.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
+from typing import Set
 
 from ...errors import AnalysisError
 from ...memory.access import AccessPath
-from ...memory.relations import may_alias, strong_dom
-from ...ir.graph import FunctionGraph
-from ...ir.nodes import (
-    CallNode,
-    EntryNode,
-    LookupNode,
-    MergeNode,
-    Node,
-    OutputPort,
-    PrimopNode,
-    PrimopSemantics,
-    UpdateNode,
-)
+from ...ir.nodes import LookupNode, UpdateNode
 from ..common import AnalysisResult
+from ..depgraph import INITIAL, Definition, ReachingDefs
 
-#: Synthetic definition: the store as it was at program start.
-INITIAL = "<initial-store>"
-
-Definition = Union[UpdateNode, str]
+__all__ = ["INITIAL", "Definition", "DefUseInfo", "defuse"]
 
 
 class DefUseInfo:
@@ -63,8 +54,9 @@ class DefUseInfo:
         self.program = result.program
         self.max_visits = max_visits
         self.call_site_sensitive = call_site_sensitive
-        self._mod_cache: Dict[UpdateNode, Set[AccessPath]] = {}
-        self._defs_cache: Dict[LookupNode, FrozenSet[Definition]] = {}
+        self.engine = ReachingDefs(
+            result, max_visits=max_visits,
+            call_site_sensitive=call_site_sensitive)
 
     # -- public queries -----------------------------------------------------
 
@@ -74,26 +66,12 @@ class DefUseInfo:
         may reference.  Memoized per read node."""
         if not isinstance(read, LookupNode):
             raise AnalysisError(f"{read!r} is not a memory read")
-        cached = self._defs_cache.get(read)
-        if cached is not None:
-            return set(cached)
-        definitions: Set[Definition] = set()
-        solution = self.result.solution
-        for location in solution.table.decode_paths(
-                solution.op_targets_mask(read)):
-            definitions |= self.definitions_for(read, location)
-        self._defs_cache[read] = frozenset(definitions)
-        return definitions
+        return self.engine.reaching_definitions(read)
 
     def definitions_for(self, read: LookupNode,
                         location: AccessPath) -> Set[Definition]:
         """Reaching definitions for one specific read location."""
-        store_src = read.store.source
-        if store_src is None:
-            raise AnalysisError(f"{read!r} has a dangling store input")
-        definitions: Set[Definition] = set()
-        self._walk(store_src, location, (), definitions, set(), [0])
-        return definitions
+        return self.engine.definitions_for(read, location)
 
     def uses_of(self, write: UpdateNode) -> Set[LookupNode]:
         """Every read that may observe a value this write stored
@@ -105,107 +83,6 @@ class DefUseInfo:
                     if write in self.reaching_definitions(node):
                         uses.add(node)
         return uses
-
-    # -- the walk -----------------------------------------------------------------
-
-    def _modified(self, update: UpdateNode) -> Set[AccessPath]:
-        locations = self._mod_cache.get(update)
-        if locations is None:
-            # Decode the (small) path-id mask rather than the pair set:
-            # the walk needs path objects for may_alias/strong_dom, but
-            # never the pairs behind them.
-            solution = self.result.solution
-            locations = set(solution.table.decode_paths(
-                solution.op_targets_mask(update)))
-            self._mod_cache[update] = locations
-        return locations
-
-    def _walk(self, start: OutputPort, location: AccessPath,
-              start_stack: Tuple[CallNode, ...],
-              definitions: Set[Definition],
-              visited: Set[Tuple[int, Tuple[CallNode, ...]]],
-              budget: List[int]) -> None:
-        """Iterative backward walk over the store dependence graph.
-
-        The call stack gives call-site sensitivity; recursion is capped
-        by never pushing a call already on the stack (recursive cycles
-        merge their contexts, which is sound: it only widens the walk).
-        """
-        work: List[Tuple[OutputPort, Tuple[CallNode, ...]]] = \
-            [(start, start_stack)]
-        while work:
-            output, call_stack = work.pop()
-            key = (id(output), call_stack)
-            if key in visited:
-                continue
-            visited.add(key)
-            budget[0] += 1
-            if budget[0] > self.max_visits:
-                raise AnalysisError(
-                    "def/use walk exceeded its visit budget")
-
-            node = output.node
-            if isinstance(node, UpdateNode):
-                targets = self._modified(node)
-                if any(may_alias(t, location) for t in targets):
-                    definitions.add(node)
-                if len(targets) == 1:
-                    (target,) = targets
-                    if strong_dom(target, location):
-                        continue  # strong update: older values dead
-                if node.store.source is not None:
-                    work.append((node.store.source, call_stack))
-            elif isinstance(node, MergeNode):
-                for branch in node.branches:
-                    if branch.source is not None:
-                        work.append((branch.source, call_stack))
-            elif isinstance(node, CallNode):
-                # The store after a call comes from the callees'
-                # returns.
-                callees = self.result.callgraph.callees(node)
-                if not callees and node.store.source is not None:
-                    work.append((node.store.source, call_stack))
-                    continue
-                if not self.call_site_sensitive:
-                    extended = call_stack  # stays ()
-                elif node in call_stack:
-                    extended = call_stack  # recursive cycle: merge
-                else:
-                    extended = call_stack + (node,)
-                for callee in callees:
-                    ret = callee.return_node
-                    if ret is not None and ret.store.source is not None:
-                        work.append((ret.store.source, extended))
-            elif isinstance(node, PrimopNode):
-                # Library calls modeled as the identity on stores: the
-                # chain continues through the store operand.
-                if node.semantics is not PrimopSemantics.COPY:
-                    raise AnalysisError(
-                        f"store chain reached unexpected primop {node!r}")
-                index = node.copy_operand
-                operand = node.operands[index if index is not None else 0]
-                if operand.source is not None:
-                    work.append((operand.source, call_stack))
-            elif isinstance(node, EntryNode):
-                graph = node.graph
-                if call_stack:
-                    # Resume at the call that entered this callee; a
-                    # merged recursive context also continues at the
-                    # same call's own store input (the outer entry).
-                    call = call_stack[-1]
-                    if call.store.source is not None:
-                        work.append((call.store.source, call_stack[:-1]))
-                    continue
-                # No known call context: all callers, or program start.
-                callers = self.result.callgraph.callers(graph)
-                if not callers or graph.name in self.program.roots:
-                    definitions.add(INITIAL)
-                for call in callers:
-                    if call.store.source is not None:
-                        work.append((call.store.source, ()))
-            else:
-                raise AnalysisError(
-                    f"store chain reached unexpected node {node!r}")
 
 
 def defuse(result: AnalysisResult, max_visits: int = 1_000_000,

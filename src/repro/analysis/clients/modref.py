@@ -30,6 +30,7 @@ from ...memory.access import AccessPath
 from ...memory.relations import may_alias
 from ...ir.nodes import CallNode, LookupNode, Node, UpdateNode
 from ..common import AnalysisResult
+from ..depgraph import function_op_masks
 
 
 class ModRefInfo:
@@ -49,16 +50,10 @@ class ModRefInfo:
     # -- construction (mask-level, decode-free) ----------------------------
 
     def _compute_direct(self) -> None:
-        solution = self.result.solution
-        for name, graph in self.program.functions.items():
-            refs = 0
-            mods = 0
-            for node in graph.memory_operations():
-                mask = solution.op_targets_mask(node)
-                if isinstance(node, LookupNode):
-                    refs |= mask
-                else:
-                    mods |= mask
+        # Shared with the dependence-graph pass: one decode-free sweep
+        # ORing per-op target masks into per-function ref/mod masks.
+        for name, (refs, mods) in \
+                function_op_masks(self.result).items():
             self._ref_masks[name] = refs
             self._mod_masks[name] = mods
 

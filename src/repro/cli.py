@@ -2,8 +2,11 @@
 
 Commands:
 
-* ``analyze FILE [--sensitivity X] [--show-pairs] [--modref]`` — run a
-  points-to analysis over a C file and print a summary.
+* ``analyze FILE [--sensitivity X] [--show-pairs] [--modref]
+  [--defuse] [--deadstore] [--format text|json]`` — run a points-to
+  analysis over a C file and print a summary; the client flags route
+  mod/ref, def/use, and dead-store reports through the same
+  deterministic text/JSON machinery.
 * ``dump FILE [--function NAME]`` — print the lowered VDG.
 * ``experiment ID`` — regenerate one of the paper's tables/figures
   (fig2, fig3, fig4, fig6, fig7, cost, opt42, perf43, gap).
@@ -18,12 +21,15 @@ for multi-program runs.
   run the bug-finding checkers (null dereference, use-after-return,
   uninitialized read, wild indirect call) over the suite or given
   files; ``--format sarif`` emits a SARIF 2.1.0 log.
+* ``slice TARGET --criterion file:line | --from-finding KEY`` —
+  compute a backward/forward program slice over the alias-aware
+  dependence graph (``--format text|json|dot``).
 * ``fuzz [--seed S] [--count N]`` — differential fuzzing: generate
   random pointer programs and check concrete ⊆ CS ⊆ CI ⊆ FI at every
   indirect operation, plus determinism and fixpoint oracles.
 * ``serve [--port P] [--workers N] [--max-memory-mb MB]`` — run the
   analysis daemon: HTTP/JSON endpoints ``analyze``/``check``/
-  ``query``/``metrics`` over in-memory LRU cache tiers, request
+  ``query``/``slice``/``metrics`` over in-memory LRU cache tiers, request
   coalescing, and the fault-isolated process pool (see
   :mod:`repro.serve`).
 """
@@ -34,7 +40,6 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .analysis.clients.modref import modref
 from .analysis.compare import compare_results
 from .analysis.common import SCHEDULES
 from .analysis.insensitive import analyze_insensitive
@@ -81,7 +86,16 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--show-pairs", action="store_true",
                          help="print every output's points-to set")
     analyze.add_argument("--modref", action="store_true",
-                         help="print per-procedure mod/ref summaries")
+                         help="report per-procedure mod/ref summaries")
+    analyze.add_argument("--defuse", action="store_true",
+                         help="report per-read reaching definitions "
+                              "(def/use chains through memory)")
+    analyze.add_argument("--deadstore", action="store_true",
+                         help="report dead and unreachable stores")
+    analyze.add_argument("--format", default="text", dest="fmt",
+                         choices=["text", "json"],
+                         help="output format for the summary and "
+                              "client reports (default: text)")
     analyze.add_argument("--jobs", type=int, default=1, metavar="N",
                          help="analyze each input file as an independent "
                               "program, fanned across N worker processes "
@@ -195,15 +209,66 @@ def _build_parser() -> argparse.ArgumentParser:
     check.add_argument("--witness", action="store_true",
                        help="attach a derivation witness to each "
                             "finding with evidence (text/json formats)")
+    check.add_argument("--slice-witness", action="store_true",
+                       dest="slice_witness",
+                       help="attach each finding's backward "
+                            "dependence-graph slice as a witness "
+                            "(combinable with --witness)")
     check.add_argument("--format", default="text", dest="fmt",
                        choices=["text", "json", "sarif"],
                        help="output format (default: text; sarif emits "
                             "a SARIF 2.1.0 log)")
     _add_run_flags(check)
 
+    slice_p = sub.add_parser(
+        "slice", help="compute program slices over the alias-aware "
+                      "dependence graph")
+    slice_p.add_argument("targets", nargs="*", metavar="TARGET",
+                         help="suite program names and/or C source "
+                              "files (default: the whole benchmark "
+                              "suite)")
+    what = slice_p.add_mutually_exclusive_group(required=True)
+    what.add_argument("--criterion", default=None, metavar="FILE:LINE",
+                      help="slice from every node lowered from this "
+                           "source coordinate")
+    what.add_argument("--from-finding", default=None, dest="from_finding",
+                      metavar="KEY",
+                      help="slice from a checker finding ('repro "
+                           "check' key or unique substring; implies "
+                           "hazard-model lowering)")
+    slice_p.add_argument("--direction", default="backward",
+                         choices=["backward", "forward"],
+                         help="slice direction (default: backward)")
+    slice_p.add_argument("--flavor", default="insensitive",
+                         choices=["insensitive", "sensitive",
+                                  "flowinsensitive"],
+                         help="analysis flavor the dependence graph "
+                              "is built from (default: insensitive)")
+    slice_p.add_argument("--format", default="text", dest="fmt",
+                         choices=["text", "json", "dot"],
+                         help="output format (default: text; dot "
+                              "emits Graphviz)")
+    slice_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="fan programs across N worker processes "
+                              "(default: 1, in-process)")
+    slice_p.add_argument("--schedule", default="batched",
+                         choices=list(SCHEDULES),
+                         help="worklist schedule for the underlying "
+                              "analysis (default: batched)")
+    slice_p.add_argument("--no-cache", action="store_true",
+                         help="skip the persistent lowering cache")
+    slice_p.add_argument("--parallel-scc", action="store_true",
+                         dest="parallel_scc",
+                         help="shard independent SCCs across worker "
+                              "threads in the CI solver")
+    slice_p.add_argument("--incremental", action="store_true",
+                         help="reuse persisted per-SCC summaries from "
+                              "the lowering cache")
+    _add_run_flags(slice_p)
+
     serve = sub.add_parser(
         "serve", help="run the analysis daemon (HTTP/JSON endpoints "
-                      "analyze, check, query, metrics)")
+                      "analyze, check, query, slice, metrics)")
     serve.add_argument("--host", default="127.0.0.1",
                        help="bind address (default: 127.0.0.1)")
     serve.add_argument("--port", type=int, default=8377,
@@ -288,6 +353,12 @@ def _write_telemetry(path, records) -> None:
         write_jsonl(path, records)
 
 
+#: Flavor → human label for analyze's text output.
+_FLAVOR_LABELS = {"insensitive": "context-insensitive",
+                  "sensitive": "context-sensitive",
+                  "flowinsensitive": "flow-insensitive"}
+
+
 def _cmd_analyze(args) -> int:
     cache = not args.no_cache
     if args.jobs > 1 and len(args.file) > 1:
@@ -301,10 +372,6 @@ def _cmd_analyze(args) -> int:
         program = lower_files(args.file, cache=cache)
     for warning in program.extras.get("warnings", ()):
         print(f"warning: {warning}", file=sys.stderr)
-    sizes = program_sizes(program)
-    print(f"{program.name}: {sizes.source_lines} lines, "
-          f"{sizes.vdg_nodes} VDG nodes, "
-          f"{sizes.alias_related_outputs} alias-related outputs")
 
     if args.sensitivity == "flowinsensitive":
         if args.incremental:
@@ -317,10 +384,10 @@ def _cmd_analyze(args) -> int:
             result = analyze_flowinsensitive(
                 program, schedule=args.schedule,
                 parallel_scc=args.parallel_scc)
-        _print_result("flow-insensitive", result, args)
+        results = {"flowinsensitive": result}
+        _report_program(program, results, args)
         _write_telemetry(args.telemetry,
-                         _telemetry_for(program.name,
-                                        {"flowinsensitive": result},
+                         _telemetry_for(program.name, results,
                                         rss_baseline=rss_baseline))
         return 0
 
@@ -340,23 +407,99 @@ def _cmd_analyze(args) -> int:
                                  parallel_scc=args.parallel_scc)
     if args.sensitivity in ("insensitive", "both"):
         results["insensitive"] = ci
-        _print_result("context-insensitive", ci, args)
     if args.sensitivity in ("sensitive", "both"):
         if cs is None:
             cs = analyze_sensitive(program, ci_result=ci,
                                    schedule=args.schedule)
         results["sensitive"] = cs
-        _print_result("context-sensitive", cs, args)
-        if args.sensitivity == "both":
-            report = compare_results(ci, cs)
-            print(f"spurious pairs: {report.spurious_pairs} "
-                  f"({report.percent_spurious:.1f}% of CI total); "
-                  f"indirect ops identical: "
-                  f"{report.indirect_ops_identical}")
+    _report_program(program, results, args)
     _write_telemetry(args.telemetry,
                      _telemetry_for(program.name, results, args.schedule,
                                     rss_baseline=rss_baseline))
     return 0
+
+
+def _report_program(program, results, args) -> None:
+    """One analyzed program's report: text lines or one JSON object."""
+    import json as _json
+
+    compare = (args.sensitivity == "both"
+               and "insensitive" in results and "sensitive" in results)
+    if args.fmt == "json":
+        print(_json.dumps(_program_payload(program, results, args,
+                                           compare=compare),
+                          indent=2, sort_keys=True))
+        return
+    sizes = program_sizes(program)
+    print(f"{program.name}: {sizes.source_lines} lines, "
+          f"{sizes.vdg_nodes} VDG nodes, "
+          f"{sizes.alias_related_outputs} alias-related outputs")
+    for flavor, result in results.items():
+        _print_result(_FLAVOR_LABELS[flavor], result, args)
+    if compare:
+        report = compare_results(results["insensitive"],
+                                 results["sensitive"])
+        print(f"spurious pairs: {report.spurious_pairs} "
+              f"({report.percent_spurious:.1f}% of CI total); "
+              f"indirect ops identical: "
+              f"{report.indirect_ops_identical}")
+
+
+def _program_payload(program, results, args, compare=False) -> dict:
+    """JSON-shaped analyze report (summary + requested client
+    sections), deterministically ordered throughout."""
+    from .analysis.clients.render import clients_payload
+
+    sizes = program_sizes(program)
+    doc = {
+        "program": program.name,
+        "sizes": {"source_lines": sizes.source_lines,
+                  "vdg_nodes": sizes.vdg_nodes,
+                  "alias_related_outputs": sizes.alias_related_outputs},
+        "flavors": {},
+    }
+    for flavor, result in results.items():
+        census = pair_census(result)
+        reads = indirect_op_stats(result, "read")
+        writes = indirect_op_stats(result, "write")
+        entry = {
+            "pairs": {"pointer": census.pointer,
+                      "function": census.function,
+                      "aggregate": census.aggregate,
+                      "store": census.store, "total": census.total},
+            "indirect_reads": {"total": reads.total,
+                               "max": reads.max_locations,
+                               "avg": round(reads.avg, 4)},
+            "indirect_writes": {"total": writes.total,
+                                "max": writes.max_locations,
+                                "avg": round(writes.avg, 4)},
+            "transfers": result.counters.transfers,
+            "meets": result.counters.meets,
+            "elapsed_seconds": round(result.elapsed_seconds, 6),
+        }
+        if args.show_pairs:
+            points_to = {}
+            for graph_name, graph in result.program.functions.items():
+                for output in graph.outputs():
+                    pairs = result.pairs(output)
+                    if pairs:
+                        points_to[f"{graph_name}:{output!r}"] = \
+                            sorted(repr(p) for p in pairs)
+            entry["points_to"] = dict(sorted(points_to.items()))
+        entry.update(clients_payload(
+            result, modref_wanted=args.modref,
+            defuse_wanted=args.defuse,
+            deadstore_wanted=args.deadstore))
+        doc["flavors"][flavor] = entry
+    if compare:
+        report = compare_results(results["insensitive"],
+                                 results["sensitive"])
+        doc["comparison"] = {
+            "spurious_pairs": report.spurious_pairs,
+            "percent_spurious": round(report.percent_spurious, 4),
+            "indirect_ops_identical": report.indirect_ops_identical,
+        }
+    return doc
 
 
 def _telemetry_for(name, results, schedule="batched", rss_baseline=None):
@@ -394,9 +537,6 @@ def _analyze_parallel(args, cache) -> int:
         flavors = ("insensitive", "sensitive")
     else:
         flavors = (args.sensitivity,)
-    labels = {"insensitive": "context-insensitive",
-              "sensitive": "context-sensitive",
-              "flowinsensitive": "flow-insensitive"}
     report = run_files_report(args.file, flavors=flavors, jobs=args.jobs,
                               cache=cache, fail_fast=args.fail_fast,
                               schedule=args.schedule,
@@ -408,19 +548,7 @@ def _analyze_parallel(args, cache) -> int:
             continue
         results = outcome.results
         program = next(iter(results.values())).program
-        sizes = program_sizes(program)
-        print(f"{program.name}: {sizes.source_lines} lines, "
-              f"{sizes.vdg_nodes} VDG nodes, "
-              f"{sizes.alias_related_outputs} alias-related outputs")
-        for flavor in flavors:
-            _print_result(labels[flavor], results[flavor], args)
-        if args.sensitivity == "both":
-            report_cmp = compare_results(results["insensitive"],
-                                         results["sensitive"])
-            print(f"spurious pairs: {report_cmp.spurious_pairs} "
-                  f"({report_cmp.percent_spurious:.1f}% of CI total); "
-                  f"indirect ops identical: "
-                  f"{report_cmp.indirect_ops_identical}")
+        _report_program(program, results, args)
     _write_telemetry(args.telemetry, report.records)
     return 0 if report.ok else 1
 
@@ -446,13 +574,14 @@ def _print_result(label: str, result, args) -> None:
                 if pairs:
                     shown = ", ".join(sorted(repr(p) for p in pairs))
                     print(f"  {graph_name}:{output!r} = {{{shown}}}")
-    if args.modref:
-        info = modref(result)
-        for name in sorted(result.program.functions):
-            mods = sorted(repr(p) for p in info.mod_set(name))
-            refs = sorted(repr(p) for p in info.ref_set(name))
-            print(f"  {name}: mod={{{', '.join(mods)}}} "
-                  f"ref={{{', '.join(refs)}}}")
+    if args.modref or args.defuse or args.deadstore:
+        from .analysis.clients.render import (clients_payload,
+                                              render_clients_text)
+        sections = clients_payload(result, modref_wanted=args.modref,
+                                   defuse_wanted=args.defuse,
+                                   deadstore_wanted=args.deadstore)
+        for line in render_clients_text(sections):
+            print(line)
 
 
 def _cmd_dump(args) -> int:
@@ -573,11 +702,15 @@ def _cmd_check(args) -> int:
     paths: List[str] = []
     for target in args.targets:
         (names if target in PROGRAM_NAMES else paths).append(target)
+    if args.slice_witness:
+        witness = "slice+deriv" if args.witness else "slice"
+    else:
+        witness = args.witness
     report = run_check_report(
         names=names or (None if not paths else []),
         paths=paths or None, flavors=flavors, checkers=checkers,
         jobs=args.jobs, schedule=args.schedule, cache=not args.no_cache,
-        witness=args.witness, fail_fast=args.fail_fast,
+        witness=witness, fail_fast=args.fail_fast,
         parallel_scc=args.parallel_scc, incremental=args.incremental)
 
     ordered = []  # (program, finding) in task/flavor/finding order
@@ -626,6 +759,57 @@ def _cmd_check(args) -> int:
         print(f"check: {len(ordered)} finding(s) across "
               f"{sum(1 for o in report.outcomes if o.ok)} program(s)"
               + (f": {summary}" if summary else ""))
+    _write_telemetry(args.telemetry, report.records)
+    return 0 if report.ok else 1
+
+
+def _cmd_slice(args) -> int:
+    import json as _json
+
+    from .report.export import slice_to_dot
+    from .runner import run_slice_report
+
+    names: List[str] = []
+    paths: List[str] = []
+    for target in args.targets:
+        (names if target in PROGRAM_NAMES else paths).append(target)
+    report = run_slice_report(
+        names=names or (None if not paths else []),
+        paths=paths or None, flavor=args.flavor,
+        criterion=args.criterion, from_finding=args.from_finding,
+        direction=args.direction, jobs=args.jobs,
+        schedule=args.schedule, cache=not args.no_cache,
+        fail_fast=args.fail_fast, parallel_scc=args.parallel_scc,
+        incremental=args.incremental)
+
+    payloads = []
+    for outcome in report.outcomes:
+        if not outcome.ok:
+            print(f"error: {outcome.error}", file=sys.stderr)
+            continue
+        payloads.append(outcome.payload)
+
+    if args.fmt == "json":
+        print(_json.dumps({"slices": payloads,
+                           "errors": [str(e) for e in report.errors]},
+                          indent=2, sort_keys=True))
+    elif args.fmt == "dot":
+        for payload in payloads:
+            sys.stdout.write(slice_to_dot(payload["slice"],
+                                          payload["node_info"]))
+    else:
+        for payload in payloads:
+            sl = payload["slice"]
+            graph = payload["graph"]
+            print(f"{payload['program']} [{payload['flavor']}] "
+                  f"{sl['direction']} slice of {sl['criterion']}: "
+                  f"{sl['size']} nodes over {len(sl['origins'])} "
+                  f"source lines (digest {sl['digest'][:12]}; "
+                  f"graph {graph['stats']['nodes']} nodes / "
+                  f"{graph['stats']['edges']} edges, "
+                  f"digest {graph['digest'][:12]})")
+            for origin in sl["origins"]:
+                print(f"  {origin}")
     _write_telemetry(args.telemetry, report.records)
     return 0 if report.ok else 1
 
@@ -706,6 +890,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "export": _cmd_export,
         "suite": _cmd_suite,
         "check": _cmd_check,
+        "slice": _cmd_slice,
         "fuzz": _cmd_fuzz,
         "serve": _cmd_serve,
     }

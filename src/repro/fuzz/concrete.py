@@ -81,13 +81,21 @@ class FuncRef:
 
 
 class Instance:
-    """One concrete storage object (a base location instance)."""
+    """One concrete storage object (a base location instance).
 
-    __slots__ = ("label", "value")
+    ``writes`` maps a field/index operator path inside this object to
+    the source line of the last statement that (re)defined that cell —
+    the provenance the slice oracle turns into def→use flows.  Writing
+    a path clobbers the records of everything beneath it (the copied
+    value replaces the whole subtree), while records above it survive
+    (defining one field does not redefine the struct)."""
+
+    __slots__ = ("label", "value", "writes")
 
     def __init__(self, label: str, value=_UNINIT) -> None:
         self.label = label
         self.value = value
+        self.writes: Dict[Tuple[Tuple[str, object], ...], int] = {}
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Instance {self.label}>"
@@ -130,6 +138,10 @@ class ConcreteTrace:
     #: (line, "read" | "write") → set of (label, op renderings).
     accesses: Dict[Tuple[int, str], Set[Tuple[str, Tuple[str, ...]]]] = \
         field(default_factory=dict)
+    #: Observed def→use flows: (line of the defining write, line of a
+    #: pointer read that received the value).  The slice oracle checks
+    #: these against the dependence graph's ``mem`` edges.
+    flows: Set[Tuple[int, int]] = field(default_factory=set)
     steps: int = 0
     calls: int = 0
     allocations: int = 0
@@ -184,6 +196,7 @@ class Interpreter:
             if ext.init is not None:
                 inst.value = self._eval_init(ext.init, ext.type,
                                              self.globals)
+                self._note_write(Address(inst), self._line(ext))
             else:  # zero-initialized, as C guarantees for statics
                 inst.value = self._zero_value(ext.type)
 
@@ -253,6 +266,45 @@ class Interpreter:
         if not isinstance(container, dict):
             raise ConcreteTrap(f"bad access path {address.render()!r}")
         container[key] = value
+
+    # -- write provenance (def→use flows for the slice oracle) -----------
+
+    def _note_write(self, address: Address,
+                    line: Optional[int]) -> None:
+        """Record ``line`` as the definition of the cell at ``address``
+        and clobber the records of the subtree it overwrote."""
+        if line is None:
+            return
+        writes = address.instance.writes
+        ops = address.ops
+        stale = [known for known in writes
+                 if len(known) > len(ops) and known[:len(ops)] == ops]
+        for known in stale:
+            del writes[known]
+        writes[ops] = line
+
+    def _def_line(self, address: Address) -> Optional[int]:
+        """Longest-prefix provenance lookup: the line of the write that
+        last covered the cell at ``address`` (an exact write, or the
+        nearest enclosing aggregate copy), or None when the value
+        predates any recorded write (zero init, parameter binding)."""
+        writes = address.instance.writes
+        best: Optional[int] = None
+        best_len = -1
+        for ops, line in writes.items():
+            if (len(ops) <= len(address.ops) and len(ops) > best_len
+                    and address.ops[:len(ops)] == ops):
+                best, best_len = line, len(ops)
+        return best
+
+    def _record_read(self, line: Optional[int],
+                     address: Address) -> None:
+        """Record a pointer read, plus its def→use flow when the cell's
+        defining write is known."""
+        self.trace.record(line, "read", address)
+        def_line = self._def_line(address)
+        if def_line is not None and line is not None:
+            self.trace.flows.add((def_line, line))
 
     # -- expression evaluation -------------------------------------------
 
@@ -342,7 +394,7 @@ class Interpreter:
                 target = self.eval(expr.expr, env)
                 if not isinstance(target, Address):
                     raise ConcreteTrap("dereference of a non-pointer")
-                self.trace.record(self._line(expr), "read", target)
+                self._record_read(self._line(expr), target)
                 value = self.read(target)
                 if isinstance(value, ArrayVal):
                     return target.extend(("ix", 0))
@@ -361,7 +413,7 @@ class Interpreter:
         if isinstance(expr, (c_ast.ArrayRef, c_ast.StructRef)):
             address, via = self.lvalue(expr, env)
             if via:
-                self.trace.record(self._line(expr), "read", address)
+                self._record_read(self._line(expr), address)
             value = self.read(address)
             if isinstance(value, ArrayVal):
                 return address.extend(("ix", 0))
@@ -468,6 +520,7 @@ class Interpreter:
             env[stmt.name] = inst
             if stmt.init is not None:
                 inst.value = self._eval_init(stmt.init, stmt.type, env)
+                self._note_write(Address(inst), self._line(stmt))
             return
         if isinstance(stmt, c_ast.Assignment):
             if stmt.op != "=":
@@ -477,6 +530,7 @@ class Interpreter:
             if via:
                 self.trace.record(self._line(stmt.lvalue), "write", address)
             self.write(address, _copy_value(value))
+            self._note_write(address, self._line(stmt.lvalue))
             return
         if isinstance(stmt, c_ast.If):
             if self.eval(stmt.cond, env):

@@ -14,6 +14,16 @@ reversible monkey-patch installing one plausible analysis bug:
   reads a value the analyses swear was overwritten).  This is exactly
   the bug class the fixpoint verifier is documented not to catch.
 
+* ``drop-alias-deps`` — the dependence-graph builder's alias test is
+  narrowed to path *identity*, so a store reaches a load only when the
+  written path and the load's footprint path are the same interned
+  object.  Aggregate copies feeding later field reads, and any
+  prefix/summary-aliased def→use pair, silently lose their ``mem``
+  edges.  Solutions, checkers, and the fixpoint verifier are all
+  untouched — only the slice oracle's concrete def→use flows (and the
+  cross-schedule graph digest, which still agrees) can notice, which
+  is exactly the tooth it exists to prove.
+
 * ``cs-survive-dom`` — the context-sensitive survive rule tests plain
   ``dom`` instead of ``strong_dom``, so a may-alias location pair is
   treated as a must-overwrite and qualified store pairs vanish from
@@ -58,6 +68,25 @@ def overeager_strong_updates():
 
 
 @contextmanager
+def drop_alias_deps():
+    """Dependence edges only for *identical* written/footprint paths.
+
+    Patches the module-level :data:`repro.analysis.depgraph.MAY_ALIAS`
+    binding — access paths are interned, so the identity test keeps
+    exact-path edges (the mutation stays plausible) while every
+    prefix-, dom-, or summary-aliased dependence disappears.
+    """
+    from ..analysis import depgraph
+
+    original = depgraph.MAY_ALIAS
+    depgraph.MAY_ALIAS = lambda a, b: a is b
+    try:
+        yield
+    finally:
+        depgraph.MAY_ALIAS = original
+
+
+@contextmanager
 def cs_survive_dom():
     """CS survive rule uses may-alias ``dom`` as if it were must-alias."""
     original = SensitiveAnalysis._update_survive
@@ -82,6 +111,7 @@ def cs_survive_dom():
 #: Name → context-manager factory, for ``repro fuzz --mutate``.
 MUTATIONS = {
     "overeager-strong-updates": overeager_strong_updates,
+    "drop-alias-deps": drop_alias_deps,
     "cs-survive-dom": cs_survive_dom,
 }
 

@@ -64,7 +64,7 @@ class Violation:
     """One failed soundness/determinism obligation."""
 
     kind: str        # "lattice" | "concrete" | "determinism" | "fixpoint"
-                     # | "trap" | "error" | "checker"
+                     # | "trap" | "error" | "checker" | "slice"
     detail: str
     line: Optional[int] = None
 
@@ -152,6 +152,7 @@ def check_program(source: str, name: str = "<fuzz>", *,
                   schedules: bool = True,
                   fixpoint: bool = True,
                   checkers: bool = True,
+                  slices: bool = True,
                   summaries: bool = False,
                   expect_trap: Optional[str] = None,
                   step_budget: Optional[int] = None) -> CheckReport:
@@ -169,6 +170,15 @@ def check_program(source: str, name: str = "<fuzz>", *,
     uninitialized-read trap must be covered by a same-line finding of
     the matching checker under *both* flavors — a missed concrete
     hazard is a hard soundness failure (kind ``"checker"``).
+
+    ``slices=True`` adds the dependence-graph oracle: the concrete
+    interpreter's def→use flows (the line that last wrote a cell → a
+    pointer read of it) must each be covered by a ``mem`` edge of the
+    CI dependence graph between those lines, and the graph digest must
+    agree across the batched/FIFO/SCC schedules (kind ``"slice"``).
+    Flows whose endpoints lower to sparse SSA edges rather than store
+    operations are skipped — only flows with an update node at the def
+    line and a lookup node at the use line are obligations.
 
     ``summaries=True`` adds the summary-equivalence leg: against a
     private cache directory, a cold incremental run must populate the
@@ -303,6 +313,10 @@ def check_program(source: str, name: str = "<fuzz>", *,
                 report.violations.append(Violation(
                     "fixpoint", f"{flavor}: {violation}"))
 
+    # -- slice soundness: concrete flows ⊆ dependence mem edges ----------
+    if slices:
+        _check_slices(program, ci, trace, report, schedules=schedules)
+
     # -- summary-based solving must reproduce whole-program solving ------
     if summaries:
         _check_summaries(source, name, report)
@@ -312,6 +326,72 @@ def check_program(source: str, name: str = "<fuzz>", *,
         _check_checkers(source, name, report, trap, trace,
                         schedules=schedules)
     return report
+
+
+def _check_slices(program, ci: AnalysisResult, trace,
+                  report: CheckReport, schedules: bool = True) -> None:
+    """The dependence-graph oracle leg (see :func:`check_program`).
+
+    A concrete flow ``(def_line, use_line)`` obligates a ``mem`` edge
+    between *some* update node at the def line and *some* lookup node
+    at the use line.  The defining write concretely reached the read —
+    no intervening write overwrote the cell — so a correct analysis
+    cannot have strongly killed that definition, and the alias test
+    between the update's written paths and the lookup's footprint must
+    succeed (both cover the same concrete storage).  Either an unsound
+    strong update or a broken alias test in the graph builder (the
+    ``drop-alias-deps`` mutation) breaks the edge and is reported.
+    """
+    from ..analysis.depgraph import build_depgraph
+
+    graph = build_depgraph(ci)
+    report.digests["depgraph"] = graph.digest()
+    report.stats["depgraph_edges"] = len(graph.edges)
+
+    def tail_line(origin: str) -> Optional[int]:
+        tail = origin.rsplit(":", 1)[-1]
+        return int(tail) if tail.isdigit() else None
+
+    updates_at: Dict[int, Set[str]] = {}
+    lookups_at: Dict[int, Set[str]] = {}
+    for key, (_, kind, origin) in graph.nodes.items():
+        if not origin or kind not in ("update", "lookup"):
+            continue
+        line = tail_line(origin)
+        if line is None:
+            continue
+        bucket = updates_at if kind == "update" else lookups_at
+        bucket.setdefault(line, set()).add(key)
+    mem_pairs = {(src, dst) for src, dst, kind in graph.edges
+                 if kind == "mem"}
+
+    checked = 0
+    for def_line, use_line in sorted(trace.flows if trace else ()):
+        updates = updates_at.get(def_line)
+        lookups = lookups_at.get(use_line)
+        if not updates or not lookups:
+            continue     # lowered as sparse SSA edges, not store ops
+        checked += 1
+        if not any((u, l) in mem_pairs
+                   for u in updates for l in lookups):
+            report.violations.append(Violation(
+                "slice",
+                f"concrete value flow from the line-{def_line} write "
+                f"to the line-{use_line} read has no mem dependence "
+                f"edge", use_line))
+    report.stats["slice_flows_checked"] = checked
+
+    if schedules:
+        for other in ("fifo", "scc"):
+            alt = build_depgraph(analyze_insensitive(
+                program, schedule=other))
+            digest = alt.digest()
+            if digest != report.digests["depgraph"]:
+                report.violations.append(Violation(
+                    "slice",
+                    f"dependence graph differs between batched "
+                    f"({report.digests['depgraph'][:12]}…) and {other} "
+                    f"({digest[:12]}…) schedules"))
 
 
 #: (incremental flavor name, report digest key) for the summary leg.

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.common import AnalysisResult
 from ..analysis.compare import compare_results, spurious_breakdown
+from ..analysis.flowinsensitive import analyze_flowinsensitive
 from ..analysis.insensitive import analyze_insensitive
 from ..analysis.sensitive import analyze_sensitive
 from ..analysis.stats import (
@@ -35,7 +36,8 @@ from . import paper
 from .tables import render_table
 
 EXPERIMENT_IDS = ("fig2", "fig3", "fig4", "fig6", "fig7", "cost",
-                  "opt42", "perf43", "struct51", "gap", "checkers")
+                  "opt42", "perf43", "struct51", "gap", "checkers",
+                  "slicing")
 
 
 class SuiteRunner:
@@ -74,6 +76,7 @@ class SuiteRunner:
         self._programs: Dict[str, Program] = {}
         self._ci: Dict[str, AnalysisResult] = {}
         self._cs: Dict[str, AnalysisResult] = {}
+        self._fi: Dict[str, AnalysisResult] = {}
 
     def prime(self) -> None:
         """Analyze every suite program up front, possibly in parallel.
@@ -155,6 +158,18 @@ class SuiteRunner:
                     self.program(name), ci_result=self.ci(name),
                     schedule=self.schedule)
         return self._cs[name]
+
+    def fi(self, name: str) -> AnalysisResult:
+        """Flow-insensitive baseline result.
+
+        The parallel primer only ships CI and CS results back from the
+        workers, so FI is always computed inline on first use and then
+        cached — only the ``slicing`` experiment needs it.
+        """
+        if name not in self._fi:
+            self._fi[name] = analyze_flowinsensitive(
+                self.program(name), schedule=self.schedule)
+        return self._fi[name]
 
 
 # ---------------------------------------------------------------------------
@@ -494,6 +509,78 @@ def checkers_rows(runner: SuiteRunner):
 
 
 # ---------------------------------------------------------------------------
+# Slicing client: average backward slice size, CI vs CS vs FI
+# ---------------------------------------------------------------------------
+
+
+def _mean_backward_slice(graph) -> Tuple[int, int]:
+    """(lookup count, summed backward-slice size) over every pointer
+    read in ``graph`` — a plain reachability count, no digests."""
+    lookups = [key for key, (_, kind, _) in graph.nodes.items()
+               if kind == "lookup"]
+    total = 0
+    for root in lookups:
+        seen = {root}
+        work = [root]
+        while work:
+            key = work.pop()
+            for neighbour, _ in graph.neighbours(key, "backward"):
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    work.append(neighbour)
+        total += len(seen)
+    return len(lookups), total
+
+
+def slicing_rows(runner: SuiteRunner):
+    """Average backward slice size per pointer read, CI vs CS vs FI.
+
+    Slices are the checker-facing consumer of alias precision: a
+    spurious points-to pair only matters here if it drags extra
+    definitions into some read's backward slice.  Matching CI and CS
+    columns are Ruf's result restated for program slicing; the FI
+    column shows what a flow-insensitive solution would cost the same
+    client.
+    """
+    from ..analysis.depgraph import build_depgraph
+
+    headers = ["name", "lookups", "CI edges", "CI avg slice",
+               "CS avg slice", "FI avg slice", "FI growth %"]
+    rows = []
+    agg_lookups = 0
+    agg = {"ci": 0, "cs": 0, "fi": 0}
+    agg_edges = 0
+    for name in runner.names:
+        graphs = {"ci": build_depgraph(runner.ci(name)),
+                  "cs": build_depgraph(runner.cs(name)),
+                  "fi": build_depgraph(runner.fi(name))}
+        sums = {}
+        lookups = 0
+        for flavor, graph in graphs.items():
+            count, total = _mean_backward_slice(graph)
+            sums[flavor] = total
+            lookups = max(lookups, count)
+        avgs = {flavor: (sums[flavor] / lookups if lookups else 0.0)
+                for flavor in sums}
+        growth = (100.0 * (avgs["fi"] - avgs["ci"]) / avgs["ci"]
+                  if avgs["ci"] else 0.0)
+        edges = graphs["ci"].stats()["edges"]
+        rows.append([name, lookups, edges, avgs["ci"], avgs["cs"],
+                     avgs["fi"], growth])
+        agg_lookups += lookups
+        agg_edges += edges
+        for flavor in agg:
+            agg[flavor] += sums[flavor]
+    overall = {flavor: (agg[flavor] / agg_lookups if agg_lookups else 0.0)
+               for flavor in agg}
+    overall_growth = (100.0 * (overall["fi"] - overall["ci"])
+                      / overall["ci"] if overall["ci"] else 0.0)
+    rows.append(["TOTAL", agg_lookups, agg_edges, overall["ci"],
+                 overall["cs"], overall["fi"], overall_growth])
+    return headers, rows
+
+
+# ---------------------------------------------------------------------------
 # rendering
 # ---------------------------------------------------------------------------
 
@@ -512,6 +599,8 @@ _TITLES = {
     "gap": "Section 5 ablation: constructed programs where CS wins",
     "checkers": "Section 6 extension: checker-client bug-report counts "
                 "per benchmark, CI vs CS vs FI (hazard-model lowering)",
+    "slicing": "Section 6 extension: average backward slice size per "
+               "pointer read, CI vs CS vs FI dependence graphs",
 }
 
 
@@ -537,6 +626,7 @@ def experiment_rows(experiment_id: str,
         "perf43": perf_rows,
         "struct51": struct51_rows,
         "checkers": checkers_rows,
+        "slicing": slicing_rows,
     }[experiment_id](runner)
 
 

@@ -131,6 +131,101 @@ def result_to_json(result: AnalysisResult, include_pairs: bool = True,
                       **json_kwargs)
 
 
+# -- dependence graphs and slices ------------------------------------------
+
+
+def depgraph_to_dict(graph) -> Dict[str, Any]:
+    """Serialize a :class:`~repro.analysis.depgraph.DependenceGraph`.
+
+    Nodes map their stable key to ``{function, kind, origin}``; edges
+    are ``[src, dst, kind]`` triples in the graph's sorted order, so
+    two runs that agree on the graph produce byte-identical JSON.
+    """
+    return {
+        "program": graph.program.name,
+        "flavor": graph.flavor,
+        "stats": graph.stats(),
+        "digest": graph.digest(),
+        "nodes": {key: {"function": fn, "kind": kind, "origin": origin}
+                  for key, (fn, kind, origin)
+                  in sorted(graph.nodes.items())},
+        "edges": [list(edge) for edge in graph.edges],
+    }
+
+
+def depgraph_to_json(graph, **json_kwargs) -> str:
+    json_kwargs.setdefault("indent", 2)
+    json_kwargs.setdefault("sort_keys", True)
+    return json.dumps(depgraph_to_dict(graph), **json_kwargs)
+
+
+#: Graphviz edge attributes per dependence kind.
+_DOT_EDGE_STYLES = {
+    "value": 'color="black"',
+    "mem": 'color="red" penwidth=2',
+    "call": 'color="blue" style=dashed',
+    "control": 'color="darkgreen" style=dotted',
+}
+
+
+def _dot_quote(text: str) -> str:
+    return '"' + text.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def slice_to_dot(slice_dict: Dict[str, Any],
+                 node_info: Dict[str, Dict[str, str]] = None) -> str:
+    """Render one slice (``SliceResult.as_dict()``) as Graphviz DOT.
+
+    ``node_info`` optionally maps node keys to ``{kind, origin}`` (the
+    ``depgraph_to_dict`` node shape) for richer labels.  Criterion
+    roots are double-bordered; edge kinds get distinct styles.  Output
+    is deterministic: nodes and edges emit in sorted order.
+    """
+    node_info = node_info or {}
+    roots = set(slice_dict.get("roots", ()))
+    title = (f"{slice_dict.get('program', '')} "
+             f"{slice_dict.get('direction', '')} slice")
+    lines = [f"digraph {_dot_quote(title.strip() or 'slice')} {{",
+             "  rankdir=TB;",
+             "  node [shape=box fontsize=10];",
+             f"  label={_dot_quote(slice_dict.get('criterion', ''))};"]
+    for key in slice_dict.get("nodes", ()):
+        info = node_info.get(key, {})
+        label = key
+        origin = info.get("origin", "")
+        if origin:
+            label += "\\n" + origin
+        attrs = [f"label={_dot_quote(label)}"]
+        if key in roots:
+            attrs.append("peripheries=2 style=filled "
+                         "fillcolor=lightyellow")
+        lines.append(f"  {_dot_quote(key)} [{' '.join(attrs)}];")
+    for src, dst, kind in slice_dict.get("edges", ()):
+        style = _DOT_EDGE_STYLES.get(kind, "")
+        attrs = f"label={_dot_quote(kind)}"
+        if style:
+            attrs += " " + style
+        lines.append(f"  {_dot_quote(src)} -> {_dot_quote(dst)} "
+                     f"[{attrs}];")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def depgraph_to_dot(graph) -> str:
+    """Render a whole dependence graph as DOT (same styling as
+    :func:`slice_to_dot`, no roots highlighted)."""
+    payload = depgraph_to_dict(graph)
+    pseudo_slice = {
+        "program": payload["program"],
+        "direction": "full",
+        "criterion": f"dependence graph ({payload['digest'][:12]})",
+        "roots": [],
+        "nodes": list(payload["nodes"]),
+        "edges": payload["edges"],
+    }
+    return slice_to_dot(pseudo_slice, payload["nodes"])
+
+
 #: SARIF 2.1.0 constants (the schema-shape regression test pins these).
 SARIF_VERSION = "2.1.0"
 SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
@@ -140,6 +235,8 @@ SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
 _SARIF_LEVELS = {"error": "error", "warning": "warning"}
 
 _RULE_DESCRIPTIONS = {
+    "deadstore": "Memory write whose stored value no modeled read "
+                 "can ever observe (dead store).",
     "nullderef": "Indirect memory operation whose location input may "
                  "be the null/invalid pointer.",
     "stackref": "Pointer into a callee's stack frame reachable after "

@@ -257,6 +257,14 @@ def _check_worker(task) -> TaskOutcome:
     from .analysis.checkers import run_checkers
     from .telemetry import check_record
 
+    # ``witness`` is False/True (derivation witnesses) or the string
+    # "slice" / "slice+deriv": attach each finding's backward slice
+    # over the alias-aware dependence graph (with derivations too for
+    # the latter).  Witness text is excluded from keys and digests, so
+    # none of these change what digest_only callers compare.
+    slice_witness = witness in ("slice", "slice+deriv")
+    derivations = witness is True or witness == "slice+deriv"
+
     _maybe_inject_fault(name)
     if is_suite:
         from .suite.registry import load_program
@@ -275,7 +283,10 @@ def _check_worker(task) -> TaskOutcome:
         table = result.solution.table
         before = table.decode_calls
         start = perf_counter()
-        found = run_checkers(result, checkers, witness=witness)
+        found = run_checkers(result, checkers, witness=derivations)
+        if slice_witness:
+            from .analysis.slicing import attach_slice_witnesses
+            attach_slice_witnesses(found, result)
         elapsed = perf_counter() - start
         findings[flavor] = found
         dense = {"decode_calls_before": before,
@@ -324,6 +335,73 @@ def _serve_analyze_worker(task) -> TaskOutcome:
     return TaskOutcome(name=name,
                        records=result_records(name, results, schedule),
                        payload=analysis_payload(name, results, schedule))
+
+
+def _slice_worker(task) -> TaskOutcome:
+    """Analyze one program and compute a dependence-graph slice.
+
+    The outcome ships a JSON-safe payload — the slice (node keys,
+    origins, edges, digest), the dependence graph's stats and digest,
+    and per-node labels for DOT rendering — plus one ``kind="slice"``
+    telemetry record.  Programs, solutions, and the graph itself stay
+    worker-side.
+
+    Finding-keyed slices (``from_finding``) lower under the hazard
+    model — the model the finding was reported against, so its node
+    exists in the graph; ``file:line`` criteria use the plain lowering
+    so slice digests line up with ``repro analyze`` results.
+    """
+    (name, is_suite, flavor, schedule, cache, criterion, from_finding,
+     direction, parallel_scc, incremental) = task
+    from time import perf_counter
+
+    from .analysis.depgraph import build_depgraph
+    from .analysis.slicing import (resolve_finding, slice_criterion,
+                                   slice_for_finding)
+    from .telemetry import slice_record
+
+    _maybe_inject_fault(name)
+    hazard = from_finding is not None
+    if is_suite:
+        from .suite.registry import load_program
+        program = load_program(name, cache=cache, hazard_model=hazard)
+    else:
+        from .frontend.lower import lower_file
+        program = lower_file(name, cache=cache, hazard_model=hazard)
+    result = _analyze_program(program, (flavor,), schedule, parallel_scc,
+                              incremental, cache)[flavor]
+    table = result.solution.table
+    before = table.decode_calls
+    start = perf_counter()
+    graph = build_depgraph(result)
+    if from_finding is not None:
+        from .analysis.checkers import run_checkers
+        finding = resolve_finding(run_checkers(result), from_finding)
+        slice_result = slice_for_finding(graph, finding, direction)
+    else:
+        slice_result = slice_criterion(graph, criterion, direction)
+    elapsed = perf_counter() - start
+
+    slice_dict = slice_result.as_dict()
+    stats = graph.stats()
+    digest = graph.digest()
+    members = set(slice_dict["nodes"])
+    payload = {
+        "program": name, "flavor": flavor, "schedule": schedule,
+        "slice": slice_dict,
+        "graph": {"stats": stats, "digest": digest},
+        "node_info": {key: {"function": fn, "kind": kind,
+                            "origin": origin}
+                      for key, (fn, kind, origin)
+                      in sorted(graph.nodes.items())
+                      if key in members},
+    }
+    record = slice_record(
+        name, flavor, slice_dict, stats, digest, elapsed, schedule,
+        dense={"decode_calls_before": before,
+               "decode_calls_after": table.decode_calls},
+        cache=program.extras.get("cache", "off"))
+    return TaskOutcome(name=name, records=[record], payload=payload)
 
 
 def _error_outcome(name: str, exc: BaseException,
@@ -434,10 +512,15 @@ def _guarded_serve_analyze_worker(task) -> TaskOutcome:
     return _guarded(_serve_analyze_worker, task)
 
 
+def _guarded_slice_worker(task) -> TaskOutcome:
+    return _guarded(_slice_worker, task)
+
+
 _GUARDED = {_suite_worker: _guarded_suite_worker,
             _file_worker: _guarded_file_worker,
             _check_worker: _guarded_check_worker,
-            _serve_analyze_worker: _guarded_serve_analyze_worker}
+            _serve_analyze_worker: _guarded_serve_analyze_worker,
+            _slice_worker: _guarded_slice_worker}
 
 
 # -- engine ----------------------------------------------------------------
@@ -712,7 +795,7 @@ def run_check_report(names: Optional[Sequence[str]] = None,
                      jobs: Optional[int] = None,
                      schedule: str = "batched",
                      cache: object = True,
-                     witness: bool = False,
+                     witness: object = False,
                      fail_fast: bool = False,
                      force_pool: bool = False,
                      parallel_scc: bool = False,
@@ -728,6 +811,10 @@ def run_check_report(names: Optional[Sequence[str]] = None,
     telemetry record per flavor; programs and solutions stay in the
     workers.  ``checkers=None`` runs every registered checker;
     checker names are validated here, before any worker forks.
+
+    ``witness`` is ``False``/``True`` (attach derivation witnesses) or
+    ``"slice"`` / ``"slice+deriv"`` — attach each finding's backward
+    dependence-graph slice (optionally alongside derivations).
 
     ``digest_only=True`` is the fast path for callers that only
     compare digests (the serve daemon, determinism cross-checks):
@@ -754,6 +841,56 @@ def run_check_report(names: Optional[Sequence[str]] = None,
                       checkers, witness, parallel_scc, incremental,
                       digest_only))
     return run_tasks(_check_worker, tasks, jobs, fail_fast=fail_fast,
+                     force_pool=force_pool)
+
+
+def run_slice_report(names: Optional[Sequence[str]] = None,
+                     paths: Optional[Sequence] = None,
+                     flavor: str = "insensitive",
+                     criterion: Optional[str] = None,
+                     from_finding: Optional[str] = None,
+                     direction: str = "backward",
+                     jobs: Optional[int] = None,
+                     schedule: str = "batched",
+                     cache: object = True,
+                     fail_fast: bool = False,
+                     force_pool: bool = False,
+                     parallel_scc: bool = False,
+                     incremental: bool = False,
+                     ) -> RunReport:
+    """Compute dependence-graph slices, one task per program.
+
+    Exactly one of ``criterion`` (``file:line``) / ``from_finding``
+    (a ``repro check`` finding key or unique substring) selects the
+    slice roots; every task applies the same criterion, so a
+    multi-program sweep answers "who else touches this line".
+    Outcomes carry a JSON-safe ``payload`` (slice, graph stats and
+    digest, node labels) and one ``kind="slice"`` record.
+    """
+    from .analysis.slicing import DIRECTIONS
+    from .suite.registry import PROGRAM_NAMES
+
+    if (criterion is None) == (from_finding is None):
+        raise ReproError(
+            "exactly one of 'criterion' and 'from_finding' must be "
+            "given")
+    if direction not in DIRECTIONS:
+        raise ReproError(
+            f"unknown slice direction {direction!r}; expected one of "
+            f"{', '.join(DIRECTIONS)}")
+    _check_flavors((flavor,))
+    tasks = []
+    if paths is None and names is None:
+        names = PROGRAM_NAMES
+    for name in names or ():
+        tasks.append((name, True, flavor, schedule, cache, criterion,
+                      from_finding, direction, parallel_scc,
+                      incremental))
+    for path in paths or ():
+        tasks.append((str(path), False, flavor, schedule, cache,
+                      criterion, from_finding, direction, parallel_scc,
+                      incremental))
+    return run_tasks(_slice_worker, tasks, jobs, fail_fast=fail_fast,
                      force_pool=force_pool)
 
 

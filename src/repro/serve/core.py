@@ -271,6 +271,8 @@ class AnalysisService:
                 status, payload = self._check(body)
             elif endpoint == "query":
                 status, payload = self._query(body)
+            elif endpoint == "slice":
+                status, payload = self._slice(body)
             else:
                 return 404, {"error": f"unknown endpoint {endpoint!r}"}
         except ServeRequestError as exc:
@@ -395,31 +397,7 @@ class AnalysisService:
         key = result_key + (function, line)
 
         def compute() -> Tuple[int, dict]:
-            tier = "solution"
-            result = self.results.get(result_key)
-            if result is None:
-                from ..runner import _analyze_program
-                program_key = ("program", target.content_key)
-                program = self.programs.get(program_key)
-                tier = "lowering"
-                if program is None:
-                    tier = "cold"
-                    if target.is_suite:
-                        from ..suite.registry import load_program
-                        program = load_program(target.name,
-                                               cache=self.config.cache)
-                    else:
-                        from ..frontend.lower import lower_file
-                        program = lower_file(target.name,
-                                             cache=self.config.cache)
-                    if program.extras.get("cache") == "hit":
-                        tier = "lowering"
-                    self.programs.put(program_key, program)
-                result = _analyze_program(
-                    program, (flavor,), schedule,
-                    self.config.parallel_scc, self.config.incremental,
-                    self.config.cache)[flavor]
-                self.results.put(result_key, result)
+            result, tier = self._solved_result(target, flavor, schedule)
             operations: List[dict] = []
             for name, graph in sorted(result.program.functions.items()):
                 if function is not None and name != function:
@@ -443,7 +421,129 @@ class AnalysisService:
 
         return self._coalesced(key, compute)
 
+    def _slice(self, body: dict) -> Tuple[int, dict]:
+        """Dependence-graph slice over one program's solved result.
+
+        In-process like ``/query`` — the graph walk needs the
+        object-level solution — and ``file:line`` slices share
+        ``/query``'s solved-result LRU tier exactly (same
+        ``("query", content, flavor, schedule)`` key), so a warm query
+        makes the next slice a solution-tier hit and vice versa.
+        Finding-keyed slices solve under the hazard-model lowering
+        (the model findings are reported against) in a sibling tier
+        entry.
+        """
+        from ..analysis.slicing import DIRECTIONS
+
+        target = self._resolve_target(body)
+        flavor = body.get("flavor", "insensitive")
+        if flavor not in FLAVORS:
+            raise ServeRequestError(
+                f"unknown flavor {flavor!r}; expected one of {FLAVORS}")
+        schedule = body.get("schedule", self.config.schedule)
+        criterion = body.get("criterion")
+        finding = body.get("finding")
+        direction = body.get("direction", "backward")
+        if direction not in DIRECTIONS:
+            raise ServeRequestError(
+                f"unknown direction {direction!r}; expected one of "
+                f"{DIRECTIONS}")
+        if (criterion is None) == (finding is None):
+            raise ServeRequestError(
+                "provide exactly one of 'criterion' (file:line) and "
+                "'finding' (a check finding key)")
+        for field_name, value in (("criterion", criterion),
+                                  ("finding", finding)):
+            if value is not None and (not isinstance(value, str)
+                                      or not value):
+                raise ServeRequestError(
+                    f"{field_name!r} must be a non-empty string")
+        hazard = finding is not None
+        prefix = "query-hazard" if hazard else "query"
+        result_key = (prefix, target.content_key, flavor, schedule)
+        key = ("slice",) + result_key + (criterion, finding, direction)
+
+        def compute() -> Tuple[int, dict]:
+            from ..analysis.depgraph import build_depgraph
+            from ..analysis.slicing import (resolve_finding,
+                                            slice_criterion,
+                                            slice_for_finding)
+            from ..errors import AnalysisError
+
+            result, tier = self._solved_result(target, flavor, schedule,
+                                               hazard=hazard)
+            graph = build_depgraph(result)
+            try:
+                if hazard:
+                    from ..analysis.checkers import run_checkers
+                    resolved = resolve_finding(run_checkers(result),
+                                               finding)
+                    slice_result = slice_for_finding(graph, resolved,
+                                                     direction)
+                else:
+                    slice_result = slice_criterion(graph, criterion,
+                                                   direction)
+            except AnalysisError as exc:
+                # A criterion matching nothing is the client's mistake.
+                return 400, {"error": str(exc)}
+            slice_dict = slice_result.as_dict()
+            members = set(slice_dict["nodes"])
+            node_info = {k: {"function": fn, "kind": kind,
+                             "origin": origin}
+                         for k, (fn, kind, origin)
+                         in sorted(graph.nodes.items())
+                         if k in members}
+            return 200, {"program": target.name, "flavor": flavor,
+                         "schedule": schedule, "tier": tier,
+                         "slice": slice_dict,
+                         "graph": {"stats": graph.stats(),
+                                   "digest": graph.digest()},
+                         "node_info": node_info}
+
+        return self._coalesced(key, compute)
+
     # -- plumbing -----------------------------------------------------
+
+    def _solved_result(self, target: _Target, flavor: str,
+                       schedule: str, hazard: bool = False):
+        """``(result, tier)`` through the program/result LRU tiers.
+
+        The warm path ``/query`` and ``/slice`` share: solved results
+        key on ``(prefix, content, flavor, schedule)`` (the response
+        shape never affects the tier), lowered programs on
+        ``(prefix, content)``.  ``hazard=True`` selects the
+        hazard-model lowering under sibling keys.
+        """
+        prefix = "query-hazard" if hazard else "query"
+        result_key = (prefix, target.content_key, flavor, schedule)
+        result = self.results.get(result_key)
+        if result is not None:
+            return result, "solution"
+        from ..runner import _analyze_program
+        program_key = ("program-hazard" if hazard else "program",
+                       target.content_key)
+        program = self.programs.get(program_key)
+        tier = "lowering"
+        if program is None:
+            tier = "cold"
+            if target.is_suite:
+                from ..suite.registry import load_program
+                program = load_program(target.name,
+                                       cache=self.config.cache,
+                                       hazard_model=hazard)
+            else:
+                from ..frontend.lower import lower_file
+                program = lower_file(target.name,
+                                     cache=self.config.cache,
+                                     hazard_model=hazard)
+            if program.extras.get("cache") == "hit":
+                tier = "lowering"
+            self.programs.put(program_key, program)
+        result = _analyze_program(
+            program, (flavor,), schedule, self.config.parallel_scc,
+            self.config.incremental, self.config.cache)[flavor]
+        self.results.put(result_key, result)
+        return result, tier
 
     def _coalesced(self, key: tuple, compute) -> Tuple[int, dict]:
         """Run ``compute`` once per key across concurrent callers.

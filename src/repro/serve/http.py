@@ -2,13 +2,16 @@
 
 A deliberately small server — request line, headers, Content-Length
 body, JSON in / JSON out, keep-alive — because the daemon's API is
-four routes and its clients are benchmarks, CI smoke, and curl:
+five routes and its clients are benchmarks, CI smoke, and curl:
 
 * ``POST /analyze`` — solve a program, return per-flavor digests,
   pair census, counters, and the cache ``tier`` that satisfied it.
 * ``POST /check`` — run the bug-finding checkers, return per-flavor
   finding digests and counts (findings stay worker-side).
 * ``POST /query`` — location sets for indirect memory operations.
+* ``POST /slice`` — dependence-graph slices from a ``file:line``
+  criterion or a checker finding key (shares ``/query``'s
+  solved-result cache tier).
 * ``GET /metrics`` — service counters (queue depth, tier hits,
   coalesced/shed counts, latency percentiles, cache stats).
 
@@ -37,7 +40,7 @@ _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
             413: "Payload Too Large", 429: "Too Many Requests",
             500: "Internal Server Error", 504: "Gateway Timeout"}
 
-_POST_ROUTES = ("analyze", "check", "query")
+_POST_ROUTES = ("analyze", "check", "query", "slice")
 
 
 def _response_bytes(status: int, payload: dict,

@@ -54,6 +54,13 @@ breakdowns, the deterministic finding ``digest``, checker wall time,
 and a ``dense`` object with ``decode_calls_before``/``_after`` around
 the checker sweep.
 
+``kind="slice"`` records (one per ``repro slice`` computation) carry
+the criterion and direction, the slice size / origin count / digest,
+the dependence graph's node and per-kind edge counts and digest, and a
+``dense`` object with ``decode_calls_before``/``_after`` around graph
+construction — the evidence that mem-edge resolution stayed on the
+bitset representation.
+
 ``kind="serve"`` records (periodic snapshots from ``repro serve``)
 carry the daemon's request counters — queue depth, cache hits by tier
 (``solution``/``summary``/``lowering`` vs ``cold``), coalesced and
@@ -196,6 +203,45 @@ def check_record(program: str, flavor: str, findings,
         "by_checker": count_by_checker(findings),
         "by_severity": by_severity,
         "digest": findings_digest(findings),
+        "elapsed_seconds": round(elapsed_seconds, 6),
+        "worker_pid": os.getpid(),
+        "peak_rss_kb": peak_rss_kb(),
+    }
+    if cache is not None:
+        record["cache"] = cache
+    if dense is not None:
+        record["dense"] = dict(dense)
+    return record
+
+
+def slice_record(program: str, flavor: str, slice_dict: Mapping[str, object],
+                 graph_stats: Mapping[str, int], graph_digest: str,
+                 elapsed_seconds: float,
+                 schedule: Optional[str] = None,
+                 dense: Optional[Mapping[str, object]] = None,
+                 cache: Optional[str] = None) -> Dict[str, object]:
+    """One ``kind="slice"`` record per computed slice.
+
+    ``slice_dict`` is ``SliceResult.as_dict()``; ``graph_stats`` /
+    ``graph_digest`` describe the dependence graph the slice ran over
+    (node count, per-kind edge counts, content digest — the
+    cross-schedule / cross-jobs comparison handles).  ``dense`` carries
+    the fact table's ``decode_calls`` counter before and after graph
+    construction, showing mem-edge resolution stayed mask-level.
+    """
+    record = {
+        "schema": SCHEMA_VERSION,
+        "kind": "slice",
+        "status": "ok",
+        "program": str(program),
+        "flavor": flavor,
+        "schedule": schedule,
+        "criterion": slice_dict["criterion"],
+        "direction": slice_dict["direction"],
+        "slice_size": slice_dict["size"],
+        "slice_origins": len(slice_dict["origins"]),
+        "slice_digest": slice_dict["digest"],
+        "graph": dict(graph_stats, digest=graph_digest),
         "elapsed_seconds": round(elapsed_seconds, 6),
         "worker_pid": os.getpid(),
         "peak_rss_kb": peak_rss_kb(),

@@ -47,9 +47,9 @@ def analyze(source=HAZARDS, flavor="insensitive"):
 
 
 class TestRegistry:
-    def test_all_four_registered(self):
-        assert CHECKER_IDS == ("nullderef", "stackref", "uninit",
-                               "wildcall")
+    def test_all_five_registered(self):
+        assert CHECKER_IDS == ("deadstore", "nullderef", "stackref",
+                               "uninit", "wildcall")
         assert REGISTRY.names() == CHECKER_IDS
 
     def test_unknown_name_rejected(self):
@@ -102,9 +102,12 @@ class TestRunCheckers:
         findings = run_checkers(result)
         keys = [f.key() for f in findings]
         assert len(keys) == len(set(keys))
+        def uid(node: str) -> int:
+            return int(node.rsplit("#", 1)[1])
+
         assert findings == sorted(
-            findings, key=lambda f: (f.checker, f.function, f.node,
-                                     f.path, f.message))
+            findings, key=lambda f: (f.checker, f.function,
+                                     uid(f.node), f.path, f.message))
         assert count_by_checker(findings)["nullderef"] >= 1
         assert count_by_checker(findings)["uninit"] >= 1
         assert count_by_checker(findings)["stackref"] >= 1

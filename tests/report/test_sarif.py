@@ -41,7 +41,7 @@ class TestSarifShape:
         driver = log["runs"][0]["tool"]["driver"]
         assert driver["name"] == "repro-check"
         assert {r["id"] for r in driver["rules"]} \
-            == {"nullderef", "uninit"}
+            == {"deadstore", "nullderef", "uninit"}
 
     def test_results_reference_rules(self):
         log = findings_to_sarif(make_findings())

@@ -1,0 +1,82 @@
+"""``repro analyze`` client sections and ``--format json``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+SOURCE = """
+int g;
+int h;
+void set(int *p, int v) { *p = v; }
+int main(void) {
+    int *q = &g;
+    set(q, 5);
+    h = *q;
+    int dead = 0;
+    dead = h;
+    return dead;
+}
+"""
+
+
+@pytest.fixture
+def flow_c(tmp_path):
+    path = tmp_path / "flow.c"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+class TestJson:
+    def test_document_shape(self, flow_c, capsys):
+        assert main(["analyze", flow_c, "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["program"] == "flow.c"
+        assert set(doc["sizes"]) >= {"source_lines", "vdg_nodes"}
+        flavor = doc["flavors"]["insensitive"]
+        assert flavor["pairs"]["total"] > 0
+        assert "indirect_reads" in flavor
+
+    def test_client_sections_sorted_and_complete(self, flow_c, capsys):
+        assert main(["analyze", flow_c, "--format", "json",
+                     "--modref", "--defuse", "--deadstore"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        flavor = doc["flavors"]["insensitive"]
+        mod = flavor["modref"]
+        assert [e["function"] for e in mod] == \
+            sorted(e["function"] for e in mod)
+        reads = flavor["defuse"]
+        assert [e["read"] for e in reads] == \
+            sorted(e["read"] for e in reads)
+        dead = flavor["deadstore"]
+        assert set(dead["counts"]) == \
+            {"dead", "unreachable", "live", "total"}
+
+    def test_json_deterministic(self, flow_c, capsys):
+        docs = []
+        for _ in range(2):
+            assert main(["analyze", flow_c, "--format", "json",
+                         "--modref", "--defuse", "--deadstore"]) == 0
+            doc = json.loads(capsys.readouterr().out)
+            for flavor in doc["flavors"].values():
+                flavor.pop("elapsed_seconds", None)
+            docs.append(doc)
+        assert docs[0] == docs[1]
+
+    def test_both_flavors_with_comparison(self, flow_c, capsys):
+        assert main(["analyze", flow_c, "--format", "json",
+                     "--sensitivity", "both"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert {"insensitive", "sensitive"} <= set(doc["flavors"])
+        assert "comparison" in doc
+
+
+class TestText:
+    def test_client_blocks_rendered(self, flow_c, capsys):
+        assert main(["analyze", flow_c, "--modref", "--defuse",
+                     "--deadstore"]) == 0
+        out = capsys.readouterr().out
+        assert "main: mod=" in out
+        assert "reads {" in out
+        assert "dead stores:" in out

@@ -99,7 +99,8 @@ class TestCheckSarif:
         assert log["version"] == "2.1.0"
         results = log["runs"][0]["results"]
         assert results
-        assert {r["ruleId"] for r in results} == {"nullderef", "uninit"}
+        assert {r["ruleId"] for r in results} \
+            == {"deadstore", "nullderef", "uninit"}
 
     def test_sarif_stable_across_schedules(self, hazards_c, capsys):
         outputs = []
